@@ -1,0 +1,315 @@
+// Benchmarks regenerating every experiment table of the evaluation
+// (DESIGN.md §4). Each BenchmarkE* runs the corresponding experiment; the
+// tables themselves are printed by cmd/benchtables. Micro-benchmarks for the
+// hot primitives (fingerprint estimation/encoding, color trials, matching)
+// follow.
+package clustercolor
+
+import (
+	"testing"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/coloring"
+	"clustercolor/internal/experiments"
+	"clustercolor/internal/fingerprint"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/matching"
+	"clustercolor/internal/network"
+	"clustercolor/internal/trials"
+)
+
+func benchTable(b *testing.B, run func(seed uint64) (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := run(uint64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE1HighDegreeRounds(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.E1HighDegreeRounds([]int{30, 60, 120}, seed)
+	})
+}
+
+func BenchmarkE2LowDegreeRounds(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.E2LowDegreeRounds([]int{200, 400, 800}, seed)
+	})
+}
+
+func BenchmarkE3FingerprintAccuracy(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.E3FingerprintAccuracy([]int{64, 256, 1024}, 500, 20, seed)
+	})
+}
+
+func BenchmarkE4FingerprintEncoding(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.E4FingerprintEncoding([]int{64, 256}, []int{16, 1024, 65536}, seed)
+	})
+}
+
+func BenchmarkE5ACDQuality(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.E5ACDQuality([]int{30, 60}, seed)
+	})
+}
+
+func BenchmarkE6SlackGeneration(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.E6SlackGeneration([]int{50, 100, 200, 400}, seed)
+	})
+}
+
+func BenchmarkE7CabalMatching(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.E7CabalMatching(80, []int{0, 2, 6, 12}, seed)
+	})
+}
+
+func BenchmarkE8PutAside(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.E8PutAside([]int{40, 80, 160}, 4, seed)
+	})
+}
+
+func BenchmarkE9SCT(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.E9SCT(60, []int{1, 3, 6, 10}, seed)
+	})
+}
+
+func BenchmarkE10Bandwidth(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.E10Bandwidth([]int{200, 400}, seed)
+	})
+}
+
+func BenchmarkE11Dilation(b *testing.B) {
+	h := graph.GNP(100, 0.1, graph.NewRand(1))
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.E11Dilation(h, []int{1, 4, 8, 16}, seed)
+	})
+}
+
+func BenchmarkE12Baselines(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.E12Baselines([]int{200, 400}, seed)
+	})
+}
+
+func BenchmarkE13TryColor(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.E13TryColor(400, 8, seed)
+	})
+}
+
+func BenchmarkE14PaletteQuery(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.E14PaletteQuery(40, 25, seed)
+	})
+}
+
+func BenchmarkE15Distance2(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.E15Distance2([]int{100, 200}, seed)
+	})
+}
+
+// --- ablation benches (DESIGN.md §4, A1–A5) -------------------------------
+
+func BenchmarkA1EncodingAblation(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.A1Encoding([]int{64, 256, 1024}, 5000, 48, seed)
+	})
+}
+
+func BenchmarkA2MatchingAblation(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.A2CabalMatching(70, 8, 3, seed)
+	})
+}
+
+func BenchmarkA3PutAsideAblation(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.A3PutAside(300, 4, 14, seed)
+	})
+}
+
+func BenchmarkA4MCTAblation(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.A4MCTGrowth(40, seed)
+	})
+}
+
+func BenchmarkA5ReservedAblation(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.A5ReservedFraction([]float64{0.05, 0.2, 0.5}, seed)
+	})
+}
+
+// --- micro-benchmarks ---------------------------------------------------
+
+func BenchmarkFullPipelineHighDegree(b *testing.B) {
+	h, _, err := graph.PlantedACD(graph.PlantedACDSpec{
+		NumCliques:     3,
+		CliqueSize:     60,
+		DropFraction:   0.04,
+		ExternalDegree: 3,
+		SparseN:        60,
+		SparseP:        0.1,
+	}, graph.NewRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Color(h, Options{Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Rounds()
+	}
+}
+
+func BenchmarkFullPipelineLowDegree(b *testing.B) {
+	h := graph.GNP(800, 6.0/800, graph.NewRand(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Color(h, Options{Seed: uint64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFingerprintEstimate(b *testing.B) {
+	rng := graph.NewRand(3)
+	s := fingerprint.NewSketch(256)
+	for j := 0; j < 1000; j++ {
+		_ = s.AddSamples(fingerprint.NewSamples(256, rng))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Estimate()
+	}
+}
+
+func BenchmarkFingerprintEncodeDecode(b *testing.B) {
+	rng := graph.NewRand(4)
+	s := fingerprint.NewSketch(256)
+	for j := 0; j < 1000; j++ {
+		_ = s.AddSamples(fingerprint.NewSamples(256, rng))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := s.Encode()
+		if _, err := fingerprint.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCG(b *testing.B, h *graph.Graph) *cluster.CG {
+	b.Helper()
+	exp, err := graph.Expand(h, graph.ExpandSpec{Topology: graph.TopologySingleton}, graph.NewRand(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cost, err := network.NewCostModel(48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cg, err := cluster.New(h, exp, cost)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cg
+}
+
+func BenchmarkTryColorRound(b *testing.B) {
+	h := graph.GNP(1000, 0.02, graph.NewRand(6))
+	cg := benchCG(b, h)
+	space := trials.RangeSpace(1, int32(h.MaxDegree()+1))
+	rng := graph.NewRand(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := coloring.New(h.N(), h.MaxDegree())
+		if _, err := trials.TryColorRound(cg, col, trials.TryColorOptions{
+			Phase:      "bench",
+			Activation: 0.5,
+			Space:      func(v int) []int32 { return space },
+		}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFingerprintMatching(b *testing.B) {
+	n := 100
+	bd := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			anti := v == u+1 && u%2 == 0 && u/2 < 8
+			if !anti {
+				if err := bd.AddEdge(u, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	h := bd.Build()
+	cg := benchCG(b, h)
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	rng := graph.NewRand(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matching.FingerprintMatching(cg, matching.FingerprintOptions{
+			Phase:   "bench",
+			Members: members,
+			Trials:  80,
+		}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCliquePaletteBuild(b *testing.B) {
+	h := graph.Clique(200)
+	cg := benchCG(b, h)
+	col := coloring.New(200, 199)
+	for v := 0; v < 150; v++ {
+		_ = col.Set(v, int32(v+1))
+	}
+	members := make([]int, 200)
+	for i := range members {
+		members[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := coloring.BuildCliquePalette(cg, col, members)
+		if cp.FreeCount() == 0 {
+			b.Fatal("no free colors")
+		}
+	}
+}
+
+func BenchmarkE16VirtualDistance2(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.E16VirtualDistance2([]int{100}, seed)
+	})
+}
+
+func BenchmarkE17Linial(b *testing.B) {
+	benchTable(b, func(seed uint64) (*experiments.Table, error) {
+		return experiments.E17Linial(1500, 2.0, seed)
+	})
+}

@@ -1,0 +1,135 @@
+package clustercolor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestColorQuickstart(t *testing.T) {
+	h := GNP(300, 0.05, 42)
+	res, err := Color(h, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(h, res.Colors()); err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors() > h.MaxDegree()+1 {
+		t.Fatalf("used %d colors for Δ=%d", res.NumColors(), h.MaxDegree())
+	}
+	if res.Rounds() <= 0 {
+		t.Fatal("no rounds recorded")
+	}
+	if !strings.Contains(res.CostSummary(), "rounds=") {
+		t.Fatal("cost summary empty")
+	}
+	if res.ColorOf(0) < 1 {
+		t.Fatal("ColorOf out of range")
+	}
+}
+
+func TestColorAllTopologies(t *testing.T) {
+	h := GNP(120, 0.08, 7)
+	tests := []struct {
+		name string
+		opts Options
+	}{
+		{name: "singleton", opts: Options{Topology: Singleton, Seed: 2}},
+		{name: "star", opts: Options{Topology: StarCluster, MachinesPerCluster: 4, Seed: 2}},
+		{name: "path", opts: Options{Topology: PathCluster, MachinesPerCluster: 3, Seed: 2}},
+		{name: "tree", opts: Options{Topology: TreeCluster, MachinesPerCluster: 5, RedundantLinks: 2, Seed: 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := Color(h, tt.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(h, res.Colors()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsBadColorings(t *testing.T) {
+	h := Clique(4)
+	res, err := Color(h, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := res.Colors()
+	if err := Verify(h, good); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong length.
+	if err := Verify(h, good[:2]); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	// Monochromatic edge.
+	bad := append([]int(nil), good...)
+	bad[1] = bad[0]
+	if err := Verify(h, bad); err == nil {
+		t.Fatal("monochromatic edge accepted")
+	}
+	// Out-of-range color.
+	bad2 := append([]int(nil), good...)
+	bad2[0] = h.MaxDegree() + 2
+	if err := Verify(h, bad2); err == nil {
+		t.Fatal("out-of-range color accepted")
+	}
+}
+
+func TestPowerGraphColoring(t *testing.T) {
+	// Corollary 1.3's shape: distance-2 coloring via the square graph.
+	g := GNP(150, 0.03, 11)
+	h2 := Power(g, 2)
+	res, err := Color(h2, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(h2, res.Colors()); err != nil {
+		t.Fatal(err)
+	}
+	// The coloring of the square is a distance-2 coloring of g.
+	colors := res.Colors()
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if colors[v] == colors[int(u)] {
+				t.Fatalf("distance-1 conflict %d,%d", v, u)
+			}
+			for _, w := range g.Neighbors(int(u)) {
+				if int(w) != v && colors[v] == colors[int(w)] {
+					t.Fatalf("distance-2 conflict %d,%d", v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestDefaultBandwidthIsLogarithmic(t *testing.T) {
+	if DefaultBandwidth(1024) >= DefaultBandwidth(1<<20) {
+		t.Fatal("bandwidth not increasing")
+	}
+	if DefaultBandwidth(1<<20) > 100 {
+		t.Fatalf("bandwidth %d too large for 2^20 machines", DefaultBandwidth(1<<20))
+	}
+}
+
+func TestGraphBuilderFacade(t *testing.T) {
+	b := NewGraphBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	h := b.Build()
+	res, err := Color(h, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(h, res.Colors()); err != nil {
+		t.Fatal(err)
+	}
+}

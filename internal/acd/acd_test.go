@@ -1,0 +1,308 @@
+package acd
+
+import (
+	"testing"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+)
+
+func plantedInstance(t *testing.T, seed uint64) (*graph.Graph, []int) {
+	t.Helper()
+	rng := graph.NewRand(seed)
+	g, blocks, err := graph.PlantedACD(graph.PlantedACDSpec{
+		NumCliques:     3,
+		CliqueSize:     40,
+		DropFraction:   0.03,
+		ExternalDegree: 2,
+		SparseN:        60,
+		SparseP:        0.08,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, blocks
+}
+
+func asCG(t *testing.T, h *graph.Graph, seed uint64) *cluster.CG {
+	t.Helper()
+	rng := graph.NewRand(seed)
+	exp, err := graph.Expand(h, graph.ExpandSpec{Topology: graph.TopologyStar, MachinesPerCluster: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := network.NewCostModel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := cluster.New(h, exp, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cg
+}
+
+func TestSparsityExtremes(t *testing.T) {
+	// In a clique, every vertex has sparsity 0 (neighborhood is complete).
+	k := graph.Clique(10)
+	for v := 0; v < 10; v++ {
+		if z := Sparsity(k, v); z > 0.01 {
+			t.Fatalf("clique sparsity = %v, want ~0", z)
+		}
+	}
+	// In a star, the center's neighborhood has no edges at all: sparsity
+	// is about Δ/2.
+	s := graph.Star(21)
+	z := Sparsity(s, 0)
+	if z < 8 || z > 10.1 {
+		t.Fatalf("star center sparsity = %v, want ≈ (Δ-1)/2 = 9.5", z)
+	}
+}
+
+func TestExactRecoversPlantedBlocks(t *testing.T) {
+	g, blocks := plantedInstance(t, 3)
+	d, err := Exact(g, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRecoversBlocks(t, g, blocks, d)
+}
+
+func assertRecoversBlocks(t *testing.T, g *graph.Graph, blocks []int, d *Decomposition) {
+	t.Helper()
+	// Every planted dense block should be recovered as one almost-clique:
+	// members of the same block share a clique id, and sparse vertices are
+	// classified sparse.
+	blockToClique := map[int]int{}
+	misclassified := 0
+	for v := 0; v < g.N(); v++ {
+		if blocks[v] >= 0 {
+			if d.CliqueOf[v] < 0 {
+				misclassified++
+				continue
+			}
+			if prev, ok := blockToClique[blocks[v]]; ok {
+				if prev != d.CliqueOf[v] {
+					t.Fatalf("block %d split across cliques %d and %d", blocks[v], prev, d.CliqueOf[v])
+				}
+			} else {
+				blockToClique[blocks[v]] = d.CliqueOf[v]
+			}
+		} else if d.CliqueOf[v] >= 0 {
+			misclassified++
+		}
+	}
+	if misclassified > g.N()/20 {
+		t.Fatalf("%d/%d vertices misclassified", misclassified, g.N())
+	}
+	// Distinct blocks map to distinct cliques.
+	seen := map[int]bool{}
+	for _, c := range blockToClique {
+		if seen[c] {
+			t.Fatal("two blocks merged into one clique")
+		}
+		seen[c] = true
+	}
+}
+
+func TestExactRejectsBadEps(t *testing.T) {
+	g := graph.Clique(4)
+	if _, err := Exact(g, 0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := Exact(g, 0.5); err == nil {
+		t.Fatal("eps=0.5 accepted")
+	}
+}
+
+func TestComputeDistributedMatchesPlanted(t *testing.T) {
+	g, blocks := plantedInstance(t, 5)
+	cg := asCG(t, g, 7)
+	d, err := Compute(cg, 0.3, graph.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRecoversBlocks(t, g, blocks, d)
+	if cg.Cost().Rounds() == 0 {
+		t.Fatal("distributed ACD charged no rounds")
+	}
+}
+
+func TestComputeRejectsBadEps(t *testing.T) {
+	cg := asCG(t, graph.Clique(4), 1)
+	if _, err := Compute(cg, 0.4, graph.NewRand(1)); err == nil {
+		t.Fatal("eps=0.4 accepted")
+	}
+}
+
+func TestComputeOnEdgelessGraph(t *testing.T) {
+	cg := asCG(t, graph.NewBuilder(5).Build(), 1)
+	d, err := Compute(cg, 0.2, graph.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		if !d.IsSparse(v) {
+			t.Fatalf("vertex %d of edgeless graph not sparse", v)
+		}
+	}
+}
+
+func TestValidateOnPlanted(t *testing.T) {
+	g, _ := plantedInstance(t, 11)
+	d, err := Exact(g, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viol, err := d.Validate(g, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol > 0.05 {
+		t.Fatalf("%.2f of clique members violate the in-degree condition", viol)
+	}
+}
+
+func TestValidateDetectsOversizedClique(t *testing.T) {
+	g := graph.Path(10) // Δ = 2
+	d := &Decomposition{
+		Eps:      0.1,
+		CliqueOf: make([]int, 10),
+		Cliques:  [][]int{{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},
+	}
+	if _, err := d.Validate(g, 0.1); err == nil {
+		t.Fatal("oversized clique passed validation")
+	}
+}
+
+func TestSparseQuality(t *testing.T) {
+	g, _ := plantedInstance(t, 13)
+	d, err := Exact(g, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := d.SparseQuality(g)
+	if q < 0 {
+		t.Fatalf("sparse quality %v negative", q)
+	}
+}
+
+func TestBuildProfileClassifiesCabals(t *testing.T) {
+	// Blocks with tiny external degree are cabals for a threshold above
+	// their external average.
+	g, _ := plantedInstance(t, 17)
+	cg := asCG(t, g, 19)
+	d, err := Exact(g, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildProfile(cg, d, float64(g.MaxDegree()), 20, graph.NewRand(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Size) != len(d.Cliques) {
+		t.Fatalf("profile has %d cliques, want %d", len(p.Size), len(d.Cliques))
+	}
+	for i, members := range d.Cliques {
+		if p.Size[i] != len(members) {
+			t.Fatalf("clique %d size %d, want %d", i, p.Size[i], len(members))
+		}
+		// Planted external degree ≈ 4 (2 sampled each way), far below 20.
+		if !p.IsCabal[i] {
+			t.Fatalf("clique %d (avg ext %.1f) not classified cabal at ℓ=20", i, p.AvgExt[i])
+		}
+	}
+	if got := len(p.CabalVertices()); got == 0 {
+		t.Fatal("no cabal vertices")
+	}
+	// With ℓ below the external average nothing is a cabal.
+	p2, err := BuildProfile(cg, d, float64(g.MaxDegree()), 0.001, graph.NewRand(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p2.IsCabal {
+		if p2.IsCabal[i] {
+			t.Fatalf("clique %d classified cabal at ℓ=0.001", i)
+		}
+	}
+}
+
+func TestBuildProfileValidation(t *testing.T) {
+	g, _ := plantedInstance(t, 25)
+	cg := asCG(t, g, 27)
+	d, err := Exact(g, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildProfile(cg, d, 1, 0, graph.NewRand(1)); err == nil {
+		t.Fatal("ell=0 accepted")
+	}
+}
+
+func TestExternalAndAntiDegreeExact(t *testing.T) {
+	g, _ := plantedInstance(t, 29)
+	cg := asCG(t, g, 31)
+	d, err := Exact(g, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildProfile(cg, d, float64(g.MaxDegree()), 20, graph.NewRand(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	okExt := 0
+	dense := 0
+	for v := 0; v < g.N(); v++ {
+		if d.CliqueOf[v] < 0 {
+			continue
+		}
+		dense++
+		e := ExactExternalDegree(cg, d, v)
+		// Fingerprint estimate within a factor 2 or absolute slack 3 of
+		// truth for most vertices.
+		if diff := p.ExtDeg[v] - float64(e); diff < 4 && diff > -4 || (e > 0 && p.ExtDeg[v] > 0.5*float64(e) && p.ExtDeg[v] < 2*float64(e)) {
+			okExt++
+		}
+		a := ExactAntiDegree(cg, d, v)
+		if a < 0 || a >= len(d.Cliques[d.CliqueOf[v]]) {
+			t.Fatalf("anti-degree %d out of range", a)
+		}
+	}
+	if okExt < dense*8/10 {
+		t.Fatalf("only %d/%d external-degree estimates acceptable", okExt, dense)
+	}
+}
+
+func TestAntiDegreeProxyIdentity(t *testing.T) {
+	// For a vertex with exact external degree and no approximation error,
+	// x_v = a_v − (Δ − deg(v)) per Equation (3). Verify the proxy tracks
+	// the exact value within the estimate error.
+	g, _ := plantedInstance(t, 35)
+	cg := asCG(t, g, 37)
+	d, err := Exact(g, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildProfile(cg, d, float64(g.MaxDegree()), 20, graph.NewRand(39))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := g.MaxDegree()
+	ok := 0
+	dense := 0
+	for v := 0; v < g.N(); v++ {
+		if d.CliqueOf[v] < 0 {
+			continue
+		}
+		dense++
+		want := float64(ExactAntiDegree(cg, d, v) - (delta - g.Degree(v)))
+		got := p.AntiDegreeProxy(v, delta)
+		if diff := got - want; diff > -6 && diff < 6 {
+			ok++
+		}
+	}
+	if ok < dense*8/10 {
+		t.Fatalf("only %d/%d proxies near identity", ok, dense)
+	}
+}

@@ -1,0 +1,141 @@
+package acd
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/fingerprint"
+)
+
+// Profile carries the per-vertex and per-clique quantities of Section 4.1
+// computed on top of a decomposition: approximate external degrees ẽ_v,
+// per-clique averages ẽ_K, exact clique sizes, the anti-degree proxy x_v of
+// Equation (3), and the cabal classification ẽ_K < ℓ.
+type Profile struct {
+	Decomp *Decomposition
+	// ExtDeg is ẽ_v per vertex (0 for sparse vertices).
+	ExtDeg []float64
+	// AvgExt is ẽ_K per clique.
+	AvgExt []float64
+	// Size is |K| per clique (computed exactly by aggregation).
+	Size []int
+	// IsCabal reports ẽ_K < ℓ per clique.
+	IsCabal []bool
+	// Ell is the cabal threshold ℓ used.
+	Ell float64
+	// Trees are BFS trees spanning each clique (used downstream for
+	// ordering and prefix sums inside cliques).
+	Trees []*cluster.HTree
+}
+
+// BuildProfile computes the profile of Section 4.1 on a cluster graph:
+// a fingerprint wave estimates external degrees (Lemma 5.7 with the
+// predicate u ∉ K_v), then per-clique BFS trees aggregate sizes and
+// averages (the proof of Theorem 1.2 does exactly this).
+func BuildProfile(cg *cluster.CG, d *Decomposition, delta float64, ell float64, rng *rand.Rand) (*Profile, error) {
+	if ell <= 0 {
+		return nil, fmt.Errorf("acd: ell %v must be positive", ell)
+	}
+	p := &Profile{
+		Decomp:  d,
+		ExtDeg:  make([]float64, cg.H.N()),
+		AvgExt:  make([]float64, len(d.Cliques)),
+		Size:    make([]int, len(d.Cliques)),
+		IsCabal: make([]bool, len(d.Cliques)),
+		Ell:     ell,
+	}
+	if len(d.Cliques) > 0 {
+		ext, err := fingerprint.ApproxCount(cg, "profile/extdeg", 0.25, func(v, u int) bool {
+			return d.CliqueOf[v] >= 0 && d.CliqueOf[u] != d.CliqueOf[v]
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		for v := range ext {
+			if d.CliqueOf[v] >= 0 {
+				p.ExtDeg[v] = ext[v]
+			}
+		}
+		// Per-clique BFS trees (disjoint subgraphs → parallel, Lemma 3.2).
+		sources := make([]int, len(d.Cliques))
+		for i, members := range d.Cliques {
+			sources[i] = members[0]
+			for _, v := range members {
+				if v < sources[i] {
+					sources[i] = v
+				}
+			}
+		}
+		trees, err := cg.BFSForest("profile/trees", d.Cliques, sources, cg.H.N())
+		if err != nil {
+			return nil, err
+		}
+		p.Trees = trees
+		// Aggregate |K| and Σẽ_v per clique: two O(log n)-bit aggregation
+		// waves up the BFS trees.
+		cg.ChargeHRounds("profile/aggregate", 2, 2*cg.IDBits())
+		for i, members := range d.Cliques {
+			p.Size[i] = len(members)
+			var sum float64
+			for _, v := range members {
+				sum += p.ExtDeg[v]
+			}
+			p.AvgExt[i] = sum / float64(len(members))
+			p.IsCabal[i] = p.AvgExt[i] < ell
+		}
+	}
+	_ = delta
+	return p, nil
+}
+
+// ExactExternalDegree returns e_v computed exactly (test/verification aid).
+func ExactExternalDegree(cg *cluster.CG, d *Decomposition, v int) int {
+	if d.CliqueOf[v] < 0 {
+		return 0
+	}
+	e := 0
+	for _, u := range cg.H.Neighbors(v) {
+		if d.CliqueOf[int(u)] != d.CliqueOf[v] {
+			e++
+		}
+	}
+	return e
+}
+
+// ExactAntiDegree returns a_v = |K_v \ N(v)| − 1 computed exactly.
+func ExactAntiDegree(cg *cluster.CG, d *Decomposition, v int) int {
+	k := d.CliqueOf[v]
+	if k < 0 {
+		return 0
+	}
+	a := 0
+	for _, u := range d.Cliques[k] {
+		if u != v && !cg.H.HasEdge(v, u) {
+			a++
+		}
+	}
+	return a
+}
+
+// AntiDegreeProxy returns x_v of Equation (3):
+// x_v = |K| − (Δ+1) + ẽ_v, the quantity inliers are selected by in
+// non-cabals (Equation (4)).
+func (p *Profile) AntiDegreeProxy(v int, delta int) float64 {
+	k := p.Decomp.CliqueOf[v]
+	if k < 0 {
+		return 0
+	}
+	return float64(p.Size[k]) - float64(delta+1) + p.ExtDeg[v]
+}
+
+// CabalVertices returns the vertices in cabals (V_cabal).
+func (p *Profile) CabalVertices() []int {
+	var out []int
+	for i, members := range p.Decomp.Cliques {
+		if p.IsCabal[i] {
+			out = append(out, members...)
+		}
+	}
+	return out
+}

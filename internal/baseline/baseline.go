@@ -1,0 +1,193 @@
+// Package baseline implements the comparison algorithms the paper's result
+// is measured against:
+//
+//   - Greedy — the centralized sequential (Δ+1)-coloring; the correctness
+//     yardstick (always succeeds, no distributed cost).
+//
+//   - RandomTrials — the classic Johansson/Luby O(log n)-round algorithm:
+//     every uncolored vertex repeatedly tries a uniform palette color. On a
+//     cluster graph each wave must learn palette state, so the honest cost
+//     is ⌈Δ/bandwidth⌉ rounds per wave (Figure 2's lower-bound primitive).
+//
+//   - PaletteSparsification — the FGH+24-style comparator: each vertex
+//     samples an O(log² n)-color list up front and colors only within it.
+//     List exchange is cheap, but the completion needs Θ(log n) waves and
+//     the lists must be large enough, matching the O(log² n) round shape
+//     the paper improves on.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/coloring"
+	"clustercolor/internal/graph"
+)
+
+// Greedy colors the graph sequentially with first-fit and returns the
+// coloring; it always uses at most Δ+1 colors.
+func Greedy(g *graph.Graph) (*coloring.Coloring, error) {
+	col := coloring.New(g.N(), g.MaxDegree())
+	for v := 0; v < g.N(); v++ {
+		pal := coloring.Palette(g, col, v)
+		if len(pal) == 0 {
+			return nil, fmt.Errorf("baseline: greedy found empty palette at %d", v)
+		}
+		if err := col.Set(v, pal[0]); err != nil {
+			return nil, err
+		}
+	}
+	return col, nil
+}
+
+// Result reports a distributed baseline's outcome.
+type Result struct {
+	// Rounds is the G-round cost charged to the cluster graph's model.
+	Rounds int64
+	// Waves is the number of algorithm iterations used.
+	Waves int
+}
+
+// RandomTrials runs the Johansson/Luby baseline on a cluster graph until
+// total or maxWaves, charging the honest palette-learning cost per wave.
+func RandomTrials(cg *cluster.CG, col *coloring.Coloring, maxWaves int, rng *rand.Rand) (*Result, error) {
+	h := cg.H
+	before := cg.Cost().Rounds()
+	bw := cg.Cost().Bandwidth()
+	paletteHops := (col.Delta() + bw - 1) / bw
+	if paletteHops < 1 {
+		paletteHops = 1
+	}
+	waves := 0
+	for ; waves < maxWaves; waves++ {
+		if col.DomSize() == col.N() {
+			break
+		}
+		// Palette learning + announce + respond.
+		cg.ChargeHRounds("baseline/luby-palette", paletteHops, bw)
+		cg.ChargeHRounds("baseline/luby-try", 2, 2*cg.IDBits())
+		tried := make([]int32, h.N())
+		for v := 0; v < h.N(); v++ {
+			if col.IsColored(v) {
+				continue
+			}
+			pal := coloring.Palette(h, col, v)
+			if len(pal) == 0 {
+				continue
+			}
+			tried[v] = pal[rng.IntN(len(pal))]
+		}
+		for v := 0; v < h.N(); v++ {
+			c := tried[v]
+			if c == coloring.None {
+				continue
+			}
+			ok := true
+			for _, u := range h.Neighbors(v) {
+				w := int(u)
+				if col.Get(w) == c || (w < v && tried[w] == c) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if err := col.Set(v, c); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if col.DomSize() != col.N() {
+		return nil, fmt.Errorf("baseline: random trials incomplete after %d waves", maxWaves)
+	}
+	return &Result{Rounds: cg.Cost().Rounds() - before, Waves: waves}, nil
+}
+
+// PaletteSparsification runs the FGH+24-style list-based baseline: vertex v
+// samples listFactor·log² n colors (at least deg+1-proportional), then only
+// list colors are ever tried. Returns an error if the lists were too small
+// to finish — the sparsification theorem's trade-off.
+func PaletteSparsification(cg *cluster.CG, col *coloring.Coloring, listFactor float64, maxWaves int, rng *rand.Rand) (*Result, error) {
+	h := cg.H
+	before := cg.Cost().Rounds()
+	n := h.N()
+	if n == 0 {
+		return &Result{}, nil
+	}
+	lg := math.Log2(float64(n) + 1)
+	listSize := int(listFactor * lg * lg)
+	if listSize < 4 {
+		listSize = 4
+	}
+	if listSize > int(col.MaxColor()) {
+		listSize = int(col.MaxColor())
+	}
+	// Sample lists; announcing a list costs listSize·log Δ bits, pipelined.
+	lists := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		seen := make(map[int32]struct{}, listSize)
+		for len(seen) < listSize {
+			seen[int32(rng.IntN(int(col.MaxColor())))+1] = struct{}{}
+		}
+		lst := make([]int32, 0, listSize)
+		for c := range seen {
+			lst = append(lst, c)
+		}
+		lists[v] = lst
+	}
+	listBits := listSize * (cg.IDBits() / 2)
+	cg.ChargeHRounds("baseline/ps-lists", 1, listBits)
+	waves := 0
+	for ; waves < maxWaves; waves++ {
+		if col.DomSize() == col.N() {
+			break
+		}
+		cg.ChargeHRounds("baseline/ps-try", 2, 2*cg.IDBits())
+		tried := make([]int32, n)
+		progress := false
+		for v := 0; v < n; v++ {
+			if col.IsColored(v) {
+				continue
+			}
+			var avail []int32
+			for _, c := range lists[v] {
+				if coloring.Available(h, col, v, c) {
+					avail = append(avail, c)
+				}
+			}
+			if len(avail) == 0 {
+				continue
+			}
+			tried[v] = avail[rng.IntN(len(avail))]
+		}
+		for v := 0; v < n; v++ {
+			c := tried[v]
+			if c == coloring.None {
+				continue
+			}
+			ok := true
+			for _, u := range h.Neighbors(v) {
+				w := int(u)
+				if col.Get(w) == c || (w < v && tried[w] == c) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if err := col.Set(v, c); err != nil {
+					return nil, err
+				}
+				progress = true
+			}
+		}
+		if !progress && col.DomSize() != col.N() {
+			return nil, fmt.Errorf("baseline: palette sparsification stuck with lists of %d colors", listSize)
+		}
+	}
+	if col.DomSize() != col.N() {
+		return nil, fmt.Errorf("baseline: palette sparsification incomplete after %d waves", maxWaves)
+	}
+	return &Result{Rounds: cg.Cost().Rounds() - before, Waves: waves}, nil
+}

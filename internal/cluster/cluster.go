@@ -1,0 +1,206 @@
+// Package cluster implements the cluster-graph layer of the paper's model
+// (Definition 3.1 and Section 3.2): a graph H whose vertices are disjoint
+// connected clusters of machines in a communication network G.
+//
+// Each cluster elects a leader and computes a support tree spanning its
+// machines. A round on H consists of a broadcast down the support trees, a
+// computation on inter-cluster links, and an aggregation back up — costing
+// O(d) rounds on G, where d is the dilation (maximum support-tree diameter).
+//
+// Algorithm code interacts with the layer through primitives that both
+// compute the information a vertex legitimately learns and charge the
+// corresponding rounds and bandwidth to a network.CostModel:
+//
+//   - CollectNeighbors: one H-round of per-neighbor payload exchange,
+//   - BFSForest (Lemma 3.2): parallel BFS in vertex-disjoint subgraphs,
+//   - PrefixSums (Lemma 3.3): ordered-tree prefix sums,
+//   - Broadcast/Aggregate helpers for within-cluster dissemination.
+package cluster
+
+import (
+	"fmt"
+
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+)
+
+// CG is a cluster graph: H on top of a communication network G.
+type CG struct {
+	// H is the graph to color (vertices = clusters).
+	H *graph.Graph
+	// G is the communication network (vertices = machines).
+	G *graph.Graph
+	// ClusterOf maps machines to H-vertices.
+	ClusterOf []int
+	// Machines maps H-vertices to their machines.
+	Machines [][]int32
+	// Leader is the support-tree root per H-vertex.
+	Leader []int32
+	// TreeParent maps each machine to its parent machine in its cluster's
+	// support tree (-1 for leaders).
+	TreeParent []int32
+	// TreeDepth maps each machine to its depth in its support tree.
+	TreeDepth []int
+	// Dilation is the maximum support-tree height over all clusters; the
+	// paper's d is within a factor two of this.
+	Dilation int
+
+	cost *network.CostModel
+}
+
+// New builds the cluster layer from an expansion of H. Every cluster must be
+// connected inside G (Definition 3.1 requires it). The cost model accumulates
+// rounds for all subsequent primitives.
+func New(h *graph.Graph, exp *graph.Expansion, cost *network.CostModel) (*CG, error) {
+	if cost == nil {
+		return nil, fmt.Errorf("cluster: nil cost model")
+	}
+	if len(exp.Machines) != h.N() {
+		return nil, fmt.Errorf("cluster: expansion has %d clusters for %d vertices", len(exp.Machines), h.N())
+	}
+	cg := &CG{
+		H:          h,
+		G:          exp.G,
+		ClusterOf:  exp.ClusterOf,
+		Machines:   exp.Machines,
+		Leader:     make([]int32, h.N()),
+		TreeParent: make([]int32, exp.G.N()),
+		TreeDepth:  make([]int, exp.G.N()),
+		cost:       cost,
+	}
+	for i := range cg.TreeParent {
+		cg.TreeParent[i] = -1
+	}
+	for v := 0; v < h.N(); v++ {
+		ms := exp.Machines[v]
+		if len(ms) == 0 {
+			return nil, fmt.Errorf("cluster: vertex %d has no machines", v)
+		}
+		leader := ms[0]
+		for _, m := range ms {
+			if m < leader {
+				leader = m
+			}
+		}
+		cg.Leader[v] = leader
+		inCluster := func(m int) bool { return exp.ClusterOf[m] == v }
+		depth, parent := exp.G.BFSDepths(int(leader), inCluster)
+		height := 0
+		for _, m := range ms {
+			if depth[m] < 0 {
+				return nil, fmt.Errorf("cluster: vertex %d disconnected at machine %d", v, m)
+			}
+			cg.TreeParent[m] = int32(parent[m])
+			cg.TreeDepth[m] = depth[m]
+			if depth[m] > height {
+				height = depth[m]
+			}
+		}
+		if height > cg.Dilation {
+			cg.Dilation = height
+		}
+	}
+	return cg, nil
+}
+
+// NewAbstract builds a cluster-graph view whose machine-level structure is
+// accounted entirely through the cost model: vertex-level primitives work
+// (they need only H, the dilation, and the charger), while machine-level
+// tree operations are unavailable. Virtual graphs with overlapping supports
+// (Appendix A) use this view with a congestion-multiplied cost model.
+func NewAbstract(h *graph.Graph, g *graph.Graph, dilation int, cost *network.CostModel) (*CG, error) {
+	if cost == nil {
+		return nil, fmt.Errorf("cluster: nil cost model")
+	}
+	if dilation < 0 {
+		return nil, fmt.Errorf("cluster: negative dilation %d", dilation)
+	}
+	return &CG{H: h, G: g, Dilation: dilation, cost: cost}, nil
+}
+
+// Cost exposes the underlying cost model.
+func (cg *CG) Cost() *network.CostModel { return cg.cost }
+
+// WithCost returns a shallow copy of the cluster graph bound to a different
+// cost model. Stages that run in parallel over vertex-disjoint subgraphs
+// execute against per-subgraph scratch models, which the caller then merges
+// with CostModel.AbsorbParallel so concurrent work charges max rounds, not
+// the sum.
+func (cg *CG) WithCost(cost *network.CostModel) *CG {
+	out := *cg
+	out.cost = cost
+	return &out
+}
+
+// HopsPerRound returns the G-rounds of a single H-round: broadcast down the
+// support trees, one inter-cluster link step, aggregation back up.
+func (cg *CG) HopsPerRound() int { return 2*cg.Dilation + 1 }
+
+// ChargeHRounds charges k cluster-graph rounds with the given per-link
+// payload to the cost model and returns the G-rounds consumed.
+func (cg *CG) ChargeHRounds(phase string, k, payloadBits int) int {
+	total := 0
+	for i := 0; i < k; i++ {
+		total += cg.cost.Charge(phase, payloadBits, cg.HopsPerRound())
+	}
+	return total
+}
+
+// CollectNeighbors performs one H-round: every vertex v announces
+// value(v), every neighbor aggregates the announcements with fold, starting
+// from zero(v). payloadBits is the announced message size; the exchange is
+// charged as one H-round. Aggregation along support trees combines values,
+// so the per-link bits stay at payloadBits (the paper's central point —
+// aggregation, not concatenation).
+func CollectNeighbors[T any](cg *CG, phase string, payloadBits int,
+	zero func(v int) T,
+	value func(v int) T,
+	fold func(v int, acc T, u int, uval T) T,
+) []T {
+	cg.ChargeHRounds(phase, 1, payloadBits)
+	// Values are computed before folding so that the exchange is
+	// simultaneous (round-based), not sequential.
+	vals := make([]T, cg.H.N())
+	for v := 0; v < cg.H.N(); v++ {
+		vals[v] = value(v)
+	}
+	out := make([]T, cg.H.N())
+	for v := 0; v < cg.H.N(); v++ {
+		acc := zero(v)
+		for _, u := range cg.H.Neighbors(v) {
+			acc = fold(v, acc, int(u), vals[u])
+		}
+		out[v] = acc
+	}
+	return out
+}
+
+// CollectNeighborsSubset is CollectNeighbors restricted to an active vertex
+// set: only active vertices announce, and only active vertices listen.
+func CollectNeighborsSubset[T any](cg *CG, phase string, payloadBits int, active []bool,
+	zero func(v int) T,
+	value func(v int) T,
+	fold func(v int, acc T, u int, uval T) T,
+) []T {
+	cg.ChargeHRounds(phase, 1, payloadBits)
+	vals := make([]T, cg.H.N())
+	for v := 0; v < cg.H.N(); v++ {
+		if active[v] {
+			vals[v] = value(v)
+		}
+	}
+	out := make([]T, cg.H.N())
+	for v := 0; v < cg.H.N(); v++ {
+		if !active[v] {
+			continue
+		}
+		acc := zero(v)
+		for _, u := range cg.H.Neighbors(v) {
+			if active[u] {
+				acc = fold(v, acc, int(u), vals[u])
+			}
+		}
+		out[v] = acc
+	}
+	return out
+}

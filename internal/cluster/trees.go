@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// HTree is a rooted tree on H-vertices produced by BFSForest. Children are
+// ordered (by vertex id), which induces the total vertex order used by
+// PrefixSums (Lemma 3.3).
+type HTree struct {
+	Root int
+	// Parent per H-vertex; -1 for the root and for vertices outside the
+	// tree.
+	Parent []int
+	// Depth per H-vertex; -1 outside the tree.
+	Depth []int
+	// Vertices lists the tree's members in the tree order ≺ (root first,
+	// then recursively by ordered children — a preorder).
+	Vertices []int
+	// Height is the maximum depth.
+	Height int
+}
+
+// Contains reports whether v belongs to the tree.
+func (t *HTree) Contains(v int) bool {
+	return v >= 0 && v < len(t.Depth) && t.Depth[v] >= 0
+}
+
+// BFSForest implements Lemma 3.2: a parallel t-hop BFS in vertex-disjoint
+// subgraphs of H. Each subgraph is given by its member set and a source
+// inside it. The BFS trees are returned together with the charged cost:
+// O(maxDepth) H-rounds with O(log n)-bit messages, executed in parallel
+// across the subgraphs.
+func (cg *CG) BFSForest(phase string, subgraphs [][]int, sources []int, maxDepth int) ([]*HTree, error) {
+	if len(subgraphs) != len(sources) {
+		return nil, fmt.Errorf("cluster: %d subgraphs but %d sources", len(subgraphs), len(sources))
+	}
+	owner := make([]int, cg.H.N())
+	for i := range owner {
+		owner[i] = -1
+	}
+	for i, sub := range subgraphs {
+		for _, v := range sub {
+			if v < 0 || v >= cg.H.N() {
+				return nil, fmt.Errorf("cluster: subgraph %d member %d out of range", i, v)
+			}
+			if owner[v] >= 0 {
+				return nil, fmt.Errorf("cluster: vertex %d in subgraphs %d and %d (must be disjoint)", v, owner[v], i)
+			}
+			owner[v] = i
+		}
+	}
+	trees := make([]*HTree, len(subgraphs))
+	deepest := 0
+	for i, src := range sources {
+		if owner[src] != i {
+			return nil, fmt.Errorf("cluster: source %d not in subgraph %d", src, i)
+		}
+		tr := &HTree{
+			Root:   src,
+			Parent: make([]int, cg.H.N()),
+			Depth:  make([]int, cg.H.N()),
+		}
+		for v := range tr.Parent {
+			tr.Parent[v] = -1
+			tr.Depth[v] = -1
+		}
+		tr.Depth[src] = 0
+		frontier := []int{src}
+		tr.Vertices = append(tr.Vertices, src)
+		for d := 0; d < maxDepth && len(frontier) > 0; d++ {
+			var next []int
+			for _, v := range frontier {
+				for _, w := range cg.H.Neighbors(v) {
+					u := int(w)
+					if owner[u] != i || tr.Depth[u] >= 0 {
+						continue
+					}
+					tr.Depth[u] = d + 1
+					tr.Parent[u] = v
+					next = append(next, u)
+				}
+			}
+			sort.Ints(next)
+			frontier = next
+			if len(next) > 0 {
+				tr.Height = d + 1
+			}
+		}
+		// Preorder traversal with children ordered by id.
+		tr.Vertices = preorder(tr, cg)
+		trees[i] = tr
+		if tr.Height > deepest {
+			deepest = tr.Height
+		}
+	}
+	// Cost: the BFS trees grow one H-hop per H-round, in parallel across
+	// disjoint subgraphs (Lemma 3.2 gives O(t) rounds on G per hop budget).
+	rounds := deepest
+	if rounds < 1 {
+		rounds = 1
+	}
+	cg.ChargeHRounds(phase, rounds, cg.idBits())
+	return trees, nil
+}
+
+func preorder(t *HTree, cg *CG) []int {
+	children := make(map[int][]int)
+	for v := 0; v < cg.H.N(); v++ {
+		if p := t.Parent[v]; p >= 0 {
+			children[p] = append(children[p], v)
+		}
+	}
+	for _, c := range children {
+		sort.Ints(c)
+	}
+	var order []int
+	var walk func(v int)
+	walk = func(v int) {
+		order = append(order, v)
+		for _, c := range children[v] {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return order
+}
+
+// PrefixSums implements Lemma 3.3 on an HTree: each member vertex u in S
+// (those with a value in x) learns the sum of x over members strictly before
+// it in the tree order ≺. Trees passed in one call are assumed edge-disjoint
+// and run in parallel; the cost is O(height) H-rounds.
+func (cg *CG) PrefixSums(phase string, trees []*HTree, x []map[int]int64) ([]map[int]int64, error) {
+	if len(trees) != len(x) {
+		return nil, fmt.Errorf("cluster: %d trees but %d value maps", len(trees), len(x))
+	}
+	out := make([]map[int]int64, len(trees))
+	height := 0
+	for i, tr := range trees {
+		res := make(map[int]int64, len(x[i]))
+		var running int64
+		for _, v := range tr.Vertices {
+			val, ok := x[i][v]
+			if !ok {
+				continue
+			}
+			res[v] = running
+			running += val
+		}
+		out[i] = res
+		if tr.Height > height {
+			height = tr.Height
+		}
+	}
+	if height < 1 {
+		height = 1
+	}
+	// Lemma 3.3: O(d_tree) rounds; values are poly(n) so O(log n) bits.
+	cg.ChargeHRounds(phase, height, 2*cg.idBits())
+	return out, nil
+}
+
+// Enumerate assigns the members of each tree that satisfy pred distinct
+// ranks 1..k (in tree order) via prefix sums with x_u = 1, the standard use
+// of Lemma 3.3. It returns rank per vertex (0 for non-members) and the count
+// per tree.
+func (cg *CG) Enumerate(phase string, trees []*HTree, pred func(v int) bool) ([]int, []int, error) {
+	xs := make([]map[int]int64, len(trees))
+	for i, tr := range trees {
+		m := make(map[int]int64)
+		for _, v := range tr.Vertices {
+			if pred(v) {
+				m[v] = 1
+			}
+		}
+		xs[i] = m
+	}
+	sums, err := cg.PrefixSums(phase, trees, xs)
+	if err != nil {
+		return nil, nil, err
+	}
+	rank := make([]int, cg.H.N())
+	counts := make([]int, len(trees))
+	for i, tr := range trees {
+		for _, v := range tr.Vertices {
+			if _, ok := xs[i][v]; ok {
+				rank[v] = int(sums[i][v]) + 1
+				counts[i]++
+			}
+		}
+	}
+	return rank, counts, nil
+}
+
+// idBits returns the bits of an identifier, Θ(log n) for the simulated
+// network.
+func (cg *CG) idBits() int {
+	bits := 1
+	for 1<<bits < cg.G.N()+1 {
+		bits++
+	}
+	return bits
+}
+
+// IDBits exposes the identifier width used for message accounting.
+func (cg *CG) IDBits() int { return cg.idBits() }

@@ -1,0 +1,193 @@
+// Package coloring holds the partial-coloring state shared by every stage of
+// the algorithm: color assignments, palettes, the three kinds of slack of
+// Section 4.1 (degree, temporary, reuse), the clique palette as a queryable
+// distributed structure (Lemma 4.8), and proper-coloring verification.
+//
+// Colors are 1-based: the zero value None means "uncolored" (⊥), and a
+// (Δ+1)-coloring uses colors 1..Δ+1. Reserved colors are the prefix 1..r.
+package coloring
+
+import (
+	"fmt"
+
+	"clustercolor/internal/graph"
+)
+
+// None is the uncolored sentinel (⊥).
+const None int32 = 0
+
+// Coloring is a partial coloring of a graph's vertices.
+type Coloring struct {
+	colors []int32
+	delta  int
+}
+
+// New returns the all-uncolored coloring for n vertices with color space
+// [1, delta+1].
+func New(n, delta int) *Coloring {
+	return &Coloring{colors: make([]int32, n), delta: delta}
+}
+
+// Delta returns the Δ the color space was sized by.
+func (c *Coloring) Delta() int { return c.delta }
+
+// MaxColor returns Δ+1, the largest legal color.
+func (c *Coloring) MaxColor() int32 { return int32(c.delta + 1) }
+
+// N returns the number of vertices.
+func (c *Coloring) N() int { return len(c.colors) }
+
+// Get returns v's color (None if uncolored).
+func (c *Coloring) Get(v int) int32 { return c.colors[v] }
+
+// IsColored reports whether v is colored.
+func (c *Coloring) IsColored(v int) bool { return c.colors[v] != None }
+
+// Set colors v. Colors must lie in [1, Δ+1].
+func (c *Coloring) Set(v int, col int32) error {
+	if col < 1 || col > c.MaxColor() {
+		return fmt.Errorf("coloring: color %d out of [1,%d]", col, c.MaxColor())
+	}
+	c.colors[v] = col
+	return nil
+}
+
+// Unset resets v to uncolored.
+func (c *Coloring) Unset(v int) { c.colors[v] = None }
+
+// DomSize returns |dom φ|, the number of colored vertices.
+func (c *Coloring) DomSize() int {
+	n := 0
+	for _, col := range c.colors {
+		if col != None {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns an independent copy.
+func (c *Coloring) Clone() *Coloring {
+	out := &Coloring{colors: make([]int32, len(c.colors)), delta: c.delta}
+	copy(out.colors, c.colors)
+	return out
+}
+
+// UncoloredDegree returns deg_φ(v) restricted to the active set (nil = all):
+// the number of uncolored (active) neighbors.
+func UncoloredDegree(g *graph.Graph, c *Coloring, v int, active func(int) bool) int {
+	d := 0
+	for _, u := range g.Neighbors(v) {
+		if c.IsColored(int(u)) {
+			continue
+		}
+		if active != nil && !active(int(u)) {
+			continue
+		}
+		d++
+	}
+	return d
+}
+
+// Palette returns L_φ(v) = [Δ+1] \ φ(N(v)) as a sorted slice.
+func Palette(g *graph.Graph, c *Coloring, v int) []int32 {
+	used := make([]bool, c.MaxColor()+1)
+	for _, u := range g.Neighbors(v) {
+		if col := c.Get(int(u)); col != None {
+			used[col] = true
+		}
+	}
+	var out []int32
+	for col := int32(1); col <= c.MaxColor(); col++ {
+		if !used[col] {
+			out = append(out, col)
+		}
+	}
+	return out
+}
+
+// PaletteSize returns |L_φ(v)| without materializing the palette.
+func PaletteSize(g *graph.Graph, c *Coloring, v int) int {
+	used := make(map[int32]struct{})
+	for _, u := range g.Neighbors(v) {
+		if col := c.Get(int(u)); col != None {
+			used[col] = struct{}{}
+		}
+	}
+	return int(c.MaxColor()) - len(used)
+}
+
+// Available reports whether col is in L_φ(v).
+func Available(g *graph.Graph, c *Coloring, v int, col int32) bool {
+	if col < 1 || col > c.MaxColor() {
+		return false
+	}
+	for _, u := range g.Neighbors(v) {
+		if c.Get(int(u)) == col {
+			return false
+		}
+	}
+	return true
+}
+
+// Slack returns s_φ(v) = |L_φ(v)| − deg_φ(v; active), the slack of
+// Section 3.1 with respect to an active subgraph.
+func Slack(g *graph.Graph, c *Coloring, v int, active func(int) bool) int {
+	return PaletteSize(g, c, v) - UncoloredDegree(g, c, v, active)
+}
+
+// ReuseSlack returns |N(v) ∩ dom φ| − |φ(N(v))|: the number of "repeated
+// colors" among v's colored neighbors (Section 4.1's reuse slack).
+func ReuseSlack(g *graph.Graph, c *Coloring, v int) int {
+	colored := 0
+	distinct := make(map[int32]struct{})
+	for _, u := range g.Neighbors(v) {
+		if col := c.Get(int(u)); col != None {
+			colored++
+			distinct[col] = struct{}{}
+		}
+	}
+	return colored - len(distinct)
+}
+
+// VerifyProper checks that φ is proper: no edge is monochromatic. It returns
+// a descriptive error naming the first violation.
+func VerifyProper(g *graph.Graph, c *Coloring) error {
+	for v := 0; v < g.N(); v++ {
+		col := c.Get(v)
+		if col == None {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if int(u) > v && c.Get(int(u)) == col {
+				return fmt.Errorf("coloring: edge {%d,%d} monochromatic with color %d", v, u, col)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyComplete checks that φ is total and proper with colors in [1, Δ+1].
+func VerifyComplete(g *graph.Graph, c *Coloring) error {
+	for v := 0; v < g.N(); v++ {
+		col := c.Get(v)
+		if col == None {
+			return fmt.Errorf("coloring: vertex %d uncolored", v)
+		}
+		if col < 1 || col > c.MaxColor() {
+			return fmt.Errorf("coloring: vertex %d has color %d outside [1,%d]", v, col, c.MaxColor())
+		}
+	}
+	return VerifyProper(g, c)
+}
+
+// CountColors returns the number of distinct colors in use.
+func (c *Coloring) CountColors() int {
+	distinct := make(map[int32]struct{})
+	for _, col := range c.colors {
+		if col != None {
+			distinct[col] = struct{}{}
+		}
+	}
+	return len(distinct)
+}

@@ -1,0 +1,228 @@
+package coloring
+
+import (
+	"testing"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+)
+
+func TestSetGetUnset(t *testing.T) {
+	c := New(5, 3)
+	if c.IsColored(0) {
+		t.Fatal("fresh coloring has colored vertex")
+	}
+	if err := c.Set(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get(0) != 2 || !c.IsColored(0) {
+		t.Fatal("Set/Get mismatch")
+	}
+	c.Unset(0)
+	if c.IsColored(0) {
+		t.Fatal("Unset failed")
+	}
+	if err := c.Set(0, 0); err == nil {
+		t.Fatal("color 0 accepted")
+	}
+	if err := c.Set(0, 5); err == nil {
+		t.Fatal("color > Δ+1 accepted")
+	}
+	if c.MaxColor() != 4 || c.Delta() != 3 || c.N() != 5 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestDomSizeAndClone(t *testing.T) {
+	c := New(4, 3)
+	_ = c.Set(1, 1)
+	_ = c.Set(2, 2)
+	if c.DomSize() != 2 {
+		t.Fatalf("DomSize = %d, want 2", c.DomSize())
+	}
+	d := c.Clone()
+	_ = d.Set(3, 3)
+	if c.DomSize() != 2 || d.DomSize() != 3 {
+		t.Fatal("Clone not independent")
+	}
+	if d.CountColors() != 3 {
+		t.Fatalf("CountColors = %d, want 3", d.CountColors())
+	}
+}
+
+func TestPaletteAndAvailability(t *testing.T) {
+	g := graph.Star(4) // center 0, leaves 1..3; Δ=3, colors 1..4
+	c := New(4, 3)
+	_ = c.Set(1, 2)
+	_ = c.Set(2, 4)
+	pal := Palette(g, c, 0)
+	want := []int32{1, 3}
+	if len(pal) != 2 || pal[0] != want[0] || pal[1] != want[1] {
+		t.Fatalf("Palette = %v, want %v", pal, want)
+	}
+	if PaletteSize(g, c, 0) != 2 {
+		t.Fatalf("PaletteSize = %d", PaletteSize(g, c, 0))
+	}
+	if Available(g, c, 0, 2) || !Available(g, c, 0, 3) {
+		t.Fatal("Available wrong")
+	}
+	if Available(g, c, 0, 0) || Available(g, c, 0, 9) {
+		t.Fatal("out-of-range colors available")
+	}
+}
+
+func TestUncoloredDegreeWithActiveSet(t *testing.T) {
+	g := graph.Star(5)
+	c := New(5, 4)
+	_ = c.Set(1, 1)
+	if got := UncoloredDegree(g, c, 0, nil); got != 3 {
+		t.Fatalf("UncoloredDegree = %d, want 3", got)
+	}
+	active := func(v int) bool { return v != 2 }
+	if got := UncoloredDegree(g, c, 0, active); got != 2 {
+		t.Fatalf("restricted UncoloredDegree = %d, want 2", got)
+	}
+}
+
+func TestSlackDefinitions(t *testing.T) {
+	// Star center with two leaves colored the same: one reuse slack unit.
+	g := graph.Star(4)
+	c := New(4, 3)
+	_ = c.Set(1, 2)
+	_ = c.Set(2, 2)
+	if got := ReuseSlack(g, c, 0); got != 1 {
+		t.Fatalf("ReuseSlack = %d, want 1", got)
+	}
+	// |L(0)| = 3 (colors 1,3,4), uncolored degree 1 → slack 2.
+	if got := Slack(g, c, 0, nil); got != 2 {
+		t.Fatalf("Slack = %d, want 2", got)
+	}
+}
+
+func TestVerifyProperAndComplete(t *testing.T) {
+	g := graph.Path(3)
+	c := New(3, 2)
+	_ = c.Set(0, 1)
+	_ = c.Set(1, 2)
+	if err := VerifyProper(g, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyComplete(g, c); err == nil {
+		t.Fatal("incomplete coloring passed VerifyComplete")
+	}
+	_ = c.Set(2, 1)
+	if err := VerifyComplete(g, c); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Set(2, 2) // conflict with vertex 1
+	if err := VerifyProper(g, c); err == nil {
+		t.Fatal("monochromatic edge passed VerifyProper")
+	}
+}
+
+func newTestCG(t *testing.T) *cluster.CG {
+	t.Helper()
+	h := graph.Clique(6)
+	rng := graph.NewRand(1)
+	exp, err := graph.Expand(h, graph.ExpandSpec{Topology: graph.TopologySingleton}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := network.NewCostModel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := cluster.New(h, exp, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cg
+}
+
+func TestCliquePaletteQueries(t *testing.T) {
+	cg := newTestCG(t)
+	c := New(6, 5) // colors 1..6
+	members := []int{0, 1, 2, 3, 4, 5}
+	_ = c.Set(0, 2)
+	_ = c.Set(1, 2) // repeated color
+	_ = c.Set(2, 5)
+	cp := BuildCliquePalette(cg, c, members)
+	if cp.FreeCount() != 4 { // free: 1,3,4,6
+		t.Fatalf("FreeCount = %d, want 4", cp.FreeCount())
+	}
+	if cp.Repeats() != 1 {
+		t.Fatalf("Repeats = %d, want 1", cp.Repeats())
+	}
+	if cp.UsedCount(2) != 2 || cp.UsedCount(5) != 1 || cp.UsedCount(1) != 0 {
+		t.Fatal("UsedCount wrong")
+	}
+	if cp.IsUnique(2) || !cp.IsUnique(5) {
+		t.Fatal("IsUnique wrong")
+	}
+	if got := cp.CountFreeInRange(3, 6); got != 3 { // 3,4,6
+		t.Fatalf("CountFreeInRange = %d, want 3", got)
+	}
+	col, err := cp.NthFreeInRange(2, 3, 6)
+	if err != nil || col != 4 {
+		t.Fatalf("NthFreeInRange(2,3,6) = %d, %v; want 4", col, err)
+	}
+	if _, err := cp.NthFreeInRange(9, 3, 6); err == nil {
+		t.Fatal("out-of-range query succeeded")
+	}
+	if _, err := cp.NthFreeInRange(0, 1, 6); err == nil {
+		t.Fatal("index 0 accepted")
+	}
+	col, err = cp.NthFree(1)
+	if err != nil || col != 1 {
+		t.Fatalf("NthFree(1) = %d, %v", col, err)
+	}
+	if _, err := cp.NthFree(5); err == nil {
+		t.Fatal("NthFree past end accepted")
+	}
+	free := cp.Free()
+	if len(free) != 4 || free[3] != 6 {
+		t.Fatalf("Free = %v", free)
+	}
+	// Queries and builds charge rounds.
+	before := cg.Cost().Rounds()
+	ChargeQuery(cg, "palette/test")
+	if cg.Cost().Rounds() <= before {
+		t.Fatal("ChargeQuery charged nothing")
+	}
+	if cp.UsedCount(0) != 0 || cp.UsedCount(99) != 0 {
+		t.Fatal("out-of-range UsedCount not zero")
+	}
+}
+
+func TestCliquePaletteMatchesBruteForce(t *testing.T) {
+	cg := newTestCG(t)
+	rng := graph.NewRand(5)
+	c := New(6, 5)
+	for v := 0; v < 6; v++ {
+		if rng.IntN(2) == 0 {
+			_ = c.Set(v, int32(rng.IntN(6))+1)
+		}
+	}
+	members := []int{0, 1, 2, 3, 4, 5}
+	cp := BuildCliquePalette(cg, c, members)
+	// Brute-force L(K).
+	used := map[int32]int{}
+	for _, v := range members {
+		if col := c.Get(v); col != None {
+			used[col]++
+		}
+	}
+	wantFree := 0
+	wantRepeats := 0
+	for col := int32(1); col <= 6; col++ {
+		if used[col] == 0 {
+			wantFree++
+		} else {
+			wantRepeats += used[col] - 1
+		}
+	}
+	if cp.FreeCount() != wantFree || cp.Repeats() != wantRepeats {
+		t.Fatalf("FreeCount,Repeats = %d,%d; want %d,%d", cp.FreeCount(), cp.Repeats(), wantFree, wantRepeats)
+	}
+}

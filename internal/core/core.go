@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"clustercolor/internal/acd"
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/coloring"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/trials"
+)
+
+// Color runs the full (Δ+1)-coloring algorithm on a cluster graph, choosing
+// the high-degree pipeline (Theorem 1.2) or the low-degree pipeline
+// (Theorem 1.1) by the Δ_low threshold. It returns a verified total proper
+// coloring together with run statistics.
+func Color(cg *cluster.CG, params Params) (*coloring.Coloring, *Stats, error) {
+	if err := params.Validate(); err != nil {
+		return nil, nil, err
+	}
+	h := cg.H
+	delta := h.MaxDegree()
+	col := coloring.New(h.N(), delta)
+	stats := &Stats{Delta: delta, Dilation: cg.Dilation}
+	rng := rand.New(rand.NewPCG(params.Seed, params.Seed^0x6c62272e07bb0142))
+	baseline := cg.Cost().Rounds()
+
+	var err error
+	if delta <= params.DeltaLowThreshold(h.N()) {
+		stats.Path = "low-degree"
+		err = colorLowDegree(cg, col, params, stats, rng)
+	} else {
+		stats.Path = "high-degree"
+		err = colorHighDegree(cg, col, params, stats, rng)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	// Terminal cleanup: whatever probabilistic stages left behind at
+	// finite scale is finished by palette-exact random trials, counted
+	// separately so experiments can report stage-only behaviour.
+	fbStart := cg.Cost().Rounds()
+	if err := fallbackFinish(cg, col, params, stats, rng); err != nil {
+		return nil, nil, err
+	}
+	stats.FallbackRounds = cg.Cost().Rounds() - fbStart
+	if err := coloring.VerifyComplete(h, col); err != nil {
+		return nil, nil, fmt.Errorf("core: output verification: %w", err)
+	}
+	stats.Rounds = cg.Cost().Rounds() - baseline
+	stats.PhaseRounds = cg.Cost().PhaseRounds()
+	stats.MaxPayloadBits = cg.Cost().MaxPayload()
+	return col, stats, nil
+}
+
+// fallbackFinish colors any remaining vertices with TryColor over their true
+// palettes. Computing a true palette in a cluster graph costs Ω(Δ/log n)
+// rounds (Figure 2); the loop charges that price per wave.
+func fallbackFinish(cg *cluster.CG, col *coloring.Coloring, params Params, stats *Stats, rng *rand.Rand) error {
+	h := cg.H
+	remaining := uncoloredCount(col)
+	if remaining == 0 {
+		return nil
+	}
+	bw := cg.Cost().Bandwidth()
+	paletteHops := (col.Delta() + bw - 1) / bw
+	if paletteHops < 1 {
+		paletteHops = 1
+	}
+	for round := 0; round < params.MaxFallbackRounds && remaining > 0; round++ {
+		cg.ChargeHRounds("fallback/palette", paletteHops, bw)
+		colored, err := trials.TryColorRound(cg, col, trials.TryColorOptions{
+			Phase:      "fallback/try",
+			Activation: 0.8,
+			Space: func(v int) []int32 {
+				return coloring.Palette(h, col, v)
+			},
+		}, rng)
+		if err != nil {
+			return err
+		}
+		stats.FallbackColored += colored
+		remaining -= colored
+	}
+	if remaining > 0 {
+		return fmt.Errorf("core: %d vertices uncolored after %d fallback rounds", remaining, params.MaxFallbackRounds)
+	}
+	return nil
+}
+
+func uncoloredCount(col *coloring.Coloring) int {
+	return col.N() - col.DomSize()
+}
+
+// reservedFor returns r_K for a clique given its estimated average external
+// degree (Equation 2, scaled): ReservedFactor·max{ẽ_K, ℓ} capped at
+// ReservedCapFrac·(Δ+1) and floored at 1.
+func (p Params) reservedFor(avgExt, ell float64, delta int) int32 {
+	r := p.ReservedFactor * math.Max(avgExt, ell)
+	cap := p.ReservedCapFrac * float64(delta+1)
+	if r > cap {
+		r = cap
+	}
+	if r < 1 {
+		r = 1
+	}
+	return int32(r)
+}
+
+// decompose runs ComputeACD and profile building, filling decomposition
+// stats.
+func decompose(cg *cluster.CG, params Params, stats *Stats, rng *rand.Rand) (*acd.Decomposition, *acd.Profile, error) {
+	d, err := acd.Compute(cg, params.Eps, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	ell := params.Ell(cg.H.N())
+	prof, err := acd.BuildProfile(cg, d, float64(cg.H.MaxDegree()), ell, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.NumCliques = len(d.Cliques)
+	for _, cab := range prof.IsCabal {
+		if cab {
+			stats.NumCabals++
+		}
+	}
+	for v := 0; v < cg.H.N(); v++ {
+		if d.IsSparse(v) {
+			stats.NumSparse++
+		}
+	}
+	return d, prof, nil
+}
+
+// sparseSpace returns the full color space [1, Δ+1] used by sparse vertices.
+func sparseSpace(col *coloring.Coloring) []int32 {
+	return trials.RangeSpace(1, col.MaxColor())
+}
+
+// paletteOf materializes C(v) ∩ L_φ(v) for trial engines that need palette
+// pre-filtering in the simulator (cost is charged by the engines).
+func paletteOf(h *graph.Graph, col *coloring.Coloring, space []int32, v int) []int32 {
+	var out []int32
+	for _, c := range space {
+		if coloring.Available(h, col, v, c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

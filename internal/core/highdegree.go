@@ -1,0 +1,549 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+
+	"clustercolor/internal/acd"
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/coloring"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/matching"
+	"clustercolor/internal/network"
+	"clustercolor/internal/putaside"
+	"clustercolor/internal/sct"
+	"clustercolor/internal/slackgen"
+	"clustercolor/internal/trials"
+)
+
+// colorHighDegree is Algorithm 3: ComputeACD, SlackGeneration outside
+// cabals, ColoringSparse, ColoringNonCabals (Algorithm 4), ColoringCabals
+// (Algorithm 5).
+func colorHighDegree(cg *cluster.CG, col *coloring.Coloring, params Params, stats *Stats, rng *rand.Rand) error {
+	h := cg.H
+	delta := h.MaxDegree()
+	stats.StageOrder = append(stats.StageOrder, "ComputeACD")
+	d, prof, err := decompose(cg, params, stats, rng)
+	if err != nil {
+		return err
+	}
+	ell := params.Ell(h.N())
+	// Per-clique reserved prefixes; slack generation and the matchings
+	// avoid the global maximum (the paper's fixed 300εΔ prefix).
+	reserved := make([]int32, len(d.Cliques))
+	var globalReserved int32
+	for i := range d.Cliques {
+		reserved[i] = params.reservedFor(prof.AvgExt[i], ell, delta)
+		if reserved[i] > globalReserved {
+			globalReserved = reserved[i]
+		}
+	}
+	inCabal := func(v int) bool {
+		k := d.CliqueOf[v]
+		return k >= 0 && prof.IsCabal[k]
+	}
+	// Step 2: slack generation everywhere but cabals.
+	stats.StageOrder = append(stats.StageOrder, "SlackGeneration")
+	if _, err := slackgen.Run(cg, col, slackgen.Options{
+		Activation:  params.SlackActivation,
+		ReservedMax: globalReserved,
+		Exclude:     inCabal,
+	}, rng); err != nil {
+		return err
+	}
+	stats.StageOrder = append(stats.StageOrder, "ColoringSparse")
+	// Step 3: color the sparse vertices (TryColor warm-up + MCT, full
+	// color space — Proposition 4.5 gives them Ω(Δ) slack).
+	if err := colorSparse(cg, col, d, stats, rng); err != nil {
+		return err
+	}
+	// Step 4: non-cabals (Algorithm 4).
+	stats.StageOrder = append(stats.StageOrder, "ColoringNonCabals")
+	if err := colorNonCabals(cg, col, d, prof, reserved, globalReserved, params, stats, rng); err != nil {
+		return err
+	}
+	// Step 5: cabals (Algorithm 5).
+	stats.StageOrder = append(stats.StageOrder, "ColoringCabals")
+	return colorCabals(cg, col, d, prof, reserved, globalReserved, params, stats, rng)
+}
+
+func colorSparse(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, stats *Stats, rng *rand.Rand) error {
+	h := cg.H
+	sparse := func(v int) bool { return d.IsSparse(v) }
+	space := sparseSpace(col)
+	before := col.DomSize()
+	if _, err := trials.TryColorLoop(cg, col, trials.TryColorOptions{
+		Phase:      "sparse/try",
+		Active:     sparse,
+		Space:      func(v int) []int32 { return space },
+		Activation: 0.5,
+	}, 6, rng); err != nil {
+		return err
+	}
+	if _, err := trials.MultiColorTrial(cg, col, trials.MCTOptions{
+		Phase:  "sparse/mct",
+		Active: sparse,
+		Space:  func(v int) []int32 { return space },
+		Seed:   rng.Uint64(),
+	}, rng); err != nil {
+		return err
+	}
+	_ = h
+	stats.SparseColored = col.DomSize() - before
+	return nil
+}
+
+// colorNonCabals is Algorithm 4: ColorfulMatching, ColoringOutliers,
+// SynchronizedColorTrial, Complete.
+func colorNonCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, prof *acd.Profile,
+	reserved []int32, globalReserved int32, params Params, stats *Stats, rng *rand.Rand) error {
+	h := cg.H
+	delta := h.MaxDegree()
+	var cliques []int
+	for i := range d.Cliques {
+		if !prof.IsCabal[i] {
+			cliques = append(cliques, i)
+		}
+	}
+	if len(cliques) == 0 {
+		return nil
+	}
+	before := col.DomSize()
+	// Step 1: colorful matching, parallel across cliques.
+	repeats, err := runMatchings(cg, col, d, cliques, globalReserved, params, false, rng)
+	if err != nil {
+		return err
+	}
+	stats.MatchingRepeats += sum(repeats)
+	// Inlier classification (Equation 4): ẽ_v ≤ c·ẽ_K and
+	// x_v ≤ M_K/2 + ẽ_K/2 (scaled γ).
+	inlier := make([]bool, h.N())
+	for idx, i := range cliques {
+		mk := float64(repeats[idx])
+		for _, v := range d.Cliques[i] {
+			xv := prof.AntiDegreeProxy(v, delta)
+			inlier[v] = prof.ExtDeg[v] <= params.InlierExtFactor*math.Max(prof.AvgExt[i], 1) &&
+				xv <= mk/2+0.5*math.Max(prof.AvgExt[i], 1)
+		}
+	}
+	// Step 2: color outliers with non-reserved colors.
+	if err := colorSubset(cg, col, "noncabal/outliers", func(v int) bool {
+		k := d.CliqueOf[v]
+		return k >= 0 && !prof.IsCabal[k] && !inlier[v]
+	}, func(v int) []int32 {
+		return trials.RangeSpace(reserved[d.CliqueOf[v]]+1, col.MaxColor())
+	}, rng); err != nil {
+		return err
+	}
+	// Step 3: synchronized color trial per clique (parallel).
+	if err := runSCTs(cg, col, d, cliques, reserved, inlier, nil, rng); err != nil {
+		return err
+	}
+	// Step 4: Complete (Algorithm 11).
+	if err := complete(cg, col, d, cliques, reserved, inlier, rng); err != nil {
+		return err
+	}
+	stats.NonCabalColored = col.DomSize() - before
+	return nil
+}
+
+// complete is Algorithm 11: Phase I tries non-reserved clique-palette colors
+// to shrink the slack-poor set; Phase II finishes on reserved colors with
+// MultiColorTrial.
+func complete(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition,
+	cliques []int, reserved []int32, inlier []bool, rng *rand.Rand) error {
+	h := cg.H
+	active := func(v int) bool {
+		k := d.CliqueOf[v]
+		if k < 0 || !containsInt(cliques, k) {
+			return false
+		}
+		return inlier[v]
+	}
+	// Phase I: O(1) iterations of TryColor on L(K) \ [r_K].
+	for iter := 0; iter < 3; iter++ {
+		palettes := buildPalettes(cg, col, d, cliques)
+		coloring.ChargeQuery(cg, "complete/query")
+		if _, err := trials.TryColorRound(cg, col, trials.TryColorOptions{
+			Phase:      "complete/phase1",
+			Active:     active,
+			Activation: 0.7,
+			Space: func(v int) []int32 {
+				k := d.CliqueOf[v]
+				cp := palettes[k]
+				if cp == nil {
+					return nil
+				}
+				var out []int32
+				for _, c := range cp.Free() {
+					if c > reserved[k] {
+						out = append(out, c)
+					}
+				}
+				return out
+			},
+		}, rng); err != nil {
+			return err
+		}
+	}
+	// Phase II: reserved colors via MCT.
+	_, err := trials.MultiColorTrial(cg, col, trials.MCTOptions{
+		Phase:  "complete/phase2",
+		Active: active,
+		Space: func(v int) []int32 {
+			return trials.RangeSpace(1, reserved[d.CliqueOf[v]])
+		},
+		Seed: rng.Uint64(),
+	}, rng)
+	_ = h
+	return err
+}
+
+// colorCabals is Algorithm 5.
+func colorCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, prof *acd.Profile,
+	reserved []int32, globalReserved int32, params Params, stats *Stats, rng *rand.Rand) error {
+	h := cg.H
+	var cabals []int
+	for i := range d.Cliques {
+		if prof.IsCabal[i] {
+			cabals = append(cabals, i)
+		}
+	}
+	if len(cabals) == 0 {
+		return nil
+	}
+	before := col.DomSize()
+	// Step 1: colorful matching with the cabal-specific fingerprint
+	// algorithm as backup.
+	repeats, err := runMatchings(cg, col, d, cabals, globalReserved, params, true, rng)
+	if err != nil {
+		return err
+	}
+	stats.MatchingRepeats += sum(repeats)
+	// Inliers in cabals need only low external degree (Section 4.3).
+	inlier := make([]bool, h.N())
+	for _, i := range cabals {
+		for _, v := range d.Cliques[i] {
+			inlier[v] = prof.ExtDeg[v] <= params.InlierExtFactor*math.Max(prof.AvgExt[i], 1)
+		}
+	}
+	// Step 2: outliers.
+	if err := colorSubset(cg, col, "cabal/outliers", func(v int) bool {
+		k := d.CliqueOf[v]
+		return k >= 0 && prof.IsCabal[k] && !inlier[v]
+	}, func(v int) []int32 {
+		return trials.RangeSpace(reserved[d.CliqueOf[v]]+1, col.MaxColor())
+	}, rng); err != nil {
+		return err
+	}
+	// Step 3: put-aside sets, sized to the reserved prefix but never more
+	// than a quarter of the uncolored inliers.
+	cabalMembers := make([][]int, len(cabals))
+	rs := make([]int, len(cabals))
+	for idx, i := range cabals {
+		cabalMembers[idx] = d.Cliques[i]
+		un := 0
+		for _, v := range d.Cliques[i] {
+			if !col.IsColored(v) && inlier[v] {
+				un++
+			}
+		}
+		r := int(reserved[i])
+		if r > un/4 {
+			r = un / 4
+		}
+		rs[idx] = r
+	}
+	maxR := 0
+	for _, r := range rs {
+		if r > maxR {
+			maxR = r
+		}
+	}
+	putAside := make([][]int, len(cabals))
+	if maxR > 0 {
+		// ComputePutAside takes a single r; use the per-cabal minimum cap
+		// by trimming afterwards.
+		ps, err := putaside.ComputePutAside(cg, col, putaside.ComputeOptions{
+			Phase:    "cabal/putaside",
+			Cabals:   cabalMembers,
+			Eligible: func(v int) bool { return inlier[v] },
+			R:        maxR,
+		}, rng)
+		if err != nil {
+			return err
+		}
+		for idx := range ps {
+			if len(ps[idx]) > rs[idx] {
+				ps[idx] = ps[idx][:rs[idx]]
+			}
+			putAside[idx] = ps[idx]
+		}
+	}
+	inPutAside := make(map[int]bool)
+	for _, ps := range putAside {
+		for _, v := range ps {
+			inPutAside[v] = true
+		}
+	}
+	// Step 4: synchronized color trial (participants exclude put-aside).
+	if err := runSCTs(cg, col, d, cabals, reserved, inlier, inPutAside, rng); err != nil {
+		return err
+	}
+	// Step 5: MultiColorTrial on reserved colors for the rest (not
+	// put-aside).
+	if _, err := trials.MultiColorTrial(cg, col, trials.MCTOptions{
+		Phase: "cabal/mct",
+		Active: func(v int) bool {
+			k := d.CliqueOf[v]
+			return k >= 0 && prof.IsCabal[k] && inlier[v] && !inPutAside[v]
+		},
+		Space: func(v int) []int32 {
+			return trials.RangeSpace(1, reserved[d.CliqueOf[v]])
+		},
+		Seed: rng.Uint64(),
+	}, rng); err != nil {
+		return err
+	}
+	// Any non-put-aside cabal vertex still uncolored gets a palette pass
+	// so put-aside coloring starts from the paper's precondition.
+	if err := colorSubset(cg, col, "cabal/cleanup", func(v int) bool {
+		k := d.CliqueOf[v]
+		return k >= 0 && prof.IsCabal[k] && !inPutAside[v]
+	}, func(v int) []int32 {
+		return coloring.Palette(h, col, v)
+	}, rng); err != nil {
+		return err
+	}
+	// Step 6: color put-aside sets via donation (parallel across cabals).
+	subs := make([]*network.CostModel, len(cabals))
+	lg := bits.Len(uint(h.N()))
+	for idx := range cabals {
+		if len(putAside[idx]) == 0 {
+			continue
+		}
+		sub, err := network.NewCostModel(cg.Cost().Bandwidth())
+		if err != nil {
+			return err
+		}
+		subs[idx] = sub
+		subCG := cg.WithCost(sub)
+		foreign := foreignAdjacency(h, putAside, idx)
+		res, err := putaside.ColorPutAside(subCG, col, putaside.DonateOptions{
+			Phase:              "cabal/donate",
+			Cabal:              cabalMembers[idx],
+			PutAside:           putAside[idx],
+			Inlier:             func(v int) bool { return inlier[v] },
+			ForbiddenDonors:    func(v int) bool { return foreign[v] },
+			FreeColorThreshold: 4 * len(putAside[idx]),
+			BlockSize:          maxInt(8, lg),
+			SampleTries:        4 * lg,
+		}, rng)
+		if err != nil {
+			return err
+		}
+		stats.PutAsideDonated += res.ViaDonation
+		stats.PutAsideFree += res.ViaFreeColors
+		stats.PutAsideFallback += res.ViaFallback
+	}
+	cg.Cost().AbsorbParallel("cabal/donate", subs)
+	stats.CabalColored = col.DomSize() - before
+	return nil
+}
+
+// foreignAdjacency marks vertices adjacent to put-aside vertices of other
+// cabals (forbidden donors, Lemma 7.2 Property 2).
+func foreignAdjacency(h *graph.Graph, putAside [][]int, self int) map[int]bool {
+	foreign := make(map[int]bool)
+	for j, ps := range putAside {
+		if j == self {
+			continue
+		}
+		for _, v := range ps {
+			foreign[v] = true
+			for _, u := range h.Neighbors(v) {
+				foreign[int(u)] = true
+			}
+		}
+	}
+	return foreign
+}
+
+// runMatchings executes the colorful matching per clique in parallel
+// (scratch cost models merged as a max). withFingerprint enables the cabal
+// backup algorithm (Proposition 4.15).
+func runMatchings(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition,
+	cliques []int, globalReserved int32, params Params, withFingerprint bool, rng *rand.Rand) ([]int, error) {
+	h := cg.H
+	repeats := make([]int, len(cliques))
+	subs := make([]*network.CostModel, len(cliques))
+	lg := bits.Len(uint(h.N()))
+	for idx, i := range cliques {
+		members := d.Cliques[i]
+		// A clique that fits in the palette needs no matching.
+		need := len(members) - (h.MaxDegree() + 1)
+		target := need + 2*lg
+		if target < lg {
+			target = lg
+		}
+		sub, err := network.NewCostModel(cg.Cost().Bandwidth())
+		if err != nil {
+			return nil, err
+		}
+		subs[idx] = sub
+		subCG := cg.WithCost(sub)
+		m, err := matching.Sampling(subCG, col, matching.SamplingOptions{
+			Phase:         "matching/sampling",
+			Members:       members,
+			ReservedMax:   globalReserved,
+			Rounds:        8,
+			TargetRepeats: target,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		if withFingerprint && m < target && len(members) >= 8 {
+			// Proposition 4.15 backup: find anti-edges among uncolored
+			// members by fingerprinting, then color the pairs.
+			var uncolored []int
+			for _, v := range members {
+				if !col.IsColored(v) {
+					uncolored = append(uncolored, v)
+				}
+			}
+			if len(uncolored) >= 4 {
+				pairs, err := matching.FingerprintMatching(subCG, matching.FingerprintOptions{
+					Phase:       "matching/fingerprint",
+					Members:     uncolored,
+					Trials:      params.MatchingTrialFactor * lg,
+					TargetPairs: target - m,
+				}, rng)
+				if err != nil {
+					return nil, err
+				}
+				colored, err := matching.ColorPairs(subCG, col, pairs, globalReserved, "matching/colorpairs", rng)
+				if err != nil {
+					return nil, err
+				}
+				m += colored
+			}
+		}
+		repeats[idx] = m
+	}
+	cg.Cost().AbsorbParallel("matching", subs)
+	return repeats, nil
+}
+
+// runSCTs executes the synchronized color trial per clique in parallel.
+// Participants are uncolored inliers excluding any put-aside set, capped by
+// the clique palette's non-reserved capacity (Lemma 4.13's precondition).
+func runSCTs(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition,
+	cliques []int, reserved []int32, inlier []bool, exclude map[int]bool, rng *rand.Rand) error {
+	subs := make([]*network.CostModel, len(cliques))
+	for idx, i := range cliques {
+		members := d.Cliques[i]
+		sub, err := network.NewCostModel(cg.Cost().Bandwidth())
+		if err != nil {
+			return err
+		}
+		subs[idx] = sub
+		subCG := cg.WithCost(sub)
+		cp := coloring.BuildCliquePalette(subCG, col, members)
+		capacity := 0
+		for _, c := range cp.Free() {
+			if c > reserved[i] {
+				capacity++
+			}
+		}
+		var participants []int
+		for _, v := range members {
+			if col.IsColored(v) || !inlier[v] {
+				continue
+			}
+			if exclude != nil && exclude[v] {
+				continue
+			}
+			if len(participants) == capacity {
+				break
+			}
+			participants = append(participants, v)
+		}
+		if len(participants) == 0 {
+			continue
+		}
+		if _, err := sct.Run(subCG, col, sct.Options{
+			Phase:        "sct",
+			Members:      members,
+			Participants: participants,
+			ReservedMax:  reserved[i],
+		}, rng); err != nil {
+			return err
+		}
+	}
+	cg.Cost().AbsorbParallel("sct", subs)
+	return nil
+}
+
+// buildPalettes builds clique palettes for the given cliques, charging one
+// parallel build.
+func buildPalettes(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, cliques []int) map[int]*coloring.CliquePalette {
+	out := make(map[int]*coloring.CliquePalette, len(cliques))
+	subs := make([]*network.CostModel, 0, len(cliques))
+	for _, i := range cliques {
+		sub, err := network.NewCostModel(cg.Cost().Bandwidth())
+		if err != nil {
+			continue
+		}
+		subCG := cg.WithCost(sub)
+		out[i] = coloring.BuildCliquePalette(subCG, col, d.Cliques[i])
+		subs = append(subs, sub)
+	}
+	cg.Cost().AbsorbParallel("palette/build", subs)
+	return out
+}
+
+// colorSubset colors an active set with a warm-up TryColor loop followed by
+// MultiColorTrial over the given space.
+func colorSubset(cg *cluster.CG, col *coloring.Coloring, phase string,
+	active func(v int) bool, space func(v int) []int32, rng *rand.Rand) error {
+	if _, err := trials.TryColorLoop(cg, col, trials.TryColorOptions{
+		Phase:      phase + "/try",
+		Active:     active,
+		Space:      space,
+		Activation: 0.5,
+	}, 4, rng); err != nil {
+		return err
+	}
+	_, err := trials.MultiColorTrial(cg, col, trials.MCTOptions{
+		Phase:  phase + "/mct",
+		Active: active,
+		Space:  space,
+		Seed:   rng.Uint64(),
+	}, rng)
+	return err
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"sort"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/coloring"
+	"clustercolor/internal/linial"
+	"clustercolor/internal/trials"
+)
+
+// colorLowDegree is the Theorem 1.1 pipeline of Section 9 for
+// Δ ≤ poly(log n):
+//
+//  1. DegreeReduction — O(log log n) TryColor waves over the full palette
+//     (Section 9.2's use of Lemma D.3).
+//  2. LearnColors — with Δ = O(polylog n), a cluster learns its palette by
+//     aggregating an O(Δ)-bit bitmap, pipelined over ⌈Δ/bandwidth⌉ rounds
+//     (Section 9.1).
+//  3. Shattering — BEPS-style random palette trials until the uncolored
+//     components are polylog-sized.
+//  4. SmallInstanceColoring — the Lemma 9.1 contract: the shattered
+//     components are deg+1-list-colored via Linial color reduction plus
+//     class-by-class recoloring (the finishing move of the lemma's own
+//     proof); the Ghaffari–Kuhn rounding itself is substituted per
+//     DESIGN.md §3 and the round charge follows the lemma's bound.
+func colorLowDegree(cg *cluster.CG, col *coloring.Coloring, params Params, stats *Stats, rng *rand.Rand) error {
+	h := cg.H
+	n := h.N()
+	if n == 0 {
+		return nil
+	}
+	stats.StageOrder = append(stats.StageOrder, "DegreeReduction")
+	loglog := bits.Len(uint(bits.Len(uint(n)))) + 2
+	space := sparseSpace(col)
+	// Stage 1: degree reduction, O(log log n) waves.
+	if _, err := trials.TryColorLoop(cg, col, trials.TryColorOptions{
+		Phase:      "lowdeg/reduce",
+		Space:      func(v int) []int32 { return space },
+		Activation: 0.5,
+	}, 2*loglog, rng); err != nil {
+		return err
+	}
+	stats.StageOrder = append(stats.StageOrder, "LearnColors")
+	// Stage 2: palette learning — one aggregated Δ-bit bitmap per cluster.
+	cg.ChargeHRounds("lowdeg/learn", 1, col.Delta()+1)
+	stats.StageOrder = append(stats.StageOrder, "Shattering")
+	// Stage 3: shattering — palette-restricted trials for O(log log n)
+	// waves. After this, uncolored components are small w.h.p.
+	for i := 0; i < 2*loglog; i++ {
+		if uncoloredCount(col) == 0 {
+			return nil
+		}
+		if _, err := trials.TryColorRound(cg, col, trials.TryColorOptions{
+			Phase:      "lowdeg/shatter",
+			Activation: 0.7,
+			Space: func(v int) []int32 {
+				return coloring.Palette(h, col, v)
+			},
+		}, rng); err != nil {
+			return err
+		}
+	}
+	// Stage 4: small-instance coloring per shattered component.
+	stats.StageOrder = append(stats.StageOrder, "SmallInstanceColoring")
+	return smallInstanceColoring(cg, col, stats, rng)
+}
+
+// smallInstanceColoring colors the uncolored subgraph left by shattering,
+// following the Lemma 9.1 proof structure: a Linial color reduction on the
+// shattered subgraph produces a proper O(Δ'²)-coloring of its (polylog-size)
+// components in O(log* n) waves, and the color classes — independent sets —
+// are then recolored one per round from the vertices' learned deg+1 lists.
+// Rounds are charged per the lemma's budget; a vertex with an exhausted
+// palette (impossible under deg+1 lists, guarded anyway) is left to the
+// terminal fallback.
+func smallInstanceColoring(cg *cluster.CG, col *coloring.Coloring, stats *Stats, rng *rand.Rand) error {
+	h := cg.H
+	var uncolored []int
+	for v := 0; v < h.N(); v++ {
+		if !col.IsColored(v) {
+			uncolored = append(uncolored, v)
+		}
+	}
+	if len(uncolored) == 0 {
+		return nil
+	}
+	// Induced shattered subgraph; Linial runs on it against the same cost
+	// model (the sub-instance lives on the same network).
+	sub, orig := h.InducedSubgraph(uncolored)
+	subCG, err := cluster.NewAbstract(sub, cg.G, cg.Dilation, cg.Cost())
+	if err != nil {
+		return err
+	}
+	linColors, linQ := linial.FromIDs(sub)
+	linColors, linQ, err = linial.Run(subCG, linColors, linQ, "lowdeg/linial")
+	if err != nil {
+		return err
+	}
+	// Recolor one Linial class per round: classes are independent sets of
+	// the shattered subgraph, and uncolored vertices of different
+	// components are never adjacent, so simultaneous palette picks stay
+	// proper.
+	byClass := make([][]int, linQ)
+	for i, c := range linColors {
+		byClass[c] = append(byClass[c], orig[i])
+	}
+	for c := linQ - 1; c >= 0; c-- {
+		if len(byClass[c]) == 0 {
+			continue
+		}
+		cg.ChargeHRounds("lowdeg/small-instance", 1, 2*cg.IDBits())
+		sort.Ints(byClass[c])
+		for _, v := range byClass[c] {
+			pal := coloring.Palette(h, col, v)
+			if len(pal) == 0 {
+				continue // left to the terminal fallback
+			}
+			if err := col.Set(v, pal[0]); err != nil {
+				return err
+			}
+		}
+	}
+	_ = rng
+	_ = stats
+	return nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/coloring"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+)
+
+// TestPropertyAlwaysProperColoring is the library's master invariant: for
+// random instances, random topologies, and random (valid) parameters, the
+// pipeline must always return a proper total (Δ+1)-coloring.
+func TestPropertyAlwaysProperColoring(t *testing.T) {
+	f := func(seed uint64, nRaw, pRaw, topoRaw, epsRaw uint8) bool {
+		n := 20 + int(nRaw)%180            // 20..199
+		p := 0.02 + float64(pRaw%60)/100.0 // 0.02..0.61
+		topos := []graph.ClusterTopology{graph.TopologySingleton, graph.TopologyStar, graph.TopologyPath, graph.TopologyTree}
+		topo := topos[int(topoRaw)%len(topos)]
+		h := graph.GNP(n, p, graph.NewRand(seed))
+		size := 1
+		if topo != graph.TopologySingleton {
+			size = 2 + int(topoRaw)%3
+		}
+		exp, err := graph.Expand(h, graph.ExpandSpec{Topology: topo, MachinesPerCluster: size}, graph.NewRand(seed+1))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		cost, err := newPropertyCost()
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		cg, err := newPropertyCG(h, exp, cost)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		params := DefaultParams(n)
+		params.Seed = seed + 2
+		params.Eps = 0.1 + float64(epsRaw%20)/100.0 // 0.10..0.29
+		col, _, err := Color(cg, params)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := coloring.VerifyComplete(h, col); err != nil {
+			t.Log(err)
+			return false
+		}
+		return col.CountColors() <= h.MaxDegree()+1
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyStatsMonotone: more fallback colored vertices can never exceed
+// the instance size, and stage counters stay consistent with the graph.
+func TestPropertyStatsMonotone(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 30 + int(nRaw)%120
+		h := graph.GNP(n, 10.0/float64(n), graph.NewRand(seed))
+		cg := quietCG(h, seed+1)
+		if cg == nil {
+			return false
+		}
+		params := DefaultParams(n)
+		params.Seed = seed + 2
+		_, stats, err := Color(cg, params)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if stats.FallbackColored < 0 || stats.FallbackColored > n {
+			return false
+		}
+		if stats.FallbackRounds < 0 || stats.FallbackRounds > stats.Rounds {
+			return false
+		}
+		if stats.NumSparse < 0 || stats.NumSparse > n {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 10}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// helpers shared by the property tests.
+func newPropertyCost() (*network.CostModel, error) { return network.NewCostModel(48) }
+
+func newPropertyCG(h *graph.Graph, exp *graph.Expansion, cost *network.CostModel) (*cluster.CG, error) {
+	return cluster.New(h, exp, cost)
+}
+
+func quietCG(h *graph.Graph, seed uint64) *cluster.CG {
+	exp, err := graph.Expand(h, graph.ExpandSpec{Topology: graph.TopologySingleton}, graph.NewRand(seed))
+	if err != nil {
+		return nil
+	}
+	cost, err := network.NewCostModel(48)
+	if err != nil {
+		return nil
+	}
+	cg, err := cluster.New(h, exp, cost)
+	if err != nil {
+		return nil
+	}
+	return cg
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"clustercolor/internal/graph"
+)
+
+// TestStageOrderFigure5HighDegree verifies the Figure 5 flow: the
+// high-degree pipeline runs its stages in the published order.
+func TestStageOrderFigure5HighDegree(t *testing.T) {
+	rng := graph.NewRand(3)
+	h, _, err := graph.PlantedACD(graph.PlantedACDSpec{
+		NumCliques:     2,
+		CliqueSize:     40,
+		DropFraction:   0.04,
+		ExternalDegree: 3,
+		SparseN:        40,
+		SparseP:        0.1,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := buildCG(t, h, graph.TopologySingleton, 1, 5)
+	p := DefaultParams(h.N())
+	p.DeltaLow = 15
+	_, stats, err := Color(cg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ComputeACD", "SlackGeneration", "ColoringSparse", "ColoringNonCabals", "ColoringCabals"}
+	if got := strings.Join(stats.StageOrder, ","); got != strings.Join(want, ",") {
+		t.Fatalf("stage order = %v, want %v", stats.StageOrder, want)
+	}
+}
+
+// TestStageOrderLowDegree verifies the Section 9 pipeline order.
+func TestStageOrderLowDegree(t *testing.T) {
+	rng := graph.NewRand(7)
+	h := graph.GNP(300, 0.02, rng)
+	cg := buildCG(t, h, graph.TopologySingleton, 1, 9)
+	_, stats, err := Color(cg, DefaultParams(h.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"DegreeReduction", "LearnColors", "Shattering"}
+	if len(stats.StageOrder) < len(want) {
+		t.Fatalf("stage order too short: %v", stats.StageOrder)
+	}
+	for i, w := range want {
+		if stats.StageOrder[i] != w {
+			t.Fatalf("stage %d = %s, want %s (full: %v)", i, stats.StageOrder[i], w, stats.StageOrder)
+		}
+	}
+	// SmallInstanceColoring appears iff shattering left components.
+	if len(stats.StageOrder) == 4 && stats.StageOrder[3] != "SmallInstanceColoring" {
+		t.Fatalf("unexpected trailing stage %v", stats.StageOrder)
+	}
+}

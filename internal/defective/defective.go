@@ -1,0 +1,137 @@
+// Package defective implements weighted defective coloring (Definition 9.5)
+// on cluster graphs, the building block of the Ghaffari–Kuhn small-instance
+// machinery (Section 9.4, Lemma 9.6): a q-coloring ψ such that for every
+// vertex the weight of its monochromatic edges is at most a δ-fraction of
+// its total incident weight.
+//
+// Weights are per-vertex 2^-b-integral values (Definition 9.3), the form
+// Lemma 9.4 aggregates: the defect of v under ψ is
+// Σ_{u∈N(v), ψ(u)=ψ(v)} x_u. Each refinement round estimates, for every
+// candidate color, the weight of the would-be conflicts with one weighted
+// fingerprint wave (Lemma 9.4), and moves each activated vertex to a color
+// within a factor two of its minimum — exactly the tolerance Lemma 9.6's
+// analysis grants the approximate aggregation.
+package defective
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/fingerprint"
+	"clustercolor/internal/graph"
+)
+
+// Options configures a defective coloring computation.
+type Options struct {
+	// Phase labels cost entries.
+	Phase string
+	// Q is the number of defective color classes (Lemma 9.6: O(1/δ²)).
+	Q int
+	// B is the integrality exponent: x_u = Weights[u] / 2^B.
+	B int
+	// Weights are the per-vertex numerators k_u (non-negative).
+	Weights []int64
+	// Rounds is the number of refinement waves (default 2·log₂ q + 2).
+	Rounds int
+	// Xi is the fingerprint accuracy for conflict estimation (default 0.25).
+	Xi float64
+}
+
+// Color computes a weighted defective Q-coloring. The returned slice maps
+// each vertex to a class in [0, Q).
+func Color(cg *cluster.CG, opts Options, rng *rand.Rand) ([]int, error) {
+	n := cg.H.N()
+	if opts.Q < 1 {
+		return nil, fmt.Errorf("defective: q = %d must be positive", opts.Q)
+	}
+	if len(opts.Weights) != n {
+		return nil, fmt.Errorf("defective: %d weights for %d vertices", len(opts.Weights), n)
+	}
+	xi := opts.Xi
+	if xi <= 0 {
+		xi = 0.25
+	}
+	rounds := opts.Rounds
+	if rounds <= 0 {
+		rounds = 8
+	}
+	psi := make([]int, n)
+	for v := range psi {
+		psi[v] = rng.IntN(opts.Q)
+	}
+	for r := 0; r < rounds; r++ {
+		// One weighted fingerprint wave per class: W_{v,c} = Σ of weights
+		// of v's class-c neighbors (Lemma 9.4 with α = "ψ(u)=c").
+		conflict := make([][]float64, opts.Q)
+		for c := 0; c < opts.Q; c++ {
+			est, err := fingerprint.ApproxWeightedSum(cg, opts.Phase+"/estimate", xi, opts.B,
+				opts.Weights, func(v, u int) bool { return psi[u] == c }, rng)
+			if err != nil {
+				return nil, err
+			}
+			conflict[c] = est
+		}
+		// Activated vertices move to a near-minimum class; simultaneous
+		// moves are handled by the half activation (the standard
+		// local-search trick, also used by Lemma 9.6's color reduction).
+		next := make([]int, n)
+		copy(next, psi)
+		for v := 0; v < n; v++ {
+			if rng.Float64() >= 0.5 {
+				continue
+			}
+			best, bestW := psi[v], conflict[psi[v]][v]
+			for c := 0; c < opts.Q; c++ {
+				if conflict[c][v] < bestW/2 { // factor-2 improvement rule
+					best, bestW = c, conflict[c][v]
+				}
+			}
+			next[v] = best
+		}
+		psi = next
+		// Class announcements: one O(log q)-bit round.
+		cg.ChargeHRounds(opts.Phase+"/announce", 1, 8)
+	}
+	return psi, nil
+}
+
+// RelativeDefect returns max_v defect(v)/total(v) under ψ: the δ the
+// coloring actually achieves (0 when no vertex has incident weight).
+func RelativeDefect(h *graph.Graph, psi []int, weights []int64) float64 {
+	worst := 0.0
+	for v := 0; v < h.N(); v++ {
+		var mono, total int64
+		for _, u := range h.Neighbors(v) {
+			total += weights[u]
+			if psi[int(u)] == psi[v] {
+				mono += weights[u]
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		if frac := float64(mono) / float64(total); frac > worst {
+			worst = frac
+		}
+	}
+	return worst
+}
+
+// AverageDefect returns the weight-averaged defect fraction, the quantity
+// Lemma 9.6's cost function bounds.
+func AverageDefect(h *graph.Graph, psi []int, weights []int64) float64 {
+	var mono, total int64
+	for v := 0; v < h.N(); v++ {
+		for _, u := range h.Neighbors(v) {
+			total += weights[u]
+			if psi[int(u)] == psi[v] {
+				mono += weights[u]
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(mono) / float64(total)
+}

@@ -1,0 +1,140 @@
+package defective
+
+import (
+	"testing"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+)
+
+func testCG(t *testing.T, h *graph.Graph, seed uint64) *cluster.CG {
+	t.Helper()
+	rng := graph.NewRand(seed)
+	exp, err := graph.Expand(h, graph.ExpandSpec{Topology: graph.TopologySingleton}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := network.NewCostModel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := cluster.New(h, exp, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cg
+}
+
+func unitWeights(n int) []int64 {
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func TestColorValidation(t *testing.T) {
+	h := graph.Path(4)
+	cg := testCG(t, h, 1)
+	if _, err := Color(cg, Options{Phase: "x", Q: 0, Weights: unitWeights(4)}, graph.NewRand(1)); err == nil {
+		t.Fatal("q=0 accepted")
+	}
+	if _, err := Color(cg, Options{Phase: "x", Q: 2, Weights: unitWeights(3)}, graph.NewRand(1)); err == nil {
+		t.Fatal("weight count mismatch accepted")
+	}
+}
+
+func TestColorReducesDefectBelowAverage(t *testing.T) {
+	// With q classes, a uniform random coloring has expected defect 1/q;
+	// local search should land at or below that on average.
+	rng := graph.NewRand(3)
+	h := graph.GNP(150, 0.1, rng)
+	cg := testCG(t, h, 5)
+	w := unitWeights(h.N())
+	q := 8
+	psi, err := Color(cg, Options{Phase: "def", Q: q, B: 0, Weights: w, Rounds: 6}, graph.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := AverageDefect(h, psi, w)
+	if avg > 1.5/float64(q) {
+		t.Fatalf("average defect %.3f above 1.5/q = %.3f", avg, 1.5/float64(q))
+	}
+	for v, c := range psi {
+		if c < 0 || c >= q {
+			t.Fatalf("vertex %d has class %d outside [0,%d)", v, c, q)
+		}
+	}
+}
+
+func TestColorMoreClassesLessDefect(t *testing.T) {
+	rng := graph.NewRand(9)
+	h := graph.GNP(120, 0.15, rng)
+	w := unitWeights(h.N())
+	defectAt := func(q int) float64 {
+		cg := testCG(t, h, 11)
+		psi, err := Color(cg, Options{Phase: "def", Q: q, Weights: w, Rounds: 6}, graph.NewRand(13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return AverageDefect(h, psi, w)
+	}
+	d2, d16 := defectAt(2), defectAt(16)
+	if d16 >= d2 {
+		t.Fatalf("defect did not drop with more classes: q=2 → %.3f, q=16 → %.3f", d2, d16)
+	}
+}
+
+func TestColorRespectsWeights(t *testing.T) {
+	// A heavy vertex pair should end up in different classes: build a path
+	// u–v–w where u and w are heavy; v's defect is dominated by them.
+	b := graph.NewBuilder(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := b.Build()
+	w := []int64{1000, 1, 1000, 1, 1}
+	cg := testCG(t, h, 15)
+	psi, err := Color(cg, Options{Phase: "def", Q: 4, Weights: w, Rounds: 10}, graph.NewRand(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 1 must avoid the class of at least one heavy neighbor; its
+	// relative defect must be far below 1.
+	def := RelativeDefect(h, psi, w)
+	if def > 0.9 {
+		t.Fatalf("relative defect %.3f: weighting ignored (psi=%v)", def, psi)
+	}
+}
+
+func TestDefectMetricsOnKnownColoring(t *testing.T) {
+	h := graph.Path(4) // 0-1-2-3
+	w := unitWeights(4)
+	psi := []int{0, 0, 1, 1}
+	// Monochromatic incidences: edge {0,1} (both class 0) counts at both
+	// endpoints; edge {2,3} likewise. Total incidences = 2·M = 6.
+	if got := AverageDefect(h, psi, w); got != 4.0/6.0 {
+		t.Fatalf("AverageDefect = %v, want 4/6", got)
+	}
+	// Vertex 0: single neighbor 1 same class → defect 1.
+	if got := RelativeDefect(h, psi, w); got != 1.0 {
+		t.Fatalf("RelativeDefect = %v, want 1", got)
+	}
+	proper := []int{0, 1, 0, 1}
+	if got := AverageDefect(h, proper, w); got != 0 {
+		t.Fatalf("proper coloring has defect %v", got)
+	}
+}
+
+func TestDefectMetricsEmptyGraph(t *testing.T) {
+	h := graph.NewBuilder(3).Build()
+	if AverageDefect(h, []int{0, 0, 0}, unitWeights(3)) != 0 {
+		t.Fatal("empty graph has defect")
+	}
+	if RelativeDefect(h, []int{0, 0, 0}, unitWeights(3)) != 0 {
+		t.Fatal("empty graph has relative defect")
+	}
+}

@@ -1,0 +1,225 @@
+// Package distsim executes cluster-graph primitives at true machine
+// granularity on the goroutine message-passing engine (network.Engine),
+// rather than through the vertex-level cost-charged layer. It exists to
+// validate the layer: a primitive executed here — real messages over real
+// links, every machine an independent goroutine — must produce exactly the
+// results the vertex-level simulation computes, and must respect the
+// bandwidth cap with the round counts the cost model charges.
+//
+// The implemented protocol is the paper's workhorse, the fingerprint
+// aggregation wave (Section 5 / Lemma 5.7): leaders broadcast their
+// cluster's geometric samples down the support trees, boundary machines
+// exchange sketches over inter-cluster links, and the per-link maxima
+// aggregate back up to the leaders. Idempotence of max makes the protocol
+// immune to redundant inter-cluster links — the Section 1.1 double-counting
+// hazard — which the tests exercise explicitly.
+package distsim
+
+import (
+	"fmt"
+	"sync"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/fingerprint"
+	"clustercolor/internal/network"
+)
+
+// phase tags of the wave protocol.
+const (
+	phaseDown     = iota // sketch travelling from the leader toward leaves
+	phaseExchange        // sketch crossing an inter-cluster link
+	phaseUp              // aggregated sketch travelling back to the leader
+)
+
+type payload struct {
+	phase  int
+	sketch fingerprint.Sketch
+}
+
+// waveMachine is one machine of the communication network running the
+// fingerprint wave. All state is owned by the machine; Step is driven
+// concurrently by the engine.
+type waveMachine struct {
+	id       int
+	cluster  int
+	leader   bool
+	parent   int   // tree parent machine (-1 for leader)
+	children []int // tree children machines
+	// crossLinks are incident inter-cluster links (peer machine ids).
+	crossLinks []int
+
+	mu sync.Mutex
+	// own is the cluster's sample vector (held by the leader).
+	own fingerprint.Samples
+	// down is the sketch received from the parent (own samples at leader).
+	down fingerprint.Sketch
+	// acc accumulates the neighbor maxima on the way up.
+	acc fingerprint.Sketch
+	// pendingUp counts children yet to report.
+	pendingUp int
+	// pendingExchange counts cross-link peers yet to send their sketch
+	// (each sends exactly one; waiting on all of them prevents losing
+	// contributions from clusters with deeper trees).
+	pendingExchange int
+	sentDown        bool
+	exchanged       bool
+	sentUp          bool
+	// result is the final neighbor sketch (leader only).
+	result fingerprint.Sketch
+	done   bool
+}
+
+func (m *waveMachine) Step(round int, inbox []network.Message) ([]network.Message, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []network.Message
+	for _, msg := range inbox {
+		p, ok := msg.Payload.(payload)
+		if !ok {
+			return nil, fmt.Errorf("distsim: machine %d got %T", m.id, msg.Payload)
+		}
+		switch p.phase {
+		case phaseDown:
+			if m.down != nil {
+				return nil, fmt.Errorf("distsim: machine %d double down", m.id)
+			}
+			m.down = p.sketch.Clone()
+		case phaseExchange:
+			// Merge the neighbor cluster's sketch into the accumulator.
+			if err := m.acc.Merge(p.sketch); err != nil {
+				return nil, err
+			}
+			m.pendingExchange--
+			if m.pendingExchange < 0 {
+				return nil, fmt.Errorf("distsim: machine %d got excess exchange messages", m.id)
+			}
+		case phaseUp:
+			if err := m.acc.Merge(p.sketch); err != nil {
+				return nil, err
+			}
+			m.pendingUp--
+			if m.pendingUp < 0 {
+				return nil, fmt.Errorf("distsim: machine %d got excess up-messages", m.id)
+			}
+		}
+	}
+	// Leader seeds the down phase in round 0.
+	if m.leader && m.down == nil {
+		m.down = fingerprint.NewSketch(len(m.own))
+		if err := m.down.AddSamples(m.own); err != nil {
+			return nil, err
+		}
+	}
+	// Forward down once the sketch arrived.
+	if m.down != nil && !m.sentDown {
+		m.sentDown = true
+		for _, c := range m.children {
+			out = append(out, m.send(c, phaseDown, m.down))
+		}
+	}
+	// Exchange across inter-cluster links once we know our cluster's value.
+	if m.down != nil && !m.exchanged {
+		m.exchanged = true
+		for _, peer := range m.crossLinks {
+			out = append(out, m.send(peer, phaseExchange, m.down))
+		}
+	}
+	// Report up once every child reported and every expected exchange
+	// message has arrived.
+	if m.exchanged && m.pendingUp == 0 && m.pendingExchange == 0 && !m.sentUp {
+		m.sentUp = true
+		if m.leader {
+			m.result = m.acc.Clone()
+			m.done = true
+		} else {
+			out = append(out, m.send(m.parent, phaseUp, m.acc))
+		}
+	}
+	return out, nil
+}
+
+func (m *waveMachine) send(to, phase int, s fingerprint.Sketch) network.Message {
+	return network.Message{
+		From:    m.id,
+		To:      to,
+		Bits:    s.EncodedBits(),
+		Payload: payload{phase: phase, sketch: s.Clone()},
+	}
+}
+
+// FingerprintWave executes the Lemma 5.7 aggregation at machine level: each
+// vertex's samples live at its leader; the returned sketches are the
+// per-vertex neighbor maxima, computed purely by message passing. The
+// engine's LinkStats are returned for bandwidth inspection.
+//
+// bandwidthBits caps per-link traffic per round; sketches larger than the
+// cap make the engine fail, mirroring the model (callers pick the cap or
+// pass 0 to disable, accounting pipelining separately).
+func FingerprintWave(cg *cluster.CG, samples []fingerprint.Samples, bandwidthBits int) ([]fingerprint.Sketch, network.LinkStats, error) {
+	g := cg.G
+	if len(samples) != cg.H.N() {
+		return nil, network.LinkStats{}, fmt.Errorf("distsim: %d sample vectors for %d vertices", len(samples), cg.H.N())
+	}
+	t := 0
+	if len(samples) > 0 {
+		t = len(samples[0])
+	}
+	machines := make([]network.Machine, g.N())
+	wave := make([]*waveMachine, g.N())
+	for mID := 0; mID < g.N(); mID++ {
+		v := cg.ClusterOf[mID]
+		wm := &waveMachine{
+			id:      mID,
+			cluster: v,
+			leader:  cg.Leader[v] == int32(mID),
+			parent:  int(cg.TreeParent[mID]),
+			acc:     fingerprint.NewSketch(t),
+		}
+		if wm.leader {
+			wm.own = samples[v]
+		}
+		for _, nb := range g.Neighbors(mID) {
+			peer := int(nb)
+			switch {
+			case cg.ClusterOf[peer] != v:
+				wm.crossLinks = append(wm.crossLinks, peer)
+			case int(cg.TreeParent[peer]) == mID:
+				wm.children = append(wm.children, peer)
+			}
+		}
+		wm.pendingUp = len(wm.children)
+		wm.pendingExchange = len(wm.crossLinks)
+		wave[mID] = wm
+		machines[mID] = wm
+	}
+	eng, err := network.NewEngine(g, machines, bandwidthBits)
+	if err != nil {
+		return nil, network.LinkStats{}, err
+	}
+	allDone := func() bool {
+		for _, wm := range wave {
+			if wm.leader {
+				wm.mu.Lock()
+				done := wm.done
+				wm.mu.Unlock()
+				if !done {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	// Budget: the wave needs ≤ 2·(dilation+1)+2 rounds.
+	budget := 2*(cg.Dilation+1) + 4
+	if _, err := eng.Run(budget, allDone); err != nil {
+		return nil, eng.Stats(), err
+	}
+	out := make([]fingerprint.Sketch, cg.H.N())
+	for v := 0; v < cg.H.N(); v++ {
+		wm := wave[cg.Leader[v]]
+		wm.mu.Lock()
+		out[v] = wm.result.Clone()
+		wm.mu.Unlock()
+	}
+	return out, eng.Stats(), nil
+}

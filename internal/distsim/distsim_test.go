@@ -1,0 +1,171 @@
+package distsim
+
+import (
+	"testing"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/fingerprint"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+)
+
+func buildCG(t *testing.T, h *graph.Graph, spec graph.ExpandSpec, seed uint64) *cluster.CG {
+	t.Helper()
+	rng := graph.NewRand(seed)
+	exp, err := graph.Expand(h, spec, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := network.NewCostModel(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := cluster.New(h, exp, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cg
+}
+
+// assertMatchesVertexLevel checks the machine-level wave against the
+// vertex-level cluster layer on the same instance and samples.
+func assertMatchesVertexLevel(t *testing.T, cg *cluster.CG, trials int, seed uint64) network.LinkStats {
+	t.Helper()
+	samples := fingerprint.SampleAll(cg.H.N(), trials, graph.NewRand(seed))
+	got, stats, err := FingerprintWave(cg, samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint.CollectNeighborSketches(cg, "ref", samples, fingerprint.CollectOptions{})
+	for v := 0; v < cg.H.N(); v++ {
+		for i := 0; i < trials; i++ {
+			if got[v][i] != want[v][i] {
+				t.Fatalf("vertex %d trial %d: machine-level %d != vertex-level %d",
+					v, i, got[v][i], want[v][i])
+			}
+		}
+	}
+	return stats
+}
+
+func TestWaveMatchesVertexLevelSingleton(t *testing.T) {
+	rng := graph.NewRand(3)
+	h := graph.GNP(60, 0.15, rng)
+	cg := buildCG(t, h, graph.ExpandSpec{Topology: graph.TopologySingleton}, 5)
+	stats := assertMatchesVertexLevel(t, cg, 16, 7)
+	if stats.Messages == 0 {
+		t.Fatal("no messages exchanged")
+	}
+}
+
+func TestWaveMatchesVertexLevelDeepClusters(t *testing.T) {
+	rng := graph.NewRand(9)
+	h := graph.GNP(25, 0.25, rng)
+	for _, spec := range []graph.ExpandSpec{
+		{Topology: graph.TopologyStar, MachinesPerCluster: 5},
+		{Topology: graph.TopologyPath, MachinesPerCluster: 6},
+		{Topology: graph.TopologyTree, MachinesPerCluster: 8},
+	} {
+		t.Run(spec.Topology.String(), func(t *testing.T) {
+			cg := buildCG(t, h, spec, 11)
+			assertMatchesVertexLevel(t, cg, 24, 13)
+		})
+	}
+}
+
+func TestWaveImmuneToRedundantLinks(t *testing.T) {
+	// The Section 1.1 hazard: multiple links between the same cluster pair
+	// deliver the same sketch several times. Idempotent max-merging must
+	// keep the result identical to the single-link case.
+	rng := graph.NewRand(15)
+	h := graph.GNP(20, 0.3, rng)
+	cg := buildCG(t, h, graph.ExpandSpec{
+		Topology:           graph.TopologyStar,
+		MachinesPerCluster: 6,
+		RedundantLinks:     4,
+	}, 17)
+	assertMatchesVertexLevel(t, cg, 24, 19)
+}
+
+func TestWaveRoundsBoundedByDilation(t *testing.T) {
+	rng := graph.NewRand(21)
+	h := graph.GNP(15, 0.3, rng)
+	cg := buildCG(t, h, graph.ExpandSpec{Topology: graph.TopologyPath, MachinesPerCluster: 7}, 23)
+	samples := fingerprint.SampleAll(h.N(), 8, graph.NewRand(25))
+	_, stats, err := FingerprintWave(cg, samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := 2*(cg.Dilation+1) + 4
+	if stats.Rounds > budget {
+		t.Fatalf("wave took %d rounds, budget %d (dilation %d)", stats.Rounds, budget, cg.Dilation)
+	}
+}
+
+func TestWaveBandwidthObserved(t *testing.T) {
+	// With a generous cap the wave completes and reports per-link usage;
+	// with a tiny cap the engine must reject oversized sketches.
+	rng := graph.NewRand(27)
+	h := graph.GNP(20, 0.3, rng)
+	cg := buildCG(t, h, graph.ExpandSpec{Topology: graph.TopologyStar, MachinesPerCluster: 3}, 29)
+	samples := fingerprint.SampleAll(h.N(), 32, graph.NewRand(31))
+	_, stats, err := FingerprintWave(cg, samples, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxLinkBits == 0 {
+		t.Fatal("no bandwidth recorded")
+	}
+	if _, _, err := FingerprintWave(cg, samples, 4); err == nil {
+		t.Fatal("4-bit cap accepted sketches of dozens of bits")
+	}
+}
+
+func TestWaveValidation(t *testing.T) {
+	h := graph.Path(3)
+	cg := buildCG(t, h, graph.ExpandSpec{Topology: graph.TopologySingleton}, 1)
+	if _, _, err := FingerprintWave(cg, make([]fingerprint.Samples, 1), 0); err == nil {
+		t.Fatal("sample count mismatch accepted")
+	}
+}
+
+func TestWaveIsolatedVertices(t *testing.T) {
+	h := graph.NewBuilder(4).Build() // no edges
+	cg := buildCG(t, h, graph.ExpandSpec{Topology: graph.TopologyStar, MachinesPerCluster: 3}, 33)
+	samples := fingerprint.SampleAll(4, 8, graph.NewRand(35))
+	got, _, err := FingerprintWave(cg, samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		for i := 0; i < 8; i++ {
+			if got[v][i] != fingerprint.Empty {
+				t.Fatalf("isolated vertex %d has non-empty sketch", v)
+			}
+		}
+	}
+}
+
+func TestWaveEstimatesDegrees(t *testing.T) {
+	// End-to-end: the machine-level wave supports the same degree
+	// estimation as Lemma 5.7.
+	rng := graph.NewRand(37)
+	h := graph.GNP(80, 0.3, rng)
+	cg := buildCG(t, h, graph.ExpandSpec{Topology: graph.TopologyStar, MachinesPerCluster: 2}, 39)
+	samples := fingerprint.SampleAll(h.N(), 512, graph.NewRand(41))
+	sketches, _, err := FingerprintWave(cg, samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for v := 0; v < h.N(); v++ {
+		d := float64(h.Degree(v))
+		e := sketches[v].Estimate()
+		if d == 0 && e == 0 || (e > 0.6*d && e < 1.4*d) {
+			ok++
+		}
+	}
+	if ok < h.N()*9/10 {
+		t.Fatalf("only %d/%d machine-level degree estimates within 40%%", ok, h.N())
+	}
+}

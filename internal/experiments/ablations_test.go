@@ -1,0 +1,106 @@
+package experiments
+
+import "testing"
+
+func TestA1DeviationEncodingWins(t *testing.T) {
+	tbl, err := A1Encoding([]int{256}, 5000, 48, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cellInt(t, tbl, 0, "devRounds") >= cellInt(t, tbl, 0, "naiveRounds") {
+		t.Fatalf("deviation encoding not cheaper:\n%s", tbl.Render())
+	}
+}
+
+func TestA2BackupImprovesMatching(t *testing.T) {
+	tbl, err := A2CabalMatching(60, 8, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain, backed float64
+	for i := range tbl.Rows {
+		switch cell(t, tbl, i, "variant") {
+		case "sampling-only":
+			plain = cellFloat(t, tbl, i, "meanRepeats")
+		case "sampling+fingerprint":
+			backed = cellFloat(t, tbl, i, "meanRepeats")
+		}
+	}
+	if backed < plain {
+		t.Fatalf("fingerprint backup reduced the matching: %.1f vs %.1f\n%s", backed, plain, tbl.Render())
+	}
+}
+
+func TestA3DonationCheaperThanFallback(t *testing.T) {
+	tbl, err := A3PutAside(300, 3, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var donRounds, fbRounds int
+	for i := range tbl.Rows {
+		switch cell(t, tbl, i, "variant") {
+		case "donation":
+			donRounds = cellInt(t, tbl, i, "rounds")
+			if cellInt(t, tbl, i, "viaDonation") == 0 {
+				t.Fatalf("donation variant did not donate:\n%s", tbl.Render())
+			}
+		case "fallback-only":
+			fbRounds = cellInt(t, tbl, i, "rounds")
+			if cellInt(t, tbl, i, "viaFallback") == 0 {
+				t.Fatalf("fallback variant did not fall back:\n%s", tbl.Render())
+			}
+		}
+	}
+	if donRounds > fbRounds {
+		t.Fatalf("donation (%d rounds) costlier than fallback (%d):\n%s", donRounds, fbRounds, tbl.Render())
+	}
+}
+
+func TestA4MCTBeatsSingleTrials(t *testing.T) {
+	tbl, err := A4MCTGrowth(30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mctRounds, singleRounds int
+	singleFinished := false
+	for i := range tbl.Rows {
+		switch cell(t, tbl, i, "variant") {
+		case "multicolortrial":
+			if cell(t, tbl, i, "finished") != "yes" {
+				t.Fatalf("MCT did not finish:\n%s", tbl.Render())
+			}
+			mctRounds = cellInt(t, tbl, i, "hRounds")
+		case "single-trials":
+			singleFinished = cell(t, tbl, i, "finished") == "yes"
+			singleRounds = cellInt(t, tbl, i, "hRounds")
+		}
+	}
+	// Either single trials never finished inside a 40·|K| budget, or they
+	// did and paid strictly more rounds — both demonstrate the ablation.
+	if singleFinished && singleRounds <= mctRounds {
+		t.Fatalf("single trials (%d rounds) beat MCT (%d):\n%s", singleRounds, mctRounds, tbl.Render())
+	}
+}
+
+func TestA5AllFractionsComplete(t *testing.T) {
+	tbl, err := A5ReservedFraction([]float64{0.05, 0.3}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestAblationsBattery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("battery in short mode")
+	}
+	tables, err := Ablations(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 5 {
+		t.Fatalf("got %d ablation tables", len(tables))
+	}
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"clustercolor/internal/graph"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID:     "T",
+		Title:  "test",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  "a note",
+	}
+	s := tbl.Render()
+	for _, want := range []string{"== T: test ==", "333", "a note"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func cell(t *testing.T, tbl *Table, row int, col string) string {
+	t.Helper()
+	for i, h := range tbl.Header {
+		if h == col {
+			return tbl.Rows[row][i]
+		}
+	}
+	t.Fatalf("column %q not in %v", col, tbl.Header)
+	return ""
+}
+
+func cellInt(t *testing.T, tbl *Table, row int, col string) int {
+	t.Helper()
+	v, err := strconv.Atoi(cell(t, tbl, row, col))
+	if err != nil {
+		t.Fatalf("cell %q not an int: %v", col, err)
+	}
+	return v
+}
+
+func cellFloat(t *testing.T, tbl *Table, row int, col string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell(t, tbl, row, col), 64)
+	if err != nil {
+		t.Fatalf("cell %q not a float: %v", col, err)
+	}
+	return v
+}
+
+func TestE1ShapeSublinearGrowth(t *testing.T) {
+	tbl, err := E1HighDegreeRounds([]int{30, 90}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	n0 := cellInt(t, tbl, 0, "n")
+	n1 := cellInt(t, tbl, 1, "n")
+	s0 := cellInt(t, tbl, 0, "stageRounds")
+	s1 := cellInt(t, tbl, 1, "stageRounds")
+	// Theorem 1.2 shape: stage rounds must grow far slower than n.
+	if float64(s1)/float64(s0) > 0.8*float64(n1)/float64(n0) {
+		t.Fatalf("stage rounds grew near-linearly: n %d→%d, rounds %d→%d", n0, n1, s0, s1)
+	}
+}
+
+func TestE2Runs(t *testing.T) {
+	tbl, err := E2LowDegreeRounds([]int{150, 300}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tbl.Rows {
+		if cell(t, tbl, i, "path") != "low-degree" {
+			t.Fatalf("row %d ran %s path", i, cell(t, tbl, i, "path"))
+		}
+	}
+}
+
+func TestE3ErrorDecreasesWithTrials(t *testing.T) {
+	tbl, err := E3FingerprintAccuracy([]int{64, 1024}, 300, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cellFloat(t, tbl, 1, "meanRelErr") >= cellFloat(t, tbl, 0, "meanRelErr") {
+		t.Fatalf("error did not decrease with trials:\n%s", tbl.Render())
+	}
+}
+
+func TestE4EncodingBeatsNaive(t *testing.T) {
+	tbl, err := E4FingerprintEncoding([]int{256}, []int{65536}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cellInt(t, tbl, 0, "bits") >= cellInt(t, tbl, 0, "naiveBits") {
+		t.Fatalf("deviation encoding not smaller than naive:\n%s", tbl.Render())
+	}
+}
+
+func TestE5FindsPlantedCliques(t *testing.T) {
+	tbl, err := E5ACDQuality([]int{40}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cellInt(t, tbl, 0, "foundCliques") != 3 {
+		t.Fatalf("found %s cliques, want 3", cell(t, tbl, 0, "foundCliques"))
+	}
+}
+
+func TestE6ReuseScalesWithDelta(t *testing.T) {
+	tbl, err := E6SlackGeneration([]int{50, 400}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := cellFloat(t, tbl, 0, "reuse/Delta")
+	r1 := cellFloat(t, tbl, 1, "reuse/Delta")
+	if r1 < r0/4 || r1 == 0 {
+		t.Fatalf("reuse/Delta collapsed: %.3f → %.3f", r0, r1)
+	}
+}
+
+func TestE7MatchingGrowsWithAntiDegree(t *testing.T) {
+	tbl, err := E7CabalMatching(60, []int{0, 10}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cellInt(t, tbl, 0, "matchedPairs") != 0 {
+		t.Fatal("matched pairs in a complete clique")
+	}
+	if cellInt(t, tbl, 1, "matchedPairs") == 0 {
+		t.Fatal("no pairs with 10 planted anti-edges")
+	}
+}
+
+func TestE8AllPutAsideColored(t *testing.T) {
+	tbl, err := E8PutAside([]int{40, 80}, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tbl.Rows {
+		if cellInt(t, tbl, i, "uncolored") != 0 {
+			t.Fatalf("row %d left vertices uncolored:\n%s", i, tbl.Render())
+		}
+	}
+}
+
+func TestE9LeftoverBounded(t *testing.T) {
+	tbl, err := E9SCT(50, []int{2, 8}, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tbl.Rows {
+		if lf := cellInt(t, tbl, i, "leftover"); lf > 30 {
+			t.Fatalf("row %d leftover %d too large:\n%s", i, lf, tbl.Render())
+		}
+	}
+}
+
+func TestE10PayloadBounded(t *testing.T) {
+	tbl, err := E10Bandwidth([]int{150}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatal("missing row")
+	}
+}
+
+func TestE11RoundsGrowWithDilation(t *testing.T) {
+	h := graph.GNP(60, 0.12, graph.NewRand(23))
+	tbl, err := E11Dilation(h, []int{1, 8}, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cellInt(t, tbl, 1, "rounds") <= cellInt(t, tbl, 0, "rounds") {
+		t.Fatalf("rounds did not grow with dilation:\n%s", tbl.Render())
+	}
+}
+
+func TestE12OursCompetitive(t *testing.T) {
+	tbl, err := E12Baselines([]int{300}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three must have completed (rows exist with positive rounds).
+	if cellInt(t, tbl, 0, "lubyRounds") <= 0 || cellInt(t, tbl, 0, "psRounds") <= 0 {
+		t.Fatalf("baseline failed to run:\n%s", tbl.Render())
+	}
+}
+
+func TestE13ShrinkFactorsBelowOne(t *testing.T) {
+	tbl, err := E13TryColor(300, 5, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cellFloat(t, tbl, 0, "shrinkFactor") >= 1.0 {
+		t.Fatalf("first round made no progress:\n%s", tbl.Render())
+	}
+}
+
+func TestE14QueriesMatchBruteForce(t *testing.T) {
+	tbl, err := E14PaletteQuery(30, 20, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tbl.Rows {
+		if cell(t, tbl, i, "match") != "yes" {
+			t.Fatalf("query mismatch:\n%s", tbl.Render())
+		}
+	}
+}
+
+func TestE15ProperDistance2(t *testing.T) {
+	tbl, err := E15Distance2([]int{80}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell(t, tbl, 0, "proper2") != "yes" {
+		t.Fatalf("improper distance-2 coloring:\n%s", tbl.Render())
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full battery in short mode")
+	}
+	tables, err := All(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 17 {
+		t.Fatalf("got %d tables, want 17", len(tables))
+	}
+	for _, tbl := range tables {
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("table %s empty", tbl.ID)
+		}
+	}
+}
+
+func TestE16VirtualOverheadEqualsCongestion(t *testing.T) {
+	tbl, err := E16VirtualDistance2([]int{100}, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cellFloat(t, tbl, 0, "ratio"); got != 2.0 {
+		t.Fatalf("virtual/plain round ratio = %v, want exactly the congestion 2:\n%s", got, tbl.Render())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{
+		ID:     "X",
+		Title:  "csv test",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "two, with comma"}},
+	}
+	got := tbl.CSV()
+	want := "# X: csv test\na,b\n1,\"two, with comma\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestE17LinialTrajectory(t *testing.T) {
+	tbl, err := E17Linial(1500, 2.0, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 3 {
+		t.Fatalf("trajectory too short:\n%s", tbl.Render())
+	}
+	for i := range tbl.Rows {
+		if cell(t, tbl, i, "proper") != "yes" {
+			t.Fatalf("improper step:\n%s", tbl.Render())
+		}
+	}
+	first := cellInt(t, tbl, 0, "colors")
+	mid := cellInt(t, tbl, 1, "colors")
+	if mid >= first {
+		t.Fatalf("first reduction made no progress:\n%s", tbl.Render())
+	}
+}

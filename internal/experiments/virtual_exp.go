@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/coloring"
+	"clustercolor/internal/core"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/linial"
+	"clustercolor/internal/network"
+	"clustercolor/internal/virtual"
+)
+
+// E16VirtualDistance2 measures the Appendix A translation: distance-2
+// coloring via the virtual graph (overlapping closed-neighborhood supports,
+// congestion 2) against the plain cluster-graph simulation of G². The
+// virtual run must cost exactly the congestion factor more.
+func E16VirtualDistance2(sizes []int, seed uint64) (*Table, error) {
+	t := &Table{
+		ID:     "E16",
+		Title:  "Appendix A — virtual-graph distance-2 coloring (congestion overhead)",
+		Header: []string{"n", "Delta2", "congestion", "dilation", "virtualRounds", "plainRounds", "ratio"},
+		Notes:  "Appendix A: everything translates with overhead = edge congestion; ratio should equal the congestion",
+	}
+	for _, n := range sizes {
+		g := graph.GNP(n, 4.0/float64(n), graph.NewRand(seed))
+		vg, err := virtual.Distance2(g)
+		if err != nil {
+			return nil, err
+		}
+		// Virtual run.
+		cgV, _, err := vg.ClusterView(48)
+		if err != nil {
+			return nil, err
+		}
+		p := core.DefaultParams(vg.H.N())
+		p.Seed = seed + 2
+		colV, statsV, err := core.Color(cgV, p)
+		if err != nil {
+			return nil, err
+		}
+		if err := coloring.VerifyComplete(vg.H, colV); err != nil {
+			return nil, err
+		}
+		// Reference run: identical structure (same H, G, dilation) with
+		// congestion multiplier 1, isolating the Appendix A overhead.
+		costP, err := network.NewCostModel(48)
+		if err != nil {
+			return nil, err
+		}
+		cgP, err := cluster.NewAbstract(vg.H, vg.G, vg.Dilation, costP)
+		if err != nil {
+			return nil, err
+		}
+		_, statsP, err := core.Color(cgP, p)
+		if err != nil {
+			return nil, err
+		}
+		ratio := float64(statsV.Rounds) / float64(statsP.Rounds)
+		t.Rows = append(t.Rows, []string{
+			d(n), d(vg.H.MaxDegree()), d(vg.Congestion), d(vg.Dilation),
+			d64(statsV.Rounds), d64(statsP.Rounds), f1(ratio),
+		})
+	}
+	return t, nil
+}
+
+// E17Linial traces Linial color reduction (the Section 9.4 finishing tool):
+// colors per iteration from the trivial n-coloring down to the Θ(Δ²) fixed
+// point, then to Δ+1 by class recoloring.
+func E17Linial(n int, avgDeg float64, seed uint64) (*Table, error) {
+	t := &Table{
+		ID:     "E17",
+		Title:  fmt.Sprintf("Linial reduction trajectory (n=%d, avg deg %.1f)", n, avgDeg),
+		Header: []string{"step", "colors", "proper"},
+		Notes:  "colors collapse from n to Θ(Δ²) in O(log* n) steps, then one class per round to Δ+1",
+	}
+	h := graph.GNP(n, avgDeg/float64(n), graph.NewRand(seed))
+	cg, err := buildCG(h, graph.TopologySingleton, 1, 48, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	colors, q := linial.FromIDs(h)
+	addRow := func(step string, cs []int, qq int) error {
+		proper := "yes"
+		for v := 0; v < h.N(); v++ {
+			for _, u := range h.Neighbors(v) {
+				if cs[int(u)] == cs[v] {
+					proper = "NO"
+				}
+			}
+		}
+		t.Rows = append(t.Rows, []string{step, d(qq), proper})
+		if proper != "yes" {
+			return fmt.Errorf("experiments: improper intermediate coloring at %s", step)
+		}
+		return nil
+	}
+	if err := addRow("ids", colors, q); err != nil {
+		return nil, err
+	}
+	for step := 1; step <= 8; step++ {
+		next, nextQ, err := linial.Reduce(cg, colors, q, "e17")
+		if err != nil {
+			return nil, err
+		}
+		if nextQ >= q {
+			break
+		}
+		colors, q = next, nextQ
+		if err := addRow(fmt.Sprintf("reduce-%d", step), colors, q); err != nil {
+			return nil, err
+		}
+	}
+	final, err := linial.ReduceToDeltaPlusOne(cg, colors, q, "e17/classes")
+	if err != nil {
+		return nil, err
+	}
+	if err := addRow("classes", final, h.MaxDegree()+1); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

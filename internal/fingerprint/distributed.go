@@ -1,0 +1,122 @@
+package fingerprint
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"clustercolor/internal/cluster"
+)
+
+// This file implements Lemma 5.7 — distributed approximate counting on a
+// cluster graph — and the sketch-collection primitive behind it. Each vertex
+// samples a geometric vector; neighbors aggregate maxima (with a predicate
+// filter) over support trees. Per-link traffic is the deviation encoding of
+// the partial aggregate, charged to the cost model; a payload above the link
+// bandwidth pipelines over multiple rounds, reproducing the O(ξ⁻²) round
+// bound.
+
+// SampleAll draws a sample vector of t trials for each of n parties.
+func SampleAll(n, t int, rng *rand.Rand) []Samples {
+	out := make([]Samples, n)
+	for i := range out {
+		out[i] = NewSamples(t, rng)
+	}
+	return out
+}
+
+// CollectOptions configures CollectSketches.
+type CollectOptions struct {
+	// IncludeSelf merges the vertex's own samples into its sketch.
+	IncludeSelf bool
+	// Pred filters which neighbors contribute to v's sketch; nil means all
+	// neighbors. Pred must be evaluable by the machines on the shared link
+	// (Lemma 5.7's requirement).
+	Pred func(v, u int) bool
+}
+
+// CollectSketches runs one aggregation wave: every vertex v obtains the
+// merged sketch of the samples of its admitted neighbors. The round cost is
+// one H-round per bandwidth slot of the largest encoded sketch.
+func CollectSketches(cg *cluster.CG, phase string, samples []Samples, opts CollectOptions) ([]Sketch, error) {
+	n := cg.H.N()
+	if len(samples) != n {
+		return nil, fmt.Errorf("fingerprint: %d sample vectors for %d vertices", len(samples), n)
+	}
+	t := 0
+	if n > 0 {
+		t = len(samples[0])
+	}
+	for v, s := range samples {
+		if len(s) != t {
+			return nil, fmt.Errorf("fingerprint: vertex %d has %d trials, want %d", v, len(s), t)
+		}
+	}
+	sketches := CollectNeighborSketches(cg, phase, samples, opts)
+	return sketches, nil
+}
+
+// CollectNeighborSketches is the internal fold; exposed for reuse by the
+// almost-clique decomposition which needs the same wave with a different
+// predicate.
+func CollectNeighborSketches(cg *cluster.CG, phase string, samples []Samples, opts CollectOptions) []Sketch {
+	t := 0
+	if len(samples) > 0 {
+		t = len(samples[0])
+	}
+	out := cluster.CollectNeighbors(cg, phase, 0, // payload charged below with true size
+		func(v int) Sketch {
+			s := NewSketch(t)
+			if opts.IncludeSelf {
+				// Own samples merge locally; no network cost.
+				_ = s.AddSamples(samples[v])
+			}
+			return s
+		},
+		func(v int) Sketch {
+			s := NewSketch(t)
+			_ = s.AddSamples(samples[v])
+			return s
+		},
+		func(v int, acc Sketch, u int, uval Sketch) Sketch {
+			if opts.Pred != nil && !opts.Pred(v, u) {
+				return acc
+			}
+			_ = acc.Merge(uval)
+			return acc
+		})
+	// Charge the true payload: the largest deviation-encoded sketch that
+	// crossed a link.
+	maxBits := 1
+	for _, s := range out {
+		if b := s.EncodedBits(); b > maxBits {
+			maxBits = b
+		}
+	}
+	cg.ChargeHRounds(phase+"/payload", 1, maxBits)
+	return out
+}
+
+// ApproxCount implements Lemma 5.7: every vertex v estimates
+// |{u ∈ N(v) : pred(v,u)}| within (1±ξ) w.h.p. It returns the per-vertex
+// estimates.
+func ApproxCount(cg *cluster.CG, phase string, xi float64, pred func(v, u int) bool, rng *rand.Rand) ([]float64, error) {
+	t, err := TrialsFor(xi, cg.H.N())
+	if err != nil {
+		return nil, err
+	}
+	samples := SampleAll(cg.H.N(), t, rng)
+	sketches, err := CollectSketches(cg, phase, samples, CollectOptions{Pred: pred})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, cg.H.N())
+	for v, s := range sketches {
+		out[v] = s.Estimate()
+	}
+	return out, nil
+}
+
+// ApproxDegrees estimates every vertex's degree (the trivial predicate).
+func ApproxDegrees(cg *cluster.CG, phase string, xi float64, rng *rand.Rand) ([]float64, error) {
+	return ApproxCount(cg, phase, xi, nil, rng)
+}

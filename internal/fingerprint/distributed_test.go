@@ -1,0 +1,155 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+)
+
+func testCG(t *testing.T, h *graph.Graph, seed uint64) *cluster.CG {
+	t.Helper()
+	rng := graph.NewRand(seed)
+	exp, err := graph.Expand(h, graph.ExpandSpec{Topology: graph.TopologyStar, MachinesPerCluster: 3, RedundantLinks: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := network.NewCostModel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := cluster.New(h, exp, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cg
+}
+
+func TestApproxDegreesOnCluster(t *testing.T) {
+	rng := graph.NewRand(31)
+	h := graph.GNP(120, 0.3, rng)
+	cg := testCG(t, h, 7)
+	ests, err := ApproxDegrees(cg, "deg", 0.3, graph.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	okCount := 0
+	for v := 0; v < h.N(); v++ {
+		d := float64(h.Degree(v))
+		if d == 0 {
+			if ests[v] == 0 {
+				okCount++
+			}
+			continue
+		}
+		if ests[v] >= 0.6*d && ests[v] <= 1.4*d {
+			okCount++
+		}
+	}
+	if okCount < h.N()*9/10 {
+		t.Fatalf("only %d/%d degree estimates within 40%%", okCount, h.N())
+	}
+	if cg.Cost().Rounds() == 0 {
+		t.Fatal("no rounds charged")
+	}
+}
+
+func TestApproxCountWithPredicate(t *testing.T) {
+	// Count only neighbors with even ids.
+	rng := graph.NewRand(33)
+	h := graph.GNP(150, 0.4, rng)
+	cg := testCG(t, h, 8)
+	pred := func(v, u int) bool { return u%2 == 0 }
+	ests, err := ApproxCount(cg, "even", 0.3, pred, graph.NewRand(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	okCount := 0
+	for v := 0; v < h.N(); v++ {
+		want := 0
+		for _, u := range h.Neighbors(v) {
+			if int(u)%2 == 0 {
+				want++
+			}
+		}
+		if want == 0 {
+			if ests[v] < 1 {
+				okCount++
+			}
+			continue
+		}
+		if ests[v] >= 0.6*float64(want) && ests[v] <= 1.4*float64(want) {
+			okCount++
+		}
+	}
+	if okCount < h.N()*9/10 {
+		t.Fatalf("only %d/%d filtered estimates within 40%%", okCount, h.N())
+	}
+}
+
+func TestApproxCountRejectsBadXi(t *testing.T) {
+	cg := testCG(t, graph.Path(3), 1)
+	if _, err := ApproxCount(cg, "x", 0, nil, graph.NewRand(1)); err == nil {
+		t.Fatal("xi=0 accepted")
+	}
+}
+
+func TestCollectSketchesValidation(t *testing.T) {
+	cg := testCG(t, graph.Path(3), 2)
+	if _, err := CollectSketches(cg, "x", make([]Samples, 2), CollectOptions{}); err == nil {
+		t.Fatal("sample count mismatch accepted")
+	}
+	bad := []Samples{make(Samples, 4), make(Samples, 8), make(Samples, 4)}
+	if _, err := CollectSketches(cg, "x", bad, CollectOptions{}); err == nil {
+		t.Fatal("uneven trial counts accepted")
+	}
+}
+
+func TestCollectSketchesIncludeSelf(t *testing.T) {
+	// On an edgeless graph, IncludeSelf makes each sketch the vertex's own
+	// samples; otherwise sketches stay empty.
+	h := graph.NewBuilder(4).Build()
+	cg := testCG(t, h, 3)
+	samples := SampleAll(4, 16, graph.NewRand(4))
+	with, err := CollectSketches(cg, "x", samples, CollectOptions{IncludeSelf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := CollectSketches(cg, "x", samples, CollectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		for i := 0; i < 16; i++ {
+			if with[v][i] != samples[v][i] {
+				t.Fatalf("IncludeSelf sketch differs from own samples at %d/%d", v, i)
+			}
+			if without[v][i] != Empty {
+				t.Fatalf("isolated vertex %d has non-empty sketch", v)
+			}
+		}
+	}
+}
+
+func TestCollectSketchesMatchBruteForceMaxima(t *testing.T) {
+	rng := graph.NewRand(35)
+	h := graph.GNP(40, 0.3, rng)
+	cg := testCG(t, h, 9)
+	samples := SampleAll(h.N(), 24, graph.NewRand(11))
+	sketches, err := CollectSketches(cg, "x", samples, CollectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < h.N(); v++ {
+		want := NewSketch(24)
+		for _, u := range h.Neighbors(v) {
+			_ = want.AddSamples(samples[u])
+		}
+		for i := range want {
+			if sketches[v][i] != want[i] {
+				t.Fatalf("sketch[%d][%d] = %d, want %d", v, i, sketches[v][i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package fingerprint
+
+import (
+	"math"
+	"testing"
+
+	"clustercolor/internal/graph"
+)
+
+func TestMaxGeometricOfMatchesExplicitMax(t *testing.T) {
+	// Distributional check: CDF of MaxGeometricOf(k) vs the explicit max
+	// of k GeometricHalf samples, compared at a few points.
+	rng := graph.NewRand(1)
+	const samples = 60000
+	for _, k := range []int64{1, 4, 32} {
+		direct := make([]int, 40)
+		explicit := make([]int, 40)
+		for i := 0; i < samples; i++ {
+			d := int(MaxGeometricOf(k, rng))
+			if d < len(direct) {
+				direct[d]++
+			}
+			m := Empty
+			s := NewSamples(int(k), rng)
+			for _, x := range s {
+				if x > m {
+					m = x
+				}
+			}
+			if int(m) < len(explicit) {
+				explicit[int(m)]++
+			}
+		}
+		// Compare CDFs at quartile-ish points.
+		cum1, cum2 := 0.0, 0.0
+		for y := 0; y < 20; y++ {
+			cum1 += float64(direct[y]) / samples
+			cum2 += float64(explicit[y]) / samples
+			if math.Abs(cum1-cum2) > 0.02 {
+				t.Fatalf("k=%d: CDF mismatch at %d: %.3f vs %.3f", k, y, cum1, cum2)
+			}
+		}
+	}
+}
+
+func TestMaxGeometricOfZeroWeight(t *testing.T) {
+	rng := graph.NewRand(2)
+	if got := MaxGeometricOf(0, rng); got != Empty {
+		t.Fatalf("weight 0 contribution = %d, want Empty", got)
+	}
+	if got := MaxGeometricOf(-3, rng); got != Empty {
+		t.Fatalf("negative weight contribution = %d, want Empty", got)
+	}
+}
+
+func TestMaxGeometricOfHugeWeight(t *testing.T) {
+	// The max of 2^40 geometrics concentrates near 40.
+	rng := graph.NewRand(3)
+	sum := 0.0
+	const reps = 2000
+	for i := 0; i < reps; i++ {
+		sum += float64(MaxGeometricOf(1<<40, rng))
+	}
+	mean := sum / reps
+	if mean < 38 || mean < 0 || mean > 44 {
+		t.Fatalf("mean max of 2^40 geometrics = %.1f, want ≈ 40–41", mean)
+	}
+}
+
+func TestWeightedSketchEstimatesSum(t *testing.T) {
+	// A sketch over parties with weights k_i estimates Σk_i.
+	rng := graph.NewRand(4)
+	weights := []int64{100, 300, 50, 550}
+	var total float64
+	for _, k := range weights {
+		total += float64(k)
+	}
+	const trials = 2048
+	s := NewSketch(trials)
+	for _, k := range weights {
+		if err := s.AddSamples(WeightedSamples(trials, k, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Estimate()
+	if got < 0.75*total || got > 1.25*total {
+		t.Fatalf("weighted estimate %.0f far from %.0f", got, total)
+	}
+}
+
+func TestApproxWeightedSumOnCluster(t *testing.T) {
+	rng := graph.NewRand(5)
+	h := graph.GNP(100, 0.3, rng)
+	cg := testCG(t, h, 7)
+	// x_u = u's weight / 2^b with b = 3.
+	b := 3
+	weights := make([]int64, h.N())
+	for v := range weights {
+		weights[v] = int64(1 + v%16) // k_u in 1..16 → x_u in 1/8..2
+	}
+	got, err := ApproxWeightedSum(cg, "wsum", 0.25, b, weights, nil, graph.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for v := 0; v < h.N(); v++ {
+		var want float64
+		for _, u := range h.Neighbors(v) {
+			want += float64(weights[u]) / 8.0
+		}
+		if want == 0 {
+			if got[v] < 0.5 {
+				ok++
+			}
+			continue
+		}
+		if got[v] > 0.6*want && got[v] < 1.4*want {
+			ok++
+		}
+	}
+	if ok < h.N()*85/100 {
+		t.Fatalf("only %d/%d weighted sums within 40%%", ok, h.N())
+	}
+}
+
+func TestApproxWeightedSumWithAlpha(t *testing.T) {
+	rng := graph.NewRand(11)
+	h := graph.GNP(80, 0.3, rng)
+	cg := testCG(t, h, 13)
+	weights := make([]int64, h.N())
+	for v := range weights {
+		weights[v] = 8 // x_u = 1 at b = 3
+	}
+	alpha := func(v, u int) bool { return u%2 == 0 }
+	got, err := ApproxWeightedSum(cg, "wsum", 0.25, 3, weights, alpha, graph.NewRand(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for v := 0; v < h.N(); v++ {
+		want := 0.0
+		for _, u := range h.Neighbors(v) {
+			if int(u)%2 == 0 {
+				want++
+			}
+		}
+		if want == 0 {
+			if got[v] < 0.5 {
+				ok++
+			}
+			continue
+		}
+		if got[v] > 0.6*want && got[v] < 1.4*want {
+			ok++
+		}
+	}
+	if ok < h.N()*85/100 {
+		t.Fatalf("only %d/%d filtered weighted sums acceptable", ok, h.N())
+	}
+}
+
+func TestApproxWeightedSumValidation(t *testing.T) {
+	h := graph.Path(3)
+	cg := testCG(t, h, 17)
+	if _, err := ApproxWeightedSum(cg, "x", 0.2, -1, make([]int64, 3), nil, graph.NewRand(1)); err == nil {
+		t.Fatal("negative b accepted")
+	}
+	if _, err := ApproxWeightedSum(cg, "x", 0.2, 3, make([]int64, 2), nil, graph.NewRand(1)); err == nil {
+		t.Fatal("weight count mismatch accepted")
+	}
+	if _, err := ApproxWeightedSum(cg, "x", 0.2, 3, []int64{1, -2, 1}, nil, graph.NewRand(1)); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}

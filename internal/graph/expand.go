@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// ClusterTopology selects the internal machine topology used when expanding
+// an input graph H into a communication network G (Definition 3.1).
+type ClusterTopology int
+
+const (
+	// TopologySingleton puts one machine per cluster (the CONGEST special
+	// case H = G).
+	TopologySingleton ClusterTopology = iota + 1
+	// TopologyPath connects a cluster's machines in a path, the
+	// worst-dilation shape from Figure 2 (a bridge link in the middle).
+	TopologyPath
+	// TopologyStar connects a cluster's machines in a star (dilation 2).
+	TopologyStar
+	// TopologyTree connects a cluster's machines in a random tree.
+	TopologyTree
+)
+
+func (t ClusterTopology) String() string {
+	switch t {
+	case TopologySingleton:
+		return "singleton"
+	case TopologyPath:
+		return "path"
+	case TopologyStar:
+		return "star"
+	case TopologyTree:
+		return "tree"
+	default:
+		return fmt.Sprintf("ClusterTopology(%d)", int(t))
+	}
+}
+
+// ExpandSpec controls how an input graph H is turned into a communication
+// network G with a cluster per H-vertex.
+type ExpandSpec struct {
+	// Topology is the internal wiring of each cluster.
+	Topology ClusterTopology
+	// MachinesPerCluster is the cluster size (>= 1). Ignored for
+	// TopologySingleton.
+	MachinesPerCluster int
+	// RedundantLinks, when >= 1, is the number of parallel G-links created
+	// per H-edge (between distinct machine pairs when possible). Values
+	// above 1 exercise the double-counting hazards of Section 1.1.
+	RedundantLinks int
+}
+
+// Expansion is the result of expanding H into a communication network.
+type Expansion struct {
+	// G is the communication network.
+	G *Graph
+	// ClusterOf maps each machine of G to its H-vertex.
+	ClusterOf []int
+	// Machines maps each H-vertex to its machines in G.
+	Machines [][]int32
+}
+
+// Expand builds a communication network realizing h as a cluster graph
+// (Definition 3.1): each h-vertex becomes a connected cluster of machines
+// and each h-edge becomes at least one inter-cluster link.
+func Expand(h *Graph, spec ExpandSpec, rng *rand.Rand) (*Expansion, error) {
+	size := spec.MachinesPerCluster
+	if spec.Topology == TopologySingleton {
+		size = 1
+	}
+	if size < 1 {
+		return nil, fmt.Errorf("graph: MachinesPerCluster %d < 1", size)
+	}
+	redundant := spec.RedundantLinks
+	if redundant < 1 {
+		redundant = 1
+	}
+	nG := h.N() * size
+	b := NewBuilder(nG)
+	clusterOf := make([]int, nG)
+	machines := make([][]int32, h.N())
+	for v := 0; v < h.N(); v++ {
+		base := v * size
+		ms := make([]int32, size)
+		for i := 0; i < size; i++ {
+			clusterOf[base+i] = v
+			ms[i] = int32(base + i)
+		}
+		machines[v] = ms
+		if err := wireCluster(b, base, size, spec.Topology, rng); err != nil {
+			return nil, err
+		}
+	}
+	// Inter-cluster links: each H-edge gets `redundant` links between
+	// random machine pairs (deduplicated).
+	for v := 0; v < h.N(); v++ {
+		for _, w := range h.Neighbors(v) {
+			if int(w) < v {
+				continue
+			}
+			added := 0
+			for attempt := 0; attempt < redundant*4 && added < redundant; attempt++ {
+				mu := int(machines[v][rng.IntN(size)])
+				mw := int(machines[w][rng.IntN(size)])
+				ok, err := b.AddEdgeIfAbsent(mu, mw)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					added++
+				}
+			}
+			if added == 0 {
+				// Guarantee at least one link per H-edge.
+				if _, err := b.AddEdgeIfAbsent(int(machines[v][0]), int(machines[w][0])); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return &Expansion{G: b.Build(), ClusterOf: clusterOf, Machines: machines}, nil
+}
+
+func wireCluster(b *Builder, base, size int, topo ClusterTopology, rng *rand.Rand) error {
+	switch topo {
+	case TopologySingleton:
+		return nil
+	case TopologyPath:
+		for i := 1; i < size; i++ {
+			if err := b.AddEdge(base+i-1, base+i); err != nil {
+				return err
+			}
+		}
+		return nil
+	case TopologyStar:
+		for i := 1; i < size; i++ {
+			if err := b.AddEdge(base, base+i); err != nil {
+				return err
+			}
+		}
+		return nil
+	case TopologyTree:
+		for i := 1; i < size; i++ {
+			if err := b.AddEdge(base+rng.IntN(i), base+i); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("graph: unknown topology %v", topo)
+	}
+}

@@ -1,0 +1,131 @@
+package graph
+
+import "testing"
+
+func TestExpandTopologies(t *testing.T) {
+	h := Cycle(6)
+	tests := []struct {
+		name string
+		spec ExpandSpec
+	}{
+		{name: "singleton", spec: ExpandSpec{Topology: TopologySingleton}},
+		{name: "path", spec: ExpandSpec{Topology: TopologyPath, MachinesPerCluster: 4}},
+		{name: "star", spec: ExpandSpec{Topology: TopologyStar, MachinesPerCluster: 5}},
+		{name: "tree", spec: ExpandSpec{Topology: TopologyTree, MachinesPerCluster: 6}},
+		{name: "redundant", spec: ExpandSpec{Topology: TopologyStar, MachinesPerCluster: 5, RedundantLinks: 3}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rng := NewRand(42)
+			exp, err := Expand(h, tt.spec, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			size := tt.spec.MachinesPerCluster
+			if tt.spec.Topology == TopologySingleton {
+				size = 1
+			}
+			if exp.G.N() != h.N()*size {
+				t.Fatalf("G.N() = %d, want %d", exp.G.N(), h.N()*size)
+			}
+			// Clusters must be connected within G.
+			for v := 0; v < h.N(); v++ {
+				ms := exp.Machines[v]
+				if len(ms) != size {
+					t.Fatalf("cluster %d has %d machines, want %d", v, len(ms), size)
+				}
+				inCluster := func(m int) bool { return exp.ClusterOf[m] == v }
+				depth, _ := exp.G.BFSDepths(int(ms[0]), inCluster)
+				for _, m := range ms {
+					if depth[m] < 0 {
+						t.Fatalf("cluster %d disconnected at machine %d", v, m)
+					}
+				}
+			}
+			// Every H-edge must be realized by >= 1 inter-cluster link, and
+			// every inter-cluster link must realize an H-edge.
+			realized := map[[2]int32]bool{}
+			for m := 0; m < exp.G.N(); m++ {
+				cu := exp.ClusterOf[m]
+				for _, m2 := range exp.G.Neighbors(m) {
+					cv := exp.ClusterOf[m2]
+					if cu == cv {
+						continue
+					}
+					if !h.HasEdge(cu, cv) {
+						t.Fatalf("inter-cluster link (%d,%d) between non-adjacent clusters %d,%d", m, m2, cu, cv)
+					}
+					realized[edgeKey(cu, cv)] = true
+				}
+			}
+			for u := 0; u < h.N(); u++ {
+				for _, w := range h.Neighbors(u) {
+					if int(w) > u && !realized[edgeKey(u, int(w))] {
+						t.Fatalf("H-edge {%d,%d} not realized", u, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestExpandRejectsBadSpec(t *testing.T) {
+	rng := NewRand(1)
+	if _, err := Expand(Path(3), ExpandSpec{Topology: TopologyPath, MachinesPerCluster: 0}, rng); err == nil {
+		t.Fatal("zero machines accepted")
+	}
+	if _, err := Expand(Path(3), ExpandSpec{Topology: ClusterTopology(99), MachinesPerCluster: 2}, rng); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	tests := []struct {
+		topo ClusterTopology
+		want string
+	}{
+		{TopologySingleton, "singleton"},
+		{TopologyPath, "path"},
+		{TopologyStar, "star"},
+		{TopologyTree, "tree"},
+		{ClusterTopology(42), "ClusterTopology(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.topo.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestExpandRedundantLinksCreateMultiplePaths(t *testing.T) {
+	rng := NewRand(8)
+	h := Clique(4)
+	exp, err := Expand(h, ExpandSpec{Topology: TopologyStar, MachinesPerCluster: 8, RedundantLinks: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count inter-cluster links per H-edge; expect more than one for at
+	// least one pair (with 4 attempts each over 8x8 machine pairs this is
+	// essentially certain).
+	count := map[[2]int32]int{}
+	for m := 0; m < exp.G.N(); m++ {
+		for _, m2 := range exp.G.Neighbors(m) {
+			if int(m2) < m {
+				continue
+			}
+			cu, cv := exp.ClusterOf[m], exp.ClusterOf[m2]
+			if cu != cv {
+				count[edgeKey(cu, cv)]++
+			}
+		}
+	}
+	multi := 0
+	for _, c := range count {
+		if c > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no H-edge got redundant links")
+	}
+}

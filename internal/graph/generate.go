@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// NewRand returns a deterministic PCG-backed random source for the given
+// seed. All generators in this package take an explicit *rand.Rand so that
+// experiments are reproducible.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// GNP samples an Erdős–Rényi graph G(n, p).
+func GNP(n int, p float64, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				// In-range distinct endpoints: cannot fail.
+				_ = b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Clique returns the complete graph K_n.
+func Clique(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			_ = b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// Path returns the path graph on n vertices.
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		_ = b.AddEdge(v-1, v)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph on n >= 3 vertices.
+func Cycle(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		_ = b.AddEdge(v-1, v)
+	}
+	if n >= 3 {
+		_ = b.AddEdge(n-1, 0)
+	}
+	return b.Build()
+}
+
+// Star returns the star graph with center 0 and n-1 leaves.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		_ = b.AddEdge(0, v)
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniform-ish random tree on n vertices (each vertex
+// v >= 1 attaches to a uniform earlier vertex).
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		_ = b.AddEdge(rng.IntN(v), v)
+	}
+	return b.Build()
+}
+
+// RandomGeometric samples n points uniformly in the unit square and
+// connects pairs within Euclidean distance radius — the standard model of
+// wireless interference networks, the motivating workload for distance-2
+// coloring (Corollary 1.3). It returns the graph and the point coordinates.
+func RandomGeometric(n int, radius float64, rng *rand.Rand) (*Graph, [][2]float64) {
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{rng.Float64(), rng.Float64()}
+	}
+	b := NewBuilder(n)
+	r2 := radius * radius
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dx := pts[u][0] - pts[v][0]
+			dy := pts[u][1] - pts[v][1]
+			if dx*dx+dy*dy <= r2 {
+				_ = b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build(), pts
+}
+
+// PlantedACDSpec describes a synthetic instance with a known almost-clique
+// decomposition: NumCliques dense blocks of CliqueSize vertices each, where a
+// DropFraction of internal edges is removed (creating anti-edges), each dense
+// vertex gets about ExternalDegree edges leaving its block, and SparseN
+// additional vertices form a sparse G(n, SparseP) region attached to the
+// dense blocks.
+//
+// This is the workload shape the paper's analysis revolves around: dense
+// almost-cliques (cabals when ExternalDegree is small) embedded in a sparser
+// graph.
+type PlantedACDSpec struct {
+	NumCliques     int
+	CliqueSize     int
+	DropFraction   float64
+	ExternalDegree int
+	SparseN        int
+	SparseP        float64
+}
+
+// PlantedACD generates the instance described by spec. It returns the graph
+// and the planted block label per vertex (-1 for sparse vertices).
+func PlantedACD(spec PlantedACDSpec, rng *rand.Rand) (*Graph, []int, error) {
+	if spec.NumCliques < 0 || spec.CliqueSize < 0 || spec.SparseN < 0 {
+		return nil, nil, fmt.Errorf("graph: negative size in spec %+v", spec)
+	}
+	if spec.DropFraction < 0 || spec.DropFraction >= 1 {
+		return nil, nil, fmt.Errorf("graph: DropFraction %v out of [0,1)", spec.DropFraction)
+	}
+	denseN := spec.NumCliques * spec.CliqueSize
+	n := denseN + spec.SparseN
+	b := NewBuilder(n)
+	blocks := make([]int, n)
+	for i := range blocks {
+		blocks[i] = -1
+	}
+	// Dense blocks with dropped edges.
+	for c := 0; c < spec.NumCliques; c++ {
+		base := c * spec.CliqueSize
+		for i := 0; i < spec.CliqueSize; i++ {
+			blocks[base+i] = c
+			for j := i + 1; j < spec.CliqueSize; j++ {
+				if rng.Float64() >= spec.DropFraction {
+					_ = b.AddEdge(base+i, base+j)
+				}
+			}
+		}
+	}
+	// External edges between blocks (and into the sparse part if present).
+	if spec.NumCliques > 1 || spec.SparseN > 0 {
+		for v := 0; v < denseN; v++ {
+			for k := 0; k < spec.ExternalDegree; k++ {
+				u := rng.IntN(n)
+				if u == v || blocks[u] == blocks[v] {
+					continue
+				}
+				if _, err := b.AddEdgeIfAbsent(v, u); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	// Sparse region.
+	for u := denseN; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < spec.SparseP {
+				_ = b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build(), blocks, nil
+}
+
+// CabalSpec describes the simplified Section 2.4 setting: NumCliques blocks
+// that are (S − r)-cliques of size S where every vertex has about R external
+// neighbors in other blocks. With small R these blocks are cabals.
+type CabalSpec struct {
+	NumCliques int
+	CliqueSize int
+	External   int
+}
+
+// PlantedCabals generates near-disjoint cliques with R external edges per
+// vertex, the setting used to evaluate put-aside coloring (Proposition 4.19).
+func PlantedCabals(spec CabalSpec, rng *rand.Rand) (*Graph, []int, error) {
+	return PlantedACD(PlantedACDSpec{
+		NumCliques:     spec.NumCliques,
+		CliqueSize:     spec.CliqueSize,
+		ExternalDegree: spec.External,
+	}, rng)
+}

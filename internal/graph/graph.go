@@ -1,0 +1,301 @@
+// Package graph provides the static undirected graph substrate used by the
+// cluster-graph coloring algorithms: adjacency-list graphs, degree and
+// neighborhood queries, and the structural generators that the paper's
+// evaluation needs (planted almost-clique instances, cluster expansions,
+// power graphs, and classic random graphs).
+//
+// Vertices are identified by dense integers 0..N()-1. Graphs are built with a
+// Builder and are immutable afterwards, which makes them safe for concurrent
+// read access from the simulator's per-cluster goroutines.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph.
+//
+// The zero value is an empty graph with no vertices. Use NewBuilder to
+// construct non-trivial graphs.
+type Graph struct {
+	adj [][]int32
+	m   int
+}
+
+// Builder accumulates edges for a Graph. Duplicate edges and self-loops are
+// rejected at Add time so that the resulting graph is always simple.
+type Builder struct {
+	n    int
+	adj  [][]int32
+	seen map[[2]int32]struct{}
+}
+
+// NewBuilder returns a Builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{
+		n:    n,
+		adj:  make([][]int32, n),
+		seen: make(map[[2]int32]struct{}, n),
+	}
+}
+
+// AddEdge inserts the undirected edge {u, v}. It returns an error for
+// out-of-range endpoints, self-loops, and duplicate edges.
+func (b *Builder) AddEdge(u, v int) error {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	key := edgeKey(u, v)
+	if _, dup := b.seen[key]; dup {
+		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+	}
+	b.seen[key] = struct{}{}
+	b.adj[u] = append(b.adj[u], int32(v))
+	b.adj[v] = append(b.adj[v], int32(u))
+	return nil
+}
+
+// AddEdgeIfAbsent inserts {u, v} unless it already exists or is a self-loop.
+// It reports whether the edge was inserted. Out-of-range endpoints still
+// return an error.
+func (b *Builder) AddEdgeIfAbsent(u, v int) (bool, error) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return false, fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
+	}
+	if u == v {
+		return false, nil
+	}
+	if _, dup := b.seen[edgeKey(u, v)]; dup {
+		return false, nil
+	}
+	// Reuse AddEdge for the actual insertion; preconditions already hold.
+	if err := b.AddEdge(u, v); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// HasEdge reports whether {u,v} has already been added.
+func (b *Builder) HasEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= b.n || v >= b.n {
+		return false
+	}
+	_, ok := b.seen[edgeKey(u, v)]
+	return ok
+}
+
+// Build finalizes the graph. The Builder must not be used afterwards.
+func (b *Builder) Build() *Graph {
+	m := 0
+	for _, nb := range b.adj {
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		m += len(nb)
+	}
+	g := &Graph{adj: b.adj, m: m / 2}
+	b.adj = nil
+	b.seen = nil
+	return g
+}
+
+func edgeKey(u, v int) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{int32(u), int32(v)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbor list of v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// HasEdge reports whether {u, v} is an edge, by binary search on the sorted
+// adjacency list of the lower-degree endpoint.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	nb := g.adj[u]
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(v) })
+	return i < len(nb) && nb[i] == int32(v)
+}
+
+// MaxDegree returns Δ, the maximum degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, nb := range g.adj {
+		if len(nb) > max {
+			max = len(nb)
+		}
+	}
+	return max
+}
+
+// CommonNeighbors returns |N(u) ∩ N(v)| by merging the two sorted lists.
+func (g *Graph) CommonNeighbors(u, v int) int {
+	a, b := g.adj[u], g.adj[v]
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// UnionNeighborhoodSize returns |N(u) ∪ N(v)|.
+func (g *Graph) UnionNeighborhoodSize(u, v int) int {
+	return len(g.adj[u]) + len(g.adj[v]) - g.CommonNeighbors(u, v)
+}
+
+// ConnectedComponents returns a component label per vertex and the number of
+// components. Labels are dense in [0, count).
+func (g *Graph) ConnectedComponents() (labels []int, count int) {
+	labels = make([]int, g.N())
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int32
+	for s := 0; s < g.N(); s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		labels[s] = count
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[v] {
+				if labels[w] < 0 {
+					labels[w] = count
+					queue = append(queue, w)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// BFSDepths runs breadth-first search from src restricted to the vertex set
+// allowed (nil means all vertices) and returns the depth per vertex (-1 if
+// unreachable) and the parent per vertex (-1 for src/unreachable).
+func (g *Graph) BFSDepths(src int, allowed func(int) bool) (depth, parent []int) {
+	depth = make([]int, g.N())
+	parent = make([]int, g.N())
+	for i := range depth {
+		depth[i] = -1
+		parent[i] = -1
+	}
+	if allowed != nil && !allowed(src) {
+		return depth, parent
+	}
+	depth[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if depth[w] >= 0 {
+				continue
+			}
+			if allowed != nil && !allowed(int(w)) {
+				continue
+			}
+			depth[w] = depth[v] + 1
+			parent[w] = int(v)
+			queue = append(queue, w)
+		}
+	}
+	return depth, parent
+}
+
+// InducedSubgraph returns the subgraph induced by vertices (in the given
+// order) together with the mapping from new index to original vertex.
+func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int) {
+	index := make(map[int]int, len(vertices))
+	for i, v := range vertices {
+		index[v] = i
+	}
+	b := NewBuilder(len(vertices))
+	for i, v := range vertices {
+		for _, w := range g.adj[v] {
+			j, ok := index[int(w)]
+			if ok && i < j {
+				// Insertion between in-range distinct indices cannot fail.
+				_ = b.AddEdge(i, j)
+			}
+		}
+	}
+	orig := make([]int, len(vertices))
+	copy(orig, vertices)
+	return b.Build(), orig
+}
+
+// Power returns the k-th power of g: vertices u != v are adjacent iff their
+// distance in g is at most k. For k=2 this is the distance-2 conflict graph
+// used by Corollary 1.3.
+func (g *Graph) Power(k int) *Graph {
+	b := NewBuilder(g.N())
+	for s := 0; s < g.N(); s++ {
+		// Bounded BFS to depth k.
+		depth := map[int32]int{int32(s): 0}
+		queue := []int32{int32(s)}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if depth[v] == k {
+				continue
+			}
+			for _, w := range g.adj[v] {
+				if _, seen := depth[w]; !seen {
+					depth[w] = depth[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		for v := range depth {
+			if int(v) > s {
+				if _, err := b.AddEdgeIfAbsent(s, int(v)); err != nil {
+					// Unreachable: s and v are validated in-range.
+					panic(err)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Complement anti-edges: AntiDegreeWithin returns |K \ N(v)| - 1 for v in the
+// vertex set K, i.e. the number of non-neighbors of v inside K.
+func (g *Graph) AntiDegreeWithin(v int, members []int32) int {
+	a := 0
+	for _, u := range members {
+		if int(u) != v && !g.HasEdge(v, int(u)) {
+			a++
+		}
+	}
+	return a
+}

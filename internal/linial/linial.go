@@ -1,0 +1,198 @@
+// Package linial implements Linial's deterministic color reduction
+// [Lin92], the classic building block the paper's small-instance machinery
+// rests on (Section 9.4 finishes shattered components by "running Linial",
+// and Lemma 9.6's candidate-color sets are the same polynomial set systems).
+//
+// One Reduce round maps a proper q-coloring to a proper p²-coloring with
+// p = O(Δ·log_Δ q): each vertex interprets its color as a degree-d
+// polynomial over F_p and picks an evaluation point where it differs from
+// all neighbors — distinct degree-d polynomials agree on at most d points,
+// so Δ neighbors block at most dΔ < p points. Iterating gives O(Δ² log² Δ)
+// colors in O(log* q) rounds; ReduceToDeltaPlusOne then drops one color
+// class per round (each class is an independent set).
+package linial
+
+import (
+	"fmt"
+	"math/bits"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/graph"
+)
+
+// nextPrime returns the smallest prime ≥ n (n ≥ 2).
+func nextPrime(n int) int {
+	if n < 2 {
+		n = 2
+	}
+	for ; ; n++ {
+		if isPrime(n) {
+			return n
+		}
+	}
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reduce performs one Linial round on a proper coloring with colors in
+// [0, q): it returns a proper coloring with colors in [0, p²) and the new
+// color count p². Δ is the maximum degree of h. The exchanged messages are
+// the current colors (⌈log₂ q⌉ bits), charged as one H-round.
+func Reduce(cg *cluster.CG, colors []int, q int, phase string) ([]int, int, error) {
+	h := cg.H
+	if len(colors) != h.N() {
+		return nil, 0, fmt.Errorf("linial: %d colors for %d vertices", len(colors), h.N())
+	}
+	delta := h.MaxDegree()
+	// Choose degree d and prime p minimizing the new color count p², under
+	// cover-freeness p > d·Δ (distinct degree-d polynomials collide on at
+	// most d points, and Δ neighbors block at most dΔ) and capacity
+	// p^(d+1) ≥ q (distinct colors need distinct polynomials).
+	bestD, bestP := 0, 0
+	for cand := 1; cand <= 8; cand++ {
+		p := nextPrime(cand*delta + 1)
+		for pow(p, cand+1) < int64(q) {
+			p = nextPrime(p + 1)
+		}
+		if bestP == 0 || p < bestP {
+			bestD, bestP = cand, p
+		}
+	}
+	d, p := bestD, bestP
+	cg.ChargeHRounds(phase, 1, bits.Len(uint(q))+1)
+	// Coefficients: base-p digits of the color.
+	coeff := func(c int) []int {
+		cs := make([]int, d+1)
+		for i := 0; i <= d; i++ {
+			cs[i] = c % p
+			c /= p
+		}
+		return cs
+	}
+	evalAt := func(cs []int, x int) int {
+		acc := 0
+		for i := len(cs) - 1; i >= 0; i-- {
+			acc = (acc*x + cs[i]) % p
+		}
+		return acc
+	}
+	next := make([]int, h.N())
+	for v := 0; v < h.N(); v++ {
+		cs := coeff(colors[v])
+		chosen := -1
+		for x := 0; x < p; x++ {
+			y := evalAt(cs, x)
+			ok := true
+			for _, u := range h.Neighbors(v) {
+				if colors[int(u)] == colors[v] {
+					return nil, 0, fmt.Errorf("linial: input coloring improper at edge {%d,%d}", v, u)
+				}
+				if evalAt(coeff(colors[int(u)]), x) == y {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				chosen = x*p + y
+				break
+			}
+		}
+		if chosen < 0 {
+			// Impossible when p > d·Δ: each distinct neighbor polynomial
+			// blocks ≤ d points.
+			return nil, 0, fmt.Errorf("linial: no free evaluation point at vertex %d (p=%d, d=%d, Δ=%d)", v, p, d, delta)
+		}
+		next[v] = chosen
+	}
+	return next, p * p, nil
+}
+
+func pow(b int, e int) int64 {
+	acc := int64(1)
+	for i := 0; i < e; i++ {
+		acc *= int64(b)
+		if acc > 1<<40 {
+			return acc
+		}
+	}
+	return acc
+}
+
+// Run iterates Reduce until the color count stops shrinking (the O(Δ²·...)
+// fixed point), returning the final coloring and count. The iteration count
+// is O(log* q).
+func Run(cg *cluster.CG, colors []int, q int, phase string) ([]int, int, error) {
+	cur, curQ := colors, q
+	for iter := 0; iter < 64; iter++ {
+		next, nextQ, err := Reduce(cg, cur, curQ, phase)
+		if err != nil {
+			return nil, 0, err
+		}
+		if nextQ >= curQ {
+			return cur, curQ, nil
+		}
+		cur, curQ = next, nextQ
+	}
+	return cur, curQ, nil
+}
+
+// ReduceToDeltaPlusOne finishes a proper q-coloring down to Δ+1 colors by
+// recoloring one color class per round: a class is an independent set, so
+// all its members simultaneously pick a color in [0, Δ] unused by their
+// neighbors. Cost: one H-round per dropped class.
+func ReduceToDeltaPlusOne(cg *cluster.CG, colors []int, q int, phase string) ([]int, error) {
+	h := cg.H
+	delta := h.MaxDegree()
+	out := make([]int, len(colors))
+	copy(out, colors)
+	for c := q - 1; c > delta; c-- {
+		cg.ChargeHRounds(phase, 1, bits.Len(uint(q))+1)
+		for v := 0; v < h.N(); v++ {
+			if out[v] != c {
+				continue
+			}
+			used := make([]bool, delta+1)
+			for _, u := range h.Neighbors(v) {
+				if cu := out[int(u)]; cu <= delta {
+					used[cu] = true
+				}
+			}
+			picked := -1
+			for cand := 0; cand <= delta; cand++ {
+				if !used[cand] {
+					picked = cand
+					break
+				}
+			}
+			if picked < 0 {
+				return nil, fmt.Errorf("linial: vertex %d found no color in [0,Δ]", v)
+			}
+			out[v] = picked
+		}
+	}
+	return out, nil
+}
+
+// FromIDs returns the trivial proper n-coloring (color = vertex id), the
+// usual Linial starting point.
+func FromIDs(h *graph.Graph) ([]int, int) {
+	colors := make([]int, h.N())
+	for v := range colors {
+		colors[v] = v
+	}
+	n := h.N()
+	if n < 2 {
+		n = 2
+	}
+	return colors, n
+}

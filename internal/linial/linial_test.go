@@ -1,0 +1,167 @@
+package linial
+
+import (
+	"testing"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+)
+
+func testCG(t *testing.T, h *graph.Graph) *cluster.CG {
+	t.Helper()
+	rng := graph.NewRand(2)
+	exp, err := graph.Expand(h, graph.ExpandSpec{Topology: graph.TopologySingleton}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := network.NewCostModel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := cluster.New(h, exp, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cg
+}
+
+func assertProper(t *testing.T, h *graph.Graph, colors []int, q int) {
+	t.Helper()
+	for v := 0; v < h.N(); v++ {
+		if colors[v] < 0 || colors[v] >= q {
+			t.Fatalf("color %d at vertex %d outside [0,%d)", colors[v], v, q)
+		}
+		for _, u := range h.Neighbors(v) {
+			if colors[int(u)] == colors[v] {
+				t.Fatalf("monochromatic edge {%d,%d}", v, u)
+			}
+		}
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{0, 2}, {2, 2}, {3, 3}, {4, 5}, {14, 17}, {100, 101},
+	}
+	for _, tt := range tests {
+		if got := nextPrime(tt.in); got != tt.want {
+			t.Errorf("nextPrime(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestReduceShrinksColorsAndStaysProper(t *testing.T) {
+	rng := graph.NewRand(3)
+	// A single Reduce shrinks only when q ≫ Δ² (it maps q → Θ((dΔ)²)), so
+	// use many vertices at constant average degree.
+	h := graph.GNP(2000, 2.0/2000, rng)
+	cg := testCG(t, h)
+	colors, q := FromIDs(h)
+	next, nextQ, err := Reduce(cg, colors, q, "linial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nextQ >= q {
+		t.Fatalf("colors grew: %d → %d (Δ=%d)", q, nextQ, h.MaxDegree())
+	}
+	assertProper(t, h, next, nextQ)
+}
+
+func TestReduceRejectsImproperInput(t *testing.T) {
+	h := graph.Path(3)
+	cg := testCG(t, h)
+	if _, _, err := Reduce(cg, []int{1, 1, 2}, 5, "x"); err == nil {
+		t.Fatal("improper input accepted")
+	}
+	if _, _, err := Reduce(cg, []int{1, 2}, 5, "x"); err == nil {
+		t.Fatal("short color slice accepted")
+	}
+}
+
+func TestRunReachesPolyDeltaColors(t *testing.T) {
+	rng := graph.NewRand(5)
+	// Linial only makes progress while q ≫ Δ² (its fixed point is Θ(Δ²)),
+	// so use a genuinely low-degree instance.
+	h := graph.GNP(500, 2.0/500, rng)
+	cg := testCG(t, h)
+	colors, q := FromIDs(h)
+	final, finalQ, err := Run(cg, colors, q, "linial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertProper(t, h, final, finalQ)
+	delta := h.MaxDegree()
+	// The fixed point is O(Δ² log² Δ)-ish; demand far below n.
+	if finalQ > 40*(delta+1)*(delta+1) {
+		t.Fatalf("final colors %d too many for Δ=%d", finalQ, delta)
+	}
+	if finalQ >= h.N() {
+		t.Fatalf("no reduction achieved: %d colors for %d vertices", finalQ, h.N())
+	}
+}
+
+func TestReduceToDeltaPlusOne(t *testing.T) {
+	rng := graph.NewRand(7)
+	h := graph.GNP(300, 3.0/300, rng)
+	cg := testCG(t, h)
+	colors, q := FromIDs(h)
+	mid, midQ, err := Run(cg, colors, q, "linial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := ReduceToDeltaPlusOne(cg, mid, midQ, "classes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertProper(t, h, final, h.MaxDegree()+1)
+}
+
+func TestFullPipelineOnStructuredGraphs(t *testing.T) {
+	tests := []struct {
+		name string
+		h    *graph.Graph
+	}{
+		{name: "cycle", h: graph.Cycle(31)},
+		{name: "path", h: graph.Path(64)},
+		{name: "star", h: graph.Star(12)},
+		{name: "clique", h: graph.Clique(8)},
+		{name: "tree", h: graph.RandomTree(100, graph.NewRand(9))},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cg := testCG(t, tt.h)
+			colors, q := FromIDs(tt.h)
+			mid, midQ, err := Run(cg, colors, q, "linial")
+			if err != nil {
+				t.Fatal(err)
+			}
+			final, err := ReduceToDeltaPlusOne(cg, mid, midQ, "classes")
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertProper(t, tt.h, final, tt.h.MaxDegree()+1)
+		})
+	}
+}
+
+func TestRunChargesRounds(t *testing.T) {
+	h := graph.Cycle(64)
+	cg := testCG(t, h)
+	before := cg.Cost().Rounds()
+	colors, q := FromIDs(h)
+	if _, _, err := Run(cg, colors, q, "linial"); err != nil {
+		t.Fatal(err)
+	}
+	if cg.Cost().Rounds() <= before {
+		t.Fatal("Linial charged no rounds")
+	}
+}
+
+func TestFromIDsTinyGraph(t *testing.T) {
+	h := graph.NewBuilder(1).Build()
+	colors, q := FromIDs(h)
+	if len(colors) != 1 || q < 2 {
+		t.Fatalf("FromIDs = %v, %d", colors, q)
+	}
+}

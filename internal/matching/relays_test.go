@@ -1,0 +1,102 @@
+package matching
+
+import (
+	"testing"
+
+	"clustercolor/internal/graph"
+)
+
+func TestRelaysAssignsDistinctAdjacentRelays(t *testing.T) {
+	n := 60
+	planted := 10
+	g := denseWithAntiEdges(t, n, planted)
+	cg := testCG(t, g)
+	pairs, err := FingerprintMatching(cg, FingerprintOptions{
+		Phase:   "fm",
+		Members: irange(0, n),
+		Trials:  100,
+	}, graph.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) < 2 {
+		t.Skip("too few pairs at this seed")
+	}
+	relays, err := Relays(cg, irange(0, n), pairs, "relay", graph.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(relays) != len(pairs) {
+		t.Fatalf("%d relays for %d pairs", len(relays), len(pairs))
+	}
+	seen := map[int]bool{}
+	endpoint := map[int]bool{}
+	for _, p := range pairs {
+		endpoint[p[0]] = true
+		endpoint[p[1]] = true
+	}
+	for i, w := range relays {
+		if seen[w] {
+			t.Fatalf("relay %d reused", w)
+		}
+		seen[w] = true
+		if endpoint[w] {
+			t.Fatalf("relay %d is an anti-edge endpoint", w)
+		}
+		if !cg.H.HasEdge(w, pairs[i][0]) || !cg.H.HasEdge(w, pairs[i][1]) {
+			t.Fatalf("relay %d not adjacent to both endpoints of %v", w, pairs[i])
+		}
+	}
+}
+
+func TestRelaysEmptyPairs(t *testing.T) {
+	g := graph.Clique(5)
+	cg := testCG(t, g)
+	relays, err := Relays(cg, irange(0, 5), nil, "relay", graph.NewRand(1))
+	if err != nil || relays != nil {
+		t.Fatalf("empty pairs: %v, %v", relays, err)
+	}
+}
+
+func TestRelaysFailsWithoutCandidates(t *testing.T) {
+	// A 4-cycle: vertices 0-1-2-3-0; the anti-edge {0,2} has common
+	// neighbors 1 and 3, but restrict members to the endpoints only.
+	g := graph.Cycle(4)
+	cg := testCG(t, g)
+	if _, err := Relays(cg, []int{0, 2}, [][2]int{{0, 2}}, "relay", graph.NewRand(1)); err == nil {
+		t.Fatal("relay found with no eligible members")
+	}
+	// With all members, vertex 1 or 3 serves.
+	relays, err := Relays(cg, []int{0, 1, 2, 3}, [][2]int{{0, 2}}, "relay", graph.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relays[0] != 1 && relays[0] != 3 {
+		t.Fatalf("relay = %d, want 1 or 3", relays[0])
+	}
+}
+
+func TestRelaysManyPairsContention(t *testing.T) {
+	// More pairs than trivially separable: planted anti-matching of 15 in
+	// an 80-clique; every candidate serves every pair, so contention is
+	// maximal and the matching must still be a system of distinct
+	// representatives.
+	n := 80
+	g := denseWithAntiEdges(t, n, 15)
+	cg := testCG(t, g)
+	var pairs [][2]int
+	for i := 0; i < 15; i++ {
+		pairs = append(pairs, [2]int{2 * i, 2*i + 1})
+	}
+	relays, err := Relays(cg, irange(0, n), pairs, "relay", graph.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, w := range relays {
+		if seen[w] {
+			t.Fatal("duplicate relay under contention")
+		}
+		seen[w] = true
+	}
+}

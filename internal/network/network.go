@@ -1,0 +1,174 @@
+// Package network provides the synchronous message-passing substrate of the
+// paper's model (Section 3.2): an n-machine communication network G whose
+// links carry O(log n)-bit messages per round.
+//
+// Two components live here:
+//
+//   - Engine: a real goroutine-per-machine synchronous round executor with
+//     channel-based message delivery. Machines implement the Machine
+//     interface; each round every machine receives the messages sent to it
+//     in the previous round and emits new ones. The engine enforces the
+//     per-link bandwidth cap.
+//
+//   - CostModel: the round/bandwidth accountant used by the cluster-level
+//     algorithm code. Cluster primitives (broadcast, aggregate, neighbor
+//     exchange) declare their payload size and hop count; the cost model
+//     converts that into rounds on G — pipelining payloads larger than the
+//     link bandwidth over multiple rounds — and tracks per-phase totals so
+//     experiments can report where rounds are spent.
+package network
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"clustercolor/internal/graph"
+)
+
+// Message is a single link message. Bits is the declared size used for
+// bandwidth accounting; Payload is the simulated content.
+type Message struct {
+	From    int
+	To      int
+	Bits    int
+	Payload any
+}
+
+// Machine is the per-node behaviour driven by the Engine. Step is called
+// once per round with the messages delivered this round and returns the
+// messages to send (delivered next round). Step implementations run
+// concurrently across machines and must not share mutable state.
+type Machine interface {
+	Step(round int, inbox []Message) (outbox []Message, err error)
+}
+
+// Engine executes synchronous rounds over a communication graph.
+type Engine struct {
+	g         *graph.Graph
+	machines  []Machine
+	bandwidth int // bits per link per round, 0 = unlimited
+	round     int
+	pending   [][]Message // inbox per machine for next round
+	stats     LinkStats
+}
+
+// LinkStats aggregates bandwidth usage observed by an Engine run.
+type LinkStats struct {
+	// Rounds is the number of executed rounds.
+	Rounds int
+	// TotalBits is the sum of all message sizes.
+	TotalBits int64
+	// MaxLinkBits is the largest number of bits carried by a single link
+	// in a single round.
+	MaxLinkBits int
+	// Messages is the total number of messages delivered.
+	Messages int64
+}
+
+// NewEngine returns an engine over g. machines must have length g.N().
+// bandwidthBits caps the bits a link may carry per round (0 disables the
+// check).
+func NewEngine(g *graph.Graph, machines []Machine, bandwidthBits int) (*Engine, error) {
+	if len(machines) != g.N() {
+		return nil, fmt.Errorf("network: %d machines for %d vertices", len(machines), g.N())
+	}
+	return &Engine{
+		g:         g,
+		machines:  machines,
+		bandwidth: bandwidthBits,
+		pending:   make([][]Message, g.N()),
+	}, nil
+}
+
+// Round returns the number of completed rounds.
+func (e *Engine) Round() int { return e.round }
+
+// Stats returns bandwidth statistics for the run so far.
+func (e *Engine) Stats() LinkStats { return e.stats }
+
+// Step executes one synchronous round: every machine consumes its inbox and
+// produces an outbox; messages are validated against the topology and the
+// bandwidth cap, then queued for the next round.
+func (e *Engine) Step() error {
+	n := e.g.N()
+	outboxes := make([][]Message, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inbox := e.pending[i]
+			e.pending[i] = nil
+			out, err := e.machines[i].Step(e.round, inbox)
+			outboxes[i] = out
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("network: machine %d round %d: %w", i, e.round, err)
+		}
+	}
+	// Deliver, validating topology and accounting bandwidth per link.
+	linkBits := make(map[[2]int32]int)
+	for from, out := range outboxes {
+		for _, msg := range out {
+			if msg.From != from {
+				return fmt.Errorf("network: machine %d forged sender %d", from, msg.From)
+			}
+			if !e.g.HasEdge(msg.From, msg.To) {
+				return fmt.Errorf("network: message %d->%d without link", msg.From, msg.To)
+			}
+			key := linkKey(msg.From, msg.To)
+			linkBits[key] += msg.Bits
+			e.stats.TotalBits += int64(msg.Bits)
+			e.stats.Messages++
+			e.pending[msg.To] = append(e.pending[msg.To], msg)
+		}
+	}
+	for key, bits := range linkBits {
+		if bits > e.stats.MaxLinkBits {
+			e.stats.MaxLinkBits = bits
+		}
+		if e.bandwidth > 0 && bits > e.bandwidth {
+			return fmt.Errorf("network: link {%d,%d} carried %d bits > bandwidth %d in round %d",
+				key[0], key[1], bits, e.bandwidth, e.round)
+		}
+	}
+	// Deterministic inbox order regardless of goroutine scheduling.
+	for i := range e.pending {
+		sort.Slice(e.pending[i], func(a, b int) bool { return e.pending[i][a].From < e.pending[i][b].From })
+	}
+	e.round++
+	e.stats.Rounds = e.round
+	return nil
+}
+
+// Run executes rounds until done returns true or maxRounds is reached. It
+// returns the number of rounds executed and an error if the engine faulted
+// or the round budget was exhausted.
+func (e *Engine) Run(maxRounds int, done func() bool) (int, error) {
+	start := e.round
+	for e.round-start < maxRounds {
+		if done() {
+			return e.round - start, nil
+		}
+		if err := e.Step(); err != nil {
+			return e.round - start, err
+		}
+	}
+	if done() {
+		return e.round - start, nil
+	}
+	return e.round - start, fmt.Errorf("network: budget of %d rounds exhausted", maxRounds)
+}
+
+func linkKey(u, v int) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{int32(u), int32(v)}
+}

@@ -1,0 +1,336 @@
+package network
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"clustercolor/internal/graph"
+)
+
+// floodMachine implements a simple BFS flood: the source emits a token; each
+// machine forwards the token to all neighbors the round after first hearing
+// it. Used to validate the engine against known BFS depths.
+type floodMachine struct {
+	id        int
+	neighbors []int32
+	mu        sync.Mutex
+	heardAt   int // -1 until heard
+	forwarded bool
+}
+
+func (m *floodMachine) Step(round int, inbox []Message) ([]Message, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.heardAt < 0 {
+		for _, msg := range inbox {
+			_ = msg
+			m.heardAt = round
+			break
+		}
+	}
+	if m.heardAt >= 0 && !m.forwarded {
+		m.forwarded = true
+		out := make([]Message, 0, len(m.neighbors))
+		for _, nb := range m.neighbors {
+			out = append(out, Message{From: m.id, To: int(nb), Bits: 1, Payload: "token"})
+		}
+		return out, nil
+	}
+	return nil, nil
+}
+
+func newFlood(g *graph.Graph, src int) []Machine {
+	ms := make([]Machine, g.N())
+	for i := 0; i < g.N(); i++ {
+		fm := &floodMachine{id: i, neighbors: g.Neighbors(i), heardAt: -1}
+		if i == src {
+			fm.heardAt = 0
+		}
+		ms[i] = fm
+	}
+	return ms
+}
+
+func TestEngineFloodMatchesBFS(t *testing.T) {
+	rng := graph.NewRand(17)
+	g := graph.GNP(40, 0.15, rng)
+	labels, count := g.ConnectedComponents()
+	src := 0
+	eng, err := NewEngine(g, newFlood(g, src), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.N()+2; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	depth, _ := g.BFSDepths(src, nil)
+	for v := 0; v < g.N(); v++ {
+		fm := eng.machines[v].(*floodMachine)
+		if labels[v] != labels[src] {
+			if fm.heardAt >= 0 {
+				t.Fatalf("machine %d in other component heard token", v)
+			}
+			continue
+		}
+		// heardAt should be exactly the BFS depth: token crosses one hop
+		// per round.
+		if fm.heardAt != depth[v] {
+			t.Fatalf("machine %d heardAt=%d, BFS depth=%d (components=%d)", v, fm.heardAt, depth[v], count)
+		}
+	}
+	if eng.Stats().Messages == 0 || eng.Stats().TotalBits == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}
+
+type badSender struct{ to int }
+
+func (b badSender) Step(round int, inbox []Message) ([]Message, error) {
+	return []Message{{From: 0, To: b.to, Bits: 1}}, nil
+}
+
+type idleMachine struct{}
+
+func (idleMachine) Step(int, []Message) ([]Message, error) { return nil, nil }
+
+func TestEngineRejectsNonLinkMessage(t *testing.T) {
+	g := graph.Path(3) // edges {0,1},{1,2}
+	ms := []Machine{badSender{to: 2}, idleMachine{}, idleMachine{}}
+	eng, err := NewEngine(g, ms, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(); err == nil {
+		t.Fatal("message over non-existent link accepted")
+	}
+}
+
+type forger struct{}
+
+func (forger) Step(int, []Message) ([]Message, error) {
+	return []Message{{From: 5, To: 1, Bits: 1}}, nil
+}
+
+func TestEngineRejectsForgedSender(t *testing.T) {
+	g := graph.Path(2)
+	eng, err := NewEngine(g, []Machine{forger{}, idleMachine{}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(); err == nil {
+		t.Fatal("forged sender accepted")
+	}
+}
+
+type chatty struct{ bits int }
+
+func (c chatty) Step(round int, inbox []Message) ([]Message, error) {
+	if round > 0 {
+		return nil, nil
+	}
+	return []Message{{From: 0, To: 1, Bits: c.bits}}, nil
+}
+
+func TestEngineEnforcesBandwidth(t *testing.T) {
+	g := graph.Path(2)
+	eng, err := NewEngine(g, []Machine{chatty{bits: 100}, idleMachine{}}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(); err == nil {
+		t.Fatal("over-bandwidth message accepted")
+	}
+	// Within budget is fine.
+	eng2, err := NewEngine(g, []Machine{chatty{bits: 64}, idleMachine{}}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if eng2.Stats().MaxLinkBits != 64 {
+		t.Fatalf("MaxLinkBits = %d, want 64", eng2.Stats().MaxLinkBits)
+	}
+}
+
+func TestEngineMachineCountMismatch(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := NewEngine(g, []Machine{idleMachine{}}, 0); err == nil {
+		t.Fatal("machine count mismatch accepted")
+	}
+}
+
+func TestEngineRunBudget(t *testing.T) {
+	g := graph.Path(2)
+	eng, err := NewEngine(g, []Machine{idleMachine{}, idleMachine{}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran, err := eng.Run(5, func() bool { return false })
+	if err == nil {
+		t.Fatal("exhausted budget should error")
+	}
+	if ran != 5 {
+		t.Fatalf("ran %d rounds, want 5", ran)
+	}
+	ran, err = eng.Run(5, func() bool { return true })
+	if err != nil || ran != 0 {
+		t.Fatalf("Run with immediate done = %d, %v", ran, err)
+	}
+}
+
+func TestCostModelChargeAndPipelining(t *testing.T) {
+	tests := []struct {
+		name       string
+		payload    int
+		hops       int
+		wantRounds int
+	}{
+		{name: "small payload one hop", payload: 10, hops: 1, wantRounds: 1},
+		{name: "exact bandwidth", payload: 64, hops: 1, wantRounds: 1},
+		{name: "pipelined", payload: 65, hops: 1, wantRounds: 2},
+		{name: "multi hop", payload: 10, hops: 3, wantRounds: 3},
+		{name: "pipelined multi hop", payload: 130, hops: 2, wantRounds: 6},
+		{name: "zero payload", payload: 0, hops: 1, wantRounds: 1},
+		{name: "zero hops coerced", payload: 1, hops: 0, wantRounds: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c, err := NewCostModel(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := c.Charge("p", tt.payload, tt.hops); got != tt.wantRounds {
+				t.Fatalf("Charge = %d rounds, want %d", got, tt.wantRounds)
+			}
+			if c.Rounds() != int64(tt.wantRounds) {
+				t.Fatalf("Rounds = %d, want %d", c.Rounds(), tt.wantRounds)
+			}
+		})
+	}
+}
+
+func TestCostModelParallelTakesMax(t *testing.T) {
+	c, err := NewCostModel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := c.Parallel("bfs", [][2]int{{10, 2}, {64, 5}, {128, 3}})
+	if rounds != 6 { // 128 bits over 3 hops = 2 slots * 3 hops
+		t.Fatalf("Parallel = %d rounds, want 6", rounds)
+	}
+	if c.TotalBits() != 10+64+128 {
+		t.Fatalf("TotalBits = %d", c.TotalBits())
+	}
+	if c.MaxPayload() != 128 {
+		t.Fatalf("MaxPayload = %d, want 128", c.MaxPayload())
+	}
+	if got := c.PhaseRounds()["bfs"]; got != 6 {
+		t.Fatalf("phase rounds = %d, want 6", got)
+	}
+}
+
+func TestCostModelParallelEmpty(t *testing.T) {
+	c, err := NewCostModel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Parallel("noop", nil); got != 1 {
+		t.Fatalf("empty Parallel = %d rounds, want 1", got)
+	}
+}
+
+func TestCostModelRejectsBadBandwidth(t *testing.T) {
+	if _, err := NewCostModel(0); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if _, err := NewCostModel(-5); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+}
+
+func TestCostModelSummary(t *testing.T) {
+	c, err := NewCostModel(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Charge("alpha", 10, 1)
+	c.Charge("beta", 40, 2)
+	s := c.Summary()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "beta") {
+		t.Fatalf("summary missing phases: %q", s)
+	}
+}
+
+func TestCostModelConcurrentCharges(t *testing.T) {
+	c, err := NewCostModel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Charge("concurrent", 64, 1)
+		}()
+	}
+	wg.Wait()
+	if c.Rounds() != 50 {
+		t.Fatalf("Rounds = %d, want 50", c.Rounds())
+	}
+}
+
+func TestCostModelAbsorbParallel(t *testing.T) {
+	main, err := NewCostModel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subs []*CostModel
+	for i, rounds := range []int{3, 7, 5} {
+		sub, err := NewCostModel(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < rounds; r++ {
+			sub.Charge("work", 10+i, 1)
+		}
+		subs = append(subs, sub)
+	}
+	subs = append(subs, nil) // nil sub-models are tolerated
+	main.AbsorbParallel("stage", subs)
+	if main.Rounds() != 7 {
+		t.Fatalf("absorbed rounds = %d, want max 7", main.Rounds())
+	}
+	if main.TotalBits() != 3*10+7*11+5*12 {
+		t.Fatalf("absorbed bits = %d", main.TotalBits())
+	}
+	if got := main.PhaseRounds()["stage"]; got != 7 {
+		t.Fatalf("phase rounds = %d, want 7", got)
+	}
+}
+
+func TestCostModelMultiplier(t *testing.T) {
+	c, err := NewCostModel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetMultiplier(0); err == nil {
+		t.Fatal("multiplier 0 accepted")
+	}
+	if err := c.SetMultiplier(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Charge("x", 10, 2); got != 6 {
+		t.Fatalf("multiplied charge = %d rounds, want 6", got)
+	}
+	if got := c.Parallel("y", [][2]int{{10, 2}}); got != 6 {
+		t.Fatalf("multiplied parallel = %d rounds, want 6", got)
+	}
+	if c.Rounds() != 12 {
+		t.Fatalf("total = %d, want 12", c.Rounds())
+	}
+}

@@ -1,0 +1,123 @@
+package prng
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// RepFamily is an (α, δ, ν)-representative set family over a universe of
+// size K (Definition C.5): a collection of s-sized subsets such that for any
+// target T ⊆ U, most members of the family intersect T proportionally. The
+// paper (Lemma C.6) shows random s-subsets form such a family; we construct
+// members pseudo-randomly from a shared seed so a member is describable by
+// its O(log n)-bit index.
+type RepFamily struct {
+	universe int
+	setSize  int
+	count    int
+	seed     uint64
+}
+
+// NewRepFamily creates a family of `count` pseudo-random subsets of size
+// setSize over universe [0, universe).
+func NewRepFamily(universe, setSize, count int, seed uint64) (*RepFamily, error) {
+	if universe < 1 {
+		return nil, fmt.Errorf("prng: universe %d < 1", universe)
+	}
+	if setSize < 1 || setSize > universe {
+		return nil, fmt.Errorf("prng: set size %d out of [1,%d]", setSize, universe)
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("prng: count %d < 1", count)
+	}
+	return &RepFamily{universe: universe, setSize: setSize, count: count, seed: seed}, nil
+}
+
+// RepFamilyFor picks family parameters per Lemma C.6 for accuracy α,
+// threshold δ and failure ν ≈ 1/poly: s = Θ(α⁻²δ⁻¹ log(1/ν)) capped at the
+// universe size.
+func RepFamilyFor(universe int, alpha, delta float64, seed uint64) (*RepFamily, error) {
+	if alpha <= 0 || alpha > 1 || delta <= 0 || delta > 1 {
+		return nil, fmt.Errorf("prng: alpha %v, delta %v out of (0,1]", alpha, delta)
+	}
+	s := int(4.0 / (alpha * alpha * delta))
+	if s < 8 {
+		s = 8
+	}
+	if s > universe {
+		s = universe
+	}
+	count := 2 * universe
+	if count < 64 {
+		count = 64
+	}
+	return NewRepFamily(universe, s, count, seed)
+}
+
+// Count returns the number of sets in the family.
+func (f *RepFamily) Count() int { return f.count }
+
+// SetSize returns s, the size of each member set.
+func (f *RepFamily) SetSize() int { return f.setSize }
+
+// Universe returns the universe size.
+func (f *RepFamily) Universe() int { return f.universe }
+
+// Member materializes the i-th set of the family. Every party holding the
+// family seed reconstructs the same set from the index alone, so sharing a
+// member costs O(log count) bits.
+func (f *RepFamily) Member(i int) ([]int, error) {
+	if i < 0 || i >= f.count {
+		return nil, fmt.Errorf("prng: member index %d out of [0,%d)", i, f.count)
+	}
+	rng := rand.New(rand.NewPCG(f.seed, uint64(i)*0x9e3779b97f4a7c15+1))
+	if f.setSize*4 >= f.universe {
+		// Dense regime: partial Fisher–Yates over the full universe.
+		perm := make([]int, f.universe)
+		for j := range perm {
+			perm[j] = j
+		}
+		for j := 0; j < f.setSize; j++ {
+			k := j + rng.IntN(f.universe-j)
+			perm[j], perm[k] = perm[k], perm[j]
+		}
+		out := make([]int, f.setSize)
+		copy(out, perm[:f.setSize])
+		return out, nil
+	}
+	// Sparse regime: rejection sampling.
+	seen := make(map[int]struct{}, f.setSize)
+	out := make([]int, 0, f.setSize)
+	for len(out) < f.setSize {
+		x := rng.IntN(f.universe)
+		if _, dup := seen[x]; dup {
+			continue
+		}
+		seen[x] = struct{}{}
+		out = append(out, x)
+	}
+	return out, nil
+}
+
+// IndexBits is the description length of a member index.
+func (f *RepFamily) IndexBits() int {
+	bits := 1
+	for 1<<bits < f.count {
+		bits++
+	}
+	return bits
+}
+
+// Permutation returns a pseudorandom permutation of [0, n) derived from a
+// seed. The synchronized color trial (Lemma 4.13, Appendix D.9) samples a
+// permutation from a seed-describable family; a seeded Fisher–Yates shuffle
+// plays that role here, with the seed as the O(log n)-bit description.
+func Permutation(n int, seed uint64) []int {
+	rng := rand.New(rand.NewPCG(seed, seed^0xda942042e4dd58b5))
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	return perm
+}

@@ -1,0 +1,363 @@
+package putaside
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/coloring"
+)
+
+// DonateOptions configures ColorPutAside for one cabal.
+type DonateOptions struct {
+	Phase string
+	// Cabal is the member list of K.
+	Cabal []int
+	// PutAside is P_K, the uncolored vertices to color.
+	PutAside []int
+	// Inlier reports whether a vertex is an inlier of K (candidate donors
+	// must be inliers). Nil admits every member.
+	Inlier func(v int) bool
+	// ForbiddenDonors marks vertices that may not donate (members adjacent
+	// to foreign put-aside or candidate sets — Lemma 7.2 Property 2). Nil
+	// forbids nothing.
+	ForbiddenDonors func(v int) bool
+	// FreeColorThreshold is the scaled ℓ_s: with at least this many free
+	// colors in the clique palette, TryFreeColors handles everything.
+	FreeColorThreshold int
+	// BlockSize is the scaled b: donors are grouped by color blocks of
+	// this size so donations compress into O(log n)-bit messages.
+	BlockSize int
+	// SampleTries is k = Θ(log n / log log n), the donations each
+	// recipient may test.
+	SampleTries int
+}
+
+// DonateResult reports how the put-aside vertices got colored.
+type DonateResult struct {
+	// ViaFreeColors counts vertices colored from the clique palette
+	// (Algorithm 8 Step 2).
+	ViaFreeColors int
+	// ViaDonation counts vertices colored by the 3-way donation scheme.
+	ViaDonation int
+	// ViaFallback counts vertices colored by the counted fallback path
+	// (exact palette lookup), which the asymptotic analysis makes
+	// unnecessary but finite scale occasionally needs.
+	ViaFallback int
+	// Uncolored counts vertices left for the caller's cleanup loop.
+	Uncolored int
+	// Recolored counts donors that swapped to a replacement color.
+	Recolored int
+}
+
+// ColorPutAside implements Algorithm 8 for one cabal. The caller runs it per
+// cabal; cross-cabal safety comes from ComputePutAside's Property 2 and from
+// donors never being adjacent to foreign put-aside/donor sets.
+func ColorPutAside(cg *cluster.CG, col *coloring.Coloring, opts DonateOptions, rng *rand.Rand) (*DonateResult, error) {
+	if opts.BlockSize <= 0 {
+		return nil, fmt.Errorf("putaside: block size %d must be positive", opts.BlockSize)
+	}
+	if opts.SampleTries <= 0 {
+		return nil, fmt.Errorf("putaside: sample tries %d must be positive", opts.SampleTries)
+	}
+	res := &DonateResult{}
+	uncolored := make([]int, 0, len(opts.PutAside))
+	for _, v := range opts.PutAside {
+		if col.IsColored(v) {
+			return nil, fmt.Errorf("putaside: put-aside vertex %d already colored", v)
+		}
+		uncolored = append(uncolored, v)
+	}
+	if len(uncolored) == 0 {
+		return res, nil
+	}
+	cp := coloring.BuildCliquePalette(cg, col, opts.Cabal)
+	if cp.FreeCount() >= opts.FreeColorThreshold {
+		n, err := tryFreeColors(cg, col, cp, uncolored, opts, rng)
+		if err != nil {
+			return nil, err
+		}
+		res.ViaFreeColors = n
+		uncolored = stillUncolored(col, uncolored)
+	}
+	if len(uncolored) > 0 {
+		don, rec, err := donate(cg, col, cp, uncolored, opts, rng)
+		if err != nil {
+			return nil, err
+		}
+		res.ViaDonation = don
+		res.Recolored = rec
+		uncolored = stillUncolored(col, uncolored)
+	}
+	if len(uncolored) > 0 {
+		// Counted fallback: exact palette lookup, charged as the expensive
+		// Ω(Δ/log n)-round primitive it is (Figure 2's lower bound).
+		n, err := fallbackExact(cg, col, uncolored, opts.Phase, rng)
+		if err != nil {
+			return nil, err
+		}
+		res.ViaFallback = n
+		uncolored = stillUncolored(col, uncolored)
+	}
+	res.Uncolored = len(uncolored)
+	return res, nil
+}
+
+func stillUncolored(col *coloring.Coloring, vs []int) []int {
+	var out []int
+	for _, v := range vs {
+		if !col.IsColored(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// tryFreeColors is Algorithm 8 Step 2: each uncolored vertex samples
+// SampleTries indices into the clique palette (hashes keep messages at
+// O(log n) bits, Lemma D.9), keeps one that conflicts with neither external
+// neighbors nor other put-aside vertices' picks.
+func tryFreeColors(cg *cluster.CG, col *coloring.Coloring, cp *coloring.CliquePalette,
+	uncolored []int, opts DonateOptions, rng *rand.Rand) (int, error) {
+	free := cp.Free()
+	if len(free) == 0 {
+		return 0, nil
+	}
+	// Hash agreement + sampled-query round + response round.
+	cg.ChargeHRounds(opts.Phase+"/free-hash", 1, 2*cg.IDBits())
+	cg.ChargeHRounds(opts.Phase+"/free-query", 1, 2*cg.IDBits())
+	colored := 0
+	taken := make(map[int32]bool)
+	for _, v := range uncolored {
+		var chosen int32
+		for try := 0; try < opts.SampleTries; try++ {
+			c := free[rng.IntN(len(free))]
+			if taken[c] {
+				continue
+			}
+			if coloring.Available(cg.H, col, v, c) {
+				chosen = c
+				break
+			}
+		}
+		if chosen == coloring.None {
+			continue
+		}
+		taken[chosen] = true
+		if err := col.Set(v, chosen); err != nil {
+			return colored, err
+		}
+		colored++
+	}
+	return colored, nil
+}
+
+// donate runs FindCandidateDonors + FindSafeDonors + DonateColors
+// (Algorithms 9 and 10 plus Step 6 of Algorithm 8).
+func donate(cg *cluster.CG, col *coloring.Coloring, cp *coloring.CliquePalette,
+	uncolored []int, opts DonateOptions, rng *rand.Rand) (donated, recolored int, err error) {
+	inPutAside := make(map[int]bool, len(opts.PutAside))
+	for _, v := range opts.PutAside {
+		inPutAside[v] = true
+	}
+	// --- FindCandidateDonors (Algorithm 9 / Lemma 7.2) ---
+	// Q_K: colored inliers with a unique color in K, not adjacent to
+	// foreign put-aside/candidate vertices and not in P_K.
+	cg.ChargeHRounds(opts.Phase+"/candidates", 2, 2*cg.IDBits())
+	var qK []int
+	for _, v := range opts.Cabal {
+		if inPutAside[v] || !col.IsColored(v) {
+			continue
+		}
+		if opts.Inlier != nil && !opts.Inlier(v) {
+			continue
+		}
+		if opts.ForbiddenDonors != nil && opts.ForbiddenDonors(v) {
+			continue
+		}
+		if !cp.IsUnique(col.Get(v)) {
+			continue
+		}
+		qK = append(qK, v)
+	}
+	if len(qK) == 0 {
+		return 0, 0, nil
+	}
+	// --- FindSafeDonors (Algorithm 10 / Lemma 7.3) ---
+	// Each candidate samples a replacement color from the clique palette,
+	// keeps it only if available; donors are then grouped by (replacement
+	// color, block of own color). Each recipient gets a distinct
+	// replacement color with a non-empty donor group.
+	free := cp.Free()
+	if len(free) == 0 {
+		return 0, 0, nil
+	}
+	cg.ChargeHRounds(opts.Phase+"/safe-sample", 1, 2*cg.IDBits())
+	groups := make(map[groupKey][]int)
+	for _, v := range qK {
+		c := free[rng.IntN(len(free))]
+		if !coloring.Available(cg.H, col, v, c) {
+			continue // Step 1 of Algorithm 10: drop if c ∉ L(v)
+		}
+		block := (col.Get(v) - 1) / int32(opts.BlockSize)
+		key := groupKey{recol: c, block: block}
+		groups[key] = append(groups[key], v)
+	}
+	// Fingerprint-style group-size estimation + block selection: O(1)
+	// rounds (Steps 2–4 of Algorithm 10).
+	cg.ChargeHRounds(opts.Phase+"/safe-select", 3, 2*cg.IDBits())
+	// Deterministic order over groups (largest first) so each recipient
+	// takes the best remaining replacement color.
+	keys := make([]groupKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	// Sort: larger groups first, ties by color then block for determinism.
+	sortGroupKeys(keys, groups)
+	usedRecol := make(map[int32]bool)
+	assignment := make(map[int]groupKey) // recipient → group
+	gi := 0
+	for _, u := range uncolored {
+		for gi < len(keys) {
+			k := keys[gi]
+			gi++
+			if usedRecol[k.recol] {
+				continue
+			}
+			usedRecol[k.recol] = true
+			assignment[u] = k
+			break
+		}
+	}
+	// --- DonateColors (Step 6 of Algorithm 8) ---
+	// Recipient u samples donors from its group; a donation works when the
+	// donor's color is unused by u's external neighbors. Donations are
+	// k·log(b)-bit messages (block index + offsets).
+	cg.ChargeHRounds(opts.Phase+"/donate", 2, 2*cg.IDBits())
+	usedDonor := make(map[int]bool)
+	for _, u := range uncolored {
+		key, ok := assignment[u]
+		if !ok {
+			continue
+		}
+		donors := groups[key]
+		var donor int = -1
+		for try := 0; try < opts.SampleTries && try < 4*len(donors); try++ {
+			v := donors[rng.IntN(len(donors))]
+			if usedDonor[v] {
+				continue
+			}
+			// The donated color must be free for u: not used by u's
+			// (external) neighbors. In-clique uniqueness holds because
+			// candidates hold unique colors.
+			if coloring.Available(cg.H, col, u, col.Get(v)) || onlyBlockerIsDonor(cg, col, u, v) {
+				donor = v
+				break
+			}
+		}
+		if donor < 0 {
+			continue
+		}
+		usedDonor[donor] = true
+		donatedColor := col.Get(donor)
+		// Swap: donor takes its replacement, u takes the donated color.
+		col.Unset(donor)
+		if err := col.Set(donor, key.recol); err != nil {
+			return donated, recolored, fmt.Errorf("putaside: recoloring donor: %w", err)
+		}
+		if err := col.Set(u, donatedColor); err != nil {
+			return donated, recolored, fmt.Errorf("putaside: coloring recipient: %w", err)
+		}
+		// Post-swap safety check (both vertices proper).
+		if !properAt(cg, col, donor) || !properAt(cg, col, u) {
+			// Undo and skip; the fallback path will handle u.
+			col.Unset(u)
+			col.Unset(donor)
+			if err := col.Set(donor, donatedColor); err != nil {
+				return donated, recolored, err
+			}
+			continue
+		}
+		donated++
+		recolored++
+	}
+	return donated, recolored, nil
+}
+
+// onlyBlockerIsDonor reports whether the single neighbor of u holding
+// col(v) is v itself (then the swap frees the color for u).
+func onlyBlockerIsDonor(cg *cluster.CG, col *coloring.Coloring, u, v int) bool {
+	c := col.Get(v)
+	for _, w := range cg.H.Neighbors(u) {
+		if int(w) != v && col.Get(int(w)) == c {
+			return false
+		}
+	}
+	// u must actually be adjacent to v for this route to matter; if not,
+	// Available already answered.
+	return cg.H.HasEdge(u, v)
+}
+
+func properAt(cg *cluster.CG, col *coloring.Coloring, v int) bool {
+	c := col.Get(v)
+	if c == coloring.None {
+		return true
+	}
+	for _, u := range cg.H.Neighbors(v) {
+		if col.Get(int(u)) == c {
+			return false
+		}
+	}
+	return true
+}
+
+// fallbackExact colors remaining vertices by exact palette lookup — the
+// primitive Figure 2 shows costs Ω(Δ/log n) rounds, charged as such.
+func fallbackExact(cg *cluster.CG, col *coloring.Coloring, uncolored []int, phase string, rng *rand.Rand) (int, error) {
+	delta := col.Delta()
+	bw := cg.Cost().Bandwidth()
+	hops := (delta + bw - 1) / bw
+	if hops < 1 {
+		hops = 1
+	}
+	cg.ChargeHRounds(phase+"/fallback", hops, bw)
+	colored := 0
+	for _, v := range uncolored {
+		pal := coloring.Palette(cg.H, col, v)
+		if len(pal) == 0 {
+			continue
+		}
+		if err := col.Set(v, pal[rng.IntN(len(pal))]); err != nil {
+			return colored, err
+		}
+		if !properAt(cg, col, v) {
+			col.Unset(v)
+			continue
+		}
+		colored++
+	}
+	return colored, nil
+}
+
+// groupKey identifies a donor group: the shared replacement color c_i and
+// the block B_j the donors' own colors come from (Lemma 7.3 Properties 1, 3).
+type groupKey struct {
+	recol int32
+	block int32
+}
+
+// sortGroupKeys orders donor groups largest-first with deterministic
+// tie-breaking, so recipients claim the best-stocked replacement colors.
+func sortGroupKeys(keys []groupKey, groups map[groupKey][]int) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if len(groups[a]) != len(groups[b]) {
+			return len(groups[a]) > len(groups[b])
+		}
+		if a.recol != b.recol {
+			return a.recol < b.recol
+		}
+		return a.block < b.block
+	})
+}

@@ -1,0 +1,78 @@
+// Package slackgen implements SlackGeneration (Algorithm 18, Proposition
+// 4.5): every non-cabal vertex activates with a small constant probability
+// and tries one uniform random color outside the reserved prefix. Pairs of
+// same-colored non-adjacent vertices in a neighborhood create the reuse
+// slack the later stages depend on. Slack generation is brittle — it must
+// run before anything else is colored, colors only a small fraction of each
+// almost-clique, and never touches reserved colors — and all three
+// guarantees are enforced here.
+package slackgen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/coloring"
+	"clustercolor/internal/trials"
+)
+
+// Options configures SlackGeneration.
+type Options struct {
+	// Activation is p_g, the self-activation probability (paper: 1/200;
+	// laptop-scale default 0.1 when zero).
+	Activation float64
+	// ReservedMax is the largest reserved color (paper: 300εΔ); tried
+	// colors are drawn from [ReservedMax+1, Δ+1].
+	ReservedMax int32
+	// Exclude marks vertices that must stay uncolored (V_cabal).
+	Exclude func(v int) bool
+}
+
+// Result reports what slack generation achieved.
+type Result struct {
+	// Colored is the number of vertices colored.
+	Colored int
+}
+
+// Run executes one slack-generation step on the cluster graph. The coloring
+// must be empty (Proposition 4.5 requires slack generation to go first).
+func Run(cg *cluster.CG, col *coloring.Coloring, opts Options, rng *rand.Rand) (*Result, error) {
+	if col.DomSize() != 0 {
+		return nil, fmt.Errorf("slackgen: coloring already has %d colored vertices; slack generation must run first", col.DomSize())
+	}
+	if opts.ReservedMax < 0 || opts.ReservedMax >= col.MaxColor() {
+		return nil, fmt.Errorf("slackgen: reserved prefix %d leaves no tryable colors in [1,%d]", opts.ReservedMax, col.MaxColor())
+	}
+	p := opts.Activation
+	if p <= 0 {
+		p = 0.1
+	}
+	space := trials.RangeSpace(opts.ReservedMax+1, col.MaxColor())
+	active := func(v int) bool {
+		return opts.Exclude == nil || !opts.Exclude(v)
+	}
+	colored, err := trials.TryColorRound(cg, col, trials.TryColorOptions{
+		Phase:      "slackgen",
+		Active:     active,
+		Space:      func(v int) []int32 { return space },
+		Activation: p,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Postconditions of Proposition 4.5 that are checkable structurally.
+	for v := 0; v < cg.H.N(); v++ {
+		c := col.Get(v)
+		if c == coloring.None {
+			continue
+		}
+		if c <= opts.ReservedMax {
+			return nil, fmt.Errorf("slackgen: vertex %d took reserved color %d", v, c)
+		}
+		if opts.Exclude != nil && opts.Exclude(v) {
+			return nil, fmt.Errorf("slackgen: excluded (cabal) vertex %d was colored", v)
+		}
+	}
+	return &Result{Colored: colored}, nil
+}

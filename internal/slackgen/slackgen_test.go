@@ -1,0 +1,119 @@
+package slackgen
+
+import (
+	"testing"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/coloring"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+)
+
+func testCG(t *testing.T, h *graph.Graph) *cluster.CG {
+	t.Helper()
+	rng := graph.NewRand(2)
+	exp, err := graph.Expand(h, graph.ExpandSpec{Topology: graph.TopologySingleton}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := network.NewCostModel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := cluster.New(h, exp, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cg
+}
+
+func TestRunColorsSomeVerticesProperly(t *testing.T) {
+	rng := graph.NewRand(3)
+	h := graph.GNP(200, 0.2, rng)
+	cg := testCG(t, h)
+	col := coloring.New(h.N(), h.MaxDegree())
+	res, err := Run(cg, col, Options{Activation: 0.3, ReservedMax: 3}, graph.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Colored == 0 {
+		t.Fatal("slack generation colored nothing")
+	}
+	if err := coloring.VerifyProper(h, col); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < h.N(); v++ {
+		if c := col.Get(v); c != coloring.None && c <= 3 {
+			t.Fatalf("vertex %d took reserved color %d", v, c)
+		}
+	}
+}
+
+func TestRunGeneratesReuseSlackOnSparseVertices(t *testing.T) {
+	// Proposition 4.5's shape: sparse (high-sparsity) vertices should see
+	// repeated colors among neighbors after one trial wave. A star center
+	// with many leaves is the extreme sparse vertex.
+	h := graph.Star(401)
+	cg := testCG(t, h)
+	col := coloring.New(h.N(), h.MaxDegree())
+	if _, err := Run(cg, col, Options{Activation: 0.5}, graph.NewRand(5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := coloring.ReuseSlack(h, col, 0); got < 10 {
+		t.Fatalf("star center reuse slack = %d, want substantial (Ω(Δ) regime)", got)
+	}
+}
+
+func TestRunExcludesCabalVertices(t *testing.T) {
+	h := graph.Clique(20)
+	cg := testCG(t, h)
+	col := coloring.New(h.N(), h.MaxDegree())
+	cabal := func(v int) bool { return v < 10 }
+	if _, err := Run(cg, col, Options{Activation: 1, Exclude: cabal}, graph.NewRand(6)); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 10; v++ {
+		if col.IsColored(v) {
+			t.Fatalf("cabal vertex %d colored by slack generation", v)
+		}
+	}
+}
+
+func TestRunRejectsNonEmptyColoring(t *testing.T) {
+	h := graph.Path(3)
+	cg := testCG(t, h)
+	col := coloring.New(3, 2)
+	if err := col.Set(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cg, col, Options{}, graph.NewRand(1)); err == nil {
+		t.Fatal("non-empty coloring accepted")
+	}
+}
+
+func TestRunRejectsBadReservedPrefix(t *testing.T) {
+	h := graph.Path(3)
+	cg := testCG(t, h)
+	col := coloring.New(3, 2) // colors 1..3
+	if _, err := Run(cg, col, Options{ReservedMax: 3}, graph.NewRand(1)); err == nil {
+		t.Fatal("reserved prefix covering all colors accepted")
+	}
+	if _, err := Run(cg, col, Options{ReservedMax: -1}, graph.NewRand(1)); err == nil {
+		t.Fatal("negative reserved prefix accepted")
+	}
+}
+
+func TestRunColorsOnlySmallFraction(t *testing.T) {
+	// Property 3 of Proposition 4.5: with the paper's activation 1/200,
+	// only a small fraction of each clique is colored.
+	h := graph.Clique(200)
+	cg := testCG(t, h)
+	col := coloring.New(h.N(), h.MaxDegree())
+	res, err := Run(cg, col, Options{Activation: 1.0 / 200}, graph.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Colored > 20 {
+		t.Fatalf("slack generation colored %d/200 vertices (want ≤ |K|/10 at p=1/200)", res.Colored)
+	}
+}

@@ -1,0 +1,297 @@
+// Package trials implements the random color-trial engines every stage of
+// the algorithm is built from:
+//
+//   - TryColorRound — Algorithm 17 / Lemma D.3: activated vertices try one
+//     uniform color from their color space; lower-ID neighbors win ties.
+//     Each round reduces uncolored degrees by a constant factor when
+//     vertices have slack.
+//
+//   - MultiColorTrial — Algorithm 16 / Lemmas D.1–D.2: vertices with slack
+//     try exponentially growing pseudorandom color sets (sampled from a
+//     shared representative-set family so a set costs O(log n) bits to
+//     describe), finishing in O(log* n) phases.
+//
+// Color spaces C(v) are supplied by callers as explicit candidate lists;
+// the engines only ever announce O(log n)-bit descriptions per round, which
+// is what the cost model charges.
+package trials
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/coloring"
+	"clustercolor/internal/prng"
+)
+
+// TryColorOptions configures one TryColorRound.
+type TryColorOptions struct {
+	// Phase labels the cost-model entries.
+	Phase string
+	// Active restricts the participating set S (nil = all uncolored).
+	Active func(v int) bool
+	// Space returns C(v), the candidate colors of v. A nil or empty space
+	// skips the vertex this round.
+	Space func(v int) []int32
+	// Activation is the self-activation probability p (Algorithm 17 uses
+	// γ/4). Values outside (0,1] are coerced to 1.
+	Activation float64
+}
+
+// TryColorRound runs one round of Algorithm 17 and returns the number of
+// vertices newly colored. Semantics: an activated vertex samples a uniform
+// color from its space and adopts it iff no colored neighbor holds it and no
+// activated neighbor of smaller index tries it.
+func TryColorRound(cg *cluster.CG, col *coloring.Coloring, opts TryColorOptions, rng *rand.Rand) (int, error) {
+	if opts.Space == nil {
+		return 0, fmt.Errorf("trials: nil color space")
+	}
+	p := opts.Activation
+	if p <= 0 || p > 1 {
+		p = 1
+	}
+	n := cg.H.N()
+	tried := make([]int32, n) // None = not trying
+	for v := 0; v < n; v++ {
+		if col.IsColored(v) {
+			continue
+		}
+		if opts.Active != nil && !opts.Active(v) {
+			continue
+		}
+		if rng.Float64() >= p {
+			continue
+		}
+		space := opts.Space(v)
+		if len(space) == 0 {
+			continue
+		}
+		tried[v] = space[rng.IntN(len(space))]
+	}
+	// One H-round to announce the tried color (O(log Δ) bits) and one to
+	// echo conflicts back.
+	colorBits := bits.Len(uint(col.MaxColor())) + 1
+	cg.ChargeHRounds(opts.Phase+"/announce", 1, colorBits)
+	cg.ChargeHRounds(opts.Phase+"/respond", 1, colorBits)
+	colored := 0
+	for v := 0; v < n; v++ {
+		c := tried[v]
+		if c == coloring.None {
+			continue
+		}
+		ok := true
+		for _, u := range cg.H.Neighbors(v) {
+			w := int(u)
+			if col.Get(w) == c {
+				ok = false
+				break
+			}
+			if w < v && tried[w] == c {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if err := col.Set(v, c); err != nil {
+				return colored, fmt.Errorf("trials: adopting color: %w", err)
+			}
+			colored++
+		}
+	}
+	return colored, nil
+}
+
+// TryColorLoop runs up to maxRounds TryColorRounds and stops early when the
+// active set is fully colored. It returns the number of vertices still
+// uncolored in the active set.
+func TryColorLoop(cg *cluster.CG, col *coloring.Coloring, opts TryColorOptions, maxRounds int, rng *rand.Rand) (int, error) {
+	for r := 0; r < maxRounds; r++ {
+		if remainingActive(cg, col, opts.Active) == 0 {
+			return 0, nil
+		}
+		if _, err := TryColorRound(cg, col, opts, rng); err != nil {
+			return 0, err
+		}
+	}
+	return remainingActive(cg, col, opts.Active), nil
+}
+
+func remainingActive(cg *cluster.CG, col *coloring.Coloring, active func(v int) bool) int {
+	n := 0
+	for v := 0; v < cg.H.N(); v++ {
+		if col.IsColored(v) {
+			continue
+		}
+		if active != nil && !active(v) {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// MCTOptions configures MultiColorTrial.
+type MCTOptions struct {
+	Phase string
+	// Active restricts the participating set (nil = all uncolored).
+	Active func(v int) bool
+	// Space returns C(v).
+	Space func(v int) []int32
+	// InitialTries is x in the first phase (default 1).
+	InitialTries int
+	// MaxPhases bounds the loop (default 4 + log₂ of the largest space,
+	// generous for the O(log* n) guarantee).
+	MaxPhases int
+	// Seed derives the shared representative-set families; all vertices
+	// hold it, so describing a member costs only its index.
+	Seed uint64
+}
+
+// MultiColorTrial runs Algorithm 16 iterated per Lemma D.1 and returns the
+// number of active vertices left uncolored (0 on full success).
+func MultiColorTrial(cg *cluster.CG, col *coloring.Coloring, opts MCTOptions, rng *rand.Rand) (int, error) {
+	if opts.Space == nil {
+		return 0, fmt.Errorf("trials: nil color space")
+	}
+	x := opts.InitialTries
+	if x < 1 {
+		x = 1
+	}
+	maxPhases := opts.MaxPhases
+	if maxPhases <= 0 {
+		maxSpace := 2
+		for v := 0; v < cg.H.N(); v++ {
+			if col.IsColored(v) {
+				continue
+			}
+			if opts.Active != nil && !opts.Active(v) {
+				continue
+			}
+			if s := len(opts.Space(v)); s > maxSpace {
+				maxSpace = s
+			}
+		}
+		maxPhases = 4 + bits.Len(uint(maxSpace))
+	}
+	for phase := 0; phase < maxPhases; phase++ {
+		if remainingActive(cg, col, opts.Active) == 0 {
+			return 0, nil
+		}
+		if err := mctPhase(cg, col, opts, x, phase, rng); err != nil {
+			return 0, err
+		}
+		// Exponential growth of the number of tried colors.
+		x *= 2
+	}
+	return remainingActive(cg, col, opts.Active), nil
+}
+
+// mctPhase is one TryPseudorandomColors(x) step: sample a representative
+// set over C(v), draw x colors from it, adopt any color unused and untried
+// in the neighborhood.
+func mctPhase(cg *cluster.CG, col *coloring.Coloring, opts MCTOptions, x, phase int, rng *rand.Rand) error {
+	n := cg.H.N()
+	triedSets := make([][]int32, n)
+	maxDescBits := 1
+	for v := 0; v < n; v++ {
+		if col.IsColored(v) {
+			continue
+		}
+		if opts.Active != nil && !opts.Active(v) {
+			continue
+		}
+		space := opts.Space(v)
+		if len(space) == 0 {
+			continue
+		}
+		// Representative-set sampling (Algorithm 16 Steps 1–2): vertex v
+		// draws a member Y(v) of the shared family over C(v), then x
+		// uniform colors from Y(v).
+		fam, err := prng.RepFamilyFor(len(space), 0.5, 0.25, opts.Seed+uint64(phase)*1315423911+uint64(len(space)))
+		if err != nil {
+			return fmt.Errorf("trials: representative family: %w", err)
+		}
+		member, err := fam.Member(rng.IntN(fam.Count()))
+		if err != nil {
+			return fmt.Errorf("trials: family member: %w", err)
+		}
+		k := x
+		if k > len(member) {
+			k = len(member)
+		}
+		set := make([]int32, 0, k)
+		seen := make(map[int]struct{}, k)
+		for len(set) < k {
+			idx := member[rng.IntN(len(member))]
+			if _, dup := seen[idx]; dup {
+				// Sampling with replacement is fine for the analysis; dedup
+				// only to keep the announced set minimal.
+				if len(seen) == len(member) {
+					break
+				}
+				continue
+			}
+			seen[idx] = struct{}{}
+			set = append(set, space[idx])
+		}
+		triedSets[v] = set
+		// Description: family index + x offsets within the member.
+		desc := fam.IndexBits() + k*bits.Len(uint(fam.SetSize()))
+		if desc > maxDescBits {
+			maxDescBits = desc
+		}
+	}
+	cg.ChargeHRounds(opts.Phase+"/announce", 1, maxDescBits)
+	cg.ChargeHRounds(opts.Phase+"/respond", 1, maxDescBits)
+	for v := 0; v < n; v++ {
+		set := triedSets[v]
+		if len(set) == 0 {
+			continue
+		}
+		for _, c := range set {
+			if adoptable(cg, col, triedSets, v, c) {
+				if err := col.Set(v, c); err != nil {
+					return fmt.Errorf("trials: adopting color: %w", err)
+				}
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// adoptable reports whether color c is neither held by a neighbor of v nor
+// tried this phase by a neighbor of smaller index (Algorithm 16 Step 3,
+// with the TryColor priority rule added: among same-phase triers of a color
+// only the smallest index may adopt it, which guarantees global progress
+// even when tried sets saturate the color space).
+func adoptable(cg *cluster.CG, col *coloring.Coloring, triedSets [][]int32, v int, c int32) bool {
+	for _, u := range cg.H.Neighbors(v) {
+		w := int(u)
+		if col.Get(w) == c {
+			return false
+		}
+		if w < v {
+			for _, tc := range triedSets[w] {
+				if tc == c {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// RangeSpace returns the color space [lo, hi] as a slice (inclusive).
+func RangeSpace(lo, hi int32) []int32 {
+	if hi < lo {
+		return nil
+	}
+	out := make([]int32, 0, hi-lo+1)
+	for c := lo; c <= hi; c++ {
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package trials
+
+import (
+	"testing"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/coloring"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+)
+
+func testCG(t *testing.T, h *graph.Graph) *cluster.CG {
+	t.Helper()
+	rng := graph.NewRand(2)
+	exp, err := graph.Expand(h, graph.ExpandSpec{Topology: graph.TopologySingleton}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := network.NewCostModel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := cluster.New(h, exp, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cg
+}
+
+func fullSpace(col *coloring.Coloring) func(v int) []int32 {
+	space := RangeSpace(1, col.MaxColor())
+	return func(v int) []int32 { return space }
+}
+
+func TestTryColorRoundProducesProperColoring(t *testing.T) {
+	rng := graph.NewRand(3)
+	h := graph.GNP(100, 0.1, rng)
+	cg := testCG(t, h)
+	col := coloring.New(h.N(), h.MaxDegree())
+	opts := TryColorOptions{Phase: "try", Space: fullSpace(col), Activation: 1}
+	colored, err := TryColorRound(cg, col, opts, graph.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if colored == 0 {
+		t.Fatal("no vertex colored in full-activation round")
+	}
+	if err := coloring.VerifyProper(h, col); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryColorRoundNilSpace(t *testing.T) {
+	h := graph.Path(3)
+	cg := testCG(t, h)
+	col := coloring.New(3, 2)
+	if _, err := TryColorRound(cg, col, TryColorOptions{Phase: "x"}, graph.NewRand(1)); err == nil {
+		t.Fatal("nil space accepted")
+	}
+}
+
+func TestTryColorLowerIDWinsTies(t *testing.T) {
+	// Two adjacent vertices, one candidate color: only vertex 0 may take it.
+	h := graph.Path(2)
+	cg := testCG(t, h)
+	col := coloring.New(2, 1)
+	one := []int32{1}
+	opts := TryColorOptions{Phase: "tie", Space: func(v int) []int32 { return one }, Activation: 1}
+	if _, err := TryColorRound(cg, col, opts, graph.NewRand(5)); err != nil {
+		t.Fatal(err)
+	}
+	if col.Get(0) != 1 {
+		t.Fatalf("vertex 0 (lower ID) lost the tie: %d", col.Get(0))
+	}
+	if col.Get(1) != coloring.None {
+		t.Fatalf("vertex 1 adopted a conflicting color: %d", col.Get(1))
+	}
+}
+
+func TestTryColorRespectsActiveSet(t *testing.T) {
+	h := graph.Path(4)
+	cg := testCG(t, h)
+	col := coloring.New(4, 2)
+	active := func(v int) bool { return v < 2 }
+	opts := TryColorOptions{Phase: "act", Space: fullSpace(col), Activation: 1, Active: active}
+	if _, err := TryColorRound(cg, col, opts, graph.NewRand(6)); err != nil {
+		t.Fatal(err)
+	}
+	if col.IsColored(2) || col.IsColored(3) {
+		t.Fatal("inactive vertex colored")
+	}
+}
+
+func TestTryColorSkipsColoredNeighborsColors(t *testing.T) {
+	h := graph.Path(2)
+	cg := testCG(t, h)
+	col := coloring.New(2, 1)
+	if err := col.Set(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	one := []int32{1}
+	opts := TryColorOptions{Phase: "blocked", Space: func(v int) []int32 { return one }, Activation: 1}
+	for i := 0; i < 5; i++ {
+		if _, err := TryColorRound(cg, col, opts, graph.NewRand(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if col.IsColored(1) {
+		t.Fatal("vertex adopted a color used by its neighbor")
+	}
+}
+
+func TestTryColorLoopColorsSlackGraph(t *testing.T) {
+	// G(n,p) with full palette [Δ+1]: every vertex always has slack ≥ 1,
+	// so the loop colors everything quickly (Lemma D.3 regime).
+	rng := graph.NewRand(7)
+	h := graph.GNP(150, 0.08, rng)
+	cg := testCG(t, h)
+	col := coloring.New(h.N(), h.MaxDegree())
+	opts := TryColorOptions{Phase: "loop", Space: fullSpace(col), Activation: 0.5}
+	left, err := TryColorLoop(cg, col, opts, 200, graph.NewRand(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left != 0 {
+		t.Fatalf("%d vertices left uncolored", left)
+	}
+	if err := coloring.VerifyComplete(h, col); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryColorReducesUncoloredDegree(t *testing.T) {
+	// Lemma D.3's shape: with constant slack fraction, each round shrinks
+	// the uncolored count by a constant factor on average.
+	rng := graph.NewRand(9)
+	h := graph.GNP(300, 0.05, rng)
+	cg := testCG(t, h)
+	col := coloring.New(h.N(), h.MaxDegree())
+	opts := TryColorOptions{Phase: "shrink", Space: fullSpace(col), Activation: 0.5}
+	before := h.N()
+	for i := 0; i < 6; i++ {
+		if _, err := TryColorRound(cg, col, opts, graph.NewRand(uint64(10+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := before - col.DomSize()
+	if after > before/2 {
+		t.Fatalf("6 rounds left %d/%d uncolored", after, before)
+	}
+}
+
+func TestMultiColorTrialFinishesCliqueWithSlack(t *testing.T) {
+	// A clique where the space is [Δ+1] has slack exactly 1 per vertex.
+	// MCT must finish it (more phases than the slack-rich case, still
+	// bounded).
+	h := graph.Clique(30)
+	cg := testCG(t, h)
+	col := coloring.New(h.N(), h.MaxDegree())
+	opts := MCTOptions{Phase: "mct", Space: fullSpace(col), Seed: 99, MaxPhases: 60}
+	left, err := MultiColorTrial(cg, col, opts, graph.NewRand(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left != 0 {
+		t.Fatalf("MCT left %d uncolored in clique", left)
+	}
+	if err := coloring.VerifyComplete(h, col); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiColorTrialSlackRichIsFast(t *testing.T) {
+	// With slack γ|C(v)| (space twice the degree), MCT should finish in
+	// very few phases (the O(log* n) regime).
+	rng := graph.NewRand(13)
+	h := graph.GNP(200, 0.1, rng)
+	cg := testCG(t, h)
+	delta := h.MaxDegree()
+	col := coloring.New(h.N(), 2*delta) // color space [1, 2Δ+1]
+	opts := MCTOptions{Phase: "mct", Space: fullSpace(col), Seed: 7, MaxPhases: 8}
+	left, err := MultiColorTrial(cg, col, opts, graph.NewRand(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left != 0 {
+		t.Fatalf("slack-rich MCT left %d uncolored", left)
+	}
+	if err := coloring.VerifyProper(h, col); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiColorTrialRespectsSpace(t *testing.T) {
+	// Restrict every vertex to even colors; the result must only use them.
+	rng := graph.NewRand(15)
+	h := graph.GNP(60, 0.1, rng)
+	cg := testCG(t, h)
+	delta := h.MaxDegree()
+	col := coloring.New(h.N(), 4*delta+2)
+	var evens []int32
+	for c := int32(2); c <= col.MaxColor(); c += 2 {
+		evens = append(evens, c)
+	}
+	opts := MCTOptions{Phase: "mct", Space: func(v int) []int32 { return evens }, Seed: 3}
+	if _, err := MultiColorTrial(cg, col, opts, graph.NewRand(16)); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < h.N(); v++ {
+		if c := col.Get(v); c != coloring.None && c%2 != 0 {
+			t.Fatalf("vertex %d got odd color %d outside its space", v, c)
+		}
+	}
+}
+
+func TestMultiColorTrialNilSpace(t *testing.T) {
+	h := graph.Path(3)
+	cg := testCG(t, h)
+	col := coloring.New(3, 2)
+	if _, err := MultiColorTrial(cg, col, MCTOptions{Phase: "x"}, graph.NewRand(1)); err == nil {
+		t.Fatal("nil space accepted")
+	}
+}
+
+func TestMultiColorTrialActiveSubset(t *testing.T) {
+	h := graph.Clique(10)
+	cg := testCG(t, h)
+	col := coloring.New(10, 9)
+	active := func(v int) bool { return v < 5 }
+	opts := MCTOptions{Phase: "mct", Space: fullSpace(col), Active: active, Seed: 21, MaxPhases: 40}
+	left, err := MultiColorTrial(cg, col, opts, graph.NewRand(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left != 0 {
+		t.Fatalf("%d active left", left)
+	}
+	for v := 5; v < 10; v++ {
+		if col.IsColored(v) {
+			t.Fatalf("inactive vertex %d colored", v)
+		}
+	}
+}
+
+func TestRangeSpace(t *testing.T) {
+	s := RangeSpace(3, 6)
+	want := []int32{3, 4, 5, 6}
+	if len(s) != 4 {
+		t.Fatalf("RangeSpace = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("RangeSpace = %v, want %v", s, want)
+		}
+	}
+	if RangeSpace(5, 3) != nil {
+		t.Fatal("inverted range not nil")
+	}
+}
+
+func TestTryColorChargesBandwidth(t *testing.T) {
+	h := graph.Clique(8)
+	cg := testCG(t, h)
+	col := coloring.New(8, 7)
+	before := cg.Cost().Rounds()
+	if _, err := TryColorRound(cg, col, TryColorOptions{Phase: "bw", Space: fullSpace(col), Activation: 1}, graph.NewRand(1)); err != nil {
+		t.Fatal(err)
+	}
+	if cg.Cost().Rounds() <= before {
+		t.Fatal("TryColorRound charged no rounds")
+	}
+}

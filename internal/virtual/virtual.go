@@ -1,0 +1,177 @@
+// Package virtual implements the paper's Appendix A extension: virtual
+// graphs, where the support sets V(v) ⊆ V_G of different vertices may
+// overlap. Two parameters govern the overhead (Equation 19):
+//
+//	congestion c = max #support trees sharing a G-link,
+//	dilation   d = max support-tree diameter.
+//
+// Appendix A's translation principle — "everything in this paper
+// immediately translates to virtual graphs, with the additional overhead
+// factor of the edge congestion" — is realized by running the unchanged
+// coloring pipeline against an abstract cluster-graph view whose cost model
+// multiplies every charged round by c.
+//
+// The flagship instance is the distance-2 coloring of Corollary 1.3:
+// H = G², V(v) = N_G[v] with a star support tree, giving c = 2 and d = 2.
+package virtual
+
+import (
+	"fmt"
+	"sort"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+)
+
+// Graph is a virtual graph: H over G with (possibly overlapping) supports.
+type Graph struct {
+	// H is the graph to color.
+	H *graph.Graph
+	// G is the communication network.
+	G *graph.Graph
+	// Supports maps each H-vertex to its machines; supports may overlap.
+	Supports [][]int32
+	// TreeEdges lists each vertex's support-tree edges in G.
+	TreeEdges [][][2]int32
+	// Congestion is c of Equation (19).
+	Congestion int
+	// Dilation is d of Equation (19) (max support-tree height here).
+	Dilation int
+}
+
+// New validates a virtual graph: every support must be non-empty and induce
+// a connected subgraph of g, adjacent H-vertices must have intersecting or
+// adjacent supports, and congestion/dilation are computed from BFS support
+// trees.
+func New(h, g *graph.Graph, supports [][]int32) (*Graph, error) {
+	if len(supports) != h.N() {
+		return nil, fmt.Errorf("virtual: %d supports for %d vertices", len(supports), h.N())
+	}
+	vg := &Graph{
+		H:         h,
+		G:         g,
+		Supports:  supports,
+		TreeEdges: make([][][2]int32, h.N()),
+	}
+	linkUse := make(map[[2]int32]int)
+	for v := 0; v < h.N(); v++ {
+		sup := supports[v]
+		if len(sup) == 0 {
+			return nil, fmt.Errorf("virtual: vertex %d has empty support", v)
+		}
+		inSup := make(map[int]bool, len(sup))
+		for _, m := range sup {
+			if int(m) < 0 || int(m) >= g.N() {
+				return nil, fmt.Errorf("virtual: vertex %d support machine %d out of range", v, m)
+			}
+			inSup[int(m)] = true
+		}
+		// The first listed machine roots the support tree, so callers
+		// control the tree shape (Distance2 lists v first to obtain the
+		// star and hence congestion exactly 2).
+		root := int(sup[0])
+		depth, parent := g.BFSDepths(root, func(m int) bool { return inSup[m] })
+		height := 0
+		for _, m := range sup {
+			if depth[m] < 0 {
+				return nil, fmt.Errorf("virtual: vertex %d support disconnected at machine %d", v, m)
+			}
+			if depth[m] > height {
+				height = depth[m]
+			}
+			if p := parent[m]; p >= 0 {
+				e := linkKey(int(m), p)
+				vg.TreeEdges[v] = append(vg.TreeEdges[v], e)
+				linkUse[e]++
+			}
+		}
+		if height > vg.Dilation {
+			vg.Dilation = height
+		}
+		sort.Slice(vg.TreeEdges[v], func(i, j int) bool {
+			a, b := vg.TreeEdges[v][i], vg.TreeEdges[v][j]
+			if a[0] != b[0] {
+				return a[0] < b[0]
+			}
+			return a[1] < b[1]
+		})
+	}
+	vg.Congestion = 1
+	for _, c := range linkUse {
+		if c > vg.Congestion {
+			vg.Congestion = c
+		}
+	}
+	// Adjacency sanity: H-edges need overlapping or adjacent supports.
+	for v := 0; v < h.N(); v++ {
+		for _, u := range h.Neighbors(v) {
+			if int(u) < v {
+				continue
+			}
+			if !supportsTouch(g, supports[v], supports[u]) {
+				return nil, fmt.Errorf("virtual: H-edge {%d,%d} without touching supports", v, u)
+			}
+		}
+	}
+	return vg, nil
+}
+
+func supportsTouch(g *graph.Graph, a, b []int32) bool {
+	inB := make(map[int32]bool, len(b))
+	for _, m := range b {
+		inB[m] = true
+	}
+	for _, m := range a {
+		if inB[m] {
+			return true
+		}
+		for _, nb := range g.Neighbors(int(m)) {
+			if inB[nb] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func linkKey(a, b int) [2]int32 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int32{int32(a), int32(b)}
+}
+
+// Distance2 builds the Corollary 1.3 virtual graph over g: H = G² with the
+// closed neighborhood N[v] as v's support (star support tree ⇒ d ≤ 2, and
+// each G-link carries exactly the two stars of its endpoints ⇒ c = 2).
+func Distance2(g *graph.Graph) (*Graph, error) {
+	h := g.Power(2)
+	supports := make([][]int32, g.N())
+	for v := 0; v < g.N(); v++ {
+		sup := make([]int32, 0, g.Degree(v)+1)
+		sup = append(sup, int32(v))
+		sup = append(sup, g.Neighbors(v)...)
+		supports[v] = sup
+	}
+	return New(h, g, supports)
+}
+
+// ClusterView returns the abstract cluster-graph view of the virtual graph,
+// with a fresh cost model whose round multiplier is the congestion. Run the
+// ordinary coloring pipeline against it; all charged rounds include the
+// Appendix A overhead factor automatically.
+func (vg *Graph) ClusterView(bandwidthBits int) (*cluster.CG, *network.CostModel, error) {
+	cost, err := network.NewCostModel(bandwidthBits)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := cost.SetMultiplier(vg.Congestion); err != nil {
+		return nil, nil, err
+	}
+	cg, err := cluster.NewAbstract(vg.H, vg.G, vg.Dilation, cost)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cg, cost, nil
+}

@@ -1,0 +1,151 @@
+package virtual
+
+import (
+	"testing"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/coloring"
+	"clustercolor/internal/core"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+)
+
+func TestNewValidation(t *testing.T) {
+	g := graph.Path(4)
+	h := graph.Path(2)
+	if _, err := New(h, g, [][]int32{{0}}); err == nil {
+		t.Fatal("support count mismatch accepted")
+	}
+	if _, err := New(h, g, [][]int32{{}, {1}}); err == nil {
+		t.Fatal("empty support accepted")
+	}
+	if _, err := New(h, g, [][]int32{{0, 9}, {1}}); err == nil {
+		t.Fatal("out-of-range machine accepted")
+	}
+	// Disconnected support {0,3} in a path 0-1-2-3 without 1,2.
+	if _, err := New(h, g, [][]int32{{0, 3}, {1}}); err == nil {
+		t.Fatal("disconnected support accepted")
+	}
+	// H-edge without touching supports: supports {0} and {3} are two hops
+	// apart.
+	if _, err := New(h, g, [][]int32{{0}, {3}}); err == nil {
+		t.Fatal("non-touching supports accepted")
+	}
+}
+
+func TestNewComputesCongestionAndDilation(t *testing.T) {
+	// Path 0-1-2 as G; two vertices with supports {0,1,2} and {1,2}: the
+	// link {1,2} carries both trees → congestion 2; dilation = 2 (the
+	// height of the first tree rooted at 0).
+	g := graph.Path(3)
+	h := graph.Path(2)
+	vg, err := New(h, g, [][]int32{{0, 1, 2}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vg.Congestion != 2 {
+		t.Fatalf("congestion = %d, want 2", vg.Congestion)
+	}
+	if vg.Dilation != 2 {
+		t.Fatalf("dilation = %d, want 2", vg.Dilation)
+	}
+}
+
+func TestDistance2Shape(t *testing.T) {
+	rng := graph.NewRand(3)
+	g := graph.GNP(60, 0.06, rng)
+	vg, err := Distance2(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corollary 1.3's constants: star supports give congestion exactly 2
+	// (each link serves its two endpoint stars) and dilation ≤ 2.
+	if vg.Congestion != 2 {
+		t.Fatalf("congestion = %d, want 2", vg.Congestion)
+	}
+	if vg.Dilation > 2 {
+		t.Fatalf("dilation = %d, want ≤ 2", vg.Dilation)
+	}
+	// H is the square.
+	want := g.Power(2)
+	if vg.H.M() != want.M() {
+		t.Fatalf("H has %d edges, square has %d", vg.H.M(), want.M())
+	}
+}
+
+func TestDistance2EndToEndColoring(t *testing.T) {
+	rng := graph.NewRand(5)
+	g := graph.GNP(120, 0.035, rng)
+	vg, err := Distance2(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, cost, err := vg.ClusterView(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams(vg.H.N())
+	p.Seed = 7
+	col, stats, err := core.Color(cg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.VerifyComplete(vg.H, col); err != nil {
+		t.Fatal(err)
+	}
+	// Distance-2 properness on the base graph.
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if col.Get(v) == col.Get(int(u)) {
+				t.Fatalf("distance-1 conflict %d,%d", v, u)
+			}
+		}
+	}
+	if stats.Rounds != cost.Rounds() {
+		t.Fatalf("stats rounds %d != cost rounds %d", stats.Rounds, cost.Rounds())
+	}
+}
+
+func TestCongestionMultiplierDoublesRounds(t *testing.T) {
+	// The same H colored through a congestion-2 virtual view must charge
+	// exactly twice the rounds of a congestion-1 run with equal structure.
+	rng := graph.NewRand(9)
+	g := graph.GNP(80, 0.05, rng)
+	vg, err := Distance2(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cgVirtual, _, err := vg.ClusterView(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams(vg.H.N())
+	p.Seed = 11
+	_, statsVirtual, err := core.Color(cgVirtual, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: same abstract view with multiplier 1.
+	cost1, err := newCost(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cgRef, err := newAbstract(vg, cost1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, statsRef, err := core.Color(cgRef, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsVirtual.Rounds != 2*statsRef.Rounds {
+		t.Fatalf("congestion-2 rounds %d != 2× reference %d", statsVirtual.Rounds, statsRef.Rounds)
+	}
+}
+
+// test helpers bridging to the abstract constructors.
+func newCost(bw int) (*network.CostModel, error) { return network.NewCostModel(bw) }
+
+func newAbstract(vg *Graph, cost *network.CostModel) (*cluster.CG, error) {
+	return cluster.NewAbstract(vg.H, vg.G, vg.Dilation, cost)
+}
