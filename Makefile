@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race bench tables benchjson vet fmt check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/network ./internal/distsim ./internal/experiments
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+tables:
+	$(GO) run ./cmd/benchtables
+
+benchjson:
+	$(GO) run ./cmd/benchtables -enginebench BENCH_engine.json
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+check: fmt vet build test

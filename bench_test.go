@@ -6,8 +6,11 @@
 package clustercolor
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
+	"clustercolor/internal/benchwork"
 	"clustercolor/internal/cluster"
 	"clustercolor/internal/coloring"
 	"clustercolor/internal/experiments"
@@ -152,6 +155,67 @@ func BenchmarkA5ReservedAblation(b *testing.B) {
 	benchTable(b, func(seed uint64) (*experiments.Table, error) {
 		return experiments.A5ReservedFraction([]float64{0.05, 0.2, 0.5}, seed)
 	})
+}
+
+// --- engine and runner benchmarks ---------------------------------------
+// The workloads live in internal/benchwork, shared with the benchtables
+// -enginebench emitter so BENCH_engine.json stays comparable to these.
+
+// BenchmarkEngineStep measures one synchronous round on a 10k-machine GNP
+// network under the pooled scheduler and the legacy goroutine-per-machine
+// baseline. The pooled scheduler must win on both ns/op and allocs/op.
+func BenchmarkEngineStep(b *testing.B) {
+	const machines = 10000
+	g := graph.GNP(machines, 8.0/machines, graph.NewRand(9))
+	for _, s := range []struct {
+		name  string
+		sched network.Scheduler
+	}{
+		{"pooled", network.SchedulerPooled},
+		{"spawn", network.SchedulerSpawn},
+	} {
+		b.Run(s.name, func(b *testing.B) {
+			eng, err := network.NewEngineWithScheduler(g, benchwork.GossipMachines(g), 0, s.sched)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExperimentRunner measures a cross-section of the experiment
+// battery at sequential and full parallelism; the emitted tables are
+// identical, only the wall clock changes.
+func BenchmarkExperimentRunner(b *testing.B) {
+	pars := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		pars = append(pars, p)
+	}
+	for _, par := range pars {
+		b.Run(fmt.Sprintf("parallel-%d", par), func(b *testing.B) {
+			prev := experiments.SetParallelism(par)
+			defer experiments.SetParallelism(prev)
+			for i := 0; i < b.N; i++ {
+				for _, run := range benchwork.BatteryCrossSection(uint64(i) + 1) {
+					tbl, err := run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(tbl.Rows) == 0 {
+						b.Fatal("empty table")
+					}
+				}
+			}
+		})
+	}
 }
 
 // --- micro-benchmarks ---------------------------------------------------

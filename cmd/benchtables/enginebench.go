@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"slices"
+	"testing"
+
+	"clustercolor/internal/benchwork"
+	"clustercolor/internal/experiments"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+)
+
+// benchResult is one machine-readable benchmark record.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Machines    int     `json:"machines,omitempty"`
+	Edges       int     `json:"edges,omitempty"`
+	Parallelism int     `json:"parallelism,omitempty"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the BENCH_engine.json schema.
+type benchReport struct {
+	Schema     string        `json:"schema"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Seed       uint64        `json:"seed"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func record(name string, r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// engineStepBench measures one engine round (steady-state gossip) under the
+// given scheduler.
+func engineStepBench(g *graph.Graph, sched network.Scheduler) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		eng, err := network.NewEngineWithScheduler(g, benchwork.GossipMachines(g), 0, sched)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// runnerBench measures a cheap cross-section of the experiment battery at
+// the given runner parallelism.
+func runnerBench(par int, seed uint64) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		prev := experiments.SetParallelism(par)
+		defer experiments.SetParallelism(prev)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, run := range benchwork.BatteryCrossSection(seed) {
+				if _, err := run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// emitEngineBench runs the engine and runner benchmarks and writes the
+// machine-readable report to path ("-" for stdout).
+func emitEngineBench(path string, machines int, seed uint64) error {
+	g := graph.GNP(machines, 8/float64(machines), graph.NewRand(seed))
+	report := benchReport{
+		Schema:     "clustercolor/bench-engine/v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+	}
+	for _, s := range []struct {
+		name  string
+		sched network.Scheduler
+	}{
+		{"EngineStep/pooled", network.SchedulerPooled},
+		{"EngineStep/spawn", network.SchedulerSpawn},
+	} {
+		rec := record(s.name, engineStepBench(g, s.sched))
+		rec.Machines = g.N()
+		rec.Edges = g.M()
+		report.Benchmarks = append(report.Benchmarks, rec)
+	}
+	// Measure sequential, the configured -parallel level, and full
+	// parallelism (deduplicated, ascending).
+	levels := map[int]bool{1: true, experiments.Parallelism(): true, runtime.GOMAXPROCS(0): true}
+	pars := make([]int, 0, len(levels))
+	for p := range levels {
+		pars = append(pars, p)
+	}
+	slices.Sort(pars)
+	for _, par := range pars {
+		rec := record(fmt.Sprintf("ExperimentRunner/parallel-%d", par), runnerBench(par, seed))
+		rec.Parallelism = par
+		report.Benchmarks = append(report.Benchmarks, rec)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

@@ -1,15 +1,24 @@
 // Command benchtables regenerates every experiment table of the evaluation
 // (DESIGN.md §4, E1–E15) and prints them. Run with -id to select a subset.
 //
-//	benchtables            # the full battery
-//	benchtables -id E7,E8  # selected experiments
-//	benchtables -seed 9    # different randomness
+//	benchtables                      # the full battery
+//	benchtables -id E7,E8            # selected experiments
+//	benchtables -seed 9              # different randomness
+//	benchtables -parallel 1          # sequential reference run (same output)
+//	benchtables -enginebench out.json  # emit engine benchmarks instead
+//
+// Tables are computed by a parallel runner that fans experiments and their
+// rows across CPUs; the output is byte-identical for every -parallel value.
+// -enginebench benchmarks the round engine (pooled vs spawn scheduler) and
+// the experiment runner, and writes a machine-readable JSON report
+// (conventionally BENCH_engine.json).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"clustercolor/internal/experiments"
@@ -21,26 +30,42 @@ func main() {
 		ids       = flag.String("id", "", "comma-separated experiment ids (empty = all)")
 		ablations = flag.Bool("ablations", false, "also run the ablation battery (A1–A5)")
 		format    = flag.String("format", "table", "output format: table | csv")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment runner parallelism (1 = sequential)")
+		benchOut  = flag.String("enginebench", "", "run engine benchmarks and write BENCH_engine.json to this path ('-' = stdout), then exit")
+		benchN    = flag.Int("benchn", 10000, "machine count for -enginebench")
 	)
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
+	if *benchOut != "" {
+		if err := emitEngineBench(*benchOut, *benchN, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	want := map[string]bool{}
+	wantAblation := false
+	if *ids != "" {
+		for _, id := range strings.Split(*ids, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			want[id] = true
+			if strings.HasPrefix(id, "A") {
+				wantAblation = true
+			}
+		}
+	}
 	tables, err := experiments.All(*seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(1)
 	}
-	if *ablations || strings.HasPrefix(strings.ToUpper(*ids), "A") {
+	if *ablations || wantAblation {
 		abl, err := experiments.Ablations(*seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(1)
 		}
 		tables = append(tables, abl...)
-	}
-	want := map[string]bool{}
-	if *ids != "" {
-		for _, id := range strings.Split(*ids, ",") {
-			want[strings.TrimSpace(strings.ToUpper(id))] = true
-		}
 	}
 	for _, t := range tables {
 		if len(want) > 0 && !want[t.ID] {

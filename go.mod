@@ -1,0 +1,3 @@
+module clustercolor
+
+go 1.22

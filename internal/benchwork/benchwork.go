@@ -1,0 +1,49 @@
+// Package benchwork holds the benchmark workloads shared by the repo's
+// go-test benchmarks (bench_test.go) and the benchtables -enginebench
+// emitter. Both measure exactly these, so BENCH_engine.json numbers stay
+// comparable to `go test -bench` output.
+package benchwork
+
+import (
+	"clustercolor/internal/experiments"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+)
+
+// gossip sends one small message to every neighbor each round — the
+// steady-state traffic pattern that stresses the engine's scheduling and
+// delivery paths rather than any particular protocol.
+type gossip struct {
+	id        int
+	neighbors []int32
+}
+
+func (m *gossip) Step(round int, inbox []network.Message) ([]network.Message, error) {
+	out := make([]network.Message, 0, len(m.neighbors))
+	for _, nb := range m.neighbors {
+		out = append(out, network.Message{From: m.id, To: int(nb), Bits: 8, Payload: round})
+	}
+	return out, nil
+}
+
+// GossipMachines returns one gossip machine per vertex of g.
+func GossipMachines(g *graph.Graph) []network.Machine {
+	ms := make([]network.Machine, g.N())
+	for i := 0; i < g.N(); i++ {
+		ms[i] = &gossip{id: i, neighbors: g.Neighbors(i)}
+	}
+	return ms
+}
+
+// BatteryCrossSection returns the cheap cross-section of the experiment
+// battery used to benchmark the parallel runner.
+func BatteryCrossSection(seed uint64) []func() (*experiments.Table, error) {
+	return []func() (*experiments.Table, error){
+		func() (*experiments.Table, error) { return experiments.E2LowDegreeRounds([]int{150, 250, 350}, seed) },
+		func() (*experiments.Table, error) {
+			return experiments.E3FingerprintAccuracy([]int{64, 256}, 300, 20, seed)
+		},
+		func() (*experiments.Table, error) { return experiments.E6SlackGeneration([]int{50, 100, 200}, seed) },
+		func() (*experiments.Table, error) { return experiments.E9SCT(40, []int{1, 3, 6}, seed) },
+	}
+}

@@ -1,0 +1,38 @@
+package benchwork
+
+import (
+	"testing"
+
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+)
+
+func TestGossipMachinesTraffic(t *testing.T) {
+	g := graph.GNP(50, 0.2, graph.NewRand(3))
+	eng, err := network.NewEngine(g, GossipMachines(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for i := 0; i < 3; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every round each machine messages every neighbor: 2m messages/round.
+	if want := int64(3 * 2 * g.M()); eng.Stats().Messages != want {
+		t.Fatalf("messages = %d, want %d", eng.Stats().Messages, want)
+	}
+}
+
+func TestBatteryCrossSection(t *testing.T) {
+	for i, run := range BatteryCrossSection(5) {
+		tbl, err := run()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("job %d (%s): empty table", i, tbl.ID)
+		}
+	}
+}

@@ -147,6 +147,24 @@ func (m *waveMachine) send(to, phase int, s fingerprint.Sketch) network.Message 
 	}
 }
 
+// WaveRoundBudget is the provable round bound of the fingerprint wave on a
+// cluster graph with the given dilation D (the maximum support-tree height):
+//
+//   - down: a machine at tree depth k first holds its cluster's sketch in
+//     round k (the leader seeds it in round 0 and every hop costs one
+//     round), so the deepest machine holds it by round D;
+//   - exchange: a machine sends its cross-link sketches in the round it
+//     first holds the down-sketch, so every exchange message is delivered
+//     by round D+1;
+//   - up: by induction, a machine at depth k has all child reports and all
+//     exchange inputs by round 2D+1−k and reports up in that round, so the
+//     leader (k = 0) completes during round 2D+1.
+//
+// Executing rounds 0..2D+1 takes 2D+2 = 2·(D+1) engine steps, and the D = 0
+// case (singleton clusters: exchange in round 0, merge in round 1) meets
+// the bound exactly, so the budget is tight.
+func WaveRoundBudget(dilation int) int { return 2 * (dilation + 1) }
+
 // FingerprintWave executes the Lemma 5.7 aggregation at machine level: each
 // vertex's samples live at its leader; the returned sketches are the
 // per-vertex neighbor maxima, computed purely by message passing. The
@@ -156,6 +174,12 @@ func (m *waveMachine) send(to, phase int, s fingerprint.Sketch) network.Message 
 // cap make the engine fail, mirroring the model (callers pick the cap or
 // pass 0 to disable, accounting pipelining separately).
 func FingerprintWave(cg *cluster.CG, samples []fingerprint.Samples, bandwidthBits int) ([]fingerprint.Sketch, network.LinkStats, error) {
+	return FingerprintWaveWith(cg, samples, bandwidthBits, network.SchedulerPooled)
+}
+
+// FingerprintWaveWith is FingerprintWave under an explicit engine
+// scheduler; the wave must behave identically under all of them.
+func FingerprintWaveWith(cg *cluster.CG, samples []fingerprint.Samples, bandwidthBits int, sched network.Scheduler) ([]fingerprint.Sketch, network.LinkStats, error) {
 	g := cg.G
 	if len(samples) != cg.H.N() {
 		return nil, network.LinkStats{}, fmt.Errorf("distsim: %d sample vectors for %d vertices", len(samples), cg.H.N())
@@ -192,10 +216,11 @@ func FingerprintWave(cg *cluster.CG, samples []fingerprint.Samples, bandwidthBit
 		wave[mID] = wm
 		machines[mID] = wm
 	}
-	eng, err := network.NewEngine(g, machines, bandwidthBits)
+	eng, err := network.NewEngineWithScheduler(g, machines, bandwidthBits, sched)
 	if err != nil {
 		return nil, network.LinkStats{}, err
 	}
+	defer eng.Close()
 	allDone := func() bool {
 		for _, wm := range wave {
 			if wm.leader {
@@ -209,9 +234,7 @@ func FingerprintWave(cg *cluster.CG, samples []fingerprint.Samples, bandwidthBit
 		}
 		return true
 	}
-	// Budget: the wave needs ≤ 2·(dilation+1)+2 rounds.
-	budget := 2*(cg.Dilation+1) + 4
-	if _, err := eng.Run(budget, allDone); err != nil {
+	if _, err := eng.Run(WaveRoundBudget(cg.Dilation), allDone); err != nil {
 		return nil, eng.Stats(), err
 	}
 	out := make([]fingerprint.Sketch, cg.H.N())

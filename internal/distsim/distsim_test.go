@@ -88,17 +88,55 @@ func TestWaveImmuneToRedundantLinks(t *testing.T) {
 }
 
 func TestWaveRoundsBoundedByDilation(t *testing.T) {
+	// The wave must complete within the provable WaveRoundBudget bound on
+	// every topology, including deep path clusters where the support-tree
+	// height equals the dilation.
 	rng := graph.NewRand(21)
 	h := graph.GNP(15, 0.3, rng)
-	cg := buildCG(t, h, graph.ExpandSpec{Topology: graph.TopologyPath, MachinesPerCluster: 7}, 23)
-	samples := fingerprint.SampleAll(h.N(), 8, graph.NewRand(25))
-	_, stats, err := FingerprintWave(cg, samples, 0)
+	for _, spec := range []graph.ExpandSpec{
+		{Topology: graph.TopologySingleton},
+		{Topology: graph.TopologyStar, MachinesPerCluster: 4},
+		{Topology: graph.TopologyPath, MachinesPerCluster: 7},
+		{Topology: graph.TopologyTree, MachinesPerCluster: 9},
+	} {
+		t.Run(spec.Topology.String(), func(t *testing.T) {
+			cg := buildCG(t, h, spec, 23)
+			samples := fingerprint.SampleAll(h.N(), 8, graph.NewRand(25))
+			_, stats, err := FingerprintWave(cg, samples, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if budget := WaveRoundBudget(cg.Dilation); stats.Rounds > budget {
+				t.Fatalf("wave took %d rounds, budget %d (dilation %d)", stats.Rounds, budget, cg.Dilation)
+			}
+		})
+	}
+}
+
+// TestWaveSchedulersAgree checks the wave end-to-end under both engine
+// schedulers: identical sketches and byte-identical LinkStats.
+func TestWaveSchedulersAgree(t *testing.T) {
+	rng := graph.NewRand(43)
+	h := graph.GNP(30, 0.2, rng)
+	cg := buildCG(t, h, graph.ExpandSpec{Topology: graph.TopologyTree, MachinesPerCluster: 6}, 45)
+	samples := fingerprint.SampleAll(h.N(), 24, graph.NewRand(47))
+	pooled, statsPooled, err := FingerprintWaveWith(cg, samples, 0, network.SchedulerPooled)
 	if err != nil {
 		t.Fatal(err)
 	}
-	budget := 2*(cg.Dilation+1) + 4
-	if stats.Rounds > budget {
-		t.Fatalf("wave took %d rounds, budget %d (dilation %d)", stats.Rounds, budget, cg.Dilation)
+	spawn, statsSpawn, err := FingerprintWaveWith(cg, samples, 0, network.SchedulerSpawn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsPooled != statsSpawn {
+		t.Fatalf("LinkStats diverge: pooled=%+v spawn=%+v", statsPooled, statsSpawn)
+	}
+	for v := 0; v < h.N(); v++ {
+		for i := range pooled[v] {
+			if pooled[v][i] != spawn[v][i] {
+				t.Fatalf("vertex %d trial %d: pooled %d != spawn %d", v, i, pooled[v][i], spawn[v][i])
+			}
+		}
 	}
 }
 

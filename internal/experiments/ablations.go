@@ -25,8 +25,9 @@ func A1Encoding(trialCounts []int, dTrue int, bandwidth int, seed uint64) (*Tabl
 		Header: []string{"trials", "devBits", "naiveBits", "devRounds", "naiveRounds", "saving"},
 		Notes:  fmt.Sprintf("rounds = ⌈bits/%d⌉ per hop; the saving is what makes O(ξ⁻²)-round waves possible", bandwidth),
 	}
-	rng := graph.NewRand(seed)
-	for _, trials := range trialCounts {
+	rows, err := forEach(len(trialCounts), func(i int) ([]string, error) {
+		trials := trialCounts[i]
+		rng := graph.NewRand(rowSeed(seed, i))
 		s := fingerprint.NewSketch(trials)
 		for j := 0; j < dTrue; j++ {
 			if err := s.AddSamples(fingerprint.NewSamples(trials, rng)); err != nil {
@@ -43,11 +44,15 @@ func A1Encoding(trialCounts []int, dTrue int, bandwidth int, seed uint64) (*Tabl
 		naive := trials * (intLog2(maxY) + 1)
 		devR := (dev + bandwidth - 1) / bandwidth
 		naiveR := (naive + bandwidth - 1) / bandwidth
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			d(trials), d(dev), d(naive), d(devR), d(naiveR),
 			fmt.Sprintf("%.1fx", float64(naiveR)/float64(devR)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -295,7 +300,8 @@ func A5ReservedFraction(fracs []float64, seed uint64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, frac := range fracs {
+	rows, err := forEach(len(fracs), func(i int) ([]string, error) {
+		frac := fracs[i]
 		cg, err := buildCG(h, graph.TopologySingleton, 1, 48, seed+1)
 		if err != nil {
 			return nil, err
@@ -308,10 +314,14 @@ func A5ReservedFraction(fracs []float64, seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			f3(frac), d64(stats.Rounds), d64(stats.FallbackRounds), d(stats.FallbackColored),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -325,13 +335,5 @@ func Ablations(seed uint64) ([]*Table, error) {
 		func() (*Table, error) { return A4MCTGrowth(40, seed) },
 		func() (*Table, error) { return A5ReservedFraction([]float64{0.05, 0.2, 0.5}, seed) },
 	}
-	out := make([]*Table, 0, len(jobs))
-	for _, j := range jobs {
-		tbl, err := j()
-		if err != nil {
-			return out, err
-		}
-		out = append(out, tbl)
-	}
-	return out, nil
+	return forEach(len(jobs), func(i int) (*Table, error) { return jobs[i]() })
 }

@@ -126,7 +126,8 @@ func E1HighDegreeRounds(sizes []int, seed uint64) (*Table, error) {
 		Header: []string{"n", "Delta", "rounds", "fallbackRounds", "stageRounds", "log*n", "path"},
 		Notes:  "stageRounds = rounds − fallback; Theorem 1.2 predicts O(d·log* n) growth (near-flat)",
 	}
-	for _, cliqueSize := range sizes {
+	rows, err := forEach(len(sizes), func(i int) ([]string, error) {
+		cliqueSize := sizes[i]
 		h, _, err := graph.PlantedACD(graph.PlantedACDSpec{
 			NumCliques:     3,
 			CliqueSize:     cliqueSize,
@@ -149,11 +150,15 @@ func E1HighDegreeRounds(sizes []int, seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			d(h.N()), d(stats.Delta), d64(stats.Rounds), d64(stats.FallbackRounds),
 			d64(stats.Rounds - stats.FallbackRounds), logstar(h.N()), stats.Path,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -165,7 +170,8 @@ func E2LowDegreeRounds(sizes []int, seed uint64) (*Table, error) {
 		Header: []string{"n", "Delta", "rounds", "fallbackRounds", "path"},
 		Notes:  "Theorem 1.1 predicts O(d·polyloglog n) growth",
 	}
-	for _, n := range sizes {
+	rows, err := forEach(len(sizes), func(i int) ([]string, error) {
+		n := sizes[i]
 		h := graph.GNP(n, 6.0/float64(n), graph.NewRand(seed))
 		cg, err := buildCG(h, graph.TopologySingleton, 1, 48, seed+1)
 		if err != nil {
@@ -177,10 +183,14 @@ func E2LowDegreeRounds(sizes []int, seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			d(n), d(stats.Delta), d64(stats.Rounds), d64(stats.FallbackRounds), stats.Path,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -193,8 +203,9 @@ func E3FingerprintAccuracy(trialCounts []int, dTrue int, reps int, seed uint64) 
 		Header: []string{"trials", "meanRelErr", "p95RelErr", "predicted≈1.1/sqrt(t)"},
 		Notes:  "Lemma 5.2: |d−d̂| ≤ ξd w.p. 1−6·exp(−ξ²t/200)",
 	}
-	rng := graph.NewRand(seed)
-	for _, trials := range trialCounts {
+	rows, err := forEach(len(trialCounts), func(i int) ([]string, error) {
+		trials := trialCounts[i]
+		rng := graph.NewRand(rowSeed(seed, i))
 		errs := make([]float64, 0, reps)
 		for r := 0; r < reps; r++ {
 			s := fingerprint.NewSketch(trials)
@@ -206,10 +217,14 @@ func E3FingerprintAccuracy(trialCounts []int, dTrue int, reps int, seed uint64) 
 			errs = append(errs, math.Abs(s.Estimate()-float64(dTrue))/float64(dTrue))
 		}
 		mean, p95 := meanP95(errs)
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			d(trials), f3(mean), f3(p95), f3(1.1 / math.Sqrt(float64(trials))),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -241,28 +256,33 @@ func E4FingerprintEncoding(trialCounts, dValues []int, seed uint64) (*Table, err
 		Header: []string{"trials", "d", "bits", "bits/trial", "naiveBits"},
 		Notes:  "encoding is O(t + log log d); naive = t·⌈log₂ maxY⌉",
 	}
-	rng := graph.NewRand(seed)
-	for _, trials := range trialCounts {
-		for _, dv := range dValues {
-			s := fingerprint.NewSketch(trials)
-			for j := 0; j < dv; j++ {
-				if err := s.AddSamples(fingerprint.NewSamples(trials, rng)); err != nil {
-					return nil, err
-				}
+	// Rows are the (trials, d) grid flattened in row-major order.
+	rows, err := forEach(len(trialCounts)*len(dValues), func(i int) ([]string, error) {
+		trials := trialCounts[i/len(dValues)]
+		dv := dValues[i%len(dValues)]
+		rng := graph.NewRand(rowSeed(seed, i))
+		s := fingerprint.NewSketch(trials)
+		for j := 0; j < dv; j++ {
+			if err := s.AddSamples(fingerprint.NewSamples(trials, rng)); err != nil {
+				return nil, err
 			}
-			bits := s.EncodedBits()
-			maxY := 1
-			for _, y := range s {
-				if int(y) > maxY {
-					maxY = int(y)
-				}
-			}
-			naive := trials * (intLog2(maxY) + 1)
-			t.Rows = append(t.Rows, []string{
-				d(trials), d(dv), d(bits), f1(float64(bits) / float64(trials)), d(naive),
-			})
 		}
+		bits := s.EncodedBits()
+		maxY := 1
+		for _, y := range s {
+			if int(y) > maxY {
+				maxY = int(y)
+			}
+		}
+		naive := trials * (intLog2(maxY) + 1)
+		return []string{
+			d(trials), d(dv), d(bits), f1(float64(bits) / float64(trials)), d(naive),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -282,7 +302,8 @@ func E5ACDQuality(cliqueSizes []int, seed uint64) (*Table, error) {
 		Header: []string{"n", "plantedCliques", "foundCliques", "violFrac", "rounds"},
 		Notes:  "violFrac = members missing the (1−ε)|K| in-degree bound (Definition 4.2)",
 	}
-	for _, cs := range cliqueSizes {
+	rows, err := forEach(len(cliqueSizes), func(i int) ([]string, error) {
+		cs := cliqueSizes[i]
 		h, _, err := graph.PlantedACD(graph.PlantedACDSpec{
 			NumCliques:     3,
 			CliqueSize:     cs,
@@ -306,10 +327,14 @@ func E5ACDQuality(cliqueSizes []int, seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			d(h.N()), "3", d(len(dec.Cliques)), f3(viol), d64(cg.Cost().Rounds()),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -322,7 +347,8 @@ func E10Bandwidth(sizes []int, seed uint64) (*Table, error) {
 		Header: []string{"n", "bandwidthBits", "maxPayloadBits", "pipelined?"},
 		Notes:  "payloads above bandwidth are pipelined over extra rounds; the count of such primitives should be O(1) kinds",
 	}
-	for _, n := range sizes {
+	rows, err := forEach(len(sizes), func(i int) ([]string, error) {
+		n := sizes[i]
 		h := graph.GNP(n, 10.0/float64(n), graph.NewRand(seed))
 		bw := 2*intLog2(n) + 16
 		cg, err := buildCG(h, graph.TopologySingleton, 1, bw, seed+1)
@@ -339,8 +365,12 @@ func E10Bandwidth(sizes []int, seed uint64) (*Table, error) {
 		if stats.MaxPayloadBits > bw {
 			pipelined = "yes"
 		}
-		t.Rows = append(t.Rows, []string{d(n), d(bw), d(stats.MaxPayloadBits), pipelined})
+		return []string{d(n), d(bw), d(stats.MaxPayloadBits), pipelined}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -353,7 +383,8 @@ func E11Dilation(h *graph.Graph, clusterSizes []int, seed uint64) (*Table, error
 		Header: []string{"machines/cluster", "dilation", "rounds", "rounds/dilation"},
 		Notes:  "the d-dependence is linear and unavoidable (Section 1.2)",
 	}
-	for _, size := range clusterSizes {
+	rows, err := forEach(len(clusterSizes), func(i int) ([]string, error) {
+		size := clusterSizes[i]
 		topo := graph.TopologyPath
 		if size == 1 {
 			topo = graph.TopologySingleton
@@ -372,10 +403,14 @@ func E11Dilation(h *graph.Graph, clusterSizes []int, seed uint64) (*Table, error
 		if den == 0 {
 			den = 1
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			d(size), d(stats.Dilation), d64(stats.Rounds), f1(float64(stats.Rounds) / float64(den)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 

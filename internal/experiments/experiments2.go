@@ -25,7 +25,8 @@ func E6SlackGeneration(deltas []int, seed uint64) (*Table, error) {
 		Header: []string{"Delta", "reuseSlack", "reuse/Delta"},
 		Notes:  "sparse vertices get Ω(Δ) slack: reuse/Delta should be a stable constant",
 	}
-	for _, delta := range deltas {
+	rows, err := forEach(len(deltas), func(i int) ([]string, error) {
+		delta := deltas[i]
 		h := graph.Star(delta + 1)
 		cg, err := buildCG(h, graph.TopologySingleton, 1, 48, seed+1)
 		if err != nil {
@@ -36,10 +37,14 @@ func E6SlackGeneration(deltas []int, seed uint64) (*Table, error) {
 			return nil, err
 		}
 		reuse := coloring.ReuseSlack(h, col, 0)
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			d(delta), d(reuse), f3(float64(reuse) / float64(delta)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -53,7 +58,8 @@ func E7CabalMatching(n int, plantedPairs []int, seed uint64) (*Table, error) {
 		Notes:  "Lemma 6.2 guarantees τ·â_K/(4ε) pairs; coverage should grow with planted anti-degree",
 	}
 	k := 12 * bits.Len(uint(n))
-	for _, planted := range plantedPairs {
+	rows, err := forEach(len(plantedPairs), func(i int) ([]string, error) {
+		planted := plantedPairs[i]
 		b := graph.NewBuilder(n)
 		isAnti := func(u, v int) bool {
 			if u > v {
@@ -91,8 +97,12 @@ func E7CabalMatching(n int, plantedPairs []int, seed uint64) (*Table, error) {
 		if planted > 0 {
 			frac = float64(len(pairs)) / float64(planted)
 		}
-		t.Rows = append(t.Rows, []string{d(planted), d(len(pairs)), f3(frac)})
+		return []string{d(planted), d(len(pairs)), f3(frac)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -105,7 +115,8 @@ func E8PutAside(cliqueSizes []int, r int, seed uint64) (*Table, error) {
 		Header: []string{"cliqueSize", "r", "viaFree", "viaDonation", "viaFallback", "uncolored", "rounds"},
 		Notes:  "O(1)-round claim: rounds should not grow with clique size; fallback should be rare",
 	}
-	for _, s := range cliqueSizes {
+	rows, err := forEach(len(cliqueSizes), func(row int) ([]string, error) {
+		s := cliqueSizes[row]
 		h, blocks, err := graph.PlantedCabals(graph.CabalSpec{NumCliques: 3, CliqueSize: s, External: 3}, graph.NewRand(seed))
 		if err != nil {
 			return nil, err
@@ -162,11 +173,15 @@ func E8PutAside(cliqueSizes []int, r int, seed uint64) (*Table, error) {
 			agg.ViaFallback += res.ViaFallback
 			agg.Uncolored += res.Uncolored
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			d(s), d(r), d(agg.ViaFreeColors), d(agg.ViaDonation), d(agg.ViaFallback),
 			d(agg.Uncolored), d64(cg.Cost().Rounds() - before),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -179,7 +194,8 @@ func E9SCT(cliqueSize int, externals []int, seed uint64) (*Table, error) {
 		Header: []string{"extDegree", "tried", "colored", "leftover", "leftover/e_K"},
 		Notes:  "Lemma 4.13: leftovers ≤ (24/α)·max{e_K, ℓ}; the ratio should stay O(1)",
 	}
-	for _, ext := range externals {
+	rows, err := forEach(len(externals), func(i int) ([]string, error) {
+		ext := externals[i]
 		h, blocks, err := graph.PlantedCabals(graph.CabalSpec{NumCliques: 2, CliqueSize: cliqueSize, External: ext}, graph.NewRand(seed))
 		if err != nil {
 			return nil, err
@@ -201,10 +217,14 @@ func E9SCT(cliqueSize int, externals []int, seed uint64) (*Table, error) {
 		}
 		left := res.Tried - res.Colored
 		eK := float64(2*ext) + 0.001 // sampled both ways
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			d(ext), d(res.Tried), d(res.Colored), d(left), f3(float64(left) / eK),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -217,7 +237,8 @@ func E12Baselines(sizes []int, seed uint64) (*Table, error) {
 		Header: []string{"n", "Delta", "oursRounds", "lubyRounds", "psRounds", "winner"},
 		Notes:  "the paper's win grows with n: Luby pays Θ(log n) palette waves, PS pays Θ(log² n) list machinery",
 	}
-	for _, n := range sizes {
+	rows, err := forEach(len(sizes), func(i int) ([]string, error) {
+		n := sizes[i]
 		h := graph.GNP(n, 20.0/float64(n), graph.NewRand(seed))
 		ours, err := runOurs(h, seed)
 		if err != nil {
@@ -249,10 +270,14 @@ func E12Baselines(sizes []int, seed uint64) (*Table, error) {
 		} else if ps < ours && ps < luby {
 			winner = "ps"
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			d(n), d(h.MaxDegree()), d64(ours), d64(luby), d64(ps), winner,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -378,7 +403,8 @@ func E15Distance2(sizes []int, seed uint64) (*Table, error) {
 		Header: []string{"n", "Delta2", "colorsUsed", "rounds", "proper2"},
 		Notes:  "colors ≤ Δ²+1 where Δ² = max |N²(v)|",
 	}
-	for _, n := range sizes {
+	rows, err := forEach(len(sizes), func(i int) ([]string, error) {
+		n := sizes[i]
 		g := graph.GNP(n, 4.0/float64(n), graph.NewRand(seed))
 		h2 := g.Power(2)
 		cg, err := buildCG(h2, graph.TopologySingleton, 1, 48, seed+1)
@@ -395,10 +421,14 @@ func E15Distance2(sizes []int, seed uint64) (*Table, error) {
 		if err := coloring.VerifyComplete(h2, col); err != nil {
 			proper = "NO"
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			d(n), d(h2.MaxDegree()), d(col.CountColors()), d64(stats.Rounds), proper,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -432,7 +462,10 @@ func runBaseline(h *graph.Graph, seed uint64, run func(clusterCG, *coloring.Colo
 	return rounds, nil
 }
 
-// All runs the full experiment battery with modest sizes.
+// All runs the full experiment battery with modest sizes. Whole experiments
+// fan out across the runner's worker pool on top of the per-row parallelism
+// inside each table; the emitted tables are identical at every parallelism
+// level (see SetParallelism).
 func All(seed uint64) ([]*Table, error) {
 	type job func() (*Table, error)
 	jobs := []job{
@@ -457,13 +490,5 @@ func All(seed uint64) ([]*Table, error) {
 		func() (*Table, error) { return E16VirtualDistance2([]int{100, 200}, seed) },
 		func() (*Table, error) { return E17Linial(1500, 2.0, seed) },
 	}
-	out := make([]*Table, 0, len(jobs))
-	for _, j := range jobs {
-		tbl, err := j()
-		if err != nil {
-			return out, err
-		}
-		out = append(out, tbl)
-	}
-	return out, nil
+	return forEach(len(jobs), func(i int) (*Table, error) { return jobs[i]() })
 }

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"clustercolor/internal/graph"
+)
+
+// batterySubset is a cheap cross-section of the experiment battery used to
+// compare parallel and sequential execution byte-for-byte.
+func batterySubset(t *testing.T, seed uint64) []*Table {
+	t.Helper()
+	h := graph.GNP(60, 0.12, graph.NewRand(seed))
+	runs := []func() (*Table, error){
+		func() (*Table, error) { return E1HighDegreeRounds([]int{30, 60}, seed) },
+		func() (*Table, error) { return E2LowDegreeRounds([]int{150, 250}, seed) },
+		func() (*Table, error) { return E3FingerprintAccuracy([]int{64, 256}, 200, 10, seed) },
+		func() (*Table, error) { return E4FingerprintEncoding([]int{64, 128}, []int{16, 256}, seed) },
+		func() (*Table, error) { return E6SlackGeneration([]int{50, 100, 200}, seed) },
+		func() (*Table, error) { return E9SCT(40, []int{1, 3, 6}, seed) },
+		func() (*Table, error) { return E11Dilation(h, []int{1, 4, 8}, seed) },
+		func() (*Table, error) { return A1Encoding([]int{64, 256}, 2000, 48, seed) },
+	}
+	out := make([]*Table, 0, len(runs))
+	for _, run := range runs {
+		tbl, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tbl)
+	}
+	return out
+}
+
+// TestRunnerParallelMatchesSequential is the determinism contract of the
+// parallel runner: for a fixed seed the rendered tables are byte-identical
+// at parallelism 1 and at full parallelism.
+func TestRunnerParallelMatchesSequential(t *testing.T) {
+	const seed = 71
+	prev := SetParallelism(1)
+	defer SetParallelism(prev)
+	sequential := batterySubset(t, seed)
+	SetParallelism(8)
+	parallel := batterySubset(t, seed)
+	if len(sequential) != len(parallel) {
+		t.Fatalf("table counts diverge: %d vs %d", len(sequential), len(parallel))
+	}
+	for i := range sequential {
+		seq, par := sequential[i].Render(), parallel[i].Render()
+		if seq != par {
+			t.Errorf("table %s diverges between sequential and parallel runs:\n--- sequential ---\n%s--- parallel ---\n%s",
+				sequential[i].ID, seq, par)
+		}
+		if sequential[i].CSV() != parallel[i].CSV() {
+			t.Errorf("table %s CSV diverges", sequential[i].ID)
+		}
+	}
+}
+
+func TestSetParallelism(t *testing.T) {
+	prev := SetParallelism(3)
+	defer SetParallelism(prev)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism = %d, want 3", got)
+	}
+	if got := SetParallelism(0); got != 3 {
+		t.Fatalf("SetParallelism returned %d, want previous 3", got)
+	}
+	if got := Parallelism(); got != 1 {
+		t.Fatalf("Parallelism after SetParallelism(0) = %d, want 1 (clamped)", got)
+	}
+}
+
+func TestForEachOrderAndErrors(t *testing.T) {
+	prev := SetParallelism(4)
+	defer SetParallelism(prev)
+	vals, err := forEach(100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != i*i {
+			t.Fatalf("vals[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	boom := errors.New("boom")
+	if _, err := forEach(50, func(i int) (int, error) {
+		if i%17 == 3 {
+			return 0, fmt.Errorf("row %d: %w", i, boom)
+		}
+		return i, nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("forEach error = %v, want wrapped boom", err)
+	}
+	if vals, err := forEach(0, func(i int) (int, error) { return 0, nil }); err != nil || len(vals) != 0 {
+		t.Fatalf("empty forEach = %v, %v", vals, err)
+	}
+}
+
+func TestRowSeedDistinct(t *testing.T) {
+	seen := map[uint64]int{}
+	for _, seed := range []uint64{1, 2, 71} {
+		for i := 0; i < 64; i++ {
+			s := rowSeed(seed, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("rowSeed collision: %d (previous index %d)", s, prev)
+			}
+			seen[s] = i
+		}
+	}
+	if rowSeed(5, 3) != rowSeed(5, 3) {
+		t.Fatal("rowSeed not deterministic")
+	}
+}

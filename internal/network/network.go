@@ -4,11 +4,13 @@
 //
 // Two components live here:
 //
-//   - Engine: a real goroutine-per-machine synchronous round executor with
-//     channel-based message delivery. Machines implement the Machine
+//   - Engine: a synchronous round executor. Machines implement the Machine
 //     interface; each round every machine receives the messages sent to it
 //     in the previous round and emits new ones. The engine enforces the
-//     per-link bandwidth cap.
+//     per-link bandwidth cap. The default scheduler partitions machines
+//     across a persistent pool of ~GOMAXPROCS workers that are signaled
+//     each round; the legacy goroutine-per-machine-per-round scheduler is
+//     kept selectable as a reference for equivalence tests and benchmarks.
 //
 //   - CostModel: the round/bandwidth accountant used by the cluster-level
 //     algorithm code. Cluster primitives (broadcast, aggregate, neighbor
@@ -19,9 +21,12 @@
 package network
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"clustercolor/internal/graph"
 )
@@ -38,22 +43,102 @@ type Message struct {
 // Machine is the per-node behaviour driven by the Engine. Step is called
 // once per round with the messages delivered this round and returns the
 // messages to send (delivered next round). Step implementations run
-// concurrently across machines and must not share mutable state.
+// concurrently across machines and must not share mutable state. The inbox
+// slice is owned by the engine and reused across rounds: implementations
+// must not retain it (or its backing array) after Step returns.
 type Machine interface {
 	Step(round int, inbox []Message) (outbox []Message, err error)
 }
 
-// Engine executes synchronous rounds over a communication graph.
+// Scheduler selects how the Engine runs machine steps within a round.
+type Scheduler int
+
+const (
+	// SchedulerPooled is the default: machines are partitioned into
+	// contiguous shards across a persistent worker pool (one worker per
+	// available CPU, at most one per machine). Workers are signaled twice
+	// per round — once to step their machines and accumulate per-link
+	// bandwidth locally, once to deliver and sort next-round inboxes for
+	// their own shard — and all buffers are reused across rounds.
+	SchedulerPooled Scheduler = iota
+	// SchedulerSpawn is the original engine: one fresh goroutine per
+	// machine per round, with outboxes, error slices, and the link-bit map
+	// reallocated every round. Kept as the reference implementation the
+	// pooled scheduler must match message-for-message and stat-for-stat.
+	SchedulerSpawn
+)
+
+// Engine executes synchronous rounds over a communication graph. The
+// zero-value Engine is not usable; construct with NewEngine. An Engine is
+// not safe for concurrent Step calls.
+//
+// The pooled scheduler keeps worker goroutines parked between rounds. They
+// are released by Close; engines that are dropped without Close are cleaned
+// up by a finalizer, so Close is an optimization for tight loops that build
+// many engines, not a correctness requirement.
 type Engine struct {
+	*engineState
+}
+
+// engineState carries all engine data. It is split from Engine so that
+// worker goroutines reference only the inner state: the finalizer on the
+// outer handle can then fire once the caller drops the engine, even while
+// workers are parked on their command channels.
+type engineState struct {
 	g         *graph.Graph
 	machines  []Machine
 	bandwidth int // bits per link per round, 0 = unlimited
+	sched     Scheduler
 	round     int
-	pending   [][]Message // inbox per machine for next round
 	stats     LinkStats
+
+	// Spawn-scheduler state: inbox per machine for the next round.
+	pending [][]Message
+
+	// Pooled-scheduler state, allocated once on first Step and reused
+	// every round.
+	inboxes  [][]Message // current-round inbox per machine
+	next     [][]Message // next-round inbox per machine, filled on delivery
+	outboxes [][]Message
+	shardOf  []int32 // machine -> worker shard index
+	stepErrs []error // per-machine Step error for the current round
+	valErrs  []error // per-machine message-validation error
+	linkBits map[[2]int32]int
+	workers  []*engineWorker
+	wg       sync.WaitGroup
+	stop     chan struct{}
+	started  bool
+	closed   atomic.Bool
+	closing  sync.Once
 }
 
-// LinkStats aggregates bandwidth usage observed by an Engine run.
+// engineWorker owns the contiguous machine shard [lo, hi) and accumulates
+// bandwidth stats locally so the hot path is contention-free; the engine
+// merges the per-worker accumulators deterministically between phases.
+type engineWorker struct {
+	idx       int
+	lo, hi    int
+	cmd       chan int
+	linkBits  map[[2]int32]int
+	totalBits int64
+	messages  int64
+	// routes[t] collects this shard's outgoing messages destined for
+	// shard t, in emission order, so the delivery phase only touches
+	// messages addressed to it instead of rescanning every outbox.
+	routes [][]Message
+}
+
+// Worker commands.
+const (
+	opCompute = iota + 1
+	opDeliver
+)
+
+// LinkStats aggregates bandwidth usage observed by an Engine run. On
+// successful rounds the totals are identical under every scheduler; after
+// a failed Step (machine error, invalid message, bandwidth violation) the
+// partially-accumulated values are unspecified and may differ between
+// schedulers — a faulted engine is only good for inspection, not resumption.
 type LinkStats struct {
 	// Rounds is the number of executed rounds.
 	Rounds int
@@ -66,19 +151,32 @@ type LinkStats struct {
 	Messages int64
 }
 
-// NewEngine returns an engine over g. machines must have length g.N().
-// bandwidthBits caps the bits a link may carry per round (0 disables the
-// check).
+// NewEngine returns an engine over g using the default pooled scheduler.
+// machines must have length g.N(). bandwidthBits caps the bits a link may
+// carry per round (0 disables the check).
 func NewEngine(g *graph.Graph, machines []Machine, bandwidthBits int) (*Engine, error) {
+	return NewEngineWithScheduler(g, machines, bandwidthBits, SchedulerPooled)
+}
+
+// NewEngineWithScheduler is NewEngine with an explicit scheduler choice.
+func NewEngineWithScheduler(g *graph.Graph, machines []Machine, bandwidthBits int, sched Scheduler) (*Engine, error) {
 	if len(machines) != g.N() {
 		return nil, fmt.Errorf("network: %d machines for %d vertices", len(machines), g.N())
 	}
-	return &Engine{
+	if sched != SchedulerPooled && sched != SchedulerSpawn {
+		return nil, fmt.Errorf("network: unknown scheduler %d", sched)
+	}
+	st := &engineState{
 		g:         g,
 		machines:  machines,
 		bandwidth: bandwidthBits,
+		sched:     sched,
 		pending:   make([][]Message, g.N()),
-	}, nil
+		stop:      make(chan struct{}),
+	}
+	eng := &Engine{st}
+	runtime.SetFinalizer(eng, (*Engine).Close)
+	return eng, nil
 }
 
 // Round returns the number of completed rounds.
@@ -87,64 +185,32 @@ func (e *Engine) Round() int { return e.round }
 // Stats returns bandwidth statistics for the run so far.
 func (e *Engine) Stats() LinkStats { return e.stats }
 
+// Close parks no further work on the pool and releases its goroutines. It
+// is idempotent and safe on engines whose pool never started; Step on a
+// closed engine returns an error. Close must not be called concurrently
+// with Step.
+func (e *Engine) Close() {
+	e.closing.Do(func() {
+		e.closed.Store(true)
+		close(e.stop)
+	})
+}
+
 // Step executes one synchronous round: every machine consumes its inbox and
 // produces an outbox; messages are validated against the topology and the
-// bandwidth cap, then queued for the next round.
+// bandwidth cap, then queued for the next round. Inboxes are delivered in
+// deterministic sender order regardless of scheduling.
 func (e *Engine) Step() error {
-	n := e.g.N()
-	outboxes := make([][]Message, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			inbox := e.pending[i]
-			e.pending[i] = nil
-			out, err := e.machines[i].Step(e.round, inbox)
-			outboxes[i] = out
-			errs[i] = err
-		}(i)
+	// The handle must survive the whole round: if the caller drops it
+	// mid-call, the finalizer would Close the pool under a live dispatch.
+	defer runtime.KeepAlive(e)
+	if e.closed.Load() {
+		return fmt.Errorf("network: Step on closed engine")
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("network: machine %d round %d: %w", i, e.round, err)
-		}
+	if e.sched == SchedulerSpawn {
+		return e.stepSpawn()
 	}
-	// Deliver, validating topology and accounting bandwidth per link.
-	linkBits := make(map[[2]int32]int)
-	for from, out := range outboxes {
-		for _, msg := range out {
-			if msg.From != from {
-				return fmt.Errorf("network: machine %d forged sender %d", from, msg.From)
-			}
-			if !e.g.HasEdge(msg.From, msg.To) {
-				return fmt.Errorf("network: message %d->%d without link", msg.From, msg.To)
-			}
-			key := linkKey(msg.From, msg.To)
-			linkBits[key] += msg.Bits
-			e.stats.TotalBits += int64(msg.Bits)
-			e.stats.Messages++
-			e.pending[msg.To] = append(e.pending[msg.To], msg)
-		}
-	}
-	for key, bits := range linkBits {
-		if bits > e.stats.MaxLinkBits {
-			e.stats.MaxLinkBits = bits
-		}
-		if e.bandwidth > 0 && bits > e.bandwidth {
-			return fmt.Errorf("network: link {%d,%d} carried %d bits > bandwidth %d in round %d",
-				key[0], key[1], bits, e.bandwidth, e.round)
-		}
-	}
-	// Deterministic inbox order regardless of goroutine scheduling.
-	for i := range e.pending {
-		sort.Slice(e.pending[i], func(a, b int) bool { return e.pending[i][a].From < e.pending[i][b].From })
-	}
-	e.round++
-	e.stats.Rounds = e.round
-	return nil
+	return e.stepPooled()
 }
 
 // Run executes rounds until done returns true or maxRounds is reached. It
@@ -164,6 +230,251 @@ func (e *Engine) Run(maxRounds int, done func() bool) (int, error) {
 		return e.round - start, nil
 	}
 	return e.round - start, fmt.Errorf("network: budget of %d rounds exhausted", maxRounds)
+}
+
+// --- pooled scheduler ----------------------------------------------------
+
+// startPool lazily allocates the reusable buffers and parks one worker per
+// CPU (capped at one per machine). Workers loop on their command channel
+// until the engine is closed.
+func (s *engineState) startPool() {
+	if s.started {
+		return
+	}
+	s.started = true
+	n := len(s.machines)
+	s.inboxes = make([][]Message, n)
+	s.next = make([][]Message, n)
+	s.outboxes = make([][]Message, n)
+	s.stepErrs = make([]error, n)
+	s.valErrs = make([]error, n)
+	s.linkBits = make(map[[2]int32]int)
+	nw := runtime.GOMAXPROCS(0)
+	if nw > n {
+		nw = n
+	}
+	s.shardOf = make([]int32, n)
+	s.workers = make([]*engineWorker, 0, nw)
+	for i := 0; i < nw; i++ {
+		w := &engineWorker{
+			idx:      i,
+			lo:       i * n / nw,
+			hi:       (i + 1) * n / nw,
+			cmd:      make(chan int),
+			linkBits: make(map[[2]int32]int),
+			routes:   make([][]Message, nw),
+		}
+		for m := w.lo; m < w.hi; m++ {
+			s.shardOf[m] = int32(i)
+		}
+		s.workers = append(s.workers, w)
+		go s.workerLoop(w)
+	}
+}
+
+func (s *engineState) workerLoop(w *engineWorker) {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case op := <-w.cmd:
+			switch op {
+			case opCompute:
+				s.computeShard(w)
+			case opDeliver:
+				s.deliverShard(w)
+			}
+			s.wg.Done()
+		}
+	}
+}
+
+// dispatch signals every worker with op and waits for all of them; the
+// WaitGroup forms a full barrier between the compute and deliver phases.
+func (s *engineState) dispatch(op int) {
+	if len(s.workers) == 0 {
+		return
+	}
+	s.wg.Add(len(s.workers))
+	for _, w := range s.workers {
+		w.cmd <- op
+	}
+	s.wg.Wait()
+}
+
+// computeShard steps the worker's machines, validates their outboxes, and
+// accumulates link bits into the worker-local map. Only indices in [lo, hi)
+// are written, so shards never contend.
+func (s *engineState) computeShard(w *engineWorker) {
+	clear(w.linkBits)
+	w.totalBits, w.messages = 0, 0
+	for t := range w.routes {
+		w.routes[t] = w.routes[t][:0]
+	}
+	for i := w.lo; i < w.hi; i++ {
+		s.stepErrs[i], s.valErrs[i] = nil, nil
+		out, err := s.machines[i].Step(s.round, s.inboxes[i])
+		s.outboxes[i] = out
+		if err != nil {
+			s.stepErrs[i] = err
+			continue
+		}
+		for _, msg := range out {
+			if msg.From != i {
+				s.valErrs[i] = fmt.Errorf("network: machine %d forged sender %d", i, msg.From)
+				break
+			}
+			if !s.g.HasEdge(msg.From, msg.To) {
+				s.valErrs[i] = fmt.Errorf("network: message %d->%d without link", msg.From, msg.To)
+				break
+			}
+			w.linkBits[linkKey(msg.From, msg.To)] += msg.Bits
+			w.totalBits += int64(msg.Bits)
+			w.messages++
+			t := s.shardOf[msg.To]
+			w.routes[t] = append(w.routes[t], msg)
+		}
+	}
+}
+
+// deliverShard appends the messages routed to the worker's own shard and
+// sorts its inboxes by sender. Producer workers are drained in index order
+// and shards are contiguous ascending machine ranges, so the pre-sort
+// append order equals a sequential machine-order scan of all outboxes —
+// identical to the spawn scheduler's delivery — while each worker touches
+// only its own shard's messages.
+func (s *engineState) deliverShard(w *engineWorker) {
+	for _, src := range s.workers {
+		for _, msg := range src.routes[w.idx] {
+			s.next[msg.To] = append(s.next[msg.To], msg)
+		}
+	}
+	for to := w.lo; to < w.hi; to++ {
+		sortInbox(s.next[to])
+	}
+}
+
+// sortInbox orders an inbox by sender, stably: messages from the same
+// sender keep the order they were emitted in. Both schedulers use it, so
+// the delivered sequences are identical and fully specified.
+func sortInbox(inbox []Message) {
+	slices.SortStableFunc(inbox, func(a, b Message) int { return cmp.Compare(a.From, b.From) })
+}
+
+func (s *engineState) stepPooled() error {
+	s.startPool()
+	n := len(s.machines)
+	for i := range s.next {
+		s.next[i] = s.next[i][:0]
+	}
+	s.dispatch(opCompute)
+	for i := 0; i < n; i++ {
+		if err := s.stepErrs[i]; err != nil {
+			return fmt.Errorf("network: machine %d round %d: %w", i, s.round, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := s.valErrs[i]; err != nil {
+			return err
+		}
+	}
+	// Merge the per-worker accumulators. Sums are order-independent, and
+	// per-link totals are summed before taking the max, so LinkStats are
+	// identical to a single global pass over all messages.
+	clear(s.linkBits)
+	for _, w := range s.workers {
+		s.stats.TotalBits += w.totalBits
+		s.stats.Messages += w.messages
+		for key, bits := range w.linkBits {
+			s.linkBits[key] += bits
+		}
+	}
+	overKey, overBits := [2]int32{}, -1
+	for key, bits := range s.linkBits {
+		if bits > s.stats.MaxLinkBits {
+			s.stats.MaxLinkBits = bits
+		}
+		if s.bandwidth > 0 && bits > s.bandwidth {
+			// Report the lowest-numbered violating link so the error does
+			// not depend on map iteration order.
+			if overBits < 0 || key[0] < overKey[0] || (key[0] == overKey[0] && key[1] < overKey[1]) {
+				overKey, overBits = key, bits
+			}
+		}
+	}
+	if overBits >= 0 {
+		return fmt.Errorf("network: link {%d,%d} carried %d bits > bandwidth %d in round %d",
+			overKey[0], overKey[1], overBits, s.bandwidth, s.round)
+	}
+	s.dispatch(opDeliver)
+	// The just-consumed inboxes become the scratch buffers for the next
+	// round's delivery; machines must not have retained them.
+	s.inboxes, s.next = s.next, s.inboxes
+	s.round++
+	s.stats.Rounds = s.round
+	return nil
+}
+
+// --- spawn scheduler (reference) -----------------------------------------
+
+// stepSpawn is the original engine loop: goroutine per machine per round,
+// sequential delivery, fresh allocations throughout. The pooled scheduler
+// is validated against it.
+func (s *engineState) stepSpawn() error {
+	n := s.g.N()
+	outboxes := make([][]Message, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inbox := s.pending[i]
+			s.pending[i] = nil
+			out, err := s.machines[i].Step(s.round, inbox)
+			outboxes[i] = out
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("network: machine %d round %d: %w", i, s.round, err)
+		}
+	}
+	// Deliver, validating topology and accounting bandwidth per link.
+	linkBits := make(map[[2]int32]int)
+	for from, out := range outboxes {
+		for _, msg := range out {
+			if msg.From != from {
+				return fmt.Errorf("network: machine %d forged sender %d", from, msg.From)
+			}
+			if !s.g.HasEdge(msg.From, msg.To) {
+				return fmt.Errorf("network: message %d->%d without link", msg.From, msg.To)
+			}
+			key := linkKey(msg.From, msg.To)
+			linkBits[key] += msg.Bits
+			s.stats.TotalBits += int64(msg.Bits)
+			s.stats.Messages++
+			s.pending[msg.To] = append(s.pending[msg.To], msg)
+		}
+	}
+	for key, bits := range linkBits {
+		if bits > s.stats.MaxLinkBits {
+			s.stats.MaxLinkBits = bits
+		}
+		if s.bandwidth > 0 && bits > s.bandwidth {
+			return fmt.Errorf("network: link {%d,%d} carried %d bits > bandwidth %d in round %d",
+				key[0], key[1], bits, s.bandwidth, s.round)
+		}
+	}
+	// Deterministic inbox order regardless of goroutine scheduling.
+	for i := range s.pending {
+		sortInbox(s.pending[i])
+	}
+	s.round++
+	s.stats.Rounds = s.round
+	return nil
 }
 
 func linkKey(u, v int) [2]int32 {

@@ -86,6 +86,210 @@ func TestEngineFloodMatchesBFS(t *testing.T) {
 	}
 }
 
+// runFlood executes a full flood to quiescence under the given scheduler
+// and returns the per-machine hear times plus the engine stats.
+func runFlood(t *testing.T, g *graph.Graph, src int, sched Scheduler) ([]int, LinkStats) {
+	t.Helper()
+	eng, err := NewEngineWithScheduler(g, newFlood(g, src), 0, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for i := 0; i < g.N()+2; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	heard := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		heard[v] = eng.machines[v].(*floodMachine).heardAt
+	}
+	return heard, eng.Stats()
+}
+
+// TestEngineSchedulersAgreeFlood checks the acceptance contract: the pooled
+// scheduler produces the same machine results and byte-identical LinkStats
+// as the legacy spawn scheduler.
+func TestEngineSchedulersAgreeFlood(t *testing.T) {
+	g := graph.GNP(300, 0.03, graph.NewRand(23))
+	heardPooled, statsPooled := runFlood(t, g, 0, SchedulerPooled)
+	heardSpawn, statsSpawn := runFlood(t, g, 0, SchedulerSpawn)
+	for v := range heardPooled {
+		if heardPooled[v] != heardSpawn[v] {
+			t.Fatalf("machine %d heardAt pooled=%d spawn=%d", v, heardPooled[v], heardSpawn[v])
+		}
+	}
+	if statsPooled != statsSpawn {
+		t.Fatalf("LinkStats diverge: pooled=%+v spawn=%+v", statsPooled, statsSpawn)
+	}
+}
+
+// recorderMachine gossips for a few rounds and records the exact inbox
+// sequence (sender order included) it observes each round.
+type recorderMachine struct {
+	id        int
+	neighbors []int32
+	history   [][]int
+}
+
+func (m *recorderMachine) Step(round int, inbox []Message) ([]Message, error) {
+	froms := make([]int, 0, len(inbox))
+	for _, msg := range inbox {
+		froms = append(froms, msg.From)
+	}
+	m.history = append(m.history, froms)
+	if round >= 3 {
+		return nil, nil
+	}
+	out := make([]Message, 0, len(m.neighbors))
+	for _, nb := range m.neighbors {
+		out = append(out, Message{From: m.id, To: int(nb), Bits: 2, Payload: round})
+	}
+	return out, nil
+}
+
+func runRecorders(t *testing.T, g *graph.Graph, sched Scheduler) [][][]int {
+	t.Helper()
+	ms := make([]Machine, g.N())
+	for i := 0; i < g.N(); i++ {
+		ms[i] = &recorderMachine{id: i, neighbors: g.Neighbors(i)}
+	}
+	eng, err := NewEngineWithScheduler(g, ms, 0, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for r := 0; r < 5; r++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	histories := make([][][]int, g.N())
+	for i, m := range ms {
+		histories[i] = m.(*recorderMachine).history
+	}
+	return histories
+}
+
+// TestEngineInboxOrderDeterministic checks the sorted-inbox contract: the
+// exact inbox sequences every machine observes are identical under both
+// schedulers (and therefore across reruns).
+func TestEngineInboxOrderDeterministic(t *testing.T) {
+	g := graph.GNP(120, 0.08, graph.NewRand(31))
+	pooled := runRecorders(t, g, SchedulerPooled)
+	spawn := runRecorders(t, g, SchedulerSpawn)
+	for v := range pooled {
+		if len(pooled[v]) != len(spawn[v]) {
+			t.Fatalf("machine %d history length pooled=%d spawn=%d", v, len(pooled[v]), len(spawn[v]))
+		}
+		for r := range pooled[v] {
+			if len(pooled[v][r]) != len(spawn[v][r]) {
+				t.Fatalf("machine %d round %d inbox size pooled=%d spawn=%d",
+					v, r, len(pooled[v][r]), len(spawn[v][r]))
+			}
+			for k := range pooled[v][r] {
+				if pooled[v][r][k] != spawn[v][r][k] {
+					t.Fatalf("machine %d round %d position %d: pooled from %d, spawn from %d",
+						v, r, k, pooled[v][r][k], spawn[v][r][k])
+				}
+			}
+		}
+	}
+}
+
+func TestEngineCloseIdempotent(t *testing.T) {
+	g := graph.Path(4)
+	eng, err := NewEngine(g, []Machine{idleMachine{}, idleMachine{}, idleMachine{}, idleMachine{}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	eng.Close()
+	// Close before first Step must also be safe.
+	eng2, err := NewEngine(g, []Machine{idleMachine{}, idleMachine{}, idleMachine{}, idleMachine{}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2.Close()
+}
+
+// TestEngineStepAfterCloseErrors pins the lifecycle contract: Step on a
+// closed engine must fail fast instead of dispatching to released workers.
+func TestEngineStepAfterCloseErrors(t *testing.T) {
+	g := graph.Path(2)
+	for _, sched := range []Scheduler{SchedulerPooled, SchedulerSpawn} {
+		eng, err := NewEngineWithScheduler(g, []Machine{idleMachine{}, idleMachine{}}, 0, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		eng.Close()
+		if err := eng.Step(); err == nil {
+			t.Fatalf("scheduler %d: Step after Close succeeded", sched)
+		}
+		// Close before any Step, then Step: same contract.
+		eng2, err := NewEngineWithScheduler(g, []Machine{idleMachine{}, idleMachine{}}, 0, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng2.Close()
+		if err := eng2.Step(); err == nil {
+			t.Fatalf("scheduler %d: Step on never-started closed engine succeeded", sched)
+		}
+	}
+}
+
+func TestEngineEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	eng, err := NewEngine(g, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for i := 0; i < 3; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Round() != 3 {
+		t.Fatalf("Round = %d, want 3", eng.Round())
+	}
+}
+
+func TestEngineRejectsUnknownScheduler(t *testing.T) {
+	g := graph.Path(2)
+	if _, err := NewEngineWithScheduler(g, []Machine{idleMachine{}, idleMachine{}}, 0, Scheduler(99)); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+// TestEnginePooledErrors re-runs the validation tests under the pooled
+// scheduler explicitly (the default may change).
+func TestEnginePooledErrors(t *testing.T) {
+	g := graph.Path(3)
+	eng, err := NewEngineWithScheduler(g, []Machine{badSender{to: 2}, idleMachine{}, idleMachine{}}, 0, SchedulerPooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Step(); err == nil {
+		t.Fatal("message over non-existent link accepted")
+	}
+	eng2, err := NewEngineWithScheduler(graph.Path(2), []Machine{chatty{bits: 100}, idleMachine{}}, 64, SchedulerPooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	if err := eng2.Step(); err == nil {
+		t.Fatal("over-bandwidth message accepted")
+	}
+}
+
 type badSender struct{ to int }
 
 func (b badSender) Step(round int, inbox []Message) ([]Message, error) {
