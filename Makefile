@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench tables benchjson vet fmt check
+.PHONY: build test race bench bench-smoke bench-graph tables benchjson vet fmt check
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,14 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# One iteration of every benchmark in the module: catches bit-rotted
+# benchmark code without paying for statistically meaningful timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+bench-graph:
+	$(GO) run ./cmd/benchtables -graphbench BENCH_graph.json
 
 tables:
 	$(GO) run ./cmd/benchtables

@@ -95,7 +95,7 @@ func BenchmarkE10Bandwidth(b *testing.B) {
 }
 
 func BenchmarkE11Dilation(b *testing.B) {
-	h := graph.GNP(100, 0.1, graph.NewRand(1))
+	h := graph.MustGNP(100, 0.1, graph.NewRand(1))
 	benchTable(b, func(seed uint64) (*experiments.Table, error) {
 		return experiments.E11Dilation(h, []int{1, 4, 8, 16}, seed)
 	})
@@ -166,7 +166,7 @@ func BenchmarkA5ReservedAblation(b *testing.B) {
 // baseline. The pooled scheduler must win on both ns/op and allocs/op.
 func BenchmarkEngineStep(b *testing.B) {
 	const machines = 10000
-	g := graph.GNP(machines, 8.0/machines, graph.NewRand(9))
+	g := graph.MustGNP(machines, 8.0/machines, graph.NewRand(9))
 	for _, s := range []struct {
 		name  string
 		sched network.Scheduler
@@ -218,6 +218,28 @@ func BenchmarkExperimentRunner(b *testing.B) {
 	}
 }
 
+// BenchmarkGraphGen measures the O(n+m) instance generators at the scales
+// the ROADMAP's scenarios need, up to a million vertices. The workloads live
+// in internal/benchwork, shared with the benchtables -graphbench emitter so
+// BENCH_graph.json stays comparable to these. GNP and geometric run at two
+// sizes a decade apart: linear scaling shows as ≈10× ns/op between them.
+func BenchmarkGraphGen(b *testing.B) {
+	for _, w := range benchwork.GraphGenWorkloads() {
+		b.Run(w.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g, err := w.Gen(uint64(i) + 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g.N() != w.N {
+					b.Fatalf("generated %d vertices, want %d", g.N(), w.N)
+				}
+			}
+		})
+	}
+}
+
 // --- micro-benchmarks ---------------------------------------------------
 
 func BenchmarkFullPipelineHighDegree(b *testing.B) {
@@ -243,7 +265,7 @@ func BenchmarkFullPipelineHighDegree(b *testing.B) {
 }
 
 func BenchmarkFullPipelineLowDegree(b *testing.B) {
-	h := graph.GNP(800, 6.0/800, graph.NewRand(2))
+	h := graph.MustGNP(800, 6.0/800, graph.NewRand(2))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Color(h, Options{Seed: uint64(i) + 1}); err != nil {
@@ -297,7 +319,7 @@ func benchCG(b *testing.B, h *graph.Graph) *cluster.CG {
 }
 
 func BenchmarkTryColorRound(b *testing.B) {
-	h := graph.GNP(1000, 0.02, graph.NewRand(6))
+	h := graph.MustGNP(1000, 0.02, graph.NewRand(6))
 	cg := benchCG(b, h)
 	space := trials.RangeSpace(1, int32(h.MaxDegree()+1))
 	rng := graph.NewRand(7)

@@ -14,7 +14,8 @@
 //
 // Quickstart:
 //
-//	h := clustercolor.GNP(1000, 0.05, 42)
+//	h, err := clustercolor.GNP(1000, 0.05, 42)
+//	if err != nil { ... }
 //	res, err := clustercolor.Color(h, clustercolor.Options{Seed: 1})
 //	if err != nil { ... }
 //	fmt.Println(res.Rounds(), res.NumColors())
@@ -41,23 +42,49 @@ type GraphBuilder = graph.Builder
 // NewGraphBuilder returns a builder for a graph on n vertices.
 func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
 
-// GNP samples an Erdős–Rényi graph G(n, p) with a deterministic seed.
-func GNP(n int, p float64, seed uint64) *Graph {
+// GNP samples an Erdős–Rényi graph G(n, p) with a deterministic seed, in
+// O(n + m) expected time. It returns an error for p outside [0,1] (NaN
+// included) instead of silently producing a degenerate graph.
+func GNP(n int, p float64, seed uint64) (*Graph, error) {
 	return graph.GNP(n, p, graph.NewRand(seed))
 }
 
-// Clique returns the complete graph K_n.
+// Clique returns the complete graph K_n. It panics if n(n-1)/2 exceeds the
+// graph substrate's ~2³⁰-edge capacity (n > ~46000).
 func Clique(n int) *Graph { return graph.Clique(n) }
 
 // RandomGeometric samples a wireless-style random geometric graph: n points
-// in the unit square, edges within the given radius.
-func RandomGeometric(n int, radius float64, seed uint64) *Graph {
-	g, _ := graph.RandomGeometric(n, radius, graph.NewRand(seed))
-	return g
+// in the unit square, edges within the given radius (grid-bucketed,
+// O(n + m) expected time). Invalid radii (negative, NaN, Inf) are an error.
+func RandomGeometric(n int, radius float64, seed uint64) (*Graph, error) {
+	g, _, err := graph.RandomGeometric(n, radius, graph.NewRand(seed))
+	return g, err
 }
 
-// Power returns the k-th power of g (distance-k conflict graph).
-func Power(g *Graph, k int) *Graph { return g.Power(k) }
+// BarabasiAlbert grows a preferential-attachment power-law graph: each new
+// vertex attaches to `attach` distinct existing vertices chosen
+// proportionally to degree — the hub-and-spoke scenario complementing GNP's
+// concentrated degrees.
+func BarabasiAlbert(n, attach int, seed uint64) (*Graph, error) {
+	return graph.BarabasiAlbert(n, attach, graph.NewRand(seed))
+}
+
+// RandomRegular samples a uniform-ish d-regular graph on n vertices via the
+// pairing model. n·d must be even and d < n.
+func RandomRegular(n, d int, seed uint64) (*Graph, error) {
+	return graph.RandomRegular(n, d, graph.NewRand(seed))
+}
+
+// RingOfCliques returns numCliques cliques of cliqueSize vertices joined in
+// a ring by single bridge edges: maximal local density with minimal
+// expansion.
+func RingOfCliques(numCliques, cliqueSize int) (*Graph, error) {
+	return graph.RingOfCliques(numCliques, cliqueSize)
+}
+
+// Power returns the k-th power of g (distance-k conflict graph); k must be
+// >= 1.
+func Power(g *Graph, k int) (*Graph, error) { return g.Power(k) }
 
 // Topology selects how each input vertex expands into a cluster of machines
 // in the communication network.
@@ -101,10 +128,25 @@ type Options struct {
 	// BandwidthBits is the per-link per-round budget (default
 	// 2·⌈log₂ n⌉ + 16, the model's Θ(log n)).
 	BandwidthBits int
-	// Params tunes the algorithm; zero value uses DefaultParams.
+	// Params tunes the algorithm; the zero value selects DefaultParams
+	// (a zero Params is never valid on its own, so this is unambiguous —
+	// see core.Params.IsZero).
 	Params core.Params
-	// Seed drives all randomness (expansion and algorithm).
+	// Seed drives all randomness (expansion and algorithm). It always
+	// takes effect — 0 is a valid explicit seed, not "unset" — and
+	// overrides Params.Seed.
 	Seed uint64
+}
+
+// resolveParams returns opts.Params with the zero value replaced by
+// DefaultParams(n), and opts.Seed applied unconditionally.
+func resolveParams(opts Options, n int) core.Params {
+	params := opts.Params
+	if params.IsZero() {
+		params = core.DefaultParams(n)
+	}
+	params.Seed = opts.Seed
+	return params
 }
 
 // Result is a completed coloring run.
@@ -159,13 +201,7 @@ func Color(h *Graph, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	params := opts.Params
-	if params == (core.Params{}) {
-		params = core.DefaultParams(h.N())
-	}
-	if opts.Seed != 0 {
-		params.Seed = opts.Seed
-	}
+	params := resolveParams(opts, h.N())
 	col, stats, err := core.Color(cg, params)
 	if err != nil {
 		return nil, err
@@ -201,11 +237,7 @@ func buildClusterGraph(h *Graph, opts Options) (*cluster.CG, *network.CostModel,
 	if spec.MachinesPerCluster == 0 {
 		spec.MachinesPerCluster = 1
 	}
-	seed := opts.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	exp, err := graph.Expand(h, spec, graph.NewRand(seed^0xa5a5a5a5))
+	exp, err := graph.Expand(h, spec, graph.NewRand(opts.Seed^0xa5a5a5a5))
 	if err != nil {
 		return nil, nil, err
 	}

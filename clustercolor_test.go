@@ -1,12 +1,24 @@
 package clustercolor
 
 import (
+	"math"
 	"strings"
 	"testing"
+
+	"clustercolor/internal/core"
 )
 
+func mustGNP(t *testing.T, n int, p float64, seed uint64) *Graph {
+	t.Helper()
+	h, err := GNP(n, p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
 func TestColorQuickstart(t *testing.T) {
-	h := GNP(300, 0.05, 42)
+	h := mustGNP(t, 300, 0.05, 42)
 	res, err := Color(h, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -29,7 +41,7 @@ func TestColorQuickstart(t *testing.T) {
 }
 
 func TestColorAllTopologies(t *testing.T) {
-	h := GNP(120, 0.08, 7)
+	h := mustGNP(t, 120, 0.08, 7)
 	tests := []struct {
 		name string
 		opts Options
@@ -82,8 +94,11 @@ func TestVerifyRejectsBadColorings(t *testing.T) {
 
 func TestPowerGraphColoring(t *testing.T) {
 	// Corollary 1.3's shape: distance-2 coloring via the square graph.
-	g := GNP(150, 0.03, 11)
-	h2 := Power(g, 2)
+	g := mustGNP(t, 150, 0.03, 11)
+	h2, err := Power(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := Color(h2, Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
@@ -131,5 +146,160 @@ func TestGraphBuilderFacade(t *testing.T) {
 	}
 	if err := Verify(h, res.Colors()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSeedZeroIsExplicit pins the Options.Seed contract: 0 is a usable
+// explicit seed (it used to be conflated with "unset" and silently replaced
+// by 1), runs are deterministic per seed, and different seeds actually steer
+// the randomness.
+func TestSeedZeroIsExplicit(t *testing.T) {
+	h := mustGNP(t, 200, 0.1, 13)
+	run := func(seed uint64) []int {
+		t.Helper()
+		res, err := Color(h, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(h, res.Colors()); err != nil {
+			t.Fatal(err)
+		}
+		return res.Colors()
+	}
+	zeroA, zeroB := run(0), run(0)
+	for i := range zeroA {
+		if zeroA[i] != zeroB[i] {
+			t.Fatal("Seed 0 runs not deterministic")
+		}
+	}
+	one := run(1)
+	same := true
+	for i := range zeroA {
+		if zeroA[i] != one[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("Seed 0 produced the same coloring as Seed 1 — still being treated as unset")
+	}
+}
+
+// TestExplicitParamsRespected pins the Params defaulting path: a non-zero
+// Params must be used as given (with Options.Seed layered on top), not
+// silently swapped for DefaultParams.
+func TestExplicitParamsRespected(t *testing.T) {
+	h := mustGNP(t, 150, 0.1, 21)
+	p := core.DefaultParams(h.N())
+	p.MaxFallbackRounds = 77 // a value DefaultParams never produces
+	res, err := Color(h, Options{Seed: 4, Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(h, res.Colors()); err != nil {
+		t.Fatal(err)
+	}
+	// An invalid explicit Params must surface as an error, not be replaced
+	// by defaults.
+	bad := core.DefaultParams(h.N())
+	bad.Eps = 0.9
+	if _, err := Color(h, Options{Seed: 4, Params: bad}); err == nil {
+		t.Fatal("invalid explicit Params silently accepted")
+	}
+}
+
+// TestColoringIndependentOfBuildOrder pins the CSR regression contract: the
+// same edge set, inserted in different orders and orientations, must color
+// byte-identically (adjacency is canonicalized by Build, and the pipeline
+// consumes only that canonical form).
+func TestColoringIndependentOfBuildOrder(t *testing.T) {
+	ref := mustGNP(t, 120, 0.08, 31)
+	var edges [][2]int
+	for v := 0; v < ref.N(); v++ {
+		for _, w := range ref.Neighbors(v) {
+			if int(w) > v {
+				edges = append(edges, [2]int{v, int(w)})
+			}
+		}
+	}
+	forward := NewGraphBuilder(ref.N())
+	for _, e := range edges {
+		if err := forward.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backward := NewGraphBuilder(ref.N())
+	for i := len(edges) - 1; i >= 0; i-- {
+		if err := backward.AddEdge(edges[i][1], edges[i][0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := Options{Seed: 6}
+	resA, err := Color(forward.Build(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := Color(backward.Build(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := resA.Colors(), resB.Colors()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("vertex %d colored %d vs %d depending on build order", i, a[i], b[i])
+		}
+	}
+}
+
+// TestNewGeneratorsColor runs the full public pipeline on each new scenario
+// generator.
+func TestNewGeneratorsColor(t *testing.T) {
+	gens := map[string]func() (*Graph, error){
+		"ba":          func() (*Graph, error) { return BarabasiAlbert(150, 3, 5) },
+		"regular":     func() (*Graph, error) { return RandomRegular(150, 6, 5) },
+		"ringcliques": func() (*Graph, error) { return RingOfCliques(6, 20) },
+		"geometric":   func() (*Graph, error) { return RandomGeometric(200, 0.1, 5) },
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			h, err := gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Color(h, Options{Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(h, res.Colors()); err != nil {
+				t.Fatal(err)
+			}
+			if res.NumColors() > h.MaxDegree()+1 {
+				t.Fatalf("%d colors for Δ=%d", res.NumColors(), h.MaxDegree())
+			}
+		})
+	}
+}
+
+// TestGeneratorErrorsPropagate pins the wrapper contract: invalid generator
+// parameters surface as errors from the public API instead of silently
+// degenerate graphs.
+func TestGeneratorErrorsPropagate(t *testing.T) {
+	if _, err := GNP(100, math.NaN(), 1); err == nil {
+		t.Fatal("NaN p accepted by GNP wrapper")
+	}
+	if _, err := RandomGeometric(100, math.NaN(), 1); err == nil {
+		t.Fatal("NaN radius accepted by RandomGeometric wrapper")
+	}
+	if _, err := BarabasiAlbert(10, 20, 1); err == nil {
+		t.Fatal("attach >= n accepted by BarabasiAlbert wrapper")
+	}
+	if _, err := RandomRegular(5, 3, 1); err == nil {
+		t.Fatal("odd n·d accepted by RandomRegular wrapper")
+	}
+	if _, err := RingOfCliques(3, 0); err == nil {
+		t.Fatal("cliqueSize 0 accepted by RingOfCliques wrapper")
+	}
+	if _, err := Power(Clique(3), 0); err == nil {
+		t.Fatal("Power(0) accepted by wrapper")
 	}
 }

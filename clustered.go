@@ -39,13 +39,7 @@ func ColorClustered(g *Graph, clusterOf []int, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	params := opts.Params
-	if params == (core.Params{}) {
-		params = core.DefaultParams(h.N())
-	}
-	if opts.Seed != 0 {
-		params.Seed = opts.Seed
-	}
+	params := resolveParams(opts, h.N())
 	col, stats, err := core.Color(cg, params)
 	if err != nil {
 		return nil, err
@@ -93,7 +87,9 @@ func contract(g *Graph, clusterOf []int) (*Graph, *graph.Expansion, error) {
 		for _, m2 := range g.Neighbors(m) {
 			cv := clusterOf[m2]
 			if cu != cv {
-				if _, err := b.AddEdgeIfAbsent(cu, cv); err != nil {
+				// Each link is seen from both endpoints; Build merges the
+				// repeats into one H-edge.
+				if err := b.AddEdge(cu, cv); err != nil {
 					return nil, nil, err
 				}
 			}
@@ -122,13 +118,7 @@ func ColorDistance2(g *Graph, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	params := opts.Params
-	if params == (core.Params{}) {
-		params = core.DefaultParams(vg.H.N())
-	}
-	if opts.Seed != 0 {
-		params.Seed = opts.Seed
-	}
+	params := resolveParams(opts, vg.H.N())
 	col, stats, err := core.Color(cg, params)
 	if err != nil {
 		return nil, err

@@ -76,7 +76,7 @@ func TestColorClusteredValidation(t *testing.T) {
 func TestColorClusteredBFSBallDecomposition(t *testing.T) {
 	// The network-decomposition scenario: grow BFS balls over a random
 	// network, contract them, and color the contracted graph.
-	g := GNP(400, 0.015, 17)
+	g := mustGNP(t, 400, 0.015, 17)
 	clusterOf := bfsBalls(g, 2)
 	res, err := ColorClustered(g, clusterOf, Options{Seed: 5})
 	if err != nil {
@@ -133,7 +133,7 @@ func bfsBalls(g *Graph, radius int) []int {
 }
 
 func TestColorBaselines(t *testing.T) {
-	h := GNP(200, 0.08, 19)
+	h := mustGNP(t, 200, 0.08, 19)
 	for _, kind := range []BaselineKind{LubyBaseline, PaletteSparsificationBaseline} {
 		res, err := ColorBaseline(h, kind, Options{Seed: 7})
 		if err != nil {
@@ -152,12 +152,15 @@ func TestColorBaselines(t *testing.T) {
 }
 
 func TestColorDistance2Facade(t *testing.T) {
-	g := GNP(150, 0.025, 23)
+	g := mustGNP(t, 150, 0.025, 23)
 	res, err := ColorDistance2(g, Options{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2 := Power(g, 2)
+	h2, err := Power(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := Verify(h2, res.Colors()); err != nil {
 		t.Fatal(err)
 	}

@@ -83,7 +83,10 @@ func runnerBench(par int, seed uint64) testing.BenchmarkResult {
 // emitEngineBench runs the engine and runner benchmarks and writes the
 // machine-readable report to path ("-" for stdout).
 func emitEngineBench(path string, machines int, seed uint64) error {
-	g := graph.GNP(machines, 8/float64(machines), graph.NewRand(seed))
+	g, err := graph.GNP(machines, 8/float64(machines), graph.NewRand(seed))
+	if err != nil {
+		return err
+	}
 	report := benchReport{
 		Schema:     "clustercolor/bench-engine/v1",
 		GoMaxProcs: runtime.GOMAXPROCS(0),

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"clustercolor/internal/benchwork"
+	"clustercolor/internal/graph"
+)
+
+// graphBenchReport is the BENCH_graph.json schema: one record per generator
+// workload, with the instance shape next to the timings so O(n+m) scaling
+// can be read off the file (compare ns_per_op across the n=1e5/1e6 rows).
+type graphBenchReport struct {
+	Schema     string             `json:"schema"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Seed       uint64             `json:"seed"`
+	Benchmarks []graphBenchResult `json:"benchmarks"`
+}
+
+// graphBenchResult names the instance size "vertices": unlike the engine
+// report there are no simulated machines here, just the generated graph.
+type graphBenchResult struct {
+	benchResult
+	Vertices int `json:"vertices"`
+}
+
+// emitGraphBench benchmarks every generator workload and writes the
+// machine-readable report to path ("-" for stdout).
+func emitGraphBench(path string, seed uint64) error {
+	report := graphBenchReport{
+		Schema:     "clustercolor/bench-graph/v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+	}
+	for _, w := range benchwork.GraphGenWorkloads() {
+		// The instance shape (N, M) is captured from the first timed
+		// iteration rather than a separate untimed generation, which would
+		// double bench-graph's wall clock on the million-vertex rows.
+		var g *graph.Graph
+		var loopErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got, err := w.Gen(seed + uint64(i))
+				if err != nil {
+					// b.Fatal alone would make testing.Benchmark return a
+					// zero result and the report silently record ns_per_op=0.
+					loopErr = fmt.Errorf("%s: %w", w.Name, err)
+					b.Fatal(err)
+				}
+				if g == nil {
+					g = got
+				}
+			}
+		})
+		if loopErr != nil {
+			return loopErr
+		}
+		if g == nil {
+			return fmt.Errorf("%s: benchmark ran zero iterations", w.Name)
+		}
+		rec := graphBenchResult{benchResult: record(w.Name, r), Vertices: g.N()}
+		rec.Edges = g.M()
+		report.Benchmarks = append(report.Benchmarks, rec)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

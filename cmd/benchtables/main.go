@@ -6,12 +6,14 @@
 //	benchtables -seed 9              # different randomness
 //	benchtables -parallel 1          # sequential reference run (same output)
 //	benchtables -enginebench out.json  # emit engine benchmarks instead
+//	benchtables -graphbench out.json   # emit graph-generator benchmarks instead
 //
 // Tables are computed by a parallel runner that fans experiments and their
 // rows across CPUs; the output is byte-identical for every -parallel value.
 // -enginebench benchmarks the round engine (pooled vs spawn scheduler) and
 // the experiment runner, and writes a machine-readable JSON report
-// (conventionally BENCH_engine.json).
+// (conventionally BENCH_engine.json). -graphbench does the same for the
+// O(n+m) instance generators (conventionally BENCH_graph.json).
 package main
 
 import (
@@ -33,13 +35,22 @@ func main() {
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment runner parallelism (1 = sequential)")
 		benchOut  = flag.String("enginebench", "", "run engine benchmarks and write BENCH_engine.json to this path ('-' = stdout), then exit")
 		benchN    = flag.Int("benchn", 10000, "machine count for -enginebench")
+		graphOut  = flag.String("graphbench", "", "run graph-generator benchmarks and write BENCH_graph.json to this path ('-' = stdout), then exit")
 	)
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
-	if *benchOut != "" {
-		if err := emitEngineBench(*benchOut, *benchN, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "benchtables:", err)
-			os.Exit(1)
+	if *benchOut != "" || *graphOut != "" {
+		if *benchOut != "" {
+			if err := emitEngineBench(*benchOut, *benchN, *seed); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				os.Exit(1)
+			}
+		}
+		if *graphOut != "" {
+			if err := emitGraphBench(*graphOut, *seed); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

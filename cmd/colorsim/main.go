@@ -6,6 +6,10 @@
 //
 //	colorsim -kind gnp -n 500 -p 0.05 -topology star -machines 4 -seed 7
 //	colorsim -kind cabal -cliques 3 -cliquesize 60 -external 2
+//	colorsim -kind geometric -n 2000 -radius 0.04
+//	colorsim -kind ba -n 1000 -attach 4
+//	colorsim -kind regular -n 1000 -degree 8
+//	colorsim -kind ringcliques -cliques 8 -cliquesize 30
 package main
 
 import (
@@ -29,11 +33,14 @@ func main() {
 
 func run() error {
 	var (
-		kind       = flag.String("kind", "gnp", "instance kind: gnp | planted | cabal | clique | power2")
-		n          = flag.Int("n", 400, "vertices (gnp, clique, power2)")
+		kind       = flag.String("kind", "gnp", "instance kind: gnp | planted | cabal | clique | power2 | geometric | ba | regular | ringcliques | tree")
+		n          = flag.Int("n", 400, "vertices (gnp, clique, power2, geometric, ba, regular, tree)")
 		p          = flag.Float64("p", 0.05, "edge probability (gnp, power2)")
-		cliques    = flag.Int("cliques", 3, "planted/cabal block count")
-		cliqueSize = flag.Int("cliquesize", 50, "planted/cabal block size")
+		radius     = flag.Float64("radius", 0.1, "connection radius (geometric)")
+		attach     = flag.Int("attach", 4, "edges per new vertex (ba)")
+		degree     = flag.Int("degree", 6, "vertex degree (regular)")
+		cliques    = flag.Int("cliques", 3, "planted/cabal/ringcliques block count")
+		cliqueSize = flag.Int("cliquesize", 50, "planted/cabal/ringcliques block size")
 		external   = flag.Int("external", 3, "planted/cabal external degree")
 		topology   = flag.String("topology", "singleton", "cluster wiring: singleton | star | path | tree")
 		machines   = flag.Int("machines", 1, "machines per cluster")
@@ -43,7 +50,11 @@ func run() error {
 	)
 	flag.Parse()
 
-	h, err := makeInstance(*kind, *n, *p, *cliques, *cliqueSize, *external, *seed)
+	h, err := makeInstance(instanceSpec{
+		kind: *kind, n: *n, p: *p, radius: *radius, attach: *attach,
+		degree: *degree, cliques: *cliques, cliqueSize: *cliqueSize,
+		external: *external, seed: *seed,
+	})
 	if err != nil {
 		return err
 	}
@@ -97,34 +108,66 @@ func run() error {
 	return nil
 }
 
-func makeInstance(kind string, n int, p float64, cliques, cliqueSize, external int, seed uint64) (*graph.Graph, error) {
-	rng := graph.NewRand(seed)
-	switch kind {
+// instanceSpec carries every generator knob the CLI exposes.
+type instanceSpec struct {
+	kind       string
+	n          int
+	p          float64
+	radius     float64
+	attach     int
+	degree     int
+	cliques    int
+	cliqueSize int
+	external   int
+	seed       uint64
+}
+
+func makeInstance(spec instanceSpec) (*graph.Graph, error) {
+	rng := graph.NewRand(spec.seed)
+	switch spec.kind {
 	case "gnp":
-		return graph.GNP(n, p, rng), nil
+		return graph.GNP(spec.n, spec.p, rng)
 	case "clique":
-		return graph.Clique(n), nil
+		if !graph.CliqueFits(spec.n) {
+			return nil, fmt.Errorf("graph: Clique(%d) exceeds the graph substrate's edge capacity", spec.n)
+		}
+		return graph.Clique(spec.n), nil
 	case "planted":
 		h, _, err := graph.PlantedACD(graph.PlantedACDSpec{
-			NumCliques:     cliques,
-			CliqueSize:     cliqueSize,
+			NumCliques:     spec.cliques,
+			CliqueSize:     spec.cliqueSize,
 			DropFraction:   0.04,
-			ExternalDegree: external,
-			SparseN:        cliqueSize,
+			ExternalDegree: spec.external,
+			SparseN:        spec.cliqueSize,
 			SparseP:        0.1,
 		}, rng)
 		return h, err
 	case "cabal":
 		h, _, err := graph.PlantedCabals(graph.CabalSpec{
-			NumCliques: cliques,
-			CliqueSize: cliqueSize,
-			External:   external,
+			NumCliques: spec.cliques,
+			CliqueSize: spec.cliqueSize,
+			External:   spec.external,
 		}, rng)
 		return h, err
 	case "power2":
-		return graph.GNP(n, p, rng).Power(2), nil
+		h, err := graph.GNP(spec.n, spec.p, rng)
+		if err != nil {
+			return nil, err
+		}
+		return h.Power(2)
+	case "geometric":
+		h, _, err := graph.RandomGeometric(spec.n, spec.radius, rng)
+		return h, err
+	case "ba":
+		return graph.BarabasiAlbert(spec.n, spec.attach, rng)
+	case "regular":
+		return graph.RandomRegular(spec.n, spec.degree, rng)
+	case "ringcliques":
+		return graph.RingOfCliques(spec.cliques, spec.cliqueSize)
+	case "tree":
+		return graph.RandomTree(spec.n, rng), nil
 	default:
-		return nil, fmt.Errorf("unknown kind %q", kind)
+		return nil, fmt.Errorf("unknown kind %q", spec.kind)
 	}
 }
 

@@ -6,6 +6,13 @@ import (
 	"clustercolor/internal/graph"
 )
 
+func testSpec(kind string) instanceSpec {
+	return instanceSpec{
+		kind: kind, n: 50, p: 0.1, radius: 0.15, attach: 3, degree: 4,
+		cliques: 2, cliqueSize: 20, external: 2, seed: 1,
+	}
+}
+
 func TestMakeInstanceKinds(t *testing.T) {
 	tests := []struct {
 		kind  string
@@ -16,10 +23,15 @@ func TestMakeInstanceKinds(t *testing.T) {
 		{kind: "planted", wantN: 2*20 + 20},
 		{kind: "cabal", wantN: 2 * 20},
 		{kind: "power2", wantN: 50},
+		{kind: "geometric", wantN: 50},
+		{kind: "ba", wantN: 50},
+		{kind: "regular", wantN: 50},
+		{kind: "ringcliques", wantN: 2 * 20},
+		{kind: "tree", wantN: 50},
 	}
 	for _, tt := range tests {
 		t.Run(tt.kind, func(t *testing.T) {
-			h, err := makeInstance(tt.kind, 50, 0.1, 2, 20, 2, 1)
+			h, err := makeInstance(testSpec(tt.kind))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -28,8 +40,27 @@ func TestMakeInstanceKinds(t *testing.T) {
 			}
 		})
 	}
-	if _, err := makeInstance("bogus", 10, 0.1, 1, 1, 1, 1); err == nil {
+	if _, err := makeInstance(testSpec("bogus")); err == nil {
 		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestMakeInstanceRejectsBadParams(t *testing.T) {
+	bad := testSpec("gnp")
+	bad.p = 1.5
+	if _, err := makeInstance(bad); err == nil {
+		t.Fatal("gnp p=1.5 accepted")
+	}
+	badGeo := testSpec("geometric")
+	badGeo.radius = -0.1
+	if _, err := makeInstance(badGeo); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+	badReg := testSpec("regular")
+	badReg.n = 5
+	badReg.degree = 3 // odd n·d
+	if _, err := makeInstance(badReg); err == nil {
+		t.Fatal("odd n·d accepted for regular")
 	}
 }
 
@@ -63,7 +94,10 @@ func TestDefaultBandwidthGrowth(t *testing.T) {
 func TestRunEndToEnd(t *testing.T) {
 	// Exercise run() through the flag defaults by calling the pieces it
 	// wires: a small instance must color and verify.
-	h, err := makeInstance("gnp", 60, 0.1, 0, 0, 0, 3)
+	spec := testSpec("gnp")
+	spec.n = 60
+	spec.seed = 3
+	h, err := makeInstance(spec)
 	if err != nil {
 		t.Fatal(err)
 	}

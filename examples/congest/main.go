@@ -24,7 +24,10 @@ func run() error {
 	fmt.Println(" Luby pays Θ(log n) waves, palette sparsification Θ(log² n) machinery)")
 	fmt.Printf("%8s %8s %10s %10s %10s\n", "n", "Delta", "ours", "luby", "palette-sp")
 	for _, n := range []int{400, 800, 1600} {
-		h := clustercolor.GNP(n, 80.0/float64(n), uint64(n))
+		h, err := clustercolor.GNP(n, 80.0/float64(n), uint64(n))
+		if err != nil {
+			return err
+		}
 		opts := clustercolor.Options{Seed: 9}
 		ours, err := clustercolor.Color(h, opts)
 		if err != nil {

@@ -22,8 +22,14 @@ func main() {
 func run() error {
 	// A "radio" network: 600 transmitters in the unit square, hearing
 	// range 0.05.
-	g := clustercolor.RandomGeometric(600, 0.05, 99)
-	h2 := clustercolor.Power(g, 2)
+	g, err := clustercolor.RandomGeometric(600, 0.05, 99)
+	if err != nil {
+		return err
+	}
+	h2, err := clustercolor.Power(g, 2)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("network: n=%d, Δ=%d; conflict graph G²: Δ²=%d\n",
 		g.N(), g.MaxDegree(), h2.MaxDegree())
 

@@ -20,7 +20,10 @@ func main() {
 }
 
 func run() error {
-	g := clustercolor.GNP(2000, 0.003, 123)
+	g, err := clustercolor.GNP(2000, 0.003, 123)
+	if err != nil {
+		return err
+	}
 	clusterOf := bfsBalls(g, 2)
 	h, err := clustercolor.ContractedGraph(g, clusterOf)
 	if err != nil {

@@ -54,7 +54,10 @@ func run() error {
 	fmt.Printf("  verified proper; %d simulated rounds\n\n", res.Rounds())
 
 	// --- Part 2: a larger random instance ----------------------------
-	big := clustercolor.GNP(1000, 0.02, 42)
+	big, err := clustercolor.GNP(1000, 0.02, 42)
+	if err != nil {
+		return err
+	}
 	res2, err := clustercolor.Color(big, clustercolor.Options{
 		Topology:           clustercolor.StarCluster,
 		MachinesPerCluster: 3,

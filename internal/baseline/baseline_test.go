@@ -35,7 +35,7 @@ func TestGreedyProperOnVariousGraphs(t *testing.T) {
 	}{
 		{name: "clique", g: graph.Clique(20)},
 		{name: "path", g: graph.Path(20)},
-		{name: "gnp", g: graph.GNP(150, 0.1, rng)},
+		{name: "gnp", g: graph.MustGNP(150, 0.1, rng)},
 		{name: "empty", g: graph.NewBuilder(5).Build()},
 	}
 	for _, tt := range tests {
@@ -53,7 +53,7 @@ func TestGreedyProperOnVariousGraphs(t *testing.T) {
 
 func TestRandomTrialsCompletes(t *testing.T) {
 	rng := graph.NewRand(5)
-	h := graph.GNP(200, 0.1, rng)
+	h := graph.MustGNP(200, 0.1, rng)
 	cg := testCG(t, h)
 	col := coloring.New(h.N(), h.MaxDegree())
 	res, err := RandomTrials(cg, col, 500, graph.NewRand(7))
@@ -82,7 +82,7 @@ func TestRandomTrialsWavesGrowLogarithmically(t *testing.T) {
 	// within a few of each other, far below linear growth.
 	waves := func(n int) int {
 		rng := graph.NewRand(uint64(n))
-		h := graph.GNP(n, 8.0/float64(n), rng)
+		h := graph.MustGNP(n, 8.0/float64(n), rng)
 		cg := testCG(t, h)
 		col := coloring.New(h.N(), h.MaxDegree())
 		res, err := RandomTrials(cg, col, 1000, graph.NewRand(11))
@@ -99,7 +99,7 @@ func TestRandomTrialsWavesGrowLogarithmically(t *testing.T) {
 
 func TestPaletteSparsificationCompletes(t *testing.T) {
 	rng := graph.NewRand(13)
-	h := graph.GNP(200, 0.15, rng)
+	h := graph.MustGNP(200, 0.15, rng)
 	cg := testCG(t, h)
 	col := coloring.New(h.N(), h.MaxDegree())
 	res, err := PaletteSparsification(cg, col, 1.0, 500, graph.NewRand(15))

@@ -8,7 +8,7 @@ import (
 )
 
 func TestGossipMachinesTraffic(t *testing.T) {
-	g := graph.GNP(50, 0.2, graph.NewRand(3))
+	g := graph.MustGNP(50, 0.2, graph.NewRand(3))
 	eng, err := network.NewEngine(g, GossipMachines(g), 0)
 	if err != nil {
 		t.Fatal(err)

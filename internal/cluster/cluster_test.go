@@ -136,7 +136,7 @@ func TestHopsPerRoundAndCharge(t *testing.T) {
 
 func TestBFSForestMatchesSequentialBFS(t *testing.T) {
 	rng := graph.NewRand(23)
-	h := graph.GNP(40, 0.15, rng)
+	h := graph.MustGNP(40, 0.15, rng)
 	cg := mustCG(t, h, graph.ExpandSpec{Topology: graph.TopologySingleton}, 5)
 	// Two disjoint subgraphs: even vertices and odd vertices.
 	var even, odd []int

@@ -76,7 +76,7 @@ func TestColorSmallGraphs(t *testing.T) {
 
 func TestColorGNPLowDegreePath(t *testing.T) {
 	rng := graph.NewRand(3)
-	h := graph.GNP(300, 0.02, rng) // Δ ≈ 6 « 4·log² n → low-degree path
+	h := graph.MustGNP(300, 0.02, rng) // Δ ≈ 6 « 4·log² n → low-degree path
 	stats := runAndVerify(t, h, DefaultParams(h.N()))
 	if stats.Path != "low-degree" {
 		t.Fatalf("path = %q, want low-degree (Δ=%d)", stats.Path, stats.Delta)
@@ -85,7 +85,7 @@ func TestColorGNPLowDegreePath(t *testing.T) {
 
 func TestColorGNPHighDegreePath(t *testing.T) {
 	rng := graph.NewRand(5)
-	h := graph.GNP(300, 0.6, rng) // Δ ≈ 180 > threshold → high-degree path
+	h := graph.MustGNP(300, 0.6, rng) // Δ ≈ 180 > threshold → high-degree path
 	p := DefaultParams(h.N())
 	p.DeltaLow = 50
 	stats := runAndVerify(t, h, p)
@@ -143,7 +143,7 @@ func TestColorCabalHeavyInstance(t *testing.T) {
 
 func TestColorWithClusterTopologies(t *testing.T) {
 	rng := graph.NewRand(11)
-	h := graph.GNP(120, 0.1, rng)
+	h := graph.MustGNP(120, 0.1, rng)
 	for _, topo := range []graph.ClusterTopology{graph.TopologyStar, graph.TopologyPath, graph.TopologyTree} {
 		t.Run(topo.String(), func(t *testing.T) {
 			cg := buildCG(t, h, topo, 4, 13)
@@ -165,7 +165,7 @@ func TestDilationMultipliesRounds(t *testing.T) {
 	// Theorem 1.1/1.2: rounds scale linearly with d. Compare star
 	// (dilation 1) vs path (dilation k-1) clusters on the same H.
 	rng := graph.NewRand(15)
-	h := graph.GNP(100, 0.1, rng)
+	h := graph.MustGNP(100, 0.1, rng)
 	roundsFor := func(topo graph.ClusterTopology, size int) (int64, int) {
 		cg := buildCG(t, h, topo, size, 17)
 		p := DefaultParams(h.N())
@@ -187,7 +187,7 @@ func TestDilationMultipliesRounds(t *testing.T) {
 
 func TestStatsAreCoherent(t *testing.T) {
 	rng := graph.NewRand(19)
-	h := graph.GNP(200, 0.3, rng)
+	h := graph.MustGNP(200, 0.3, rng)
 	p := DefaultParams(h.N())
 	p.DeltaLow = 30
 	stats := runAndVerify(t, h, p)
@@ -261,7 +261,7 @@ func TestReservedForRespectsCap(t *testing.T) {
 
 func TestDeterministicAcrossRuns(t *testing.T) {
 	rng := graph.NewRand(21)
-	h := graph.GNP(80, 0.2, rng)
+	h := graph.MustGNP(80, 0.2, rng)
 	p := DefaultParams(h.N())
 	p.Seed = 5
 	cg1 := buildCG(t, h, graph.TopologySingleton, 1, 23)

@@ -65,6 +65,11 @@ func DefaultParams(n int) Params {
 	}
 }
 
+// IsZero reports whether p is the zero value. A zero Params never validates
+// (Eps must be positive), so callers use IsZero as the explicit "unset —
+// substitute DefaultParams" signal rather than comparing structs inline.
+func (p Params) IsZero() bool { return p == (Params{}) }
+
 // Validate checks parameter sanity.
 func (p Params) Validate() error {
 	if p.Eps <= 0 || p.Eps >= 1.0/3 {

@@ -1,0 +1,25 @@
+package core
+
+import "testing"
+
+func TestParamsIsZero(t *testing.T) {
+	var zero Params
+	if !zero.IsZero() {
+		t.Fatal("zero Params not IsZero")
+	}
+	if DefaultParams(100).IsZero() {
+		t.Fatal("DefaultParams reported IsZero")
+	}
+	// Setting only the seed is enough to count as "explicitly provided".
+	if (Params{Seed: 1}).IsZero() {
+		t.Fatal("Params{Seed:1} reported IsZero")
+	}
+	// The zero value is never valid on its own — that is what makes using
+	// it as the "substitute defaults" sentinel unambiguous.
+	if err := zero.Validate(); err == nil {
+		t.Fatal("zero Params validated")
+	}
+	if err := DefaultParams(100).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

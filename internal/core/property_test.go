@@ -19,7 +19,7 @@ func TestPropertyAlwaysProperColoring(t *testing.T) {
 		p := 0.02 + float64(pRaw%60)/100.0 // 0.02..0.61
 		topos := []graph.ClusterTopology{graph.TopologySingleton, graph.TopologyStar, graph.TopologyPath, graph.TopologyTree}
 		topo := topos[int(topoRaw)%len(topos)]
-		h := graph.GNP(n, p, graph.NewRand(seed))
+		h := graph.MustGNP(n, p, graph.NewRand(seed))
 		size := 1
 		if topo != graph.TopologySingleton {
 			size = 2 + int(topoRaw)%3
@@ -67,7 +67,7 @@ func TestPropertyAlwaysProperColoring(t *testing.T) {
 func TestPropertyStatsMonotone(t *testing.T) {
 	f := func(seed uint64, nRaw uint8) bool {
 		n := 30 + int(nRaw)%120
-		h := graph.GNP(n, 10.0/float64(n), graph.NewRand(seed))
+		h := graph.MustGNP(n, 10.0/float64(n), graph.NewRand(seed))
 		cg := quietCG(h, seed+1)
 		if cg == nil {
 			return false

@@ -38,7 +38,7 @@ func TestStageOrderFigure5HighDegree(t *testing.T) {
 // TestStageOrderLowDegree verifies the Section 9 pipeline order.
 func TestStageOrderLowDegree(t *testing.T) {
 	rng := graph.NewRand(7)
-	h := graph.GNP(300, 0.02, rng)
+	h := graph.MustGNP(300, 0.02, rng)
 	cg := buildCG(t, h, graph.TopologySingleton, 1, 9)
 	_, stats, err := Color(cg, DefaultParams(h.N()))
 	if err != nil {

@@ -49,7 +49,7 @@ func TestColorReducesDefectBelowAverage(t *testing.T) {
 	// With q classes, a uniform random coloring has expected defect 1/q;
 	// local search should land at or below that on average.
 	rng := graph.NewRand(3)
-	h := graph.GNP(150, 0.1, rng)
+	h := graph.MustGNP(150, 0.1, rng)
 	cg := testCG(t, h, 5)
 	w := unitWeights(h.N())
 	q := 8
@@ -70,7 +70,7 @@ func TestColorReducesDefectBelowAverage(t *testing.T) {
 
 func TestColorMoreClassesLessDefect(t *testing.T) {
 	rng := graph.NewRand(9)
-	h := graph.GNP(120, 0.15, rng)
+	h := graph.MustGNP(120, 0.15, rng)
 	w := unitWeights(h.N())
 	defectAt := func(q int) float64 {
 		cg := testCG(t, h, 11)

@@ -50,7 +50,7 @@ func assertMatchesVertexLevel(t *testing.T, cg *cluster.CG, trials int, seed uin
 
 func TestWaveMatchesVertexLevelSingleton(t *testing.T) {
 	rng := graph.NewRand(3)
-	h := graph.GNP(60, 0.15, rng)
+	h := graph.MustGNP(60, 0.15, rng)
 	cg := buildCG(t, h, graph.ExpandSpec{Topology: graph.TopologySingleton}, 5)
 	stats := assertMatchesVertexLevel(t, cg, 16, 7)
 	if stats.Messages == 0 {
@@ -60,7 +60,7 @@ func TestWaveMatchesVertexLevelSingleton(t *testing.T) {
 
 func TestWaveMatchesVertexLevelDeepClusters(t *testing.T) {
 	rng := graph.NewRand(9)
-	h := graph.GNP(25, 0.25, rng)
+	h := graph.MustGNP(25, 0.25, rng)
 	for _, spec := range []graph.ExpandSpec{
 		{Topology: graph.TopologyStar, MachinesPerCluster: 5},
 		{Topology: graph.TopologyPath, MachinesPerCluster: 6},
@@ -78,7 +78,7 @@ func TestWaveImmuneToRedundantLinks(t *testing.T) {
 	// deliver the same sketch several times. Idempotent max-merging must
 	// keep the result identical to the single-link case.
 	rng := graph.NewRand(15)
-	h := graph.GNP(20, 0.3, rng)
+	h := graph.MustGNP(20, 0.3, rng)
 	cg := buildCG(t, h, graph.ExpandSpec{
 		Topology:           graph.TopologyStar,
 		MachinesPerCluster: 6,
@@ -92,7 +92,7 @@ func TestWaveRoundsBoundedByDilation(t *testing.T) {
 	// every topology, including deep path clusters where the support-tree
 	// height equals the dilation.
 	rng := graph.NewRand(21)
-	h := graph.GNP(15, 0.3, rng)
+	h := graph.MustGNP(15, 0.3, rng)
 	for _, spec := range []graph.ExpandSpec{
 		{Topology: graph.TopologySingleton},
 		{Topology: graph.TopologyStar, MachinesPerCluster: 4},
@@ -117,7 +117,7 @@ func TestWaveRoundsBoundedByDilation(t *testing.T) {
 // schedulers: identical sketches and byte-identical LinkStats.
 func TestWaveSchedulersAgree(t *testing.T) {
 	rng := graph.NewRand(43)
-	h := graph.GNP(30, 0.2, rng)
+	h := graph.MustGNP(30, 0.2, rng)
 	cg := buildCG(t, h, graph.ExpandSpec{Topology: graph.TopologyTree, MachinesPerCluster: 6}, 45)
 	samples := fingerprint.SampleAll(h.N(), 24, graph.NewRand(47))
 	pooled, statsPooled, err := FingerprintWaveWith(cg, samples, 0, network.SchedulerPooled)
@@ -144,7 +144,7 @@ func TestWaveBandwidthObserved(t *testing.T) {
 	// With a generous cap the wave completes and reports per-link usage;
 	// with a tiny cap the engine must reject oversized sketches.
 	rng := graph.NewRand(27)
-	h := graph.GNP(20, 0.3, rng)
+	h := graph.MustGNP(20, 0.3, rng)
 	cg := buildCG(t, h, graph.ExpandSpec{Topology: graph.TopologyStar, MachinesPerCluster: 3}, 29)
 	samples := fingerprint.SampleAll(h.N(), 32, graph.NewRand(31))
 	_, stats, err := FingerprintWave(cg, samples, 1<<16)
@@ -188,7 +188,7 @@ func TestWaveEstimatesDegrees(t *testing.T) {
 	// End-to-end: the machine-level wave supports the same degree
 	// estimation as Lemma 5.7.
 	rng := graph.NewRand(37)
-	h := graph.GNP(80, 0.3, rng)
+	h := graph.MustGNP(80, 0.3, rng)
 	cg := buildCG(t, h, graph.ExpandSpec{Topology: graph.TopologyStar, MachinesPerCluster: 2}, 39)
 	samples := fingerprint.SampleAll(h.N(), 512, graph.NewRand(41))
 	sketches, _, err := FingerprintWave(cg, samples, 0)

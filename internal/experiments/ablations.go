@@ -65,19 +65,19 @@ func A2CabalMatching(n, plantedPairs int, seeds int, seed uint64) (*Table, error
 		Header: []string{"variant", "meanRepeats", "runs≥half"},
 		Notes:  "in cabals (a_K = O(log n)) sampling alone under-produces; Proposition 4.15's backup closes the gap",
 	}
-	build := func() *graph.Graph {
+	build := func() (*graph.Graph, error) {
 		b := graph.NewBuilder(n)
 		for u := 0; u < n; u++ {
 			for v := u + 1; v < n; v++ {
 				anti := v == u+1 && u%2 == 0 && u/2 < plantedPairs
 				if !anti {
 					if err := b.AddEdge(u, v); err != nil {
-						panic(err)
+						return nil, err
 					}
 				}
 			}
 		}
-		return b.Build()
+		return b.Build(), nil
 	}
 	members := make([]int, n)
 	for i := range members {
@@ -87,7 +87,10 @@ func A2CabalMatching(n, plantedPairs int, seeds int, seed uint64) (*Table, error
 		total := 0
 		good := 0
 		for s := 0; s < seeds; s++ {
-			h := build()
+			h, err := build()
+			if err != nil {
+				return nil, err
+			}
 			cg, err := buildCG(h, graph.TopologySingleton, 1, 48, seed+uint64(s))
 			if err != nil {
 				return nil, err

@@ -172,7 +172,10 @@ func E2LowDegreeRounds(sizes []int, seed uint64) (*Table, error) {
 	}
 	rows, err := forEach(len(sizes), func(i int) ([]string, error) {
 		n := sizes[i]
-		h := graph.GNP(n, 6.0/float64(n), graph.NewRand(seed))
+		h, err := graph.GNP(n, 6.0/float64(n), graph.NewRand(seed))
+		if err != nil {
+			return nil, err
+		}
 		cg, err := buildCG(h, graph.TopologySingleton, 1, 48, seed+1)
 		if err != nil {
 			return nil, err
@@ -349,7 +352,10 @@ func E10Bandwidth(sizes []int, seed uint64) (*Table, error) {
 	}
 	rows, err := forEach(len(sizes), func(i int) ([]string, error) {
 		n := sizes[i]
-		h := graph.GNP(n, 10.0/float64(n), graph.NewRand(seed))
+		h, err := graph.GNP(n, 10.0/float64(n), graph.NewRand(seed))
+		if err != nil {
+			return nil, err
+		}
 		bw := 2*intLog2(n) + 16
 		cg, err := buildCG(h, graph.TopologySingleton, 1, bw, seed+1)
 		if err != nil {

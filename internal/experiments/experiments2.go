@@ -239,7 +239,10 @@ func E12Baselines(sizes []int, seed uint64) (*Table, error) {
 	}
 	rows, err := forEach(len(sizes), func(i int) ([]string, error) {
 		n := sizes[i]
-		h := graph.GNP(n, 20.0/float64(n), graph.NewRand(seed))
+		h, err := graph.GNP(n, 20.0/float64(n), graph.NewRand(seed))
+		if err != nil {
+			return nil, err
+		}
 		ours, err := runOurs(h, seed)
 		if err != nil {
 			return nil, err
@@ -293,7 +296,10 @@ func E13TryColor(n int, rounds int, seed uint64) (*Table, error) {
 		Header: []string{"round", "uncolored", "shrinkFactor"},
 		Notes:  "with constant slack fraction each round removes a constant fraction (factor < 1)",
 	}
-	h := graph.GNP(n, 12.0/float64(n), graph.NewRand(seed))
+	h, err := graph.GNP(n, 12.0/float64(n), graph.NewRand(seed))
+	if err != nil {
+		return nil, err
+	}
 	cg, err := buildCG(h, graph.TopologySingleton, 1, 48, seed+1)
 	if err != nil {
 		return nil, err
@@ -405,8 +411,14 @@ func E15Distance2(sizes []int, seed uint64) (*Table, error) {
 	}
 	rows, err := forEach(len(sizes), func(i int) ([]string, error) {
 		n := sizes[i]
-		g := graph.GNP(n, 4.0/float64(n), graph.NewRand(seed))
-		h2 := g.Power(2)
+		g, err := graph.GNP(n, 4.0/float64(n), graph.NewRand(seed))
+		if err != nil {
+			return nil, err
+		}
+		h2, err := g.Power(2)
+		if err != nil {
+			return nil, err
+		}
 		cg, err := buildCG(h2, graph.TopologySingleton, 1, 48, seed+1)
 		if err != nil {
 			return nil, err
@@ -480,7 +492,10 @@ func All(seed uint64) ([]*Table, error) {
 		func() (*Table, error) { return E9SCT(60, []int{1, 3, 6, 10}, seed) },
 		func() (*Table, error) { return E10Bandwidth([]int{200, 400}, seed) },
 		func() (*Table, error) {
-			h := graph.GNP(100, 0.1, graph.NewRand(seed))
+			h, err := graph.GNP(100, 0.1, graph.NewRand(seed))
+			if err != nil {
+				return nil, err
+			}
 			return E11Dilation(h, []int{1, 4, 8, 16}, seed)
 		},
 		func() (*Table, error) { return E12Baselines([]int{200, 400}, seed) },
@@ -489,6 +504,7 @@ func All(seed uint64) ([]*Table, error) {
 		func() (*Table, error) { return E15Distance2([]int{100, 200}, seed) },
 		func() (*Table, error) { return E16VirtualDistance2([]int{100, 200}, seed) },
 		func() (*Table, error) { return E17Linial(1500, 2.0, seed) },
+		func() (*Table, error) { return E18Scenarios(300, seed) },
 	}
 	return forEach(len(jobs), func(i int) (*Table, error) { return jobs[i]() })
 }

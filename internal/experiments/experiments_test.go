@@ -173,7 +173,7 @@ func TestE10PayloadBounded(t *testing.T) {
 }
 
 func TestE11RoundsGrowWithDilation(t *testing.T) {
-	h := graph.GNP(60, 0.12, graph.NewRand(23))
+	h := graph.MustGNP(60, 0.12, graph.NewRand(23))
 	tbl, err := E11Dilation(h, []int{1, 8}, 23)
 	if err != nil {
 		t.Fatal(err)
@@ -234,8 +234,8 @@ func TestAllRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 17 {
-		t.Fatalf("got %d tables, want 17", len(tables))
+	if len(tables) != 18 {
+		t.Fatalf("got %d tables, want 18", len(tables))
 	}
 	for _, tbl := range tables {
 		if len(tbl.Rows) == 0 {

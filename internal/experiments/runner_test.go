@@ -12,7 +12,7 @@ import (
 // compare parallel and sequential execution byte-for-byte.
 func batterySubset(t *testing.T, seed uint64) []*Table {
 	t.Helper()
-	h := graph.GNP(60, 0.12, graph.NewRand(seed))
+	h := graph.MustGNP(60, 0.12, graph.NewRand(seed))
 	runs := []func() (*Table, error){
 		func() (*Table, error) { return E1HighDegreeRounds([]int{30, 60}, seed) },
 		func() (*Table, error) { return E2LowDegreeRounds([]int{150, 250}, seed) },

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clustercolor/internal/coloring"
+	"clustercolor/internal/core"
+	"clustercolor/internal/graph"
+)
+
+// E18Scenarios runs the full pipeline once on each scenario generator —
+// concentrated degrees (GNP), wireless geometry, power-law hubs
+// (Barabási–Albert), perfectly regular degrees, the ring-of-cliques
+// density/expansion extreme, the single clique, random trees, squared
+// sparse graphs, planted cabals, and planted almost-clique decompositions —
+// and reports instance shape and coloring cost side by side. It is the
+// cross-generator smoke sweep that keeps every -kind of cmd/colorsim
+// exercised by the battery.
+func E18Scenarios(n int, seed uint64) (*Table, error) {
+	t := &Table{
+		ID:     "E18",
+		Title:  fmt.Sprintf("Scenario sweep — every generator through the full pipeline (n≈%d)", n),
+		Header: []string{"kind", "n", "m", "Delta", "colors", "rounds", "path"},
+		Notes:  "one pinned-seed instance per generator; colors must stay ≤ Δ+1 on every shape",
+	}
+	type scenario struct {
+		name string
+		make func() (*graph.Graph, error)
+	}
+	scenarios := []scenario{
+		{"gnp", func() (*graph.Graph, error) {
+			return graph.GNP(n, 10.0/float64(n), graph.NewRand(seed))
+		}},
+		{"geometric", func() (*graph.Graph, error) {
+			g, _, err := graph.RandomGeometric(n, 0.06, graph.NewRand(seed))
+			return g, err
+		}},
+		{"ba", func() (*graph.Graph, error) {
+			return graph.BarabasiAlbert(n, 4, graph.NewRand(seed))
+		}},
+		{"regular", func() (*graph.Graph, error) {
+			return graph.RandomRegular(n, 8, graph.NewRand(seed))
+		}},
+		{"ringcliques", func() (*graph.Graph, error) {
+			return graph.RingOfCliques(n/25, 25)
+		}},
+		{"clique", func() (*graph.Graph, error) {
+			if !graph.CliqueFits(n) {
+				return nil, fmt.Errorf("experiments: clique scenario n %d exceeds the graph substrate's edge capacity", n)
+			}
+			return graph.Clique(n), nil
+		}},
+		{"tree", func() (*graph.Graph, error) {
+			return graph.RandomTree(n, graph.NewRand(seed)), nil
+		}},
+		{"power2", func() (*graph.Graph, error) {
+			g, err := graph.GNP(n, 8.0/float64(n), graph.NewRand(seed))
+			if err != nil {
+				return nil, err
+			}
+			return g.Power(2)
+		}},
+		{"cabal", func() (*graph.Graph, error) {
+			g, _, err := graph.PlantedCabals(graph.CabalSpec{
+				NumCliques: 3,
+				CliqueSize: n / 6,
+				External:   3,
+			}, graph.NewRand(seed))
+			return g, err
+		}},
+		{"planted", func() (*graph.Graph, error) {
+			g, _, err := graph.PlantedACD(graph.PlantedACDSpec{
+				NumCliques:     3,
+				CliqueSize:     n / 6,
+				DropFraction:   0.04,
+				ExternalDegree: 3,
+				SparseN:        n / 2,
+				SparseP:        4.0 / float64(n),
+			}, graph.NewRand(seed))
+			return g, err
+		}},
+	}
+	rows, err := forEach(len(scenarios), func(i int) ([]string, error) {
+		h, err := scenarios[i].make()
+		if err != nil {
+			return nil, err
+		}
+		cg, err := buildCG(h, graph.TopologySingleton, 1, 48, rowSeed(seed, i))
+		if err != nil {
+			return nil, err
+		}
+		p := core.DefaultParams(h.N())
+		p.Seed = rowSeed(seed, i) + 1
+		col, stats, err := core.Color(cg, p)
+		if err != nil {
+			return nil, err
+		}
+		if err := coloring.VerifyComplete(h, col); err != nil {
+			return nil, fmt.Errorf("experiments: %s coloring invalid: %w", scenarios[i].name, err)
+		}
+		return []string{
+			scenarios[i].name, d(h.N()), d(h.M()), d(h.MaxDegree()),
+			d(col.CountColors()), d64(stats.Rounds), stats.Path,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
+	return t, nil
+}

@@ -24,7 +24,10 @@ func E16VirtualDistance2(sizes []int, seed uint64) (*Table, error) {
 		Notes:  "Appendix A: everything translates with overhead = edge congestion; ratio should equal the congestion",
 	}
 	for _, n := range sizes {
-		g := graph.GNP(n, 4.0/float64(n), graph.NewRand(seed))
+		g, err := graph.GNP(n, 4.0/float64(n), graph.NewRand(seed))
+		if err != nil {
+			return nil, err
+		}
 		vg, err := virtual.Distance2(g)
 		if err != nil {
 			return nil, err
@@ -76,7 +79,10 @@ func E17Linial(n int, avgDeg float64, seed uint64) (*Table, error) {
 		Header: []string{"step", "colors", "proper"},
 		Notes:  "colors collapse from n to Θ(Δ²) in O(log* n) steps, then one class per round to Δ+1",
 	}
-	h := graph.GNP(n, avgDeg/float64(n), graph.NewRand(seed))
+	h, err := graph.GNP(n, avgDeg/float64(n), graph.NewRand(seed))
+	if err != nil {
+		return nil, err
+	}
 	cg, err := buildCG(h, graph.TopologySingleton, 1, 48, seed+1)
 	if err != nil {
 		return nil, err

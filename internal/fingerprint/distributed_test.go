@@ -28,7 +28,7 @@ func testCG(t *testing.T, h *graph.Graph, seed uint64) *cluster.CG {
 
 func TestApproxDegreesOnCluster(t *testing.T) {
 	rng := graph.NewRand(31)
-	h := graph.GNP(120, 0.3, rng)
+	h := graph.MustGNP(120, 0.3, rng)
 	cg := testCG(t, h, 7)
 	ests, err := ApproxDegrees(cg, "deg", 0.3, graph.NewRand(9))
 	if err != nil {
@@ -58,7 +58,7 @@ func TestApproxDegreesOnCluster(t *testing.T) {
 func TestApproxCountWithPredicate(t *testing.T) {
 	// Count only neighbors with even ids.
 	rng := graph.NewRand(33)
-	h := graph.GNP(150, 0.4, rng)
+	h := graph.MustGNP(150, 0.4, rng)
 	cg := testCG(t, h, 8)
 	pred := func(v, u int) bool { return u%2 == 0 }
 	ests, err := ApproxCount(cg, "even", 0.3, pred, graph.NewRand(10))
@@ -134,7 +134,7 @@ func TestCollectSketchesIncludeSelf(t *testing.T) {
 
 func TestCollectSketchesMatchBruteForceMaxima(t *testing.T) {
 	rng := graph.NewRand(35)
-	h := graph.GNP(40, 0.3, rng)
+	h := graph.MustGNP(40, 0.3, rng)
 	cg := testCG(t, h, 9)
 	samples := SampleAll(h.N(), 24, graph.NewRand(11))
 	sketches, err := CollectSketches(cg, "x", samples, CollectOptions{})

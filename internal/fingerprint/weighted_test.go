@@ -90,7 +90,7 @@ func TestWeightedSketchEstimatesSum(t *testing.T) {
 
 func TestApproxWeightedSumOnCluster(t *testing.T) {
 	rng := graph.NewRand(5)
-	h := graph.GNP(100, 0.3, rng)
+	h := graph.MustGNP(100, 0.3, rng)
 	cg := testCG(t, h, 7)
 	// x_u = u's weight / 2^b with b = 3.
 	b := 3
@@ -125,7 +125,7 @@ func TestApproxWeightedSumOnCluster(t *testing.T) {
 
 func TestApproxWeightedSumWithAlpha(t *testing.T) {
 	rng := graph.NewRand(11)
-	h := graph.GNP(80, 0.3, rng)
+	h := graph.MustGNP(80, 0.3, rng)
 	cg := testCG(t, h, 13)
 	weights := make([]int64, h.N())
 	for v := range weights {

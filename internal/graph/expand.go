@@ -93,27 +93,34 @@ func Expand(h *Graph, spec ExpandSpec, rng *rand.Rand) (*Expansion, error) {
 		}
 	}
 	// Inter-cluster links: each H-edge gets `redundant` links between
-	// random machine pairs (deduplicated).
+	// random machine pairs. Links between clusters v and w can only arise
+	// from the H-edge {v,w}, so deduplication is local to this loop body —
+	// a scan of the few pairs already drawn for the same H-edge.
+	drawn := make([][2]int32, 0, redundant)
 	for v := 0; v < h.N(); v++ {
 		for _, w := range h.Neighbors(v) {
 			if int(w) < v {
 				continue
 			}
-			added := 0
-			for attempt := 0; attempt < redundant*4 && added < redundant; attempt++ {
+			// The first attempt always succeeds (drawn is empty, so no dup),
+			// so every H-edge gets at least one link.
+			drawn = drawn[:0]
+			for attempt := 0; attempt < redundant*4 && len(drawn) < redundant; attempt++ {
 				mu := int(machines[v][rng.IntN(size)])
 				mw := int(machines[w][rng.IntN(size)])
-				ok, err := b.AddEdgeIfAbsent(mu, mw)
-				if err != nil {
-					return nil, err
+				pair := [2]int32{int32(mu), int32(mw)}
+				dup := false
+				for _, d := range drawn {
+					if d == pair {
+						dup = true
+						break
+					}
 				}
-				if ok {
-					added++
+				if dup {
+					continue
 				}
-			}
-			if added == 0 {
-				// Guarantee at least one link per H-edge.
-				if _, err := b.AddEdgeIfAbsent(int(machines[v][0]), int(machines[w][0])); err != nil {
+				drawn = append(drawn, pair)
+				if err := b.AddEdge(mu, mw); err != nil {
 					return nil, err
 				}
 			}

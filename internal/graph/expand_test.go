@@ -2,6 +2,14 @@ package graph
 
 import "testing"
 
+// edgeKey normalizes an undirected pair for use as a map key in tests.
+func edgeKey(u, v int) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{int32(u), int32(v)}
+}
+
 func TestExpandTopologies(t *testing.T) {
 	h := Cycle(6)
 	tests := []struct {

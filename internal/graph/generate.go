@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 )
 
@@ -12,26 +13,102 @@ func NewRand(seed uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
 }
 
-// GNP samples an Erdős–Rényi graph G(n, p).
-func GNP(n int, p float64, rng *rand.Rand) *Graph {
+// validProb reports whether p is a probability in [0,1]. NaN fails every
+// comparison, so the check must be written positively: a bare
+// "p < 0 || p > 1" lets NaN through and silently degenerates the output.
+func validProb(p float64) bool {
+	return p >= 0 && p <= 1
+}
+
+// GNP samples an Erdős–Rényi graph G(n, p) in O(n + m) expected time by
+// geometric skip sampling (Batagelj–Brandes): instead of flipping a coin per
+// pair, it jumps between successful pairs with geometrically distributed
+// strides, so million-vertex sparse instances cost seconds, not hours.
+func GNP(n int, p float64, rng *rand.Rand) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: GNP n %d < 0", n)
+	}
+	if !validProb(p) {
+		return nil, fmt.Errorf("graph: GNP p %v out of [0,1]", p)
+	}
 	b := NewBuilder(n)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if rng.Float64() < p {
-				// In-range distinct endpoints: cannot fail.
-				_ = b.AddEdge(u, v)
+	if err := gnpInto(b, 0, n, p, rng); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// MustGNP is GNP for compile-time-constant parameters (tests, benchmarks,
+// examples); it panics on the errors GNP would return.
+func MustGNP(n int, p float64, rng *rand.Rand) *Graph {
+	g, err := GNP(n, p, rng)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// gnpInto adds the edges of G(hi-lo, p) on the vertex window [lo, hi) of b.
+// p must already be validated to [0,1].
+func gnpInto(b *Builder, lo, hi int, p float64, rng *rand.Rand) error {
+	n := hi - lo
+	if n < 2 || p == 0 {
+		return nil
+	}
+	if p == 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if err := b.AddEdge(lo+u, lo+v); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	// Batagelj–Brandes: enumerate pairs (v, w), w < v, in row order and skip
+	// ahead Geometric(p) positions between successes.
+	logq := math.Log1p(-p)
+	pairs := float64(n) * float64(n) // loose bound on remaining positions
+	v, w := 1, -1
+	for v < n {
+		skip := math.Floor(math.Log1p(-rng.Float64()) / logq)
+		if skip >= pairs {
+			break // jumped past every remaining pair
+		}
+		w += 1 + int(skip)
+		for v < n && w >= v {
+			w -= v
+			v++
+		}
+		if v < n {
+			if err := b.AddEdge(lo+v, lo+w); err != nil {
+				return err
 			}
 		}
 	}
-	return b.Build()
+	return nil
 }
 
-// Clique returns the complete graph K_n.
+// CliqueFits reports whether K_n fits the builder's edge capacity; callers
+// that must not panic (CLIs, servers) should check it before Clique.
+// n < 65536 keeps the product overflow-free; anything larger is past the
+// cap on its own.
+func CliqueFits(n int) bool {
+	return n < 65536 && (n < 2 || int64(n)*int64(n-1)/2 <= maxBuilderEdges)
+}
+
+// Clique returns the complete graph K_n. It panics if n(n-1)/2 exceeds the
+// builder's edge capacity (n > ~46000, see CliqueFits): such a graph cannot
+// be represented in the int32 CSR arrays, and truncating it silently would
+// be worse.
 func Clique(n int) *Graph {
+	if !CliqueFits(n) {
+		panic(fmt.Sprintf("graph: Clique(%d) exceeds the %d-edge CSR capacity", n, maxBuilderEdges))
+	}
 	b := NewBuilder(n)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			_ = b.AddEdge(u, v)
+			_ = b.AddEdge(u, v) // in-range, distinct, capacity pre-checked: cannot fail
 		}
 	}
 	return b.Build()
@@ -46,7 +123,9 @@ func Path(n int) *Graph {
 	return b.Build()
 }
 
-// Cycle returns the cycle graph on n >= 3 vertices.
+// Cycle returns the cycle graph on n vertices. For n >= 3 this is C_n; for
+// n = 2 the "cycle" collapses to the single edge {0,1} (simple graphs have
+// no parallel edges), and for n <= 1 the graph is edgeless.
 func Cycle(n int) *Graph {
 	b := NewBuilder(n)
 	for v := 1; v < n; v++ {
@@ -81,23 +160,104 @@ func RandomTree(n int, rng *rand.Rand) *Graph {
 // connects pairs within Euclidean distance radius — the standard model of
 // wireless interference networks, the motivating workload for distance-2
 // coloring (Corollary 1.3). It returns the graph and the point coordinates.
-func RandomGeometric(n int, radius float64, rng *rand.Rand) (*Graph, [][2]float64) {
+//
+// Pairs are found by bucketing points into a uniform grid with cells no
+// smaller than the radius and comparing each point only against the 3×3
+// surrounding cells, for O(n + m) expected time instead of Θ(n²).
+func RandomGeometric(n int, radius float64, rng *rand.Rand) (*Graph, [][2]float64, error) {
+	if n < 0 {
+		return nil, nil, fmt.Errorf("graph: RandomGeometric n %d < 0", n)
+	}
+	if math.IsNaN(radius) || math.IsInf(radius, 0) || radius < 0 {
+		return nil, nil, fmt.Errorf("graph: RandomGeometric radius %v invalid (want finite >= 0)", radius)
+	}
 	pts := make([][2]float64, n)
 	for i := range pts {
 		pts[i] = [2]float64{rng.Float64(), rng.Float64()}
 	}
 	b := NewBuilder(n)
+	if radius == 0 || n < 2 {
+		return b.Build(), pts, nil
+	}
+	// Grid dimension: cells must be at least radius wide (so neighbors are
+	// confined to the 3×3 block), and at most ~√n per side (so the grid
+	// itself stays O(n) even for tiny radii).
+	dim := 1
+	if radius < 1 {
+		// Compare in float before converting: for tiny radii 1/radius
+		// overflows the int conversion (implementation-defined, negative on
+		// amd64), which would skip the cap and degrade to one Θ(n²) cell.
+		if cap := int(math.Sqrt(float64(n))) + 1; 1/radius > float64(cap) {
+			dim = cap
+		} else {
+			dim = int(1 / radius)
+		}
+		// 1/radius can round up to exactly dim, leaving cells one ulp
+		// narrower than radius and a pair two cells apart but within range.
+		for dim > 1 && 1/float64(dim) < radius {
+			dim--
+		}
+		if dim < 1 {
+			dim = 1
+		}
+	}
+	cellOf := make([]int32, n)
+	counts := make([]int32, dim*dim+1)
+	for i, pt := range pts {
+		gx := int(pt[0] * float64(dim))
+		gy := int(pt[1] * float64(dim))
+		if gx >= dim {
+			gx = dim - 1
+		}
+		if gy >= dim {
+			gy = dim - 1
+		}
+		c := int32(gx*dim + gy)
+		cellOf[i] = c
+		counts[c+1]++
+	}
+	for c := 0; c < dim*dim; c++ {
+		counts[c+1] += counts[c]
+	}
+	bucket := make([]int32, n) // point ids grouped by cell, ascending within a cell
+	cursor := make([]int32, dim*dim)
+	copy(cursor, counts[:dim*dim])
+	for i := 0; i < n; i++ {
+		c := cellOf[i]
+		bucket[cursor[c]] = int32(i)
+		cursor[c]++
+	}
 	r2 := radius * radius
 	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			dx := pts[u][0] - pts[v][0]
-			dy := pts[u][1] - pts[v][1]
-			if dx*dx+dy*dy <= r2 {
-				_ = b.AddEdge(u, v)
+		cu := int(cellOf[u])
+		gx, gy := cu/dim, cu%dim
+		for dx := -1; dx <= 1; dx++ {
+			x := gx + dx
+			if x < 0 || x >= dim {
+				continue
+			}
+			for dy := -1; dy <= 1; dy++ {
+				y := gy + dy
+				if y < 0 || y >= dim {
+					continue
+				}
+				c := x*dim + y
+				for _, v := range bucket[counts[c]:counts[c+1]] {
+					if int(v) <= u {
+						continue
+					}
+					ddx := pts[u][0] - pts[v][0]
+					ddy := pts[u][1] - pts[v][1]
+					if ddx*ddx+ddy*ddy <= r2 {
+						if err := b.AddEdge(u, int(v)); err != nil {
+							return nil, nil, err
+						}
+					}
+				}
 			}
 		}
 	}
-	return b.Build(), pts
+	return b.Build(), pts, nil
 }
 
 // PlantedACDSpec describes a synthetic instance with a known almost-clique
@@ -119,14 +279,30 @@ type PlantedACDSpec struct {
 	SparseP        float64
 }
 
+// Validate checks the spec's fields, rejecting NaN and out-of-range values
+// that would otherwise silently degenerate the instance (a NaN DropFraction
+// fails every ">=" comparison and used to drop every dense edge).
+func (spec PlantedACDSpec) Validate() error {
+	if spec.NumCliques < 0 || spec.CliqueSize < 0 || spec.SparseN < 0 {
+		return fmt.Errorf("graph: negative size in spec %+v", spec)
+	}
+	if spec.ExternalDegree < 0 {
+		return fmt.Errorf("graph: ExternalDegree %d < 0", spec.ExternalDegree)
+	}
+	if !(spec.DropFraction >= 0 && spec.DropFraction < 1) {
+		return fmt.Errorf("graph: DropFraction %v out of [0,1)", spec.DropFraction)
+	}
+	if !validProb(spec.SparseP) {
+		return fmt.Errorf("graph: SparseP %v out of [0,1]", spec.SparseP)
+	}
+	return nil
+}
+
 // PlantedACD generates the instance described by spec. It returns the graph
 // and the planted block label per vertex (-1 for sparse vertices).
 func PlantedACD(spec PlantedACDSpec, rng *rand.Rand) (*Graph, []int, error) {
-	if spec.NumCliques < 0 || spec.CliqueSize < 0 || spec.SparseN < 0 {
-		return nil, nil, fmt.Errorf("graph: negative size in spec %+v", spec)
-	}
-	if spec.DropFraction < 0 || spec.DropFraction >= 1 {
-		return nil, nil, fmt.Errorf("graph: DropFraction %v out of [0,1)", spec.DropFraction)
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
 	}
 	denseN := spec.NumCliques * spec.CliqueSize
 	n := denseN + spec.SparseN
@@ -142,12 +318,15 @@ func PlantedACD(spec PlantedACDSpec, rng *rand.Rand) (*Graph, []int, error) {
 			blocks[base+i] = c
 			for j := i + 1; j < spec.CliqueSize; j++ {
 				if rng.Float64() >= spec.DropFraction {
-					_ = b.AddEdge(base+i, base+j)
+					if err := b.AddEdge(base+i, base+j); err != nil {
+						return nil, nil, err
+					}
 				}
 			}
 		}
 	}
 	// External edges between blocks (and into the sparse part if present).
+	// Repeat draws of the same pair are buffered and merged at Build.
 	if spec.NumCliques > 1 || spec.SparseN > 0 {
 		for v := 0; v < denseN; v++ {
 			for k := 0; k < spec.ExternalDegree; k++ {
@@ -155,19 +334,15 @@ func PlantedACD(spec PlantedACDSpec, rng *rand.Rand) (*Graph, []int, error) {
 				if u == v || blocks[u] == blocks[v] {
 					continue
 				}
-				if _, err := b.AddEdgeIfAbsent(v, u); err != nil {
+				if err := b.AddEdge(v, u); err != nil {
 					return nil, nil, err
 				}
 			}
 		}
 	}
 	// Sparse region.
-	for u := denseN; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if rng.Float64() < spec.SparseP {
-				_ = b.AddEdge(u, v)
-			}
-		}
+	if err := gnpInto(b, denseN, n, spec.SparseP, rng); err != nil {
+		return nil, nil, err
 	}
 	return b.Build(), blocks, nil
 }
@@ -189,4 +364,160 @@ func PlantedCabals(spec CabalSpec, rng *rand.Rand) (*Graph, []int, error) {
 		CliqueSize:     spec.CliqueSize,
 		ExternalDegree: spec.External,
 	}, rng)
+}
+
+// BarabasiAlbert grows a preferential-attachment power-law graph: vertices
+// arrive one at a time and attach to attach distinct existing vertices
+// chosen proportionally to degree (the first vertices attach to all earlier
+// ones). The result has heavy-tailed degrees — the hub-and-spoke scenario
+// complementing GNP's concentrated degrees — and costs O(n · attach).
+func BarabasiAlbert(n, attach int, rng *rand.Rand) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: BarabasiAlbert n %d < 0", n)
+	}
+	if attach < 1 {
+		return nil, fmt.Errorf("graph: BarabasiAlbert attach %d < 1", attach)
+	}
+	if n > 0 && attach >= n {
+		return nil, fmt.Errorf("graph: BarabasiAlbert attach %d >= n %d", attach, n)
+	}
+	b := NewBuilder(n)
+	// repeats holds every edge endpoint once; sampling an index uniformly is
+	// exactly degree-proportional sampling.
+	repeats := make([]int32, 0, 2*attach*n)
+	chosen := make([]int32, 0, attach)
+	for v := 1; v < n; v++ {
+		chosen = chosen[:0]
+		if v <= attach {
+			for u := 0; u < v; u++ {
+				chosen = append(chosen, int32(u))
+			}
+		} else {
+			for len(chosen) < attach {
+				u := repeats[rng.IntN(len(repeats))]
+				dup := false
+				for _, c := range chosen {
+					if c == u {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					chosen = append(chosen, u)
+				}
+			}
+		}
+		for _, u := range chosen {
+			if err := b.AddEdge(int(u), v); err != nil {
+				return nil, err
+			}
+			repeats = append(repeats, u, int32(v))
+		}
+	}
+	return b.Build(), nil
+}
+
+// RandomRegular samples a d-regular graph on n vertices via the pairing
+// (configuration) model: d stubs per vertex are shuffled and matched, pairs
+// that would create self-loops or parallel edges are thrown back, and the
+// whole construction restarts on the (rare) dead end where only unsuitable
+// pairs remain. n·d must be even and d < n.
+func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
+	if n < 0 || d < 0 {
+		return nil, fmt.Errorf("graph: RandomRegular n %d, d %d must be >= 0", n, d)
+	}
+	if d >= n && d > 0 {
+		return nil, fmt.Errorf("graph: RandomRegular d %d >= n %d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: RandomRegular n·d = %d·%d is odd", n, d)
+	}
+	if d == 0 {
+		return NewBuilder(n).Build(), nil
+	}
+	const maxRestarts = 100
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		b := NewBuilder(n)
+		seen := make(map[uint64]struct{}, n*d/2)
+		stubs := make([]int32, 0, n*d)
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, int32(v))
+			}
+		}
+		for len(stubs) > 0 {
+			rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+			leftover := stubs[:0:0]
+			for i := 0; i+1 < len(stubs); i += 2 {
+				u, v := stubs[i], stubs[i+1]
+				lo, hi := u, v
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				key := uint64(lo)<<32 | uint64(hi)
+				if u == v {
+					leftover = append(leftover, u, v)
+					continue
+				}
+				if _, dup := seen[key]; dup {
+					leftover = append(leftover, u, v)
+					continue
+				}
+				seen[key] = struct{}{}
+				if err := b.AddEdge(int(u), int(v)); err != nil {
+					return nil, err
+				}
+			}
+			if len(leftover) == len(stubs) {
+				break // no progress: only unsuitable pairs remain, restart
+			}
+			stubs = leftover
+		}
+		if len(stubs) == 0 {
+			return b.Build(), nil
+		}
+	}
+	return nil, fmt.Errorf("graph: RandomRegular(%d, %d) failed to realize after %d restarts", n, d, maxRestarts)
+}
+
+// RingOfCliques returns numCliques cliques of cliqueSize vertices arranged
+// in a ring, consecutive cliques joined by a single edge (the last vertex of
+// one to the first vertex of the next). It is the canonical
+// high-local-density / low-expansion stress shape: every block is an
+// almost-clique, yet global information must cross single-edge bridges.
+// With cliqueSize = 1 it degenerates to the cycle C_numCliques.
+func RingOfCliques(numCliques, cliqueSize int) (*Graph, error) {
+	if numCliques < 0 || cliqueSize < 1 {
+		return nil, fmt.Errorf("graph: RingOfCliques needs numCliques >= 0 and cliqueSize >= 1, got %d, %d", numCliques, cliqueSize)
+	}
+	// Capacity: reject instances whose edges cannot fit the int32 CSR cap
+	// before buffering gigabytes of endpoints (cliqueSize < 65536 keeps the
+	// per-clique product overflow-free; larger cliques are past the cap on
+	// their own, and the bound is conservative by one ring link per clique).
+	if numCliques > 0 {
+		perClique := int64(cliqueSize)*int64(cliqueSize-1)/2 + 1
+		if cliqueSize >= 65536 || int64(numCliques) > int64(maxBuilderEdges)/perClique {
+			return nil, fmt.Errorf("graph: RingOfCliques(%d, %d) exceeds the %d-edge CSR capacity", numCliques, cliqueSize, maxBuilderEdges)
+		}
+	}
+	n := numCliques * cliqueSize
+	b := NewBuilder(n)
+	for c := 0; c < numCliques; c++ {
+		base := c * cliqueSize
+		for i := 0; i < cliqueSize; i++ {
+			for j := i + 1; j < cliqueSize; j++ {
+				_ = b.AddEdge(base+i, base+j) // in-range, distinct, capacity pre-checked: cannot fail
+			}
+		}
+	}
+	if numCliques >= 2 {
+		for c := 0; c < numCliques; c++ {
+			u := c*cliqueSize + cliqueSize - 1
+			v := ((c + 1) % numCliques) * cliqueSize
+			if u != v {
+				_ = b.AddEdge(u, v) // k=2, size=1 draws {0,1} twice; Build merges it
+			}
+		}
+	}
+	return b.Build(), nil
 }

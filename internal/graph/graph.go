@@ -1,5 +1,5 @@
 // Package graph provides the static undirected graph substrate used by the
-// cluster-graph coloring algorithms: adjacency-list graphs, degree and
+// cluster-graph coloring algorithms: CSR adjacency graphs, degree and
 // neighborhood queries, and the structural generators that the paper's
 // evaluation needs (planted almost-clique instances, cluster expansions,
 // power graphs, and classic random graphs).
@@ -11,115 +11,130 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
-// Graph is an immutable simple undirected graph.
+// Graph is an immutable simple undirected graph in compressed sparse row
+// (CSR) form: one flat neighbor array indexed by per-vertex offsets, with
+// each vertex's neighbor list sorted ascending. Two flat arrays instead of a
+// slice-of-slices keeps million-vertex instances cache-friendly and
+// allocation-light.
 //
 // The zero value is an empty graph with no vertices. Use NewBuilder to
 // construct non-trivial graphs.
 type Graph struct {
-	adj [][]int32
-	m   int
+	offsets []int32 // len N()+1; vertex v's neighbors are nbrs[offsets[v]:offsets[v+1]]
+	nbrs    []int32 // len 2·M(), sorted ascending within each vertex's window
+	m       int
+	maxDeg  int
 }
 
-// Builder accumulates edges for a Graph. Duplicate edges and self-loops are
-// rejected at Add time so that the resulting graph is always simple.
+// maxBuilderEdges caps the buffered edge count so that 2·M() = 2³¹−2 stays
+// representable in the int32 CSR offsets (the cap is hit only by instances
+// that would need >16 GB of adjacency anyway).
+const maxBuilderEdges = 1<<30 - 1
+
+// Builder accumulates edges for a Graph. Endpoints are validated at Add
+// time (range, self-loops); duplicate edges are buffered freely and merged
+// by a single sort+scan in Build, so no per-edge hash map is kept and adding
+// an edge is a bounds check plus one append.
 type Builder struct {
-	n    int
-	adj  [][]int32
-	seen map[[2]int32]struct{}
+	n     int
+	edges []uint64 // packed lo<<32 | hi with lo < hi
+	built bool
 }
 
-// NewBuilder returns a Builder for a graph on n vertices.
+// NewBuilder returns a Builder for a graph on n vertices (n < 0 is treated
+// as 0).
 func NewBuilder(n int) *Builder {
-	return &Builder{
-		n:    n,
-		adj:  make([][]int32, n),
-		seen: make(map[[2]int32]struct{}, n),
+	if n < 0 {
+		n = 0
 	}
+	return &Builder{n: n}
 }
 
-// AddEdge inserts the undirected edge {u, v}. It returns an error for
-// out-of-range endpoints, self-loops, and duplicate edges.
+// AddEdge buffers the undirected edge {u, v}. It returns an error for
+// out-of-range endpoints and self-loops. Duplicate edges are accepted and
+// merged in Build, so the resulting graph is always simple.
 func (b *Builder) AddEdge(u, v int) error {
+	if b.built {
+		panic("graph: Builder used after Build")
+	}
 	if u < 0 || u >= b.n || v < 0 || v >= b.n {
 		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
 	}
 	if u == v {
 		return fmt.Errorf("graph: self-loop at %d", u)
 	}
-	key := edgeKey(u, v)
-	if _, dup := b.seen[key]; dup {
-		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+	if len(b.edges) >= maxBuilderEdges {
+		return fmt.Errorf("graph: edge count exceeds %d", maxBuilderEdges)
 	}
-	b.seen[key] = struct{}{}
-	b.adj[u] = append(b.adj[u], int32(v))
-	b.adj[v] = append(b.adj[v], int32(u))
-	return nil
-}
-
-// AddEdgeIfAbsent inserts {u, v} unless it already exists or is a self-loop.
-// It reports whether the edge was inserted. Out-of-range endpoints still
-// return an error.
-func (b *Builder) AddEdgeIfAbsent(u, v int) (bool, error) {
-	if u < 0 || u >= b.n || v < 0 || v >= b.n {
-		return false, fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
-	}
-	if u == v {
-		return false, nil
-	}
-	if _, dup := b.seen[edgeKey(u, v)]; dup {
-		return false, nil
-	}
-	// Reuse AddEdge for the actual insertion; preconditions already hold.
-	if err := b.AddEdge(u, v); err != nil {
-		return false, err
-	}
-	return true, nil
-}
-
-// HasEdge reports whether {u,v} has already been added.
-func (b *Builder) HasEdge(u, v int) bool {
-	if u == v || u < 0 || v < 0 || u >= b.n || v >= b.n {
-		return false
-	}
-	_, ok := b.seen[edgeKey(u, v)]
-	return ok
-}
-
-// Build finalizes the graph. The Builder must not be used afterwards.
-func (b *Builder) Build() *Graph {
-	m := 0
-	for _, nb := range b.adj {
-		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
-		m += len(nb)
-	}
-	g := &Graph{adj: b.adj, m: m / 2}
-	b.adj = nil
-	b.seen = nil
-	return g
-}
-
-func edgeKey(u, v int) [2]int32 {
 	if u > v {
 		u, v = v, u
 	}
-	return [2]int32{int32(u), int32(v)}
+	b.edges = append(b.edges, uint64(u)<<32|uint64(v))
+	return nil
+}
+
+// Build finalizes the graph: sorts the buffered endpoint pairs, drops
+// duplicates in one scan, and lays the survivors out in CSR form. Because
+// the pairs are normalized (lo < hi) and sorted lexicographically, filling
+// both directions in pair order yields sorted neighbor lists without any
+// per-vertex sort. The Builder must not be used afterwards: AddEdge and
+// Build panic on a finalized Builder rather than silently dropping the
+// pre-Build edges.
+func (b *Builder) Build() *Graph {
+	if b.built {
+		panic("graph: Builder used after Build")
+	}
+	b.built = true
+	slices.Sort(b.edges)
+	edges := slices.Compact(b.edges)
+	offsets := make([]int32, b.n+1)
+	for _, e := range edges {
+		offsets[e>>32+1]++
+		offsets[uint32(e)+1]++
+	}
+	maxDeg := 0
+	for v := 0; v < b.n; v++ {
+		if d := int(offsets[v+1]); d > maxDeg {
+			maxDeg = d
+		}
+		offsets[v+1] += offsets[v]
+	}
+	cursor := make([]int32, b.n)
+	copy(cursor, offsets[:b.n])
+	nbrs := make([]int32, 2*len(edges))
+	for _, e := range edges {
+		u, v := int32(e>>32), int32(uint32(e))
+		nbrs[cursor[u]] = v
+		cursor[u]++
+		nbrs[cursor[v]] = u
+		cursor[v]++
+	}
+	g := &Graph{offsets: offsets, nbrs: nbrs, m: len(edges), maxDeg: maxDeg}
+	b.edges = nil
+	return g
 }
 
 // N returns the number of vertices.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
 
 // M returns the number of edges.
 func (g *Graph) M() int { return g.m }
 
 // Degree returns the degree of v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.offsets[v+1] - g.offsets[v]) }
 
 // Neighbors returns the sorted neighbor list of v. The returned slice is
 // owned by the graph and must not be modified.
-func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+func (g *Graph) Neighbors(v int) []int32 { return g.nbrs[g.offsets[v]:g.offsets[v+1]] }
 
 // HasEdge reports whether {u, v} is an edge, by binary search on the sorted
 // adjacency list of the lower-degree endpoint.
@@ -127,28 +142,20 @@ func (g *Graph) HasEdge(u, v int) bool {
 	if u == v {
 		return false
 	}
-	if len(g.adj[u]) > len(g.adj[v]) {
+	if g.Degree(u) > g.Degree(v) {
 		u, v = v, u
 	}
-	nb := g.adj[u]
+	nb := g.Neighbors(u)
 	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(v) })
 	return i < len(nb) && nb[i] == int32(v)
 }
 
 // MaxDegree returns Δ, the maximum degree (0 for an empty graph).
-func (g *Graph) MaxDegree() int {
-	max := 0
-	for _, nb := range g.adj {
-		if len(nb) > max {
-			max = len(nb)
-		}
-	}
-	return max
-}
+func (g *Graph) MaxDegree() int { return g.maxDeg }
 
 // CommonNeighbors returns |N(u) ∩ N(v)| by merging the two sorted lists.
 func (g *Graph) CommonNeighbors(u, v int) int {
-	a, b := g.adj[u], g.adj[v]
+	a, b := g.Neighbors(u), g.Neighbors(v)
 	i, j, c := 0, 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -167,7 +174,7 @@ func (g *Graph) CommonNeighbors(u, v int) int {
 
 // UnionNeighborhoodSize returns |N(u) ∪ N(v)|.
 func (g *Graph) UnionNeighborhoodSize(u, v int) int {
-	return len(g.adj[u]) + len(g.adj[v]) - g.CommonNeighbors(u, v)
+	return g.Degree(u) + g.Degree(v) - g.CommonNeighbors(u, v)
 }
 
 // ConnectedComponents returns a component label per vertex and the number of
@@ -187,7 +194,7 @@ func (g *Graph) ConnectedComponents() (labels []int, count int) {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, w := range g.adj[v] {
+			for _, w := range g.Neighbors(int(v)) {
 				if labels[w] < 0 {
 					labels[w] = count
 					queue = append(queue, w)
@@ -217,7 +224,7 @@ func (g *Graph) BFSDepths(src int, allowed func(int) bool) (depth, parent []int)
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(int(v)) {
 			if depth[w] >= 0 {
 				continue
 			}
@@ -241,7 +248,7 @@ func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int) {
 	}
 	b := NewBuilder(len(vertices))
 	for i, v := range vertices {
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			j, ok := index[int(w)]
 			if ok && i < j {
 				// Insertion between in-range distinct indices cannot fail.
@@ -256,36 +263,54 @@ func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int) {
 
 // Power returns the k-th power of g: vertices u != v are adjacent iff their
 // distance in g is at most k. For k=2 this is the distance-2 conflict graph
-// used by Corollary 1.3.
-func (g *Graph) Power(k int) *Graph {
-	b := NewBuilder(g.N())
-	for s := 0; s < g.N(); s++ {
-		// Bounded BFS to depth k.
-		depth := map[int32]int{int32(s): 0}
-		queue := []int32{int32(s)}
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			if depth[v] == k {
+// used by Corollary 1.3. The exponent must be >= 1; Power(1) returns g
+// itself (graphs are immutable, so sharing is safe).
+//
+// Each source runs a depth-bounded BFS over flat epoch-stamped arrays — no
+// per-source maps — so the cost is the sum of the explored ball sizes, which
+// is proportional to the output size for bounded-degree inputs.
+func (g *Graph) Power(k int) (*Graph, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("graph: power exponent %d < 1 (distance-0 adjacency is undefined)", k)
+	}
+	if k == 1 {
+		return g, nil
+	}
+	n := g.N()
+	b := NewBuilder(n)
+	visited := make([]int32, n) // epoch stamp: visited[v] == s+1 ⇔ seen in source s's BFS
+	depth := make([]int32, n)
+	var queue []int32
+	for s := 0; s < n; s++ {
+		epoch := int32(s) + 1
+		visited[s] = epoch
+		depth[s] = 0
+		queue = append(queue[:0], int32(s))
+		for i := 0; i < len(queue); i++ {
+			v := queue[i]
+			if int(depth[v]) == k {
 				continue
 			}
-			for _, w := range g.adj[v] {
-				if _, seen := depth[w]; !seen {
-					depth[w] = depth[v] + 1
-					queue = append(queue, w)
+			for _, w := range g.Neighbors(int(v)) {
+				if visited[w] == epoch {
+					continue
 				}
-			}
-		}
-		for v := range depth {
-			if int(v) > s {
-				if _, err := b.AddEdgeIfAbsent(s, int(v)); err != nil {
-					// Unreachable: s and v are validated in-range.
-					panic(err)
+				visited[w] = epoch
+				depth[w] = depth[v] + 1
+				queue = append(queue, w)
+				if int(w) > s {
+					// Endpoints are in range, but G^k can blow past the
+					// edge cap even for a small input (a large star's
+					// square is a giant clique) — propagate, never
+					// truncate.
+					if err := b.AddEdge(s, int(w)); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
 	}
-	return b.Build()
+	return b.Build(), nil
 }
 
 // Complement anti-edges: AntiDegreeWithin returns |K \ N(v)| - 1 for v in the

@@ -24,22 +24,42 @@ func TestBuilderRejectsBadEdges(t *testing.T) {
 	}
 }
 
-func TestBuilderRejectsDuplicate(t *testing.T) {
+func TestBuilderMergesDuplicates(t *testing.T) {
 	b := NewBuilder(3)
 	if err := b.AddEdge(0, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.AddEdge(1, 0); err == nil {
-		t.Fatal("duplicate edge accepted")
+	// The same edge in both orientations, repeatedly: Build must merge.
+	if err := b.AddEdge(1, 0); err != nil {
+		t.Fatal(err)
 	}
-	ok, err := b.AddEdgeIfAbsent(0, 1)
-	if err != nil || ok {
-		t.Fatalf("AddEdgeIfAbsent(dup) = %v, %v; want false, nil", ok, err)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
 	}
-	ok, err = b.AddEdgeIfAbsent(1, 2)
-	if err != nil || !ok {
-		t.Fatalf("AddEdgeIfAbsent(new) = %v, %v; want true, nil", ok, err)
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
 	}
+	g := b.Build()
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2 (duplicates merged)", g.M())
+	}
+	if g.Degree(1) != 2 || g.Degree(0) != 1 {
+		t.Fatalf("degrees = %d,%d; want 1,2", g.Degree(0), g.Degree(1))
+	}
+}
+
+func TestBuilderPanicsAfterBuild(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	b.Build()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge on a finalized Builder did not panic")
+		}
+	}()
+	_ = b.AddEdge(1, 2)
 }
 
 func TestGraphBasics(t *testing.T) {
@@ -72,7 +92,7 @@ func TestGraphBasics(t *testing.T) {
 
 func TestUnionNeighborhoodMatchesBruteForce(t *testing.T) {
 	rng := NewRand(7)
-	g := GNP(40, 0.2, rng)
+	g := MustGNP(40, 0.2, rng)
 	for u := 0; u < g.N(); u++ {
 		for v := u + 1; v < g.N(); v++ {
 			set := map[int32]bool{}
@@ -163,9 +183,18 @@ func TestInducedSubgraph(t *testing.T) {
 	}
 }
 
+func mustPower(t *testing.T, g *Graph, k int) *Graph {
+	t.Helper()
+	p, err := g.Power(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func TestPowerGraph(t *testing.T) {
 	// Path 0-1-2-3: square adds {0,2},{1,3}.
-	p := Path(4).Power(2)
+	p := mustPower(t, Path(4), 2)
 	wantEdges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 2}, {1, 3}}
 	if p.M() != len(wantEdges) {
 		t.Fatalf("M = %d, want %d", p.M(), len(wantEdges))
@@ -182,8 +211,8 @@ func TestPowerGraph(t *testing.T) {
 
 func TestPowerGraphMatchesBFS(t *testing.T) {
 	rng := NewRand(11)
-	g := GNP(30, 0.1, rng)
-	p := g.Power(2)
+	g := MustGNP(30, 0.1, rng)
+	p := mustPower(t, g, 2)
 	for u := 0; u < g.N(); u++ {
 		depth, _ := g.BFSDepths(u, nil)
 		for v := 0; v < g.N(); v++ {
@@ -201,7 +230,7 @@ func TestPowerGraphMatchesBFS(t *testing.T) {
 func TestGNPDegreeConcentration(t *testing.T) {
 	rng := NewRand(3)
 	n, p := 400, 0.1
-	g := GNP(n, p, rng)
+	g := MustGNP(n, p, rng)
 	mean := 0.0
 	for v := 0; v < n; v++ {
 		mean += float64(g.Degree(v))
@@ -314,7 +343,7 @@ func TestAntiDegreeWithin(t *testing.T) {
 // Property: HasEdge is symmetric and consistent with Neighbors.
 func TestHasEdgeSymmetryProperty(t *testing.T) {
 	rng := NewRand(21)
-	g := GNP(60, 0.15, rng)
+	g := MustGNP(60, 0.15, rng)
 	f := func(a, b uint8) bool {
 		u := int(a) % g.N()
 		v := int(b) % g.N()
@@ -338,7 +367,7 @@ func TestHasEdgeSymmetryProperty(t *testing.T) {
 func TestDegreeSumProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		rng := NewRand(seed)
-		g := GNP(30+int(seed%20), 0.2, rng)
+		g := MustGNP(30+int(seed%20), 0.2, rng)
 		sum := 0
 		for v := 0; v < g.N(); v++ {
 			sum += g.Degree(v)
@@ -352,7 +381,10 @@ func TestDegreeSumProperty(t *testing.T) {
 
 func TestRandomGeometric(t *testing.T) {
 	rng := NewRand(41)
-	g, pts := RandomGeometric(200, 0.12, rng)
+	g, pts, err := RandomGeometric(200, 0.12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if g.N() != 200 || len(pts) != 200 {
 		t.Fatalf("N = %d, pts = %d", g.N(), len(pts))
 	}

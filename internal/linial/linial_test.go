@@ -55,7 +55,7 @@ func TestReduceShrinksColorsAndStaysProper(t *testing.T) {
 	rng := graph.NewRand(3)
 	// A single Reduce shrinks only when q ≫ Δ² (it maps q → Θ((dΔ)²)), so
 	// use many vertices at constant average degree.
-	h := graph.GNP(2000, 2.0/2000, rng)
+	h := graph.MustGNP(2000, 2.0/2000, rng)
 	cg := testCG(t, h)
 	colors, q := FromIDs(h)
 	next, nextQ, err := Reduce(cg, colors, q, "linial")
@@ -83,7 +83,7 @@ func TestRunReachesPolyDeltaColors(t *testing.T) {
 	rng := graph.NewRand(5)
 	// Linial only makes progress while q ≫ Δ² (its fixed point is Θ(Δ²)),
 	// so use a genuinely low-degree instance.
-	h := graph.GNP(500, 2.0/500, rng)
+	h := graph.MustGNP(500, 2.0/500, rng)
 	cg := testCG(t, h)
 	colors, q := FromIDs(h)
 	final, finalQ, err := Run(cg, colors, q, "linial")
@@ -103,7 +103,7 @@ func TestRunReachesPolyDeltaColors(t *testing.T) {
 
 func TestReduceToDeltaPlusOne(t *testing.T) {
 	rng := graph.NewRand(7)
-	h := graph.GNP(300, 3.0/300, rng)
+	h := graph.MustGNP(300, 3.0/300, rng)
 	cg := testCG(t, h)
 	colors, q := FromIDs(h)
 	mid, midQ, err := Run(cg, colors, q, "linial")

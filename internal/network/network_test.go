@@ -54,7 +54,7 @@ func newFlood(g *graph.Graph, src int) []Machine {
 
 func TestEngineFloodMatchesBFS(t *testing.T) {
 	rng := graph.NewRand(17)
-	g := graph.GNP(40, 0.15, rng)
+	g := graph.MustGNP(40, 0.15, rng)
 	labels, count := g.ConnectedComponents()
 	src := 0
 	eng, err := NewEngine(g, newFlood(g, src), 64)
@@ -111,7 +111,7 @@ func runFlood(t *testing.T, g *graph.Graph, src int, sched Scheduler) ([]int, Li
 // scheduler produces the same machine results and byte-identical LinkStats
 // as the legacy spawn scheduler.
 func TestEngineSchedulersAgreeFlood(t *testing.T) {
-	g := graph.GNP(300, 0.03, graph.NewRand(23))
+	g := graph.MustGNP(300, 0.03, graph.NewRand(23))
 	heardPooled, statsPooled := runFlood(t, g, 0, SchedulerPooled)
 	heardSpawn, statsSpawn := runFlood(t, g, 0, SchedulerSpawn)
 	for v := range heardPooled {
@@ -175,7 +175,7 @@ func runRecorders(t *testing.T, g *graph.Graph, sched Scheduler) [][][]int {
 // exact inbox sequences every machine observes are identical under both
 // schedulers (and therefore across reruns).
 func TestEngineInboxOrderDeterministic(t *testing.T) {
-	g := graph.GNP(120, 0.08, graph.NewRand(31))
+	g := graph.MustGNP(120, 0.08, graph.NewRand(31))
 	pooled := runRecorders(t, g, SchedulerPooled)
 	spawn := runRecorders(t, g, SchedulerSpawn)
 	for v := range pooled {

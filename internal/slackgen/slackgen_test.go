@@ -29,7 +29,7 @@ func testCG(t *testing.T, h *graph.Graph) *cluster.CG {
 
 func TestRunColorsSomeVerticesProperly(t *testing.T) {
 	rng := graph.NewRand(3)
-	h := graph.GNP(200, 0.2, rng)
+	h := graph.MustGNP(200, 0.2, rng)
 	cg := testCG(t, h)
 	col := coloring.New(h.N(), h.MaxDegree())
 	res, err := Run(cg, col, Options{Activation: 0.3, ReservedMax: 3}, graph.NewRand(4))

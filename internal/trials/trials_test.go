@@ -34,7 +34,7 @@ func fullSpace(col *coloring.Coloring) func(v int) []int32 {
 
 func TestTryColorRoundProducesProperColoring(t *testing.T) {
 	rng := graph.NewRand(3)
-	h := graph.GNP(100, 0.1, rng)
+	h := graph.MustGNP(100, 0.1, rng)
 	cg := testCG(t, h)
 	col := coloring.New(h.N(), h.MaxDegree())
 	opts := TryColorOptions{Phase: "try", Space: fullSpace(col), Activation: 1}
@@ -114,7 +114,7 @@ func TestTryColorLoopColorsSlackGraph(t *testing.T) {
 	// G(n,p) with full palette [Δ+1]: every vertex always has slack ≥ 1,
 	// so the loop colors everything quickly (Lemma D.3 regime).
 	rng := graph.NewRand(7)
-	h := graph.GNP(150, 0.08, rng)
+	h := graph.MustGNP(150, 0.08, rng)
 	cg := testCG(t, h)
 	col := coloring.New(h.N(), h.MaxDegree())
 	opts := TryColorOptions{Phase: "loop", Space: fullSpace(col), Activation: 0.5}
@@ -134,7 +134,7 @@ func TestTryColorReducesUncoloredDegree(t *testing.T) {
 	// Lemma D.3's shape: with constant slack fraction, each round shrinks
 	// the uncolored count by a constant factor on average.
 	rng := graph.NewRand(9)
-	h := graph.GNP(300, 0.05, rng)
+	h := graph.MustGNP(300, 0.05, rng)
 	cg := testCG(t, h)
 	col := coloring.New(h.N(), h.MaxDegree())
 	opts := TryColorOptions{Phase: "shrink", Space: fullSpace(col), Activation: 0.5}
@@ -174,7 +174,7 @@ func TestMultiColorTrialSlackRichIsFast(t *testing.T) {
 	// With slack γ|C(v)| (space twice the degree), MCT should finish in
 	// very few phases (the O(log* n) regime).
 	rng := graph.NewRand(13)
-	h := graph.GNP(200, 0.1, rng)
+	h := graph.MustGNP(200, 0.1, rng)
 	cg := testCG(t, h)
 	delta := h.MaxDegree()
 	col := coloring.New(h.N(), 2*delta) // color space [1, 2Δ+1]
@@ -194,7 +194,7 @@ func TestMultiColorTrialSlackRichIsFast(t *testing.T) {
 func TestMultiColorTrialRespectsSpace(t *testing.T) {
 	// Restrict every vertex to even colors; the result must only use them.
 	rng := graph.NewRand(15)
-	h := graph.GNP(60, 0.1, rng)
+	h := graph.MustGNP(60, 0.1, rng)
 	cg := testCG(t, h)
 	delta := h.MaxDegree()
 	col := coloring.New(h.N(), 4*delta+2)

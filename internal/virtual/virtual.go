@@ -146,7 +146,10 @@ func linkKey(a, b int) [2]int32 {
 // closed neighborhood N[v] as v's support (star support tree ⇒ d ≤ 2, and
 // each G-link carries exactly the two stars of its endpoints ⇒ c = 2).
 func Distance2(g *graph.Graph) (*Graph, error) {
-	h := g.Power(2)
+	h, err := g.Power(2)
+	if err != nil {
+		return nil, err
+	}
 	supports := make([][]int32, g.N())
 	for v := 0; v < g.N(); v++ {
 		sup := make([]int32, 0, g.Degree(v)+1)

@@ -53,7 +53,7 @@ func TestNewComputesCongestionAndDilation(t *testing.T) {
 
 func TestDistance2Shape(t *testing.T) {
 	rng := graph.NewRand(3)
-	g := graph.GNP(60, 0.06, rng)
+	g := graph.MustGNP(60, 0.06, rng)
 	vg, err := Distance2(g)
 	if err != nil {
 		t.Fatal(err)
@@ -67,7 +67,10 @@ func TestDistance2Shape(t *testing.T) {
 		t.Fatalf("dilation = %d, want ≤ 2", vg.Dilation)
 	}
 	// H is the square.
-	want := g.Power(2)
+	want, err := g.Power(2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if vg.H.M() != want.M() {
 		t.Fatalf("H has %d edges, square has %d", vg.H.M(), want.M())
 	}
@@ -75,7 +78,7 @@ func TestDistance2Shape(t *testing.T) {
 
 func TestDistance2EndToEndColoring(t *testing.T) {
 	rng := graph.NewRand(5)
-	g := graph.GNP(120, 0.035, rng)
+	g := graph.MustGNP(120, 0.035, rng)
 	vg, err := Distance2(g)
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +113,7 @@ func TestCongestionMultiplierDoublesRounds(t *testing.T) {
 	// The same H colored through a congestion-2 virtual view must charge
 	// exactly twice the rounds of a congestion-1 run with equal structure.
 	rng := graph.NewRand(9)
-	g := graph.GNP(80, 0.05, rng)
+	g := graph.MustGNP(80, 0.05, rng)
 	vg, err := Distance2(g)
 	if err != nil {
 		t.Fatal(err)
