@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-graph tables benchjson vet fmt check
+.PHONY: build test race fuzz bench bench-smoke bench-graph bench-color tables benchjson vet fmt check
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,18 @@ build:
 test:
 	$(GO) test ./...
 
+# The whole module: the per-clique stage loops of internal/core now run
+# parallel, so the race detector must see every package, not a hand-picked
+# subset.
 race:
-	$(GO) test -race ./internal/network ./internal/distsim ./internal/experiments
+	$(GO) test -race ./...
+
+# Native fuzz smoke: each target for a bounded wall-clock slice. The corpus
+# lives under testdata/fuzz and grows as CI finds inputs.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzColor$$' -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz '^FuzzBuilder$$' -fuzztime 10s ./internal/graph
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/fingerprint
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -21,6 +31,9 @@ bench-smoke:
 
 bench-graph:
 	$(GO) run ./cmd/benchtables -graphbench BENCH_graph.json
+
+bench-color:
+	$(GO) run ./cmd/benchtables -colorbench BENCH_color.json
 
 tables:
 	$(GO) run ./cmd/benchtables

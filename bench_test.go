@@ -240,6 +240,57 @@ func BenchmarkGraphGen(b *testing.B) {
 	}
 }
 
+// BenchmarkColor measures the full coloring pipeline per stage-level
+// workload (internal/benchwork.ColorWorkloads, shared with the benchtables
+// -colorbench emitter so BENCH_color.json stays comparable). allocs/op here
+// is the headline number the bitset palette machinery is accountable for.
+func BenchmarkColor(b *testing.B) {
+	for _, w := range benchwork.ColorWorkloads() {
+		b.Run(w.Name, func(b *testing.B) {
+			h, err := w.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			params := w.Params(h.N())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats, err := benchwork.RunColor(h, params, uint64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Rounds <= 0 {
+					b.Fatal("no rounds charged")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPaletteOps measures the palette primitives on the shared GNP
+// deg≈64 fixture: the caller-owned PaletteScratch paths must report zero
+// allocs/op, and the package-level wrappers at most one (Palette's result).
+// The case table lives in internal/benchwork, shared with the benchtables
+// -colorbench emitter.
+func BenchmarkPaletteOps(b *testing.B) {
+	g, col, err := benchwork.PaletteOpsFixture(100_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases, err := benchwork.PaletteOpCases(g, col)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range cases {
+		b.Run(c.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Op(i)
+			}
+		})
+	}
+}
+
 // --- micro-benchmarks ---------------------------------------------------
 
 func BenchmarkFullPipelineHighDegree(b *testing.B) {

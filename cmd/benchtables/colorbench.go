@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"clustercolor/internal/benchwork"
+	"clustercolor/internal/core"
+	"clustercolor/internal/experiments"
+)
+
+// colorBenchReport is the BENCH_color.json schema: one record per coloring
+// workload with the per-stage round breakdown of a representative run next
+// to the timings, followed by the palette micro-benchmark records. It
+// tracks the perf trajectory of Color itself the way BENCH_engine.json and
+// BENCH_graph.json track the round engine and the generators.
+type colorBenchReport struct {
+	Schema      string             `json:"schema"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	Parallelism int                `json:"parallelism"`
+	Seed        uint64             `json:"seed"`
+	Benchmarks  []colorBenchResult `json:"benchmarks"`
+	PaletteOps  []benchResult      `json:"palette_ops"`
+}
+
+// colorBenchResult augments the shared timing record with what the run did:
+// the pipeline taken, the rounds charged in total and per stage, and the
+// terminal-fallback share.
+type colorBenchResult struct {
+	benchResult
+	Vertices       int              `json:"vertices"`
+	Delta          int              `json:"delta"`
+	Path           string           `json:"path"`
+	Rounds         int64            `json:"rounds"`
+	FallbackRounds int64            `json:"fallback_rounds"`
+	PhaseRounds    map[string]int64 `json:"phase_rounds"`
+}
+
+// emitColorBench benchmarks every coloring workload plus the palette
+// primitives and writes the machine-readable report to path ("-" for
+// stdout).
+func emitColorBench(path string, seed uint64) error {
+	return emitColorBenchWorkloads(path, seed, benchwork.ColorWorkloads(), 100_000)
+}
+
+// emitColorBenchWorkloads is emitColorBench over an explicit workload list
+// and palette-fixture size, so tests can exercise the emitter on small
+// instances.
+func emitColorBenchWorkloads(path string, seed uint64, workloads []benchwork.ColorWorkload, fixtureN int) error {
+	report := colorBenchReport{
+		Schema:      "clustercolor/bench-color/v1",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Parallelism: experiments.Parallelism(),
+		Seed:        seed,
+	}
+	for _, w := range workloads {
+		h, err := w.Build()
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+		params := w.Params(h.N())
+		var stats *core.Stats
+		var loopErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := benchwork.RunColor(h, params, seed+uint64(i))
+				if err != nil {
+					loopErr = fmt.Errorf("%s: %w", w.Name, err)
+					b.Fatal(err)
+				}
+				if stats == nil {
+					stats = s
+				}
+			}
+		})
+		if loopErr != nil {
+			return loopErr
+		}
+		if stats == nil {
+			return fmt.Errorf("%s: benchmark ran zero iterations", w.Name)
+		}
+		rec := colorBenchResult{
+			benchResult:    record(w.Name, r),
+			Vertices:       h.N(),
+			Delta:          stats.Delta,
+			Path:           stats.Path,
+			Rounds:         stats.Rounds,
+			FallbackRounds: stats.FallbackRounds,
+			PhaseRounds:    stats.PhaseRounds,
+		}
+		rec.Edges = h.M()
+		report.Benchmarks = append(report.Benchmarks, rec)
+	}
+	g, col, err := benchwork.PaletteOpsFixture(fixtureN)
+	if err != nil {
+		return err
+	}
+	cases, err := benchwork.PaletteOpCases(g, col)
+	if err != nil {
+		return err
+	}
+	for _, c := range cases {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Op(i)
+			}
+		})
+		report.PaletteOps = append(report.PaletteOps, record("PaletteOps/"+c.Name, r))
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clustercolor/internal/benchwork"
+	"clustercolor/internal/core"
+	"clustercolor/internal/graph"
+)
+
+// TestEmitColorBench exercises the BENCH_color.json emitter end-to-end on a
+// small workload and validates the report schema: timings present, the
+// instance shape and pipeline recorded, per-stage rounds non-empty, and the
+// scratch-backed palette ops allocation-free.
+func TestEmitColorBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark emitter in short mode")
+	}
+	small := []benchwork.ColorWorkload{{
+		Name: "Color/GNP/n=300/test",
+		N:    300,
+		Build: func() (*graph.Graph, error) {
+			return graph.GNP(300, 0.05, graph.NewRand(5))
+		},
+		Params: core.DefaultParams,
+	}}
+	path := filepath.Join(t.TempDir(), "BENCH_color.json")
+	if err := emitColorBenchWorkloads(path, 7, small, 2_000); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report colorBenchReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Schema != "clustercolor/bench-color/v1" {
+		t.Fatalf("schema = %q", report.Schema)
+	}
+	if len(report.Benchmarks) != 1 {
+		t.Fatalf("got %d workload records, want 1", len(report.Benchmarks))
+	}
+	rec := report.Benchmarks[0]
+	if rec.Iterations <= 0 || rec.NsPerOp <= 0 {
+		t.Fatalf("workload record has empty measurements: %+v", rec)
+	}
+	if rec.Vertices != 300 || rec.Edges <= 0 || rec.Delta <= 0 {
+		t.Fatalf("instance shape not recorded: %+v", rec)
+	}
+	if rec.Path != "low-degree" && rec.Path != "high-degree" {
+		t.Fatalf("pipeline path %q not recorded", rec.Path)
+	}
+	if rec.Rounds <= 0 || len(rec.PhaseRounds) == 0 {
+		t.Fatalf("per-stage rounds missing: rounds=%d phases=%d", rec.Rounds, len(rec.PhaseRounds))
+	}
+	var total int64
+	for _, r := range rec.PhaseRounds {
+		total += r
+	}
+	if total <= 0 {
+		t.Fatal("phase rounds sum to zero")
+	}
+	if len(report.PaletteOps) == 0 {
+		t.Fatal("palette micro-benchmarks missing")
+	}
+	for _, op := range report.PaletteOps {
+		if op.Iterations <= 0 || op.NsPerOp <= 0 {
+			t.Fatalf("palette op %s has empty measurements", op.Name)
+		}
+		if op.Name == "PaletteOps/PaletteScratch" && op.AllocsPerOp != 0 {
+			t.Fatalf("scratch palette path allocates: %d allocs/op", op.AllocsPerOp)
+		}
+	}
+}

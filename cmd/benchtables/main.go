@@ -7,13 +7,16 @@
 //	benchtables -parallel 1          # sequential reference run (same output)
 //	benchtables -enginebench out.json  # emit engine benchmarks instead
 //	benchtables -graphbench out.json   # emit graph-generator benchmarks instead
+//	benchtables -colorbench out.json   # emit stage-level coloring benchmarks instead
 //
 // Tables are computed by a parallel runner that fans experiments and their
 // rows across CPUs; the output is byte-identical for every -parallel value.
 // -enginebench benchmarks the round engine (pooled vs spawn scheduler) and
 // the experiment runner, and writes a machine-readable JSON report
 // (conventionally BENCH_engine.json). -graphbench does the same for the
-// O(n+m) instance generators (conventionally BENCH_graph.json).
+// O(n+m) instance generators (conventionally BENCH_graph.json), and
+// -colorbench for the coloring pipeline itself with per-stage round
+// breakdowns and palette micro-benchmarks (conventionally BENCH_color.json).
 package main
 
 import (
@@ -36,10 +39,11 @@ func main() {
 		benchOut  = flag.String("enginebench", "", "run engine benchmarks and write BENCH_engine.json to this path ('-' = stdout), then exit")
 		benchN    = flag.Int("benchn", 10000, "machine count for -enginebench")
 		graphOut  = flag.String("graphbench", "", "run graph-generator benchmarks and write BENCH_graph.json to this path ('-' = stdout), then exit")
+		colorOut  = flag.String("colorbench", "", "run stage-level coloring benchmarks and write BENCH_color.json to this path ('-' = stdout), then exit")
 	)
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
-	if *benchOut != "" || *graphOut != "" {
+	if *benchOut != "" || *graphOut != "" || *colorOut != "" {
 		if *benchOut != "" {
 			if err := emitEngineBench(*benchOut, *benchN, *seed); err != nil {
 				fmt.Fprintln(os.Stderr, "benchtables:", err)
@@ -48,6 +52,12 @@ func main() {
 		}
 		if *graphOut != "" {
 			if err := emitGraphBench(*graphOut, *seed); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				os.Exit(1)
+			}
+		}
+		if *colorOut != "" {
+			if err := emitColorBench(*colorOut, *seed); err != nil {
 				fmt.Fprintln(os.Stderr, "benchtables:", err)
 				os.Exit(1)
 			}

@@ -1,0 +1,50 @@
+package clustercolor
+
+import (
+	"testing"
+)
+
+// FuzzColor runs the whole pipeline on arbitrary small graphs and seeds:
+// whatever (n, seed, edge list) the fuzzer invents, Color must return a
+// verified total proper (Δ+1)-coloring with non-negative round counts —
+// never a panic, never an improper or partial coloring.
+func FuzzColor(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{8, 1, 0, 1, 1, 2, 2, 3, 3, 0, 4, 5})
+	f.Add([]byte{40, 3})            // edgeless graph
+	f.Add([]byte{5, 7, 0, 1, 0, 1}) // duplicate edges
+	// A dense blob: decodes to a ~clique-ish instance on few vertices.
+	f.Add([]byte{6, 9, 0, 1, 0, 2, 0, 3, 0, 4, 1, 2, 1, 3, 1, 4, 2, 3, 2, 4, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		n := int(data[0]%48) + 2
+		seed := uint64(data[1])
+		b := NewGraphBuilder(n)
+		for i := 2; i+1 < len(data) && i < 202; i += 2 {
+			u, v := int(data[i])%n, int(data[i+1])%n
+			if u == v {
+				continue
+			}
+			if err := b.AddEdge(u, v); err != nil {
+				t.Fatalf("AddEdge(%d,%d) on n=%d: %v", u, v, n, err)
+			}
+		}
+		h := b.Build()
+		res, err := Color(h, Options{Seed: seed})
+		if err != nil {
+			t.Fatalf("Color failed on n=%d m=%d seed=%d: %v", h.N(), h.M(), seed, err)
+		}
+		if err := Verify(h, res.Colors()); err != nil {
+			t.Fatalf("output fails verification on n=%d m=%d seed=%d: %v", h.N(), h.M(), seed, err)
+		}
+		if res.Rounds() < 0 {
+			t.Fatalf("negative round count %d", res.Rounds())
+		}
+		st := res.Stats()
+		if st.FallbackRounds < 0 || st.FallbackRounds > st.Rounds {
+			t.Fatalf("fallback rounds %d outside [0,%d]", st.FallbackRounds, st.Rounds)
+		}
+	})
+}

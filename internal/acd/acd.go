@@ -165,11 +165,15 @@ func Compute(cg *cluster.CG, eps float64, rng *rand.Rand) (*Decomposition, error
 	}
 	cg.ChargeHRounds("acd/buddy-exchange", 1, maxBits)
 	lowDegree := func(v int) bool { return deg[v] < (1-1.5*xi)*delta }
+	// The buddy predicate runs once per edge; merging into one reusable
+	// scratch sketch instead of cloning keeps the decomposition free of
+	// per-edge allocation.
+	merged := fingerprint.NewSketch(t)
 	isBuddy := func(u, v int) bool {
 		if lowDegree(u) || lowDegree(v) {
 			return false
 		}
-		merged := sketches[u].Clone()
+		copy(merged, sketches[u])
 		if err := merged.Merge(sketches[v]); err != nil {
 			return false
 		}

@@ -70,7 +70,13 @@ func New(h *graph.Graph, exp *graph.Expansion, cost *network.CostModel) (*CG, er
 	}
 	for i := range cg.TreeParent {
 		cg.TreeParent[i] = -1
+		cg.TreeDepth[i] = -1
 	}
+	// Support trees for all clusters are built by one scratch BFS: clusters
+	// are vertex-disjoint, so a single depth array (-1 = unvisited) and a
+	// reused queue serve every cluster, making construction O(|G| + |E(G)|)
+	// total instead of O(n) fresh arrays per cluster.
+	var queue []int32
 	for v := 0; v < h.N(); v++ {
 		ms := exp.Machines[v]
 		if len(ms) == 0 {
@@ -83,17 +89,26 @@ func New(h *graph.Graph, exp *graph.Expansion, cost *network.CostModel) (*CG, er
 			}
 		}
 		cg.Leader[v] = leader
-		inCluster := func(m int) bool { return exp.ClusterOf[m] == v }
-		depth, parent := exp.G.BFSDepths(int(leader), inCluster)
+		cg.TreeDepth[leader] = 0
+		queue = append(queue[:0], leader)
 		height := 0
-		for _, m := range ms {
-			if depth[m] < 0 {
-				return nil, fmt.Errorf("cluster: vertex %d disconnected at machine %d", v, m)
+		for head := 0; head < len(queue); head++ {
+			m := queue[head]
+			for _, w := range exp.G.Neighbors(int(m)) {
+				if cg.TreeDepth[w] >= 0 || exp.ClusterOf[w] != v {
+					continue
+				}
+				cg.TreeDepth[w] = cg.TreeDepth[m] + 1
+				cg.TreeParent[w] = m
+				if cg.TreeDepth[w] > height {
+					height = cg.TreeDepth[w]
+				}
+				queue = append(queue, w)
 			}
-			cg.TreeParent[m] = int32(parent[m])
-			cg.TreeDepth[m] = depth[m]
-			if depth[m] > height {
-				height = depth[m]
+		}
+		for _, m := range ms {
+			if cg.TreeDepth[m] < 0 {
+				return nil, fmt.Errorf("cluster: vertex %d disconnected at machine %d", v, m)
 			}
 		}
 		if height > cg.Dilation {

@@ -30,7 +30,27 @@ type CliquePalette struct {
 // preprocessing: counts travel as O(log n)-bit partial sums up the clique
 // tree, pipelined per bandwidth).
 func BuildCliquePalette(cg *cluster.CG, c *Coloring, members []int) *CliquePalette {
-	cp := &CliquePalette{used: make([]int32, c.MaxColor()+1)}
+	return RebuildCliquePalette(nil, cg, c, members)
+}
+
+// RebuildCliquePalette is BuildCliquePalette with caller-owned reuse: when cp
+// is non-nil its buffers are recycled, so the per-wave rebuilds of the stage
+// loops allocate nothing in steady state. The charged cost is identical.
+func RebuildCliquePalette(cp *CliquePalette, cg *cluster.CG, c *Coloring, members []int) *CliquePalette {
+	if cp == nil {
+		cp = &CliquePalette{}
+	}
+	words := int(c.MaxColor()) + 1
+	if cap(cp.used) < words {
+		cp.used = make([]int32, words)
+	} else {
+		cp.used = cp.used[:words]
+		for i := range cp.used {
+			cp.used[i] = 0
+		}
+	}
+	cp.free = cp.free[:0]
+	cp.repeats = 0
 	for _, v := range members {
 		if col := c.Get(v); col != None {
 			cp.used[col]++
@@ -110,6 +130,11 @@ func (cp *CliquePalette) Free() []int32 {
 	copy(out, cp.free)
 	return out
 }
+
+// FreeView returns the free-color list without copying. The slice aliases
+// the palette and is valid until the next rebuild; callers must not mutate
+// it. Hot loops use this instead of Free.
+func (cp *CliquePalette) FreeView() []int32 { return cp.free }
 
 // ChargeQuery charges one Lemma 4.8 query round (binary-search style, O(1)
 // H-rounds with O(log n)-bit messages) to the cost model. Callers batch one

@@ -5,6 +5,18 @@
 //
 // Colors are 1-based: the zero value None means "uncolored" (⊥), and a
 // (Δ+1)-coloring uses colors 1..Δ+1. Reserved colors are the prefix 1..r.
+//
+// # Palette scratch ownership
+//
+// All palette queries run over a PaletteScratch: a flat []uint64 bitset over
+// the color space plus a reusable output buffer. Hot paths own a scratch
+// explicitly (one per goroutine) and call its methods — Palette, PaletteSize,
+// Slack, ReuseSlack, Load/LoadedAvailable — which never allocate in steady
+// state; slices returned by PaletteScratch.Palette alias the scratch and are
+// valid only until its next use. The package-level functions of the same
+// names keep their allocate-free-to-call signatures by borrowing a scratch
+// from an internal pool; only Palette itself still allocates (exactly one
+// slice, the caller-owned result).
 package coloring
 
 import (
@@ -89,32 +101,23 @@ func UncoloredDegree(g *graph.Graph, c *Coloring, v int, active func(int) bool) 
 	return d
 }
 
-// Palette returns L_φ(v) = [Δ+1] \ φ(N(v)) as a sorted slice.
+// Palette returns L_φ(v) = [Δ+1] \ φ(N(v)) as a sorted caller-owned slice
+// (one allocation). Hot loops use PaletteScratch.Palette instead, which
+// reuses a buffer across calls.
 func Palette(g *graph.Graph, c *Coloring, v int) []int32 {
-	used := make([]bool, c.MaxColor()+1)
-	for _, u := range g.Neighbors(v) {
-		if col := c.Get(int(u)); col != None {
-			used[col] = true
-		}
-	}
-	var out []int32
-	for col := int32(1); col <= c.MaxColor(); col++ {
-		if !used[col] {
-			out = append(out, col)
-		}
-	}
+	s := pooledScratch()
+	out := s.AppendPalette(nil, g, c, v)
+	releaseScratch(s)
 	return out
 }
 
-// PaletteSize returns |L_φ(v)| without materializing the palette.
+// PaletteSize returns |L_φ(v)| without materializing the palette and without
+// allocating (pooled bitset scratch; popcount instead of a per-call map).
 func PaletteSize(g *graph.Graph, c *Coloring, v int) int {
-	used := make(map[int32]struct{})
-	for _, u := range g.Neighbors(v) {
-		if col := c.Get(int(u)); col != None {
-			used[col] = struct{}{}
-		}
-	}
-	return int(c.MaxColor()) - len(used)
+	s := pooledScratch()
+	n := s.PaletteSize(g, c, v)
+	releaseScratch(s)
+	return n
 }
 
 // Available reports whether col is in L_φ(v).
@@ -133,21 +136,19 @@ func Available(g *graph.Graph, c *Coloring, v int, col int32) bool {
 // Slack returns s_φ(v) = |L_φ(v)| − deg_φ(v; active), the slack of
 // Section 3.1 with respect to an active subgraph.
 func Slack(g *graph.Graph, c *Coloring, v int, active func(int) bool) int {
-	return PaletteSize(g, c, v) - UncoloredDegree(g, c, v, active)
+	s := pooledScratch()
+	n := s.Slack(g, c, v, active)
+	releaseScratch(s)
+	return n
 }
 
 // ReuseSlack returns |N(v) ∩ dom φ| − |φ(N(v))|: the number of "repeated
 // colors" among v's colored neighbors (Section 4.1's reuse slack).
 func ReuseSlack(g *graph.Graph, c *Coloring, v int) int {
-	colored := 0
-	distinct := make(map[int32]struct{})
-	for _, u := range g.Neighbors(v) {
-		if col := c.Get(int(u)); col != None {
-			colored++
-			distinct[col] = struct{}{}
-		}
-	}
-	return colored - len(distinct)
+	s := pooledScratch()
+	n := s.ReuseSlack(g, c, v)
+	releaseScratch(s)
+	return n
 }
 
 // VerifyProper checks that φ is proper: no edge is monochromatic. It returns

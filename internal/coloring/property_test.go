@@ -1,0 +1,232 @@
+package coloring
+
+import (
+	"testing"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+)
+
+// propertyInstances returns a matrix of graphs with deterministic random
+// partial colorings at several densities.
+func propertyInstances(t *testing.T) []struct {
+	name string
+	g    *graph.Graph
+	col  *Coloring
+} {
+	t.Helper()
+	var out []struct {
+		name string
+		g    *graph.Graph
+		col  *Coloring
+	}
+	add := func(name string, g *graph.Graph, fill float64, seed uint64) {
+		col := New(g.N(), g.MaxDegree())
+		rng := graph.NewRand(seed)
+		for v := 0; v < g.N(); v++ {
+			if rng.Float64() >= fill {
+				continue
+			}
+			c := int32(1 + rng.IntN(g.MaxDegree()+1))
+			ok := true
+			for _, u := range g.Neighbors(v) {
+				if col.Get(int(u)) == c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if err := col.Set(v, c); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		out = append(out, struct {
+			name string
+			g    *graph.Graph
+			col  *Coloring
+		}{name, g, col})
+	}
+	add("gnp-sparse", graph.MustGNP(300, 0.02, graph.NewRand(1)), 0.5, 10)
+	add("gnp-dense", graph.MustGNP(120, 0.4, graph.NewRand(2)), 0.7, 11)
+	add("clique", graph.Clique(60), 0.6, 12)
+	add("path", graph.Path(50), 0.3, 13)
+	add("empty-coloring", graph.MustGNP(80, 0.1, graph.NewRand(4)), 0, 14)
+	return out
+}
+
+// bruteUsed returns φ(N(v)) as a bool table, the reference every palette
+// quantity reduces to.
+func bruteUsed(g *graph.Graph, col *Coloring, v int) []bool {
+	used := make([]bool, col.MaxColor()+2)
+	for _, u := range g.Neighbors(v) {
+		if c := col.Get(int(u)); c != None {
+			used[c] = true
+		}
+	}
+	return used
+}
+
+// TestPaletteProperties ties the bitset machinery to first principles on
+// random partial colorings: palette contents against a brute-force
+// recomputation, len(Palette) == PaletteSize, Available ⇔ palette
+// membership (scratch and package-level), and Slack == PaletteSize −
+// active-restricted uncolored degree.
+func TestPaletteProperties(t *testing.T) {
+	for _, tc := range propertyInstances(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			g, col := tc.g, tc.col
+			scratch := NewPaletteScratch()
+			active := func(v int) bool { return v%3 != 0 }
+			for v := 0; v < g.N(); v++ {
+				used := bruteUsed(g, col, v)
+				var want []int32
+				for c := int32(1); c <= col.MaxColor(); c++ {
+					if !used[c] {
+						want = append(want, c)
+					}
+				}
+				pal := Palette(g, col, v)
+				if len(pal) != len(want) {
+					t.Fatalf("vertex %d: Palette has %d colors, brute force %d", v, len(pal), len(want))
+				}
+				for i := range pal {
+					if pal[i] != want[i] {
+						t.Fatalf("vertex %d: Palette[%d]=%d, brute force %d", v, i, pal[i], want[i])
+					}
+				}
+				spal := scratch.Palette(g, col, v)
+				for i := range spal {
+					if spal[i] != want[i] {
+						t.Fatalf("vertex %d: scratch Palette[%d]=%d, brute force %d", v, i, spal[i], want[i])
+					}
+				}
+				if got := PaletteSize(g, col, v); got != len(want) {
+					t.Fatalf("vertex %d: PaletteSize=%d, len(Palette)=%d", v, got, len(want))
+				}
+				if got := scratch.PaletteSize(g, col, v); got != len(want) {
+					t.Fatalf("vertex %d: scratch PaletteSize=%d, len(Palette)=%d", v, got, len(want))
+				}
+				// Available ⇔ c ∈ Palette, probed over the whole space plus
+				// both out-of-range sentinels.
+				scratch.Load(g, col, v)
+				for c := int32(0); c <= col.MaxColor()+1; c++ {
+					inPalette := c >= 1 && c <= col.MaxColor() && !used[c]
+					if got := Available(g, col, v, c); got != inPalette {
+						t.Fatalf("vertex %d color %d: Available=%v, membership=%v", v, c, got, inPalette)
+					}
+					if got := scratch.LoadedAvailable(c); got != inPalette {
+						t.Fatalf("vertex %d color %d: LoadedAvailable=%v, membership=%v", v, c, got, inPalette)
+					}
+				}
+				// Slack against its definition, with and without an active
+				// restriction.
+				for _, act := range []func(int) bool{nil, active} {
+					deg := 0
+					for _, u := range g.Neighbors(v) {
+						if col.IsColored(int(u)) {
+							continue
+						}
+						if act != nil && !act(int(u)) {
+							continue
+						}
+						deg++
+					}
+					if got := Slack(g, col, v, act); got != len(want)-deg {
+						t.Fatalf("vertex %d: Slack=%d, PaletteSize−deg=%d", v, got, len(want)-deg)
+					}
+					if got := scratch.Slack(g, col, v, act); got != len(want)-deg {
+						t.Fatalf("vertex %d: scratch Slack=%d, PaletteSize−deg=%d", v, got, len(want)-deg)
+					}
+				}
+				// ReuseSlack = colored neighbors − distinct neighbor colors.
+				colored, distinct := 0, 0
+				for c := int32(1); c <= col.MaxColor(); c++ {
+					if used[c] {
+						distinct++
+					}
+				}
+				for _, u := range g.Neighbors(v) {
+					if col.IsColored(int(u)) {
+						colored++
+					}
+				}
+				if got := ReuseSlack(g, col, v); got != colored-distinct {
+					t.Fatalf("vertex %d: ReuseSlack=%d, brute force %d", v, got, colored-distinct)
+				}
+				if got := scratch.ReuseSlack(g, col, v); got != colored-distinct {
+					t.Fatalf("vertex %d: scratch ReuseSlack=%d, brute force %d", v, got, colored-distinct)
+				}
+			}
+		})
+	}
+}
+
+// TestCliquePaletteProperties checks the rebuilt clique palette against a
+// brute-force recount on random partial colorings: repeats (the measured
+// colorful-matching size), the free list, and buffer-reusing rebuilds
+// agreeing with fresh builds.
+func TestCliquePaletteProperties(t *testing.T) {
+	cost, err := network.NewCostModel(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reused *CliquePalette
+	for _, tc := range propertyInstances(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			g, col := tc.g, tc.col
+			cg, err := cluster.NewAbstract(g, g, 0, cost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Members: a deterministic subset of the vertices.
+			var members []int
+			for v := 0; v < g.N(); v += 2 {
+				members = append(members, v)
+			}
+			fresh := BuildCliquePalette(cg, col, members)
+			reused = RebuildCliquePalette(reused, cg, col, members)
+
+			// Brute-force recount of repeats and the free set.
+			count := make(map[int32]int)
+			for _, v := range members {
+				if c := col.Get(v); c != None {
+					count[c]++
+				}
+			}
+			wantRepeats := 0
+			for _, n := range count {
+				if n > 1 {
+					wantRepeats += n - 1
+				}
+			}
+			var wantFree []int32
+			for c := int32(1); c <= col.MaxColor(); c++ {
+				if count[c] == 0 {
+					wantFree = append(wantFree, c)
+				}
+			}
+			for _, cp := range []*CliquePalette{fresh, reused} {
+				if cp.Repeats() != wantRepeats {
+					t.Fatalf("repeats=%d, brute-force recount %d", cp.Repeats(), wantRepeats)
+				}
+				if cp.FreeCount() != len(wantFree) {
+					t.Fatalf("FreeCount=%d, brute force %d", cp.FreeCount(), len(wantFree))
+				}
+				free := cp.Free()
+				view := cp.FreeView()
+				for i := range wantFree {
+					if free[i] != wantFree[i] || view[i] != wantFree[i] {
+						t.Fatalf("free[%d]=%d view=%d, brute force %d", i, free[i], view[i], wantFree[i])
+					}
+				}
+				for c := int32(1); c <= col.MaxColor(); c++ {
+					if got := cp.UsedCount(c); int(got) != count[c] {
+						t.Fatalf("UsedCount(%d)=%d, brute force %d", c, got, count[c])
+					}
+				}
+			}
+		})
+	}
+}

@@ -8,7 +8,6 @@ import (
 	"clustercolor/internal/acd"
 	"clustercolor/internal/cluster"
 	"clustercolor/internal/coloring"
-	"clustercolor/internal/graph"
 	"clustercolor/internal/trials"
 )
 
@@ -42,22 +41,29 @@ func Color(cg *cluster.CG, params Params) (*coloring.Coloring, *Stats, error) {
 	// finite scale is finished by palette-exact random trials, counted
 	// separately so experiments can report stage-only behaviour.
 	fbStart := cg.Cost().Rounds()
-	if err := fallbackFinish(cg, col, params, stats, rng); err != nil {
-		return nil, nil, err
-	}
+	fbErr := fallbackFinish(cg, col, params, stats, rng)
 	stats.FallbackRounds = cg.Cost().Rounds() - fbStart
-	if err := coloring.VerifyComplete(h, col); err != nil {
-		return nil, nil, fmt.Errorf("core: output verification: %w", err)
-	}
 	stats.Rounds = cg.Cost().Rounds() - baseline
 	stats.PhaseRounds = cg.Cost().PhaseRounds()
 	stats.MaxPayloadBits = cg.Cost().MaxPayload()
+	if fbErr != nil {
+		// No partial coloring escapes, but the stats (including the rounds
+		// charged by the exhausted fallback loop) do, so callers and tests
+		// can see what the failed run paid.
+		return nil, stats, fbErr
+	}
+	if err := coloring.VerifyComplete(h, col); err != nil {
+		return nil, nil, fmt.Errorf("core: output verification: %w", err)
+	}
 	return col, stats, nil
 }
 
 // fallbackFinish colors any remaining vertices with TryColor over their true
 // palettes. Computing a true palette in a cluster graph costs Ω(Δ/log n)
-// rounds (Figure 2); the loop charges that price per wave.
+// rounds (Figure 2); the loop charges that price per wave. Palettes are
+// materialized through one reusable scratch (zero per-vertex allocation);
+// TryColorRound consumes each palette before the next Space call, per the
+// scratch-ownership contract.
 func fallbackFinish(cg *cluster.CG, col *coloring.Coloring, params Params, stats *Stats, rng *rand.Rand) error {
 	h := cg.H
 	remaining := uncoloredCount(col)
@@ -69,13 +75,14 @@ func fallbackFinish(cg *cluster.CG, col *coloring.Coloring, params Params, stats
 	if paletteHops < 1 {
 		paletteHops = 1
 	}
+	scratch := coloring.NewPaletteScratch()
 	for round := 0; round < params.MaxFallbackRounds && remaining > 0; round++ {
 		cg.ChargeHRounds("fallback/palette", paletteHops, bw)
 		colored, err := trials.TryColorRound(cg, col, trials.TryColorOptions{
 			Phase:      "fallback/try",
 			Activation: 0.8,
 			Space: func(v int) []int32 {
-				return coloring.Palette(h, col, v)
+				return scratch.Palette(h, col, v)
 			},
 		}, rng)
 		if err != nil {
@@ -140,14 +147,17 @@ func sparseSpace(col *coloring.Coloring) []int32 {
 	return trials.RangeSpace(1, col.MaxColor())
 }
 
-// paletteOf materializes C(v) ∩ L_φ(v) for trial engines that need palette
-// pre-filtering in the simulator (cost is charged by the engines).
-func paletteOf(h *graph.Graph, col *coloring.Coloring, space []int32, v int) []int32 {
-	var out []int32
-	for _, c := range space {
-		if coloring.Available(h, col, v, c) {
-			out = append(out, c)
-		}
+// rangeView returns the color range [lo, hi] as a view into the full space
+// slice (full[i] == i+1), so per-vertex Space closures never allocate.
+func rangeView(full []int32, lo, hi int32) []int32 {
+	if lo < 1 {
+		lo = 1
 	}
-	return out
+	if hi > int32(len(full)) {
+		hi = int32(len(full))
+	}
+	if hi < lo {
+		return nil
+	}
+	return full[lo-1 : hi]
 }

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"clustercolor/internal/coloring"
+	"clustercolor/internal/graph"
+)
+
+// TestFallbackFinishExhaustionCleanError pins the exhaustion contract of the
+// terminal fallback loop: when MaxFallbackRounds is too small to finish, the
+// run returns a clean error — not a partial coloring passing VerifyComplete
+// — and the rounds the exhausted loop charged are visible in the stats.
+func TestFallbackFinishExhaustionCleanError(t *testing.T) {
+	// An entirely uncolored K40: one 0.8-activation TryColor wave over true
+	// palettes cannot finish it (same-color collisions and the ~20% that
+	// stay inactive), so MaxFallbackRounds=1 must exhaust. Pinned seed.
+	h := graph.Clique(40)
+	cg := buildCG(t, h, graph.TopologySingleton, 1, 3)
+	col := coloring.New(h.N(), h.MaxDegree())
+	params := DefaultParams(h.N())
+	params.MaxFallbackRounds = 1
+	stats := &Stats{}
+	rng := rand.New(rand.NewPCG(5, 5))
+
+	fbStart := cg.Cost().Rounds()
+	err := fallbackFinish(cg, col, params, stats, rng)
+	stats.FallbackRounds = cg.Cost().Rounds() - fbStart
+	if err == nil {
+		t.Fatal("MaxFallbackRounds=1 finished K40 in one wave; want exhaustion error")
+	}
+	if !strings.Contains(err.Error(), "uncolored after 1 fallback rounds") {
+		t.Fatalf("unexpected exhaustion error: %v", err)
+	}
+	// The partial result must not masquerade as a complete coloring, and
+	// what was colored must still be proper.
+	if coloring.VerifyComplete(h, col) == nil {
+		t.Fatal("exhausted fallback left a coloring that passes VerifyComplete")
+	}
+	if err := coloring.VerifyProper(h, col); err != nil {
+		t.Fatalf("exhausted fallback corrupted the partial coloring: %v", err)
+	}
+	// Exactly one wave was charged: one palette materialization round
+	// (⌈Δ/bandwidth⌉ = 1 H-round at Δ=39, B=48) plus TryColorRound's
+	// announce and respond rounds, all at dilation 0.
+	if want := int64(3); stats.FallbackRounds != want {
+		t.Fatalf("exhausted run charged FallbackRounds=%d, want %d", stats.FallbackRounds, want)
+	}
+
+	// With the default budget the same loop finishes and verifies.
+	params.MaxFallbackRounds = DefaultParams(h.N()).MaxFallbackRounds
+	if err := fallbackFinish(cg, col, params, stats, rng); err != nil {
+		t.Fatalf("default budget: %v", err)
+	}
+	if err := coloring.VerifyComplete(h, col); err != nil {
+		t.Fatalf("default budget left incomplete coloring: %v", err)
+	}
+}

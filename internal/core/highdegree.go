@@ -11,6 +11,7 @@ import (
 	"clustercolor/internal/graph"
 	"clustercolor/internal/matching"
 	"clustercolor/internal/network"
+	"clustercolor/internal/parwork"
 	"clustercolor/internal/putaside"
 	"clustercolor/internal/sct"
 	"clustercolor/internal/slackgen"
@@ -100,6 +101,7 @@ func colorNonCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition
 	reserved []int32, globalReserved int32, params Params, stats *Stats, rng *rand.Rand) error {
 	h := cg.H
 	delta := h.MaxDegree()
+	full := sparseSpace(col)
 	var cliques []int
 	for i := range d.Cliques {
 		if !prof.IsCabal[i] {
@@ -111,7 +113,7 @@ func colorNonCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition
 	}
 	before := col.DomSize()
 	// Step 1: colorful matching, parallel across cliques.
-	repeats, err := runMatchings(cg, col, d, cliques, globalReserved, params, false, rng)
+	repeats, err := runMatchings(cg, col, d, cliques, globalReserved, params, false, stats, rng)
 	if err != nil {
 		return err
 	}
@@ -132,16 +134,16 @@ func colorNonCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition
 		k := d.CliqueOf[v]
 		return k >= 0 && !prof.IsCabal[k] && !inlier[v]
 	}, func(v int) []int32 {
-		return trials.RangeSpace(reserved[d.CliqueOf[v]]+1, col.MaxColor())
+		return rangeView(full, reserved[d.CliqueOf[v]]+1, col.MaxColor())
 	}, rng); err != nil {
 		return err
 	}
 	// Step 3: synchronized color trial per clique (parallel).
-	if err := runSCTs(cg, col, d, cliques, reserved, inlier, nil, rng); err != nil {
+	if err := runSCTs(cg, col, d, cliques, reserved, inlier, nil, stats, rng); err != nil {
 		return err
 	}
 	// Step 4: Complete (Algorithm 11).
-	if err := complete(cg, col, d, cliques, reserved, inlier, rng); err != nil {
+	if err := complete(cg, col, d, cliques, reserved, inlier, full, rng); err != nil {
 		return err
 	}
 	stats.NonCabalColored = col.DomSize() - before
@@ -152,7 +154,7 @@ func colorNonCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition
 // to shrink the slack-poor set; Phase II finishes on reserved colors with
 // MultiColorTrial.
 func complete(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition,
-	cliques []int, reserved []int32, inlier []bool, rng *rand.Rand) error {
+	cliques []int, reserved []int32, inlier []bool, full []int32, rng *rand.Rand) error {
 	h := cg.H
 	active := func(v int) bool {
 		k := d.CliqueOf[v]
@@ -161,27 +163,31 @@ func complete(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition,
 		}
 		return inlier[v]
 	}
-	// Phase I: O(1) iterations of TryColor on L(K) \ [r_K].
+	// Phase I: O(1) iterations of TryColor on L(K) \ [r_K]. The per-clique
+	// palettes and their non-reserved views are rebuilt in place each
+	// iteration — no per-vertex or per-iteration allocation.
+	palettes := make(map[int]*coloring.CliquePalette, len(cliques))
+	spaces := make(map[int][]int32, len(cliques))
 	for iter := 0; iter < 3; iter++ {
-		palettes := buildPalettes(cg, col, d, cliques)
+		if err := buildPalettes(cg, col, d, cliques, palettes); err != nil {
+			return err
+		}
+		for _, i := range cliques {
+			space := spaces[i][:0]
+			for _, c := range palettes[i].FreeView() {
+				if c > reserved[i] {
+					space = append(space, c)
+				}
+			}
+			spaces[i] = space
+		}
 		coloring.ChargeQuery(cg, "complete/query")
 		if _, err := trials.TryColorRound(cg, col, trials.TryColorOptions{
 			Phase:      "complete/phase1",
 			Active:     active,
 			Activation: 0.7,
 			Space: func(v int) []int32 {
-				k := d.CliqueOf[v]
-				cp := palettes[k]
-				if cp == nil {
-					return nil
-				}
-				var out []int32
-				for _, c := range cp.Free() {
-					if c > reserved[k] {
-						out = append(out, c)
-					}
-				}
-				return out
+				return spaces[d.CliqueOf[v]]
 			},
 		}, rng); err != nil {
 			return err
@@ -192,7 +198,7 @@ func complete(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition,
 		Phase:  "complete/phase2",
 		Active: active,
 		Space: func(v int) []int32 {
-			return trials.RangeSpace(1, reserved[d.CliqueOf[v]])
+			return rangeView(full, 1, reserved[d.CliqueOf[v]])
 		},
 		Seed: rng.Uint64(),
 	}, rng)
@@ -204,6 +210,7 @@ func complete(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition,
 func colorCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, prof *acd.Profile,
 	reserved []int32, globalReserved int32, params Params, stats *Stats, rng *rand.Rand) error {
 	h := cg.H
+	full := sparseSpace(col)
 	var cabals []int
 	for i := range d.Cliques {
 		if prof.IsCabal[i] {
@@ -216,7 +223,7 @@ func colorCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, p
 	before := col.DomSize()
 	// Step 1: colorful matching with the cabal-specific fingerprint
 	// algorithm as backup.
-	repeats, err := runMatchings(cg, col, d, cabals, globalReserved, params, true, rng)
+	repeats, err := runMatchings(cg, col, d, cabals, globalReserved, params, true, stats, rng)
 	if err != nil {
 		return err
 	}
@@ -233,7 +240,7 @@ func colorCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, p
 		k := d.CliqueOf[v]
 		return k >= 0 && prof.IsCabal[k] && !inlier[v]
 	}, func(v int) []int32 {
-		return trials.RangeSpace(reserved[d.CliqueOf[v]]+1, col.MaxColor())
+		return rangeView(full, reserved[d.CliqueOf[v]]+1, col.MaxColor())
 	}, rng); err != nil {
 		return err
 	}
@@ -288,7 +295,7 @@ func colorCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, p
 		}
 	}
 	// Step 4: synchronized color trial (participants exclude put-aside).
-	if err := runSCTs(cg, col, d, cabals, reserved, inlier, inPutAside, rng); err != nil {
+	if err := runSCTs(cg, col, d, cabals, reserved, inlier, inPutAside, stats, rng); err != nil {
 		return err
 	}
 	// Step 5: MultiColorTrial on reserved colors for the rest (not
@@ -300,7 +307,7 @@ func colorCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, p
 			return k >= 0 && prof.IsCabal[k] && inlier[v] && !inPutAside[v]
 		},
 		Space: func(v int) []int32 {
-			return trials.RangeSpace(1, reserved[d.CliqueOf[v]])
+			return rangeView(full, 1, reserved[d.CliqueOf[v]])
 		},
 		Seed: rng.Uint64(),
 	}, rng); err != nil {
@@ -308,46 +315,51 @@ func colorCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, p
 	}
 	// Any non-put-aside cabal vertex still uncolored gets a palette pass
 	// so put-aside coloring starts from the paper's precondition.
+	cleanupScratch := coloring.NewPaletteScratch()
 	if err := colorSubset(cg, col, "cabal/cleanup", func(v int) bool {
 		k := d.CliqueOf[v]
 		return k >= 0 && prof.IsCabal[k] && !inPutAside[v]
 	}, func(v int) []int32 {
-		return coloring.Palette(h, col, v)
+		return cleanupScratch.Palette(h, col, v)
 	}, rng); err != nil {
 		return err
 	}
 	// Step 6: color put-aside sets via donation (parallel across cabals).
-	subs := make([]*network.CostModel, len(cabals))
 	lg := bits.Len(uint(h.N()))
-	for idx := range cabals {
-		if len(putAside[idx]) == 0 {
-			continue
-		}
-		sub, err := network.NewCostModel(cg.Cost().Bandwidth())
-		if err != nil {
-			return err
-		}
-		subs[idx] = sub
-		subCG := cg.WithCost(sub)
-		foreign := foreignAdjacency(h, putAside, idx)
-		res, err := putaside.ColorPutAside(subCG, col, putaside.DonateOptions{
-			Phase:              "cabal/donate",
-			Cabal:              cabalMembers[idx],
-			PutAside:           putAside[idx],
-			Inlier:             func(v int) bool { return inlier[v] },
-			ForbiddenDonors:    func(v int) bool { return foreign[v] },
-			FreeColorThreshold: 4 * len(putAside[idx]),
-			BlockSize:          maxInt(8, lg),
-			SampleTries:        4 * lg,
-		}, rng)
-		if err != nil {
-			return err
-		}
-		stats.PutAsideDonated += res.ViaDonation
-		stats.PutAsideFree += res.ViaFreeColors
-		stats.PutAsideFallback += res.ViaFallback
+	donateSeed := rng.Uint64()
+	type donateStats struct{ donated, free, fallback int }
+	dstats, dropped, err := runPerClique(cg, col, "cabal/donate", len(cabals), donateSeed,
+		func(idx int) []int { return cabalMembers[idx] },
+		func(idx int, subCG *cluster.CG, view *coloring.Coloring, scratch *coloring.PaletteScratch, crng *rand.Rand) (donateStats, error) {
+			if len(putAside[idx]) == 0 {
+				return donateStats{}, nil
+			}
+			foreign := foreignAdjacency(h, putAside, idx)
+			res, err := putaside.ColorPutAside(subCG, view, putaside.DonateOptions{
+				Phase:              "cabal/donate",
+				Cabal:              cabalMembers[idx],
+				PutAside:           putAside[idx],
+				Inlier:             func(v int) bool { return inlier[v] },
+				ForbiddenDonors:    func(v int) bool { return foreign[v] },
+				FreeColorThreshold: 4 * len(putAside[idx]),
+				BlockSize:          maxInt(8, lg),
+				SampleTries:        4 * lg,
+				Scratch:            scratch,
+			}, crng)
+			if err != nil {
+				return donateStats{}, err
+			}
+			return donateStats{donated: res.ViaDonation, free: res.ViaFreeColors, fallback: res.ViaFallback}, nil
+		})
+	if err != nil {
+		return err
 	}
-	cg.Cost().AbsorbParallel("cabal/donate", subs)
+	stats.ParallelDroppedWrites += dropped
+	for _, ds := range dstats {
+		stats.PutAsideDonated += ds.donated
+		stats.PutAsideFree += ds.free
+		stats.PutAsideFallback += ds.fallback
+	}
 	stats.CabalColored = col.DomSize() - before
 	return nil
 }
@@ -371,136 +383,143 @@ func foreignAdjacency(h *graph.Graph, putAside [][]int, self int) map[int]bool {
 }
 
 // runMatchings executes the colorful matching per clique in parallel
-// (scratch cost models merged as a max). withFingerprint enables the cabal
-// backup algorithm (Proposition 4.15).
+// (snapshot views, derived RNG streams, scratch cost models merged as a
+// max). withFingerprint enables the cabal backup algorithm (Proposition
+// 4.15).
 func runMatchings(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition,
-	cliques []int, globalReserved int32, params Params, withFingerprint bool, rng *rand.Rand) ([]int, error) {
+	cliques []int, globalReserved int32, params Params, withFingerprint bool, stats *Stats, rng *rand.Rand) ([]int, error) {
 	h := cg.H
-	repeats := make([]int, len(cliques))
-	subs := make([]*network.CostModel, len(cliques))
 	lg := bits.Len(uint(h.N()))
-	for idx, i := range cliques {
-		members := d.Cliques[i]
-		// A clique that fits in the palette needs no matching.
-		need := len(members) - (h.MaxDegree() + 1)
-		target := need + 2*lg
-		if target < lg {
-			target = lg
-		}
-		sub, err := network.NewCostModel(cg.Cost().Bandwidth())
-		if err != nil {
-			return nil, err
-		}
-		subs[idx] = sub
-		subCG := cg.WithCost(sub)
-		m, err := matching.Sampling(subCG, col, matching.SamplingOptions{
-			Phase:         "matching/sampling",
-			Members:       members,
-			ReservedMax:   globalReserved,
-			Rounds:        8,
-			TargetRepeats: target,
-		}, rng)
-		if err != nil {
-			return nil, err
-		}
-		if withFingerprint && m < target && len(members) >= 8 {
-			// Proposition 4.15 backup: find anti-edges among uncolored
-			// members by fingerprinting, then color the pairs.
-			var uncolored []int
-			for _, v := range members {
-				if !col.IsColored(v) {
-					uncolored = append(uncolored, v)
+	baseSeed := rng.Uint64()
+	repeats, dropped, err := runPerClique(cg, col, "matching", len(cliques), baseSeed,
+		func(idx int) []int { return d.Cliques[cliques[idx]] },
+		func(idx int, subCG *cluster.CG, view *coloring.Coloring, scratch *coloring.PaletteScratch, crng *rand.Rand) (int, error) {
+			members := d.Cliques[cliques[idx]]
+			// A clique that fits in the palette needs no matching.
+			need := len(members) - (h.MaxDegree() + 1)
+			target := need + 2*lg
+			if target < lg {
+				target = lg
+			}
+			m, err := matching.Sampling(subCG, view, matching.SamplingOptions{
+				Phase:         "matching/sampling",
+				Members:       members,
+				ReservedMax:   globalReserved,
+				Rounds:        8,
+				TargetRepeats: target,
+			}, crng)
+			if err != nil {
+				return 0, err
+			}
+			if withFingerprint && m < target && len(members) >= 8 {
+				// Proposition 4.15 backup: find anti-edges among uncolored
+				// members by fingerprinting, then color the pairs.
+				var uncolored []int
+				for _, v := range members {
+					if !view.IsColored(v) {
+						uncolored = append(uncolored, v)
+					}
+				}
+				if len(uncolored) >= 4 {
+					pairs, err := matching.FingerprintMatching(subCG, matching.FingerprintOptions{
+						Phase:       "matching/fingerprint",
+						Members:     uncolored,
+						Trials:      params.MatchingTrialFactor * lg,
+						TargetPairs: target - m,
+					}, crng)
+					if err != nil {
+						return 0, err
+					}
+					colored, err := matching.ColorPairs(subCG, view, pairs, globalReserved, "matching/colorpairs", crng)
+					if err != nil {
+						return 0, err
+					}
+					m += colored
 				}
 			}
-			if len(uncolored) >= 4 {
-				pairs, err := matching.FingerprintMatching(subCG, matching.FingerprintOptions{
-					Phase:       "matching/fingerprint",
-					Members:     uncolored,
-					Trials:      params.MatchingTrialFactor * lg,
-					TargetPairs: target - m,
-				}, rng)
-				if err != nil {
-					return nil, err
-				}
-				colored, err := matching.ColorPairs(subCG, col, pairs, globalReserved, "matching/colorpairs", rng)
-				if err != nil {
-					return nil, err
-				}
-				m += colored
-			}
-		}
-		repeats[idx] = m
-	}
-	cg.Cost().AbsorbParallel("matching", subs)
-	return repeats, nil
+			return m, nil
+		})
+	stats.ParallelDroppedWrites += dropped
+	return repeats, err
 }
 
 // runSCTs executes the synchronized color trial per clique in parallel.
 // Participants are uncolored inliers excluding any put-aside set, capped by
 // the clique palette's non-reserved capacity (Lemma 4.13's precondition).
 func runSCTs(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition,
-	cliques []int, reserved []int32, inlier []bool, exclude map[int]bool, rng *rand.Rand) error {
-	subs := make([]*network.CostModel, len(cliques))
-	for idx, i := range cliques {
-		members := d.Cliques[i]
-		sub, err := network.NewCostModel(cg.Cost().Bandwidth())
-		if err != nil {
-			return err
-		}
-		subs[idx] = sub
-		subCG := cg.WithCost(sub)
-		cp := coloring.BuildCliquePalette(subCG, col, members)
-		capacity := 0
-		for _, c := range cp.Free() {
-			if c > reserved[i] {
-				capacity++
+	cliques []int, reserved []int32, inlier []bool, exclude map[int]bool, stats *Stats, rng *rand.Rand) error {
+	baseSeed := rng.Uint64()
+	_, dropped, err := runPerClique(cg, col, "sct", len(cliques), baseSeed,
+		func(idx int) []int { return d.Cliques[cliques[idx]] },
+		func(idx int, subCG *cluster.CG, view *coloring.Coloring, scratch *coloring.PaletteScratch, crng *rand.Rand) (int, error) {
+			i := cliques[idx]
+			members := d.Cliques[i]
+			cp := coloring.BuildCliquePalette(subCG, view, members)
+			capacity := 0
+			for _, c := range cp.FreeView() {
+				if c > reserved[i] {
+					capacity++
+				}
 			}
-		}
-		var participants []int
-		for _, v := range members {
-			if col.IsColored(v) || !inlier[v] {
-				continue
+			var participants []int
+			for _, v := range members {
+				if view.IsColored(v) || !inlier[v] {
+					continue
+				}
+				if exclude != nil && exclude[v] {
+					continue
+				}
+				if len(participants) == capacity {
+					break
+				}
+				participants = append(participants, v)
 			}
-			if exclude != nil && exclude[v] {
-				continue
+			if len(participants) == 0 {
+				return 0, nil
 			}
-			if len(participants) == capacity {
-				break
+			res, err := sct.Run(subCG, view, sct.Options{
+				Phase:        "sct",
+				Members:      members,
+				Participants: participants,
+				ReservedMax:  reserved[i],
+			}, crng)
+			if err != nil {
+				return 0, err
 			}
-			participants = append(participants, v)
-		}
-		if len(participants) == 0 {
-			continue
-		}
-		if _, err := sct.Run(subCG, col, sct.Options{
-			Phase:        "sct",
-			Members:      members,
-			Participants: participants,
-			ReservedMax:  reserved[i],
-		}, rng); err != nil {
-			return err
-		}
-	}
-	cg.Cost().AbsorbParallel("sct", subs)
-	return nil
+			return res.Colored, nil
+		})
+	stats.ParallelDroppedWrites += dropped
+	return err
 }
 
-// buildPalettes builds clique palettes for the given cliques, charging one
-// parallel build.
-func buildPalettes(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, cliques []int) map[int]*coloring.CliquePalette {
-	out := make(map[int]*coloring.CliquePalette, len(cliques))
-	subs := make([]*network.CostModel, 0, len(cliques))
-	for _, i := range cliques {
+// buildPalettes rebuilds the clique palettes for the given cliques in
+// parallel (a read-only aggregation), charging one parallel build. Existing
+// entries in out are rebuilt in place so iterated callers allocate nothing.
+func buildPalettes(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition,
+	cliques []int, out map[int]*coloring.CliquePalette) error {
+	type built struct {
+		cp  *coloring.CliquePalette
+		sub *network.CostModel
+	}
+	res, err := parwork.ForEach(len(cliques), func(idx int) (built, error) {
 		sub, err := network.NewCostModel(cg.Cost().Bandwidth())
 		if err != nil {
-			continue
+			return built{}, err
 		}
 		subCG := cg.WithCost(sub)
-		out[i] = coloring.BuildCliquePalette(subCG, col, d.Cliques[i])
-		subs = append(subs, sub)
+		cp := coloring.RebuildCliquePalette(out[cliques[idx]], subCG, col, d.Cliques[cliques[idx]])
+		return built{cp: cp, sub: sub}, nil
+	})
+	if err != nil {
+		return err
+	}
+	subs := make([]*network.CostModel, len(res))
+	for idx, b := range res {
+		out[cliques[idx]] = b.cp
+		subs[idx] = b.sub
 	}
 	cg.Cost().AbsorbParallel("palette/build", subs)
-	return out
+	return nil
 }
 
 // colorSubset colors an active set with a warm-up TryColor loop followed by

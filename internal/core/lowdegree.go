@@ -48,7 +48,10 @@ func colorLowDegree(cg *cluster.CG, col *coloring.Coloring, params Params, stats
 	cg.ChargeHRounds("lowdeg/learn", 1, col.Delta()+1)
 	stats.StageOrder = append(stats.StageOrder, "Shattering")
 	// Stage 3: shattering — palette-restricted trials for O(log log n)
-	// waves. After this, uncolored components are small w.h.p.
+	// waves. After this, uncolored components are small w.h.p. Palettes go
+	// through one reusable scratch; each is consumed before the next Space
+	// call, per the scratch-ownership contract.
+	scratch := coloring.NewPaletteScratch()
 	for i := 0; i < 2*loglog; i++ {
 		if uncoloredCount(col) == 0 {
 			return nil
@@ -57,7 +60,7 @@ func colorLowDegree(cg *cluster.CG, col *coloring.Coloring, params Params, stats
 			Phase:      "lowdeg/shatter",
 			Activation: 0.7,
 			Space: func(v int) []int32 {
-				return coloring.Palette(h, col, v)
+				return scratch.Palette(h, col, v)
 			},
 		}, rng); err != nil {
 			return err
@@ -107,6 +110,7 @@ func smallInstanceColoring(cg *cluster.CG, col *coloring.Coloring, stats *Stats,
 	for i, c := range linColors {
 		byClass[c] = append(byClass[c], orig[i])
 	}
+	scratch := coloring.NewPaletteScratch()
 	for c := linQ - 1; c >= 0; c-- {
 		if len(byClass[c]) == 0 {
 			continue
@@ -114,7 +118,7 @@ func smallInstanceColoring(cg *cluster.CG, col *coloring.Coloring, stats *Stats,
 		cg.ChargeHRounds("lowdeg/small-instance", 1, 2*cg.IDBits())
 		sort.Ints(byClass[c])
 		for _, v := range byClass[c] {
-			pal := coloring.Palette(h, col, v)
+			pal := scratch.Palette(h, col, v)
 			if len(pal) == 0 {
 				continue // left to the terminal fallback
 			}

@@ -143,7 +143,9 @@ type Stats struct {
 	NumCliques int
 	NumCabals  int
 	NumSparse  int
-	// SparseColored .. PutAsideStats track per-stage coloring volume.
+	// SparseColored .. PutAsideStats track per-stage coloring volume. The
+	// matching/put-aside counters are measured against each clique's
+	// snapshot run; see ParallelDroppedWrites.
 	SparseColored    int
 	NonCabalColored  int
 	CabalColored     int
@@ -152,4 +154,10 @@ type Stats struct {
 	PutAsideFree     int
 	PutAsideFallback int
 	FallbackColored  int
+	// ParallelDroppedWrites counts proposals the parallel per-clique stage
+	// loops dropped at apply time (cross-clique collisions against the
+	// shared snapshot). When positive, the per-stage counters above can
+	// overstate the applied effect by at most this amount; the dropped
+	// vertices are recovered by later stages or the terminal fallback.
+	ParallelDroppedWrites int
 }

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sync"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/coloring"
+	"clustercolor/internal/network"
+	"clustercolor/internal/parwork"
+)
+
+// The per-clique stage loops (colorful matchings, synchronized color trials,
+// clique-palette builds, put-aside donation) are embarrassingly parallel:
+// almost-cliques are vertex-disjoint, so each clique's engine writes only
+// its own members. runPerClique fans them across the parwork worker pool —
+// the same machinery and SetParallelism knob as the experiment runner —
+// while keeping the output coloring byte-identical at every parallelism
+// level:
+//
+//   - each clique derives its own RNG stream from one base seed and its
+//     clique index (parwork.RowSeed), never from a shared stream;
+//   - each worker runs its engine against a private snapshot view of the
+//     coloring (frozen at loop entry), so no engine observes another
+//     clique's concurrent writes;
+//   - the resulting member writes are applied to the shared coloring
+//     sequentially in clique order, and any write that conflicts with an
+//     earlier-applied neighbor write (a cross-clique edge whose endpoints
+//     picked the same color against the same snapshot) is dropped — the
+//     vertex keeps its snapshot state and a later stage or the terminal
+//     fallback recovers it.
+//
+// Dropping on conflict keeps the coloring proper by construction: a kept
+// snapshot color was proper when the snapshot was taken, and every applied
+// write is validated against all previously applied writes.
+
+// cliqueWorker is the reusable per-worker state: a private snapshot view of
+// the coloring and a palette scratch.
+type cliqueWorker struct {
+	view    *coloring.Coloring
+	scratch *coloring.PaletteScratch
+}
+
+// cliqueRun is one clique's outcome: the engine payload, the scratch cost
+// model, and the member writes (recolorings first, so donor swaps apply
+// before their recipients adopt the freed color).
+type cliqueRun[T any] struct {
+	val     T
+	sub     *network.CostModel
+	writesV []int32
+	writesC []int32
+}
+
+// runPerClique executes job for each of n vertex-disjoint cliques in
+// parallel and applies the resulting writes in clique order. memberOf(i)
+// must return the vertex set job i writes into; job receives a subCG bound
+// to a scratch cost model (merged afterwards with AbsorbParallel under
+// phase), a private coloring view, a reusable palette scratch, and a
+// derived RNG.
+//
+// It returns the per-clique payloads in index order plus the number of
+// writes dropped at apply time. Payloads are measured against the clique's
+// snapshot run, so when a cross-clique collision drops a write they can
+// overstate the applied effect; the drop count makes that skew visible
+// (callers surface it via Stats.ParallelDroppedWrites).
+func runPerClique[T any](cg *cluster.CG, col *coloring.Coloring, phase string,
+	n int, baseSeed uint64, memberOf func(i int) []int,
+	job func(i int, subCG *cluster.CG, view *coloring.Coloring, scratch *coloring.PaletteScratch, rng *rand.Rand) (T, error),
+) ([]T, int, error) {
+	if n == 0 {
+		return nil, 0, nil
+	}
+	pool := sync.Pool{New: func() any {
+		return &cliqueWorker{view: col.Clone(), scratch: coloring.NewPaletteScratch()}
+	}}
+	runs, err := parwork.ForEach(n, func(i int) (cliqueRun[T], error) {
+		// The worker is returned to the pool only after its view has been
+		// reverted to the shared snapshot; on an error path it is discarded
+		// instead, so no later clique can run against a dirtied view.
+		w := pool.Get().(*cliqueWorker)
+		seed := parwork.RowSeed(baseSeed, i)
+		rng := rand.New(rand.NewPCG(seed, seed^0x6c62272e07bb0142))
+		sub, err := network.NewCostModel(cg.Cost().Bandwidth())
+		if err != nil {
+			return cliqueRun[T]{}, err
+		}
+		val, err := job(i, cg.WithCost(sub), w.view, w.scratch, rng)
+		if err != nil {
+			return cliqueRun[T]{}, err
+		}
+		run := cliqueRun[T]{val: val, sub: sub}
+		for pass := 0; pass < 2; pass++ {
+			for _, m := range memberOf(i) {
+				nc, oc := w.view.Get(m), col.Get(m)
+				if nc == oc {
+					continue
+				}
+				if recolor := oc != coloring.None; (pass == 0) != recolor {
+					continue
+				}
+				run.writesV = append(run.writesV, int32(m))
+				run.writesC = append(run.writesC, nc)
+			}
+		}
+		// Revert the view to the shared snapshot for this worker's next
+		// clique: engines write only their own members, so undoing those is
+		// O(|K|), not an O(n) copy (col is frozen for the whole fan-out).
+		for _, m := range memberOf(i) {
+			if c := col.Get(m); c == coloring.None {
+				w.view.Unset(m)
+			} else if err := w.view.Set(m, c); err != nil {
+				return cliqueRun[T]{}, err
+			}
+		}
+		pool.Put(w)
+		return run, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	vals := make([]T, n)
+	subs := make([]*network.CostModel, n)
+	dropped := 0
+	for i, run := range runs {
+		vals[i] = run.val
+		subs[i] = run.sub
+		for j, vv := range run.writesV {
+			v, c := int(vv), run.writesC[j]
+			if c == coloring.None {
+				// Engines never net-uncolor a member; if one ever does, keep
+				// the snapshot color — dropping information is always proper.
+				dropped++
+				continue
+			}
+			conflict := false
+			for _, u := range cg.H.Neighbors(v) {
+				if col.Get(int(u)) == c {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				dropped++
+				continue
+			}
+			if err := col.Set(v, c); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	cg.Cost().AbsorbParallel(phase, subs)
+	return vals, dropped, nil
+}

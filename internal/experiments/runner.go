@@ -1,86 +1,28 @@
 package experiments
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"clustercolor/internal/parwork"
 )
 
-// parallelism is the worker count used by experiment row loops and the
-// battery runner. It defaults to the machine's CPU count.
-var parallelism atomic.Int64
-
-func init() {
-	parallelism.Store(int64(runtime.GOMAXPROCS(0)))
-}
-
-// SetParallelism sets how many goroutines experiment row loops and the
-// battery runner fan out across; n < 1 selects 1 (sequential). It returns
-// the previous value. Tables are byte-identical at every parallelism level:
-// each row derives its randomness from the experiment seed and its own
-// index only, never from a stream shared across rows.
-func SetParallelism(n int) int {
-	if n < 1 {
-		n = 1
-	}
-	return int(parallelism.Swap(int64(n)))
-}
+// SetParallelism sets how many goroutines experiment row loops, the battery
+// runner, and the coloring pipeline's per-clique stage loops fan out across;
+// n < 1 selects 1 (sequential). It returns the previous value. Tables and
+// colorings are byte-identical at every parallelism level: each row (and
+// each clique) derives its randomness from the governing seed and its own
+// index only, never from a stream shared across items. The machinery lives
+// in internal/parwork so the core pipeline shares the same knob.
+func SetParallelism(n int) int { return parwork.SetParallelism(n) }
 
 // Parallelism returns the current runner parallelism.
-func Parallelism() int { return int(parallelism.Load()) }
+func Parallelism() int { return parwork.Parallelism() }
 
 // forEach computes f(i) for every i in [0, n) across min(Parallelism(), n)
-// goroutines and returns the results in index order. Workers pull indices
-// from a shared counter, so uneven row costs balance out. If any f returns
-// an error, the lowest-index error is reported.
+// goroutines and returns the results in index order.
 func forEach[T any](n int, f func(i int) (T, error)) ([]T, error) {
-	out := make([]T, n)
-	errs := make([]error, n)
-	p := Parallelism()
-	if p > n {
-		p = n
-	}
-	if p <= 1 {
-		for i := 0; i < n; i++ {
-			out[i], errs[i] = f(i)
-			if errs[i] != nil {
-				return nil, errs[i]
-			}
-		}
-		return out, nil
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				out[i], errs[i] = f(i)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return parwork.ForEach(n, f)
 }
 
 // rowSeed derives an independent PRNG seed for row i of an experiment from
-// the experiment seed (a splitmix64 step), so rows can run concurrently and
-// in any order while the emitted table stays identical to a sequential run.
-func rowSeed(seed uint64, i int) uint64 {
-	z := seed + 0x9e3779b97f4a7c15*uint64(i+1)
-	z ^= z >> 30
-	z *= 0xbf58476d1ce4e5b9
-	z ^= z >> 27
-	z *= 0x94d049bb133111eb
-	return z ^ z>>31
-}
+// the experiment seed, so rows can run concurrently and in any order while
+// the emitted table stays identical to a sequential run.
+func rowSeed(seed uint64, i int) uint64 { return parwork.RowSeed(seed, i) }

@@ -80,9 +80,12 @@ func Expand(h *Graph, spec ExpandSpec, rng *rand.Rand) (*Expansion, error) {
 	b := NewBuilder(nG)
 	clusterOf := make([]int, nG)
 	machines := make([][]int32, h.N())
+	// One flat backing array for every cluster's machine list — per-vertex
+	// slice allocations would dominate instance construction at scale.
+	flat := make([]int32, nG)
 	for v := 0; v < h.N(); v++ {
 		base := v * size
-		ms := make([]int32, size)
+		ms := flat[base : base+size : base+size]
 		for i := 0; i < size; i++ {
 			clusterOf[base+i] = v
 			ms[i] = int32(base + i)

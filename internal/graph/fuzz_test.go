@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzBuilder round-trips arbitrary edge lists through the CSR builder: for
+// any byte string interpreted as (n, edge pairs), the built graph must be
+// simple and symmetric with sorted deduplicated adjacency, and every
+// accepted edge must be present.
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 0, 1, 1, 2, 2, 3, 3, 0})
+	f.Add([]byte{3, 0, 1, 0, 1, 1, 0}) // duplicates + reversed duplicate
+	f.Add([]byte{2, 0, 0})             // self-loop (rejected by AddEdge)
+	f.Add([]byte{16, 250, 1, 3, 200})  // out-of-range endpoints
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0]%64) + 1
+		b := NewBuilder(n)
+		type edge struct{ u, v int }
+		accepted := make(map[edge]bool)
+		for i := 1; i+1 < len(data) && i < 256; i += 2 {
+			u, v := int(data[i]), int(data[i+1])
+			err := b.AddEdge(u, v)
+			switch {
+			case u == v || u >= n || v >= n:
+				if err == nil {
+					t.Fatalf("AddEdge(%d,%d) with n=%d accepted invalid edge", u, v, n)
+				}
+			case err != nil:
+				t.Fatalf("AddEdge(%d,%d) with n=%d rejected valid edge: %v", u, v, n, err)
+			default:
+				if u > v {
+					u, v = v, u
+				}
+				accepted[edge{u, v}] = true
+			}
+		}
+		g := b.Build()
+		if g.N() != n {
+			t.Fatalf("built %d vertices, want %d", g.N(), n)
+		}
+		if g.M() != len(accepted) {
+			t.Fatalf("built %d edges, accepted %d distinct", g.M(), len(accepted))
+		}
+		degSum := 0
+		for v := 0; v < n; v++ {
+			nbrs := g.Neighbors(v)
+			degSum += len(nbrs)
+			for i, u := range nbrs {
+				if int(u) == v {
+					t.Fatalf("vertex %d adjacent to itself", v)
+				}
+				if i > 0 && nbrs[i-1] >= u {
+					t.Fatalf("vertex %d adjacency not strictly sorted: %v", v, nbrs)
+				}
+				uu, vv := v, int(u)
+				if uu > vv {
+					uu, vv = vv, uu
+				}
+				if !accepted[edge{uu, vv}] {
+					t.Fatalf("edge {%d,%d} in graph but never accepted", uu, vv)
+				}
+				if !g.HasEdge(int(u), v) {
+					t.Fatalf("edge {%d,%d} not symmetric", v, u)
+				}
+			}
+			if len(nbrs) > g.MaxDegree() {
+				t.Fatalf("vertex %d degree %d exceeds MaxDegree %d", v, len(nbrs), g.MaxDegree())
+			}
+		}
+		if degSum != 2*g.M() {
+			t.Fatalf("degree sum %d, want 2·M = %d", degSum, 2*g.M())
+		}
+		for e := range accepted {
+			if !g.HasEdge(e.u, e.v) {
+				t.Fatalf("accepted edge {%d,%d} missing from graph", e.u, e.v)
+			}
+		}
+	})
+}

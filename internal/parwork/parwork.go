@@ -1,0 +1,92 @@
+// Package parwork holds the process-wide worker machinery shared by every
+// embarrassingly-parallel loop in the repo: experiment row loops, the
+// battery runner, and the per-clique stage loops of the coloring pipeline.
+// One knob (SetParallelism, surfaced to users via experiments.SetParallelism
+// and benchtables -parallel) governs them all, and every loop derives its
+// per-item randomness from a seed and the item index only, so emitted
+// tables and colorings are byte-identical at every parallelism level.
+package parwork
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism is the worker count used by ForEach. It defaults to the
+// machine's CPU count.
+var parallelism atomic.Int64
+
+func init() {
+	parallelism.Store(int64(runtime.GOMAXPROCS(0)))
+}
+
+// SetParallelism sets how many goroutines ForEach fans out across; n < 1
+// selects 1 (sequential). It returns the previous value.
+func SetParallelism(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(parallelism.Swap(int64(n)))
+}
+
+// Parallelism returns the current worker count.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// ForEach computes f(i) for every i in [0, n) across min(Parallelism(), n)
+// goroutines and returns the results in index order. Workers pull indices
+// from a shared counter, so uneven item costs balance out. If any f returns
+// an error, the lowest-index error is reported. f must derive all of its
+// randomness from its index (see RowSeed) and must not write shared state,
+// or the byte-identical-at-any-parallelism contract breaks.
+func ForEach[T any](n int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	p := Parallelism()
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = f(i)
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RowSeed derives an independent PRNG seed for item i of a loop from the
+// loop's seed (a splitmix64 step), so items can run concurrently and in any
+// order while the merged output stays identical to a sequential run.
+func RowSeed(seed uint64, i int) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*uint64(i+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}

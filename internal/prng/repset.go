@@ -63,40 +63,70 @@ func (f *RepFamily) SetSize() int { return f.setSize }
 // Universe returns the universe size.
 func (f *RepFamily) Universe() int { return f.universe }
 
+// MemberScratch is reusable state for AppendMember: the derivation PRNG and
+// the Fisher–Yates permutation buffer, so materializing a member allocates
+// nothing in steady state. One scratch belongs to one goroutine.
+type MemberScratch struct {
+	pcg  rand.PCG
+	rng  *rand.Rand
+	perm []int
+}
+
+// NewMemberScratch returns an empty scratch; buffers grow on first use.
+func NewMemberScratch() *MemberScratch {
+	s := &MemberScratch{}
+	s.rng = rand.New(&s.pcg)
+	return s
+}
+
 // Member materializes the i-th set of the family. Every party holding the
 // family seed reconstructs the same set from the index alone, so sharing a
 // member costs O(log count) bits.
 func (f *RepFamily) Member(i int) ([]int, error) {
+	return f.AppendMember(nil, i, NewMemberScratch())
+}
+
+// AppendMember appends the i-th member set to dst (reusing its capacity)
+// and returns it, producing exactly the sequence Member(i) does. Hot loops
+// pass a reusable dst and scratch to materialize members allocation-free.
+func (f *RepFamily) AppendMember(dst []int, i int, s *MemberScratch) ([]int, error) {
 	if i < 0 || i >= f.count {
 		return nil, fmt.Errorf("prng: member index %d out of [0,%d)", i, f.count)
 	}
-	rng := rand.New(rand.NewPCG(f.seed, uint64(i)*0x9e3779b97f4a7c15+1))
+	s.pcg.Seed(f.seed, uint64(i)*0x9e3779b97f4a7c15+1)
+	base := len(dst)
 	if f.setSize*4 >= f.universe {
 		// Dense regime: partial Fisher–Yates over the full universe.
-		perm := make([]int, f.universe)
+		if cap(s.perm) < f.universe {
+			s.perm = make([]int, f.universe)
+		}
+		perm := s.perm[:f.universe]
 		for j := range perm {
 			perm[j] = j
 		}
 		for j := 0; j < f.setSize; j++ {
-			k := j + rng.IntN(f.universe-j)
+			k := j + s.rng.IntN(f.universe-j)
 			perm[j], perm[k] = perm[k], perm[j]
 		}
-		out := make([]int, f.setSize)
-		copy(out, perm[:f.setSize])
-		return out, nil
+		return append(dst, perm[:f.setSize]...), nil
 	}
-	// Sparse regime: rejection sampling.
-	seen := make(map[int]struct{}, f.setSize)
-	out := make([]int, 0, f.setSize)
-	for len(out) < f.setSize {
-		x := rng.IntN(f.universe)
-		if _, dup := seen[x]; dup {
+	// Sparse regime: rejection sampling; the accepted prefix doubles as the
+	// dedup set (set sizes are small, so the scan beats a per-call map).
+	for len(dst)-base < f.setSize {
+		x := s.rng.IntN(f.universe)
+		dup := false
+		for _, y := range dst[base:] {
+			if y == x {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[x] = struct{}{}
-		out = append(out, x)
+		dst = append(dst, x)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // IndexBits is the description length of a member index.

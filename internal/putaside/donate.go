@@ -32,6 +32,10 @@ type DonateOptions struct {
 	// SampleTries is k = Θ(log n / log log n), the donations each
 	// recipient may test.
 	SampleTries int
+	// Scratch is the caller-owned palette scratch used for availability
+	// tests and exact palette materialization (nil allocates a private
+	// one). Parallel per-cabal callers pass their worker's scratch.
+	Scratch *coloring.PaletteScratch
 }
 
 // DonateResult reports how the put-aside vertices got colored.
@@ -60,6 +64,9 @@ func ColorPutAside(cg *cluster.CG, col *coloring.Coloring, opts DonateOptions, r
 	}
 	if opts.SampleTries <= 0 {
 		return nil, fmt.Errorf("putaside: sample tries %d must be positive", opts.SampleTries)
+	}
+	if opts.Scratch == nil {
+		opts.Scratch = coloring.NewPaletteScratch()
 	}
 	res := &DonateResult{}
 	uncolored := make([]int, 0, len(opts.PutAside))
@@ -93,7 +100,7 @@ func ColorPutAside(cg *cluster.CG, col *coloring.Coloring, opts DonateOptions, r
 	if len(uncolored) > 0 {
 		// Counted fallback: exact palette lookup, charged as the expensive
 		// Ω(Δ/log n)-round primitive it is (Figure 2's lower bound).
-		n, err := fallbackExact(cg, col, uncolored, opts.Phase, rng)
+		n, err := fallbackExact(cg, col, uncolored, opts.Phase, opts.Scratch, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +127,7 @@ func stillUncolored(col *coloring.Coloring, vs []int) []int {
 // neighbors nor other put-aside vertices' picks.
 func tryFreeColors(cg *cluster.CG, col *coloring.Coloring, cp *coloring.CliquePalette,
 	uncolored []int, opts DonateOptions, rng *rand.Rand) (int, error) {
-	free := cp.Free()
+	free := cp.FreeView()
 	if len(free) == 0 {
 		return 0, nil
 	}
@@ -130,13 +137,15 @@ func tryFreeColors(cg *cluster.CG, col *coloring.Coloring, cp *coloring.CliquePa
 	colored := 0
 	taken := make(map[int32]bool)
 	for _, v := range uncolored {
+		// One neighborhood load answers every sampled-color test in O(1).
+		opts.Scratch.Load(cg.H, col, v)
 		var chosen int32
 		for try := 0; try < opts.SampleTries; try++ {
 			c := free[rng.IntN(len(free))]
 			if taken[c] {
 				continue
 			}
-			if coloring.Available(cg.H, col, v, c) {
+			if opts.Scratch.LoadedAvailable(c) {
 				chosen = c
 				break
 			}
@@ -189,7 +198,7 @@ func donate(cg *cluster.CG, col *coloring.Coloring, cp *coloring.CliquePalette,
 	// keeps it only if available; donors are then grouped by (replacement
 	// color, block of own color). Each recipient gets a distinct
 	// replacement color with a non-empty donor group.
-	free := cp.Free()
+	free := cp.FreeView()
 	if len(free) == 0 {
 		return 0, 0, nil
 	}
@@ -242,6 +251,8 @@ func donate(cg *cluster.CG, col *coloring.Coloring, cp *coloring.CliquePalette,
 			continue
 		}
 		donors := groups[key]
+		// One load of u's neighborhood answers every donor test in O(1).
+		opts.Scratch.Load(cg.H, col, u)
 		var donor int = -1
 		for try := 0; try < opts.SampleTries && try < 4*len(donors); try++ {
 			v := donors[rng.IntN(len(donors))]
@@ -251,7 +262,7 @@ func donate(cg *cluster.CG, col *coloring.Coloring, cp *coloring.CliquePalette,
 			// The donated color must be free for u: not used by u's
 			// (external) neighbors. In-clique uniqueness holds because
 			// candidates hold unique colors.
-			if coloring.Available(cg.H, col, u, col.Get(v)) || onlyBlockerIsDonor(cg, col, u, v) {
+			if opts.Scratch.LoadedAvailable(col.Get(v)) || onlyBlockerIsDonor(cg, col, u, v) {
 				donor = v
 				break
 			}
@@ -314,7 +325,8 @@ func properAt(cg *cluster.CG, col *coloring.Coloring, v int) bool {
 
 // fallbackExact colors remaining vertices by exact palette lookup — the
 // primitive Figure 2 shows costs Ω(Δ/log n) rounds, charged as such.
-func fallbackExact(cg *cluster.CG, col *coloring.Coloring, uncolored []int, phase string, rng *rand.Rand) (int, error) {
+func fallbackExact(cg *cluster.CG, col *coloring.Coloring, uncolored []int, phase string,
+	scratch *coloring.PaletteScratch, rng *rand.Rand) (int, error) {
 	delta := col.Delta()
 	bw := cg.Cost().Bandwidth()
 	hops := (delta + bw - 1) / bw
@@ -324,7 +336,7 @@ func fallbackExact(cg *cluster.CG, col *coloring.Coloring, uncolored []int, phas
 	cg.ChargeHRounds(phase+"/fallback", hops, bw)
 	colored := 0
 	for _, v := range uncolored {
-		pal := coloring.Palette(cg.H, col, v)
+		pal := scratch.Palette(cg.H, col, v)
 		if len(pal) == 0 {
 			continue
 		}

@@ -45,7 +45,7 @@ func Run(cg *cluster.CG, col *coloring.Coloring, opts Options, rng *rand.Rand) (
 	cp := coloring.BuildCliquePalette(cg, col, opts.Members)
 	// Palette beyond the reserved prefix.
 	free := make([]int32, 0, cp.FreeCount())
-	for _, c := range cp.Free() {
+	for _, c := range cp.FreeView() {
 		if c > opts.ReservedMax {
 			free = append(free, c)
 		}

@@ -175,11 +175,19 @@ func MultiColorTrial(cg *cluster.CG, col *coloring.Coloring, opts MCTOptions, rn
 		}
 		maxPhases = 4 + bits.Len(uint(maxSpace))
 	}
+	// Per-call scratch shared by all phases: tried sets live in one arena
+	// addressed by per-vertex spans, families are cached per space size, and
+	// member materialization reuses one buffer — no per-vertex allocation.
+	ms := &mctScratch{
+		spans:  make([][2]int32, cg.H.N()),
+		fams:   make(map[int]*prng.RepFamily),
+		member: prng.NewMemberScratch(),
+	}
 	for phase := 0; phase < maxPhases; phase++ {
 		if remainingActive(cg, col, opts.Active) == 0 {
 			return 0, nil
 		}
-		if err := mctPhase(cg, col, opts, x, phase, rng); err != nil {
+		if err := mctPhase(cg, col, opts, x, phase, ms, rng); err != nil {
 			return 0, err
 		}
 		// Exponential growth of the number of tried colors.
@@ -188,12 +196,38 @@ func MultiColorTrial(cg *cluster.CG, col *coloring.Coloring, opts MCTOptions, rn
 	return remainingActive(cg, col, opts.Active), nil
 }
 
+// mctScratch is the reusable state of one MultiColorTrial call.
+type mctScratch struct {
+	// spans[v] is the [lo, hi) range of v's tried set inside arena.
+	spans [][2]int32
+	// arena holds every tried color of the current phase back to back.
+	arena []int32
+	// fams caches the representative family per space size for the phase.
+	fams map[int]*prng.RepFamily
+	// memberBuf and member materialize family members without allocating.
+	memberBuf []int
+	member    *prng.MemberScratch
+	// idxBuf holds the member indices accepted for the current vertex, the
+	// dedup set of the sampling loop.
+	idxBuf []int
+}
+
+// tried returns v's tried set for the current phase.
+func (ms *mctScratch) tried(v int) []int32 {
+	sp := ms.spans[v]
+	return ms.arena[sp[0]:sp[1]]
+}
+
 // mctPhase is one TryPseudorandomColors(x) step: sample a representative
 // set over C(v), draw x colors from it, adopt any color unused and untried
 // in the neighborhood.
-func mctPhase(cg *cluster.CG, col *coloring.Coloring, opts MCTOptions, x, phase int, rng *rand.Rand) error {
+func mctPhase(cg *cluster.CG, col *coloring.Coloring, opts MCTOptions, x, phase int, ms *mctScratch, rng *rand.Rand) error {
 	n := cg.H.N()
-	triedSets := make([][]int32, n)
+	ms.arena = ms.arena[:0]
+	for i := range ms.spans {
+		ms.spans[i] = [2]int32{}
+	}
+	clear(ms.fams)
 	maxDescBits := 1
 	for v := 0; v < n; v++ {
 		if col.IsColored(v) {
@@ -208,35 +242,52 @@ func mctPhase(cg *cluster.CG, col *coloring.Coloring, opts MCTOptions, x, phase 
 		}
 		// Representative-set sampling (Algorithm 16 Steps 1–2): vertex v
 		// draws a member Y(v) of the shared family over C(v), then x
-		// uniform colors from Y(v).
-		fam, err := prng.RepFamilyFor(len(space), 0.5, 0.25, opts.Seed+uint64(phase)*1315423911+uint64(len(space)))
-		if err != nil {
-			return fmt.Errorf("trials: representative family: %w", err)
+		// uniform colors from Y(v). Vertices with equal space sizes share
+		// one family (same parameters and seed), so it is cached.
+		fam := ms.fams[len(space)]
+		if fam == nil {
+			var err error
+			fam, err = prng.RepFamilyFor(len(space), 0.5, 0.25, opts.Seed+uint64(phase)*1315423911+uint64(len(space)))
+			if err != nil {
+				return fmt.Errorf("trials: representative family: %w", err)
+			}
+			ms.fams[len(space)] = fam
 		}
-		member, err := fam.Member(rng.IntN(fam.Count()))
+		member, err := fam.AppendMember(ms.memberBuf[:0], rng.IntN(fam.Count()), ms.member)
 		if err != nil {
 			return fmt.Errorf("trials: family member: %w", err)
 		}
+		ms.memberBuf = member
 		k := x
 		if k > len(member) {
 			k = len(member)
 		}
-		set := make([]int32, 0, k)
-		seen := make(map[int]struct{}, k)
-		for len(set) < k {
+		lo := int32(len(ms.arena))
+		ms.idxBuf = ms.idxBuf[:0]
+		for len(ms.arena)-int(lo) < k {
 			idx := member[rng.IntN(len(member))]
-			if _, dup := seen[idx]; dup {
-				// Sampling with replacement is fine for the analysis; dedup
-				// only to keep the announced set minimal.
-				if len(seen) == len(member) {
+			// Sampling with replacement is fine for the analysis; dedup by
+			// member index (a scan of the small accepted set) only to keep
+			// the announced set minimal. Index-based dedup also guarantees
+			// termination when a caller's space repeats a color: once every
+			// member index is accepted, the next sample must be a dup.
+			dup := false
+			for _, j := range ms.idxBuf {
+				if j == idx {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				if len(ms.idxBuf) == len(member) {
 					break
 				}
 				continue
 			}
-			seen[idx] = struct{}{}
-			set = append(set, space[idx])
+			ms.idxBuf = append(ms.idxBuf, idx)
+			ms.arena = append(ms.arena, space[idx])
 		}
-		triedSets[v] = set
+		ms.spans[v] = [2]int32{lo, int32(len(ms.arena))}
 		// Description: family index + x offsets within the member.
 		desc := fam.IndexBits() + k*bits.Len(uint(fam.SetSize()))
 		if desc > maxDescBits {
@@ -246,12 +297,12 @@ func mctPhase(cg *cluster.CG, col *coloring.Coloring, opts MCTOptions, x, phase 
 	cg.ChargeHRounds(opts.Phase+"/announce", 1, maxDescBits)
 	cg.ChargeHRounds(opts.Phase+"/respond", 1, maxDescBits)
 	for v := 0; v < n; v++ {
-		set := triedSets[v]
+		set := ms.tried(v)
 		if len(set) == 0 {
 			continue
 		}
 		for _, c := range set {
-			if adoptable(cg, col, triedSets, v, c) {
+			if adoptable(cg, col, ms, v, c) {
 				if err := col.Set(v, c); err != nil {
 					return fmt.Errorf("trials: adopting color: %w", err)
 				}
@@ -267,14 +318,14 @@ func mctPhase(cg *cluster.CG, col *coloring.Coloring, opts MCTOptions, x, phase 
 // with the TryColor priority rule added: among same-phase triers of a color
 // only the smallest index may adopt it, which guarantees global progress
 // even when tried sets saturate the color space).
-func adoptable(cg *cluster.CG, col *coloring.Coloring, triedSets [][]int32, v int, c int32) bool {
+func adoptable(cg *cluster.CG, col *coloring.Coloring, ms *mctScratch, v int, c int32) bool {
 	for _, u := range cg.H.Neighbors(v) {
 		w := int(u)
 		if col.Get(w) == c {
 			return false
 		}
 		if w < v {
-			for _, tc := range triedSets[w] {
+			for _, tc := range ms.tried(w) {
 				if tc == c {
 					return false
 				}

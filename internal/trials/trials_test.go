@@ -2,6 +2,7 @@ package trials
 
 import (
 	"testing"
+	"time"
 
 	"clustercolor/internal/cluster"
 	"clustercolor/internal/coloring"
@@ -268,5 +269,37 @@ func TestTryColorChargesBandwidth(t *testing.T) {
 	}
 	if cg.Cost().Rounds() <= before {
 		t.Fatal("TryColorRound charged no rounds")
+	}
+}
+
+func TestMultiColorTrialTerminatesOnDuplicateSpaceColors(t *testing.T) {
+	// A space with a repeated color: the sampling dedup is by member index,
+	// so the phase loop must terminate even though fewer distinct colors
+	// exist than member slots. (Color-based dedup would spin forever once
+	// the tried set saturates at the distinct-color count.)
+	h := graph.Path(2)
+	cg := testCG(t, h)
+	col := coloring.New(2, 4)
+	dup := []int32{3, 3, 3, 3}
+	done := make(chan error, 1)
+	go func() {
+		_, err := MultiColorTrial(cg, col, MCTOptions{
+			Phase: "mct",
+			Space: func(v int) []int32 { return dup },
+			Seed:  9,
+		}, graph.NewRand(21))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("MultiColorTrial hung on a duplicate-color space")
+	}
+	// Only one of the two adjacent vertices can hold the lone color.
+	if err := coloring.VerifyProper(h, col); err != nil {
+		t.Fatal(err)
 	}
 }
