@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-smoke bench-graph bench-color tables benchjson vet fmt check
+.PHONY: build test race fuzz bench bench-smoke bench-graph bench-color bench-distsim tables benchjson vet fmt check
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzColor$$' -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz '^FuzzBuilder$$' -fuzztime 10s ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/fingerprint
+	$(GO) test -run '^$$' -fuzz '^FuzzWave$$' -fuzztime 10s ./internal/distsim
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -34,6 +35,9 @@ bench-graph:
 
 bench-color:
 	$(GO) run ./cmd/benchtables -colorbench BENCH_color.json
+
+bench-distsim:
+	$(GO) run ./cmd/benchtables -distsimbench BENCH_distsim.json
 
 tables:
 	$(GO) run ./cmd/benchtables

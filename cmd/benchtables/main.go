@@ -8,6 +8,7 @@
 //	benchtables -enginebench out.json  # emit engine benchmarks instead
 //	benchtables -graphbench out.json   # emit graph-generator benchmarks instead
 //	benchtables -colorbench out.json   # emit stage-level coloring benchmarks instead
+//	benchtables -distsimbench out.json # emit machine-granularity conformance benchmarks instead
 //
 // Tables are computed by a parallel runner that fans experiments and their
 // rows across CPUs; the output is byte-identical for every -parallel value.
@@ -31,19 +32,20 @@ import (
 
 func main() {
 	var (
-		seed      = flag.Uint64("seed", 1, "random seed")
-		ids       = flag.String("id", "", "comma-separated experiment ids (empty = all)")
-		ablations = flag.Bool("ablations", false, "also run the ablation battery (A1–A5)")
-		format    = flag.String("format", "table", "output format: table | csv")
-		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment runner parallelism (1 = sequential)")
-		benchOut  = flag.String("enginebench", "", "run engine benchmarks and write BENCH_engine.json to this path ('-' = stdout), then exit")
-		benchN    = flag.Int("benchn", 10000, "machine count for -enginebench")
-		graphOut  = flag.String("graphbench", "", "run graph-generator benchmarks and write BENCH_graph.json to this path ('-' = stdout), then exit")
-		colorOut  = flag.String("colorbench", "", "run stage-level coloring benchmarks and write BENCH_color.json to this path ('-' = stdout), then exit")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		ids        = flag.String("id", "", "comma-separated experiment ids (empty = all)")
+		ablations  = flag.Bool("ablations", false, "also run the ablation battery (A1–A5)")
+		format     = flag.String("format", "table", "output format: table | csv")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment runner parallelism (1 = sequential)")
+		benchOut   = flag.String("enginebench", "", "run engine benchmarks and write BENCH_engine.json to this path ('-' = stdout), then exit")
+		benchN     = flag.Int("benchn", 10000, "machine count for -enginebench")
+		graphOut   = flag.String("graphbench", "", "run graph-generator benchmarks and write BENCH_graph.json to this path ('-' = stdout), then exit")
+		colorOut   = flag.String("colorbench", "", "run stage-level coloring benchmarks and write BENCH_color.json to this path ('-' = stdout), then exit")
+		distsimOut = flag.String("distsimbench", "", "run the machine-granularity conformance benchmarks and write BENCH_distsim.json to this path ('-' = stdout), then exit")
 	)
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
-	if *benchOut != "" || *graphOut != "" || *colorOut != "" {
+	if *benchOut != "" || *graphOut != "" || *colorOut != "" || *distsimOut != "" {
 		if *benchOut != "" {
 			if err := emitEngineBench(*benchOut, *benchN, *seed); err != nil {
 				fmt.Fprintln(os.Stderr, "benchtables:", err)
@@ -58,6 +60,12 @@ func main() {
 		}
 		if *colorOut != "" {
 			if err := emitColorBench(*colorOut, *seed); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				os.Exit(1)
+			}
+		}
+		if *distsimOut != "" {
+			if err := emitDistsimBench(*distsimOut, *seed); err != nil {
 				fmt.Fprintln(os.Stderr, "benchtables:", err)
 				os.Exit(1)
 			}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"clustercolor/internal/distsim"
 	"clustercolor/internal/experiments"
 )
 
@@ -107,5 +108,39 @@ func TestEmitEngineBench(t *testing.T) {
 	}
 	if _, ok := names["ExperimentRunner/parallel-1"]; !ok {
 		t.Fatal("missing ExperimentRunner/parallel-1")
+	}
+}
+
+// TestEmitDistsimBench pins the -distsimbench emitter: a small scenario
+// subset produces a schema-tagged report whose primitives all passed the
+// conformance assertions (the emitter fails otherwise by construction).
+func TestEmitDistsimBench(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_distsim.json")
+	if err := emitDistsimBenchScenarios(path, 3, distsim.Matrix()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep distsimBenchReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "clustercolor/bench-distsim/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Scenarios) != 1 {
+		t.Fatalf("scenarios = %d, want 1", len(rep.Scenarios))
+	}
+	sc := rep.Scenarios[0]
+	if sc.Vertices == 0 || len(sc.Primitives) < 2 || sc.NsPerOp <= 0 {
+		t.Fatalf("degenerate record: %+v", sc)
+	}
+	for _, p := range sc.Primitives {
+		if !p.Skipped && int64(p.CommRounds) > p.ChargedRounds {
+			t.Fatalf("%s: comm %d > charged %d escaped the harness", p.Primitive, p.CommRounds, p.ChargedRounds)
+		}
 	}
 }

@@ -1,0 +1,123 @@
+package clustercolor
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"testing"
+
+	"clustercolor/internal/parwork"
+)
+
+// colorFingerprint is a stable FNV-64a hash of a run's full color vector
+// (little-endian int32 per vertex). It pins the exact coloring, not just
+// its properness: a refactor that changes any vertex's color changes the
+// fingerprint.
+func colorFingerprint(colors []int) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, c := range colors {
+		buf[0] = byte(c)
+		buf[1] = byte(c >> 8)
+		buf[2] = byte(c >> 16)
+		buf[3] = byte(c >> 24)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// goldenCase is one pinned scenario × seed cell.
+type goldenCase struct {
+	name  string
+	build func(seed uint64) (*Graph, error)
+	opts  Options
+	seed  uint64
+	want  uint64 // pinned fingerprint (a mismatch failure prints the repin value)
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{
+			name:  "gnp/n300/low",
+			build: func(seed uint64) (*Graph, error) { return GNP(300, 0.08, seed) },
+			opts:  Options{},
+			seed:  3,
+			want:  0x5ac1b39ccd50e40a,
+		},
+		{
+			name:  "gnp/n300/low/seed9",
+			build: func(seed uint64) (*Graph, error) { return GNP(300, 0.08, seed) },
+			opts:  Options{},
+			seed:  9,
+			want:  0x213189b081205c50,
+		},
+		{
+			name:  "ringcliques/high",
+			build: func(seed uint64) (*Graph, error) { return RingOfCliques(10, 40) },
+			opts:  Options{Topology: StarCluster, MachinesPerCluster: 3},
+			seed:  5,
+			want:  0x6d9240b1812eceb9,
+		},
+		{
+			name:  "ba/tree-clusters",
+			build: func(seed uint64) (*Graph, error) { return BarabasiAlbert(260, 6, seed) },
+			opts:  Options{Topology: TreeCluster, MachinesPerCluster: 4},
+			seed:  7,
+			want:  0xd81226b2e208c6e0,
+		},
+		{
+			name: "geometric/redundant",
+			build: func(seed uint64) (*Graph, error) {
+				return RandomGeometric(220, 0.16, seed)
+			},
+			opts: Options{Topology: StarCluster, MachinesPerCluster: 3, RedundantLinks: 2},
+			seed: 11,
+			want: 0x5559977f8ae710ac,
+		},
+	}
+}
+
+// TestGoldenColorFingerprints pins a stable hash of Color's full output per
+// scenario kind × seed × parallelism level: a refactor that changes any
+// coloring fails loudly here instead of silently shifting results, and the
+// parallel stage loops must reproduce the sequential fingerprint exactly.
+func TestGoldenColorFingerprints(t *testing.T) {
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			h, err := gc.build(gc.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ref uint64
+			for _, par := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+				prev := parwork.SetParallelism(par)
+				res, err := Color(h, Options{
+					Topology:           gc.opts.Topology,
+					MachinesPerCluster: gc.opts.MachinesPerCluster,
+					RedundantLinks:     gc.opts.RedundantLinks,
+					Seed:               gc.seed,
+				})
+				parwork.SetParallelism(prev)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				got := colorFingerprint(res.Colors())
+				if par == 1 {
+					ref = got
+					if got != gc.want {
+						t.Errorf("fingerprint = %#016x, pinned %#016x\n"+
+							"(if this change to the coloring is intended, repin: %s)",
+							got, gc.want, repinLine(gc.name, got))
+					}
+				} else if got != ref {
+					t.Errorf("parallelism %d fingerprint %#016x != sequential %#016x", par, got, ref)
+				}
+			}
+		})
+	}
+}
+
+func repinLine(name string, got uint64) string {
+	return fmt.Sprintf("update goldenCases entry %q to want: %#016x", name, got)
+}

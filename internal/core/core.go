@@ -8,6 +8,7 @@ import (
 	"clustercolor/internal/acd"
 	"clustercolor/internal/cluster"
 	"clustercolor/internal/coloring"
+	"clustercolor/internal/parwork"
 	"clustercolor/internal/trials"
 )
 
@@ -16,6 +17,15 @@ import (
 // (Theorem 1.1) by the Δ_low threshold. It returns a verified total proper
 // coloring together with run statistics.
 func Color(cg *cluster.CG, params Params) (*coloring.Coloring, *Stats, error) {
+	return ColorTraced(cg, params, nil)
+}
+
+// ColorTraced is Color with a stage tracer: tr (when non-nil) observes every
+// parallel per-clique stage of the high-degree pipeline — its snapshot,
+// tasks, seeds, charged rounds, and snapshot-relative writes. The distsim
+// conformance harness uses it to re-execute each primitive at machine
+// granularity; a nil tracer makes ColorTraced identical to Color.
+func ColorTraced(cg *cluster.CG, params Params, tr StageTracer) (*coloring.Coloring, *Stats, error) {
 	if err := params.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -23,7 +33,7 @@ func Color(cg *cluster.CG, params Params) (*coloring.Coloring, *Stats, error) {
 	delta := h.MaxDegree()
 	col := coloring.New(h.N(), delta)
 	stats := &Stats{Delta: delta, Dilation: cg.Dilation}
-	rng := rand.New(rand.NewPCG(params.Seed, params.Seed^0x6c62272e07bb0142))
+	rng := parwork.StreamRNG(params.Seed)
 	baseline := cg.Cost().Rounds()
 
 	var err error
@@ -32,7 +42,7 @@ func Color(cg *cluster.CG, params Params) (*coloring.Coloring, *Stats, error) {
 		err = colorLowDegree(cg, col, params, stats, rng)
 	} else {
 		stats.Path = "high-degree"
-		err = colorHighDegree(cg, col, params, stats, rng)
+		err = colorHighDegree(cg, col, params, stats, rng, tr)
 	}
 	if err != nil {
 		return nil, nil, err

@@ -9,11 +9,9 @@ import (
 	"clustercolor/internal/cluster"
 	"clustercolor/internal/coloring"
 	"clustercolor/internal/graph"
-	"clustercolor/internal/matching"
 	"clustercolor/internal/network"
 	"clustercolor/internal/parwork"
 	"clustercolor/internal/putaside"
-	"clustercolor/internal/sct"
 	"clustercolor/internal/slackgen"
 	"clustercolor/internal/trials"
 )
@@ -21,7 +19,7 @@ import (
 // colorHighDegree is Algorithm 3: ComputeACD, SlackGeneration outside
 // cabals, ColoringSparse, ColoringNonCabals (Algorithm 4), ColoringCabals
 // (Algorithm 5).
-func colorHighDegree(cg *cluster.CG, col *coloring.Coloring, params Params, stats *Stats, rng *rand.Rand) error {
+func colorHighDegree(cg *cluster.CG, col *coloring.Coloring, params Params, stats *Stats, rng *rand.Rand, tr StageTracer) error {
 	h := cg.H
 	delta := h.MaxDegree()
 	stats.StageOrder = append(stats.StageOrder, "ComputeACD")
@@ -61,12 +59,12 @@ func colorHighDegree(cg *cluster.CG, col *coloring.Coloring, params Params, stat
 	}
 	// Step 4: non-cabals (Algorithm 4).
 	stats.StageOrder = append(stats.StageOrder, "ColoringNonCabals")
-	if err := colorNonCabals(cg, col, d, prof, reserved, globalReserved, params, stats, rng); err != nil {
+	if err := colorNonCabals(cg, col, d, prof, reserved, globalReserved, params, stats, rng, tr); err != nil {
 		return err
 	}
 	// Step 5: cabals (Algorithm 5).
 	stats.StageOrder = append(stats.StageOrder, "ColoringCabals")
-	return colorCabals(cg, col, d, prof, reserved, globalReserved, params, stats, rng)
+	return colorCabals(cg, col, d, prof, reserved, globalReserved, params, stats, rng, tr)
 }
 
 func colorSparse(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, stats *Stats, rng *rand.Rand) error {
@@ -98,7 +96,7 @@ func colorSparse(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, s
 // colorNonCabals is Algorithm 4: ColorfulMatching, ColoringOutliers,
 // SynchronizedColorTrial, Complete.
 func colorNonCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, prof *acd.Profile,
-	reserved []int32, globalReserved int32, params Params, stats *Stats, rng *rand.Rand) error {
+	reserved []int32, globalReserved int32, params Params, stats *Stats, rng *rand.Rand, tr StageTracer) error {
 	h := cg.H
 	delta := h.MaxDegree()
 	full := sparseSpace(col)
@@ -113,7 +111,7 @@ func colorNonCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition
 	}
 	before := col.DomSize()
 	// Step 1: colorful matching, parallel across cliques.
-	repeats, err := runMatchings(cg, col, d, cliques, globalReserved, params, false, stats, rng)
+	repeats, err := runMatchings(cg, col, d, cliques, globalReserved, params, false, stats, rng, tr, "matching/noncabals")
 	if err != nil {
 		return err
 	}
@@ -139,7 +137,7 @@ func colorNonCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition
 		return err
 	}
 	// Step 3: synchronized color trial per clique (parallel).
-	if err := runSCTs(cg, col, d, cliques, reserved, inlier, nil, stats, rng); err != nil {
+	if err := runSCTs(cg, col, d, cliques, reserved, inlier, nil, stats, rng, tr, "sct/noncabals"); err != nil {
 		return err
 	}
 	// Step 4: Complete (Algorithm 11).
@@ -208,7 +206,7 @@ func complete(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition,
 
 // colorCabals is Algorithm 5.
 func colorCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, prof *acd.Profile,
-	reserved []int32, globalReserved int32, params Params, stats *Stats, rng *rand.Rand) error {
+	reserved []int32, globalReserved int32, params Params, stats *Stats, rng *rand.Rand, tr StageTracer) error {
 	h := cg.H
 	full := sparseSpace(col)
 	var cabals []int
@@ -223,7 +221,7 @@ func colorCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, p
 	before := col.DomSize()
 	// Step 1: colorful matching with the cabal-specific fingerprint
 	// algorithm as backup.
-	repeats, err := runMatchings(cg, col, d, cabals, globalReserved, params, true, stats, rng)
+	repeats, err := runMatchings(cg, col, d, cabals, globalReserved, params, true, stats, rng, tr, "matching/cabals")
 	if err != nil {
 		return err
 	}
@@ -295,7 +293,7 @@ func colorCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, p
 		}
 	}
 	// Step 4: synchronized color trial (participants exclude put-aside).
-	if err := runSCTs(cg, col, d, cabals, reserved, inlier, inPutAside, stats, rng); err != nil {
+	if err := runSCTs(cg, col, d, cabals, reserved, inlier, inPutAside, stats, rng, tr, "sct/cabals"); err != nil {
 		return err
 	}
 	// Step 5: MultiColorTrial on reserved colors for the rest (not
@@ -325,40 +323,64 @@ func colorCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, p
 		return err
 	}
 	// Step 6: color put-aside sets via donation (parallel across cabals).
+	// The per-cabal job body lives in DonateJob (seams.go); the tasks pin
+	// the forbidden-donor flags (Lemma 7.2 Property 2) up front.
 	lg := bits.Len(uint(h.N()))
 	donateSeed := rng.Uint64()
-	type donateStats struct{ donated, free, fallback int }
-	dstats, dropped, err := runPerClique(cg, col, "cabal/donate", len(cabals), donateSeed,
-		func(idx int) []int { return cabalMembers[idx] },
-		func(idx int, subCG *cluster.CG, view *coloring.Coloring, scratch *coloring.PaletteScratch, crng *rand.Rand) (donateStats, error) {
-			if len(putAside[idx]) == 0 {
-				return donateStats{}, nil
-			}
+	tasks := make([]DonateTask, len(cabals))
+	for idx := range cabals {
+		members := cabalMembers[idx]
+		task := DonateTask{
+			Members:            members,
+			PutAside:           putAside[idx],
+			Inlier:             make([]bool, len(members)),
+			Forbidden:          make([]bool, len(members)),
+			FreeColorThreshold: 4 * len(putAside[idx]),
+			BlockSize:          maxInt(8, lg),
+			SampleTries:        4 * lg,
+		}
+		for j, v := range members {
+			task.Inlier[j] = inlier[v]
+		}
+		if len(task.PutAside) > 0 {
+			// Forbidden-donor marking only matters where donation will run
+			// (DonateJob is a no-op on an empty put-aside set).
 			foreign := foreignAdjacency(h, putAside, idx)
-			res, err := putaside.ColorPutAside(subCG, view, putaside.DonateOptions{
-				Phase:              "cabal/donate",
-				Cabal:              cabalMembers[idx],
-				PutAside:           putAside[idx],
-				Inlier:             func(v int) bool { return inlier[v] },
-				ForbiddenDonors:    func(v int) bool { return foreign[v] },
-				FreeColorThreshold: 4 * len(putAside[idx]),
-				BlockSize:          maxInt(8, lg),
-				SampleTries:        4 * lg,
-				Scratch:            scratch,
-			}, crng)
-			if err != nil {
-				return donateStats{}, err
+			for j, v := range members {
+				task.Forbidden[j] = foreign[v]
 			}
-			return donateStats{donated: res.ViaDonation, free: res.ViaFreeColors, fallback: res.ViaFallback}, nil
+		}
+		tasks[idx] = task
+	}
+	var snap *coloring.Coloring
+	chargedBefore := cg.Cost().Rounds()
+	if tr != nil {
+		snap = col.Clone()
+	}
+	dstats, writes, dropped, err := runPerClique(cg, col, "cabal/donate", len(cabals), donateSeed, tr != nil,
+		func(idx int) []int { return tasks[idx].Members },
+		func(idx int, subCG *cluster.CG, view *coloring.Coloring, scratch *coloring.PaletteScratch, crng *rand.Rand) (DonateAux, error) {
+			return DonateJob(subCG, view, tasks[idx], scratch, crng)
 		})
 	if err != nil {
 		return err
 	}
 	stats.ParallelDroppedWrites += dropped
 	for _, ds := range dstats {
-		stats.PutAsideDonated += ds.donated
-		stats.PutAsideFree += ds.free
-		stats.PutAsideFallback += ds.fallback
+		stats.PutAsideDonated += ds.Donated
+		stats.PutAsideFree += ds.Free
+		stats.PutAsideFallback += ds.Fallback
+	}
+	if tr != nil {
+		tr(&StageTrace{
+			Stage:         "donate",
+			BaseSeed:      donateSeed,
+			Snapshot:      snap,
+			ChargedRounds: cg.Cost().Rounds() - chargedBefore,
+			Donate:        tasks,
+			Writes:        writes,
+			DonateAux:     dstats,
+		})
 	}
 	stats.CabalColored = col.DomSize() - before
 	return nil
@@ -385,110 +407,102 @@ func foreignAdjacency(h *graph.Graph, putAside [][]int, self int) map[int]bool {
 // runMatchings executes the colorful matching per clique in parallel
 // (snapshot views, derived RNG streams, scratch cost models merged as a
 // max). withFingerprint enables the cabal backup algorithm (Proposition
-// 4.15).
+// 4.15). The per-clique job body lives in MatchingJob (seams.go) so the
+// distsim conformance harness can drive it in isolation.
 func runMatchings(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition,
-	cliques []int, globalReserved int32, params Params, withFingerprint bool, stats *Stats, rng *rand.Rand) ([]int, error) {
+	cliques []int, globalReserved int32, params Params, withFingerprint bool, stats *Stats, rng *rand.Rand,
+	tr StageTracer, stageLabel string) ([]int, error) {
 	h := cg.H
 	lg := bits.Len(uint(h.N()))
 	baseSeed := rng.Uint64()
-	repeats, dropped, err := runPerClique(cg, col, "matching", len(cliques), baseSeed,
-		func(idx int) []int { return d.Cliques[cliques[idx]] },
+	tasks := make([]MatchingTask, len(cliques))
+	for idx, i := range cliques {
+		members := d.Cliques[i]
+		// A clique that fits in the palette needs no matching.
+		need := len(members) - (h.MaxDegree() + 1)
+		target := need + 2*lg
+		if target < lg {
+			target = lg
+		}
+		tasks[idx] = MatchingTask{
+			Members:           members,
+			ReservedMax:       globalReserved,
+			Rounds:            8,
+			TargetRepeats:     target,
+			WithFingerprint:   withFingerprint,
+			FingerprintTrials: params.MatchingTrialFactor * lg,
+		}
+	}
+	var snap *coloring.Coloring
+	before := cg.Cost().Rounds()
+	if tr != nil {
+		snap = col.Clone()
+	}
+	repeats, writes, dropped, err := runPerClique(cg, col, "matching", len(cliques), baseSeed, tr != nil,
+		func(idx int) []int { return tasks[idx].Members },
 		func(idx int, subCG *cluster.CG, view *coloring.Coloring, scratch *coloring.PaletteScratch, crng *rand.Rand) (int, error) {
-			members := d.Cliques[cliques[idx]]
-			// A clique that fits in the palette needs no matching.
-			need := len(members) - (h.MaxDegree() + 1)
-			target := need + 2*lg
-			if target < lg {
-				target = lg
-			}
-			m, err := matching.Sampling(subCG, view, matching.SamplingOptions{
-				Phase:         "matching/sampling",
-				Members:       members,
-				ReservedMax:   globalReserved,
-				Rounds:        8,
-				TargetRepeats: target,
-			}, crng)
-			if err != nil {
-				return 0, err
-			}
-			if withFingerprint && m < target && len(members) >= 8 {
-				// Proposition 4.15 backup: find anti-edges among uncolored
-				// members by fingerprinting, then color the pairs.
-				var uncolored []int
-				for _, v := range members {
-					if !view.IsColored(v) {
-						uncolored = append(uncolored, v)
-					}
-				}
-				if len(uncolored) >= 4 {
-					pairs, err := matching.FingerprintMatching(subCG, matching.FingerprintOptions{
-						Phase:       "matching/fingerprint",
-						Members:     uncolored,
-						Trials:      params.MatchingTrialFactor * lg,
-						TargetPairs: target - m,
-					}, crng)
-					if err != nil {
-						return 0, err
-					}
-					colored, err := matching.ColorPairs(subCG, view, pairs, globalReserved, "matching/colorpairs", crng)
-					if err != nil {
-						return 0, err
-					}
-					m += colored
-				}
-			}
-			return m, nil
+			return MatchingJob(subCG, view, tasks[idx], crng)
 		})
 	stats.ParallelDroppedWrites += dropped
+	if err == nil && tr != nil {
+		tr(&StageTrace{
+			Stage:           stageLabel,
+			BaseSeed:        baseSeed,
+			Snapshot:        snap,
+			ChargedRounds:   cg.Cost().Rounds() - before,
+			Matching:        tasks,
+			Writes:          writes,
+			MatchingRepeats: repeats,
+		})
+	}
 	return repeats, err
 }
 
 // runSCTs executes the synchronized color trial per clique in parallel.
 // Participants are uncolored inliers excluding any put-aside set, capped by
 // the clique palette's non-reserved capacity (Lemma 4.13's precondition).
+// The per-clique job body lives in SCTJob (seams.go).
 func runSCTs(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition,
-	cliques []int, reserved []int32, inlier []bool, exclude map[int]bool, stats *Stats, rng *rand.Rand) error {
+	cliques []int, reserved []int32, inlier []bool, exclude map[int]bool, stats *Stats, rng *rand.Rand,
+	tr StageTracer, stageLabel string) error {
 	baseSeed := rng.Uint64()
-	_, dropped, err := runPerClique(cg, col, "sct", len(cliques), baseSeed,
-		func(idx int) []int { return d.Cliques[cliques[idx]] },
+	tasks := make([]SCTTask, len(cliques))
+	for idx, i := range cliques {
+		members := d.Cliques[i]
+		task := SCTTask{
+			Members:     members,
+			ReservedMax: reserved[i],
+			Inlier:      make([]bool, len(members)),
+			Exclude:     make([]bool, len(members)),
+		}
+		for j, v := range members {
+			task.Inlier[j] = inlier[v]
+			task.Exclude[j] = exclude != nil && exclude[v]
+		}
+		tasks[idx] = task
+	}
+	var snap *coloring.Coloring
+	before := cg.Cost().Rounds()
+	if tr != nil {
+		snap = col.Clone()
+	}
+	colored, writes, dropped, err := runPerClique(cg, col, "sct", len(cliques), baseSeed, tr != nil,
+		func(idx int) []int { return tasks[idx].Members },
 		func(idx int, subCG *cluster.CG, view *coloring.Coloring, scratch *coloring.PaletteScratch, crng *rand.Rand) (int, error) {
-			i := cliques[idx]
-			members := d.Cliques[i]
-			cp := coloring.BuildCliquePalette(subCG, view, members)
-			capacity := 0
-			for _, c := range cp.FreeView() {
-				if c > reserved[i] {
-					capacity++
-				}
-			}
-			var participants []int
-			for _, v := range members {
-				if view.IsColored(v) || !inlier[v] {
-					continue
-				}
-				if exclude != nil && exclude[v] {
-					continue
-				}
-				if len(participants) == capacity {
-					break
-				}
-				participants = append(participants, v)
-			}
-			if len(participants) == 0 {
-				return 0, nil
-			}
-			res, err := sct.Run(subCG, view, sct.Options{
-				Phase:        "sct",
-				Members:      members,
-				Participants: participants,
-				ReservedMax:  reserved[i],
-			}, crng)
-			if err != nil {
-				return 0, err
-			}
-			return res.Colored, nil
+			return SCTJob(subCG, view, tasks[idx], crng)
 		})
 	stats.ParallelDroppedWrites += dropped
+	if err == nil && tr != nil {
+		tr(&StageTrace{
+			Stage:         stageLabel,
+			BaseSeed:      baseSeed,
+			Snapshot:      snap,
+			ChargedRounds: cg.Cost().Rounds() - before,
+			SCT:           tasks,
+			Writes:        writes,
+			SCTColored:    colored,
+		})
+	}
 	return err
 }
 

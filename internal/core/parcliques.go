@@ -58,17 +58,22 @@ type cliqueRun[T any] struct {
 // phase), a private coloring view, a reusable palette scratch, and a
 // derived RNG.
 //
-// It returns the per-clique payloads in index order plus the number of
-// writes dropped at apply time. Payloads are measured against the clique's
-// snapshot run, so when a cross-clique collision drops a write they can
-// overstate the applied effect; the drop count makes that skew visible
-// (callers surface it via Stats.ParallelDroppedWrites).
+// It returns the per-clique payloads in index order, the snapshot-relative
+// member writes per clique (what each engine decided, before cross-clique
+// conflict drops — the stage tracer and the distsim conformance harness
+// compare machine-level protocols against exactly these), plus the number
+// of writes dropped at apply time. Payloads are measured against the
+// clique's snapshot run, so when a cross-clique collision drops a write
+// they can overstate the applied effect; the drop count makes that skew
+// visible (callers surface it via Stats.ParallelDroppedWrites).
+// captureWrites selects whether the per-clique write lists are materialized
+// (only stage tracing needs them; untraced runs skip the extra pass).
 func runPerClique[T any](cg *cluster.CG, col *coloring.Coloring, phase string,
-	n int, baseSeed uint64, memberOf func(i int) []int,
+	n int, baseSeed uint64, captureWrites bool, memberOf func(i int) []int,
 	job func(i int, subCG *cluster.CG, view *coloring.Coloring, scratch *coloring.PaletteScratch, rng *rand.Rand) (T, error),
-) ([]T, int, error) {
+) ([]T, [][]MemberWrite, int, error) {
 	if n == 0 {
-		return nil, 0, nil
+		return nil, nil, 0, nil
 	}
 	pool := sync.Pool{New: func() any {
 		return &cliqueWorker{view: col.Clone(), scratch: coloring.NewPaletteScratch()}
@@ -78,8 +83,7 @@ func runPerClique[T any](cg *cluster.CG, col *coloring.Coloring, phase string,
 		// reverted to the shared snapshot; on an error path it is discarded
 		// instead, so no later clique can run against a dirtied view.
 		w := pool.Get().(*cliqueWorker)
-		seed := parwork.RowSeed(baseSeed, i)
-		rng := rand.New(rand.NewPCG(seed, seed^0x6c62272e07bb0142))
+		rng := parwork.StreamRNG(parwork.RowSeed(baseSeed, i))
 		sub, err := network.NewCostModel(cg.Cost().Bandwidth())
 		if err != nil {
 			return cliqueRun[T]{}, err
@@ -116,9 +120,13 @@ func runPerClique[T any](cg *cluster.CG, col *coloring.Coloring, phase string,
 		return run, nil
 	})
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	vals := make([]T, n)
+	var writes [][]MemberWrite
+	if captureWrites {
+		writes = make([][]MemberWrite, n)
+	}
 	subs := make([]*network.CostModel, n)
 	dropped := 0
 	for i, run := range runs {
@@ -126,6 +134,9 @@ func runPerClique[T any](cg *cluster.CG, col *coloring.Coloring, phase string,
 		subs[i] = run.sub
 		for j, vv := range run.writesV {
 			v, c := int(vv), run.writesC[j]
+			if captureWrites {
+				writes[i] = append(writes[i], MemberWrite{V: v, C: c})
+			}
 			if c == coloring.None {
 				// Engines never net-uncolor a member; if one ever does, keep
 				// the snapshot color — dropping information is always proper.
@@ -144,10 +155,10 @@ func runPerClique[T any](cg *cluster.CG, col *coloring.Coloring, phase string,
 				continue
 			}
 			if err := col.Set(v, c); err != nil {
-				return nil, 0, err
+				return nil, nil, 0, err
 			}
 		}
 	}
 	cg.Cost().AbsorbParallel(phase, subs)
-	return vals, dropped, nil
+	return vals, writes, dropped, nil
 }

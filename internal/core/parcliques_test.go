@@ -85,7 +85,7 @@ func TestRunPerCliqueDropsCrossCliqueConflicts(t *testing.T) {
 	cg := buildCG(t, h, graph.TopologySingleton, 1, 3)
 	col := coloring.New(2, h.MaxDegree())
 	members := [][]int{{0}, {1}}
-	_, dropped, err := runPerClique(cg, col, "test", 2, 9,
+	_, _, dropped, err := runPerClique(cg, col, "test", 2, 9, true,
 		func(i int) []int { return members[i] },
 		func(i int, subCG *cluster.CG, view *coloring.Coloring, scratch *coloring.PaletteScratch, rng *rand.Rand) (int, error) {
 			// Both cliques pick color 1 against the shared snapshot.

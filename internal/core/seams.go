@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/coloring"
+	"clustercolor/internal/matching"
+	"clustercolor/internal/putaside"
+	"clustercolor/internal/sct"
+)
+
+// This file exports the per-clique stage seams of the high-degree pipeline:
+// the exact job bodies the parallel stage loops run for one almost-clique
+// (MatchingJob, SCTJob, DonateJob), the task structs pinning their inputs,
+// and a StageTracer hook that surfaces every stage's inputs and outcomes to
+// an observer. The distsim conformance harness drives each primitive in
+// isolation through these seams — same task, same derived RNG stream, same
+// snapshot view — and byte-compares a machine-granularity execution against
+// the vertex-level result. Nothing here changes pipeline behaviour: Color
+// calls ColorTraced with a nil tracer.
+
+// MatchingTask pins one clique's colorful-matching inputs (Algorithm 4/5
+// Step 1): the members, the reserved prefix the matching must avoid, the
+// sampling-round budget, and the cabal fingerprint-backup configuration.
+type MatchingTask struct {
+	Members       []int
+	ReservedMax   int32
+	Rounds        int
+	TargetRepeats int
+	// WithFingerprint enables the Proposition 4.15 backup when sampling
+	// falls short; FingerprintTrials is its trial count k.
+	WithFingerprint   bool
+	FingerprintTrials int
+}
+
+// MatchingJob runs one clique's colorful matching against a coloring view,
+// exactly as the parallel stage loop does. It returns M_K, the number of
+// repeated-color units created.
+func MatchingJob(subCG *cluster.CG, view *coloring.Coloring, task MatchingTask, rng *rand.Rand) (int, error) {
+	m, err := matching.Sampling(subCG, view, matching.SamplingOptions{
+		Phase:         "matching/sampling",
+		Members:       task.Members,
+		ReservedMax:   task.ReservedMax,
+		Rounds:        task.Rounds,
+		TargetRepeats: task.TargetRepeats,
+	}, rng)
+	if err != nil {
+		return 0, err
+	}
+	if task.WithFingerprint && m < task.TargetRepeats && len(task.Members) >= 8 {
+		// Proposition 4.15 backup: find anti-edges among uncolored members
+		// by fingerprinting, then color the pairs.
+		var uncolored []int
+		for _, v := range task.Members {
+			if !view.IsColored(v) {
+				uncolored = append(uncolored, v)
+			}
+		}
+		if len(uncolored) >= 4 {
+			pairs, err := matching.FingerprintMatching(subCG, matching.FingerprintOptions{
+				Phase:       "matching/fingerprint",
+				Members:     uncolored,
+				Trials:      task.FingerprintTrials,
+				TargetPairs: task.TargetRepeats - m,
+			}, rng)
+			if err != nil {
+				return 0, err
+			}
+			colored, err := matching.ColorPairs(subCG, view, pairs, task.ReservedMax, "matching/colorpairs", rng)
+			if err != nil {
+				return 0, err
+			}
+			m += colored
+		}
+	}
+	return m, nil
+}
+
+// SCTTask pins one clique's synchronized color trial inputs (Lemma 4.13):
+// members, the clique's reserved prefix, and the per-member inlier/exclusion
+// flags (aligned with Members) that gate participation.
+type SCTTask struct {
+	Members     []int
+	ReservedMax int32
+	Inlier      []bool
+	Exclude     []bool
+}
+
+// SCTJob runs one clique's synchronized color trial against a coloring view,
+// exactly as the parallel stage loop does: participants are the uncolored
+// non-excluded inliers, capped by the clique palette's non-reserved capacity
+// (Lemma 4.13's precondition). It returns the number of vertices colored.
+func SCTJob(subCG *cluster.CG, view *coloring.Coloring, task SCTTask, rng *rand.Rand) (int, error) {
+	cp := coloring.BuildCliquePalette(subCG, view, task.Members)
+	capacity := 0
+	for _, c := range cp.FreeView() {
+		if c > task.ReservedMax {
+			capacity++
+		}
+	}
+	var participants []int
+	for j, v := range task.Members {
+		if view.IsColored(v) || !task.Inlier[j] || task.Exclude[j] {
+			continue
+		}
+		if len(participants) == capacity {
+			break
+		}
+		participants = append(participants, v)
+	}
+	if len(participants) == 0 {
+		// Even learning that no one participates costs the enumeration
+		// rounds (Lemma 3.3 prefix sums count the participants); charging
+		// them keeps the model no cheaper than the machine-level protocol
+		// the distsim conformance harness executes.
+		subCG.ChargeHRounds("sct/enumerate", 2, 2*subCG.IDBits())
+		return 0, nil
+	}
+	res, err := sct.Run(subCG, view, sct.Options{
+		Phase:        "sct",
+		Members:      task.Members,
+		Participants: participants,
+		ReservedMax:  task.ReservedMax,
+	}, rng)
+	if err != nil {
+		return 0, err
+	}
+	return res.Colored, nil
+}
+
+// DonateTask pins one cabal's put-aside donation inputs (Algorithm 8): the
+// members, the put-aside set, the per-member inlier and forbidden-donor
+// flags (aligned with Members), and the scaled thresholds.
+type DonateTask struct {
+	Members            []int
+	PutAside           []int
+	Inlier             []bool
+	Forbidden          []bool
+	FreeColorThreshold int
+	BlockSize          int
+	SampleTries        int
+}
+
+// DonateAux reports how a DonateJob colored its put-aside set.
+type DonateAux struct {
+	Donated  int
+	Free     int
+	Fallback int
+}
+
+// DonateJob runs one cabal's put-aside donation against a coloring view,
+// exactly as the parallel stage loop does. A task with an empty put-aside
+// set is a no-op.
+func DonateJob(subCG *cluster.CG, view *coloring.Coloring, task DonateTask,
+	scratch *coloring.PaletteScratch, rng *rand.Rand) (DonateAux, error) {
+	if len(task.PutAside) == 0 {
+		return DonateAux{}, nil
+	}
+	idxOf := make(map[int]int, len(task.Members))
+	for j, v := range task.Members {
+		idxOf[v] = j
+	}
+	// The task carries flags for members only; putaside queries them only
+	// on cabal members today. A silent map-miss would read member 0's flag,
+	// so fail loudly if that contract ever changes.
+	memberIdx := func(v int) int {
+		j, ok := idxOf[v]
+		if !ok {
+			panic(fmt.Sprintf("core: donate flag query for non-member vertex %d", v))
+		}
+		return j
+	}
+	res, err := putaside.ColorPutAside(subCG, view, putaside.DonateOptions{
+		Phase:              "cabal/donate",
+		Cabal:              task.Members,
+		PutAside:           task.PutAside,
+		Inlier:             func(v int) bool { return task.Inlier[memberIdx(v)] },
+		ForbiddenDonors:    func(v int) bool { return task.Forbidden[memberIdx(v)] },
+		FreeColorThreshold: task.FreeColorThreshold,
+		BlockSize:          task.BlockSize,
+		SampleTries:        task.SampleTries,
+		Scratch:            scratch,
+	}, rng)
+	if err != nil {
+		return DonateAux{}, err
+	}
+	return DonateAux{Donated: res.ViaDonation, Free: res.ViaFreeColors, Fallback: res.ViaFallback}, nil
+}
+
+// MemberWrite is one vertex recolored by a per-clique stage engine relative
+// to the stage's snapshot.
+type MemberWrite struct {
+	V int
+	C int32
+}
+
+// StageTrace reports one parallel per-clique stage of the high-degree
+// pipeline: which primitive ran, against which frozen snapshot, with which
+// per-clique tasks and derived seeds, what the cost model charged for it,
+// and what every clique's engine wrote against its snapshot view (before
+// cross-clique conflict drops).
+type StageTrace struct {
+	// Stage is "matching/noncabals", "sct/noncabals", "matching/cabals",
+	// "sct/cabals", or "donate".
+	Stage string
+	// BaseSeed is the stage's seed; clique i ran with a fresh PCG stream
+	// seeded by parwork.RowSeed(BaseSeed, i).
+	BaseSeed uint64
+	// Snapshot is a clone of the coloring every clique's engine ran against.
+	Snapshot *coloring.Coloring
+	// ChargedRounds is what the stage added to the cost model: the maximum
+	// over the per-clique scratch models (AbsorbParallel semantics).
+	ChargedRounds int64
+	// Exactly one of the task slices is non-nil, aligned with Writes.
+	Matching []MatchingTask
+	SCT      []SCTTask
+	Donate   []DonateTask
+	// Writes lists each clique's snapshot-relative writes.
+	Writes [][]MemberWrite
+	// Per-clique auxiliary outcomes, aligned with the task slice.
+	MatchingRepeats []int
+	SCTColored      []int
+	DonateAux       []DonateAux
+}
+
+// StageTracer observes per-clique stages as the pipeline executes them.
+// The trace and its Snapshot are owned by the observer: the pipeline clones
+// the coloring per stage and never touches the trace again, so retaining it
+// (as the conformance harness does) is safe.
+type StageTracer func(*StageTrace)

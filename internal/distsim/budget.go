@@ -1,0 +1,37 @@
+package distsim
+
+import (
+	"fmt"
+
+	"clustercolor/internal/network"
+)
+
+// CommRounds returns the number of message-delivering rounds of an engine
+// run: the engine's first Step (round 0) only composes initial messages, so
+// a protocol that ran R Steps used the links R−1 times. This is the number
+// the cost model's charged rounds are compared against.
+func CommRounds(stats network.LinkStats) int {
+	if stats.Rounds <= 0 {
+		return 0
+	}
+	return stats.Rounds - 1
+}
+
+// CheckBudget is the reusable conformance assertion every machine-level
+// primitive must pass (the generalization of the original wave bandwidth
+// test): the communication rounds the engine executed never exceed what the
+// cost model charged for the same primitive, and no single link carried
+// more than bandwidthBits in any round (0 disables the bandwidth check —
+// the engine itself enforces a positive cap during the run, so the check
+// here mostly guards stats plumbing).
+func CheckBudget(primitive string, stats network.LinkStats, chargedRounds int64, bandwidthBits int) error {
+	if comm := CommRounds(stats); int64(comm) > chargedRounds {
+		return fmt.Errorf("distsim: %s used %d communication rounds but the cost model charged only %d",
+			primitive, comm, chargedRounds)
+	}
+	if bandwidthBits > 0 && stats.MaxLinkBits > bandwidthBits {
+		return fmt.Errorf("distsim: %s pushed %d bits over a link in one round, cap %d",
+			primitive, stats.MaxLinkBits, bandwidthBits)
+	}
+	return nil
+}

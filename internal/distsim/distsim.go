@@ -6,13 +6,26 @@
 // results the vertex-level simulation computes, and must respect the
 // bandwidth cap with the round counts the cost model charges.
 //
-// The implemented protocol is the paper's workhorse, the fingerprint
-// aggregation wave (Section 5 / Lemma 5.7): leaders broadcast their
-// cluster's geometric samples down the support trees, boundary machines
-// exchange sketches over inter-cluster links, and the per-link maxima
-// aggregate back up to the leaders. Idempotence of max makes the protocol
-// immune to redundant inter-cluster links — the Section 1.1 double-counting
-// hazard — which the tests exercise explicitly.
+// The package is a conformance subsystem covering every cluster primitive
+// the pipeline relies on:
+//
+//   - the fingerprint aggregation wave (Section 5 / Lemma 5.7) in this
+//     file: leaders broadcast their cluster's geometric samples down the
+//     support trees, boundary machines exchange sketches over
+//     inter-cluster links, and the per-link maxima aggregate back up;
+//     idempotence of max makes it immune to redundant inter-cluster links
+//     (the Section 1.1 double-counting hazard);
+//   - the canonical leader broadcast/exchange/convergecast H-round
+//     (leaderround.go), the machine counterpart of cluster.CG.LeaderRound;
+//   - the per-clique stage primitives — colorful matching, synchronized
+//     color trial, put-aside donation — as an announce+gossip protocol
+//     with leader-side replay (stage.go, replay.go).
+//
+// Conformance (conformance.go) is the differential harness tying them
+// together: it traces the pipeline's stages via core.ColorTraced, re-runs
+// each on the engine with the same RowSeed-derived seeds, and asserts
+// byte-conformance, rounds ≤ charged (CheckBudget, budget.go), and the
+// per-link bandwidth cap across the scenario matrix.
 package distsim
 
 import (
@@ -37,16 +50,11 @@ type payload struct {
 }
 
 // waveMachine is one machine of the communication network running the
-// fingerprint wave. All state is owned by the machine; Step is driven
-// concurrently by the engine.
+// fingerprint wave. All state is owned by the machine (the shared topology
+// is read-only); Step is driven concurrently by the engine.
 type waveMachine struct {
-	id       int
-	cluster  int
-	leader   bool
-	parent   int   // tree parent machine (-1 for leader)
-	children []int // tree children machines
-	// crossLinks are incident inter-cluster links (peer machine ids).
-	crossLinks []int
+	t  *machineTopo
+	id int
 
 	mu sync.Mutex
 	// own is the cluster's sample vector (held by the leader).
@@ -104,7 +112,7 @@ func (m *waveMachine) Step(round int, inbox []network.Message) ([]network.Messag
 		}
 	}
 	// Leader seeds the down phase in round 0.
-	if m.leader && m.down == nil {
+	if m.t.leader[m.id] && m.down == nil {
 		m.down = fingerprint.NewSketch(len(m.own))
 		if err := m.down.AddSamples(m.own); err != nil {
 			return nil, err
@@ -113,26 +121,26 @@ func (m *waveMachine) Step(round int, inbox []network.Message) ([]network.Messag
 	// Forward down once the sketch arrived.
 	if m.down != nil && !m.sentDown {
 		m.sentDown = true
-		for _, c := range m.children {
-			out = append(out, m.send(c, phaseDown, m.down))
+		for _, c := range m.t.children[m.id] {
+			out = append(out, m.send(int(c), phaseDown, m.down))
 		}
 	}
 	// Exchange across inter-cluster links once we know our cluster's value.
 	if m.down != nil && !m.exchanged {
 		m.exchanged = true
-		for _, peer := range m.crossLinks {
-			out = append(out, m.send(peer, phaseExchange, m.down))
+		for _, ce := range m.t.cross[m.id] {
+			out = append(out, m.send(int(ce.peer), phaseExchange, m.down))
 		}
 	}
 	// Report up once every child reported and every expected exchange
 	// message has arrived.
 	if m.exchanged && m.pendingUp == 0 && m.pendingExchange == 0 && !m.sentUp {
 		m.sentUp = true
-		if m.leader {
+		if m.t.leader[m.id] {
 			m.result = m.acc.Clone()
 			m.done = true
 		} else {
-			out = append(out, m.send(m.parent, phaseUp, m.acc))
+			out = append(out, m.send(int(m.t.parent[m.id]), phaseUp, m.acc))
 		}
 	}
 	return out, nil
@@ -188,31 +196,20 @@ func FingerprintWaveWith(cg *cluster.CG, samples []fingerprint.Samples, bandwidt
 	if len(samples) > 0 {
 		t = len(samples[0])
 	}
+	topo := newMachineTopo(cg)
 	machines := make([]network.Machine, g.N())
 	wave := make([]*waveMachine, g.N())
 	for mID := 0; mID < g.N(); mID++ {
-		v := cg.ClusterOf[mID]
 		wm := &waveMachine{
-			id:      mID,
-			cluster: v,
-			leader:  cg.Leader[v] == int32(mID),
-			parent:  int(cg.TreeParent[mID]),
-			acc:     fingerprint.NewSketch(t),
+			t:   topo,
+			id:  mID,
+			acc: fingerprint.NewSketch(t),
 		}
-		if wm.leader {
-			wm.own = samples[v]
+		if topo.leader[mID] {
+			wm.own = samples[int(topo.cluster[mID])]
 		}
-		for _, nb := range g.Neighbors(mID) {
-			peer := int(nb)
-			switch {
-			case cg.ClusterOf[peer] != v:
-				wm.crossLinks = append(wm.crossLinks, peer)
-			case int(cg.TreeParent[peer]) == mID:
-				wm.children = append(wm.children, peer)
-			}
-		}
-		wm.pendingUp = len(wm.children)
-		wm.pendingExchange = len(wm.crossLinks)
+		wm.pendingUp = len(topo.children[mID])
+		wm.pendingExchange = len(topo.cross[mID])
 		wave[mID] = wm
 		machines[mID] = wm
 	}
@@ -223,7 +220,7 @@ func FingerprintWaveWith(cg *cluster.CG, samples []fingerprint.Samples, bandwidt
 	defer eng.Close()
 	allDone := func() bool {
 		for _, wm := range wave {
-			if wm.leader {
+			if wm.t.leader[wm.id] {
 				wm.mu.Lock()
 				done := wm.done
 				wm.mu.Unlock()
@@ -239,7 +236,7 @@ func FingerprintWaveWith(cg *cluster.CG, samples []fingerprint.Samples, bandwidt
 	}
 	out := make([]fingerprint.Sketch, cg.H.N())
 	for v := 0; v < cg.H.N(); v++ {
-		wm := wave[cg.Leader[v]]
+		wm := wave[topo.leaderOf[v]]
 		wm.mu.Lock()
 		out[v] = wm.result.Clone()
 		wm.mu.Unlock()

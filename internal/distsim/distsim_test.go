@@ -141,8 +141,9 @@ func TestWaveSchedulersAgree(t *testing.T) {
 }
 
 func TestWaveBandwidthObserved(t *testing.T) {
-	// With a generous cap the wave completes and reports per-link usage;
-	// with a tiny cap the engine must reject oversized sketches.
+	// With a generous cap the wave completes within the CheckBudget
+	// contract (comm rounds ≤ charged, per-link bits ≤ cap); with a tiny
+	// cap the engine must reject oversized sketches.
 	rng := graph.NewRand(27)
 	h := graph.MustGNP(20, 0.3, rng)
 	cg := buildCG(t, h, graph.ExpandSpec{Topology: graph.TopologyStar, MachinesPerCluster: 3}, 29)
@@ -153,6 +154,20 @@ func TestWaveBandwidthObserved(t *testing.T) {
 	}
 	if stats.MaxLinkBits == 0 {
 		t.Fatal("no bandwidth recorded")
+	}
+	sub, err := network.NewCostModel(cg.Cost().Bandwidth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fingerprint.CollectNeighborSketches(cg.WithCost(sub), "budget/wave", samples, fingerprint.CollectOptions{})
+	if err := CheckBudget("wave", stats, sub.Rounds(), 1<<16); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBudget("wave", stats, sub.Rounds(), stats.MaxLinkBits-1); err == nil {
+		t.Fatal("CheckBudget accepted a cap below the observed per-link maximum")
+	}
+	if err := CheckBudget("wave", stats, int64(CommRounds(stats))-1, 0); err == nil {
+		t.Fatal("CheckBudget accepted a charge below the executed rounds")
 	}
 	if _, _, err := FingerprintWave(cg, samples, 4); err == nil {
 		t.Fatal("4-bit cap accepted sketches of dozens of bits")

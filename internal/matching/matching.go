@@ -60,6 +60,13 @@ func Sampling(cg *cluster.CG, col *coloring.Coloring, opts SamplingOptions, rng 
 	for _, v := range opts.Members {
 		inK[v] = true
 	}
+	// One O(log n)-bit gather round before the trials: resolving a round's
+	// groups is a radius-2 computation inside K (a member's acceptance can
+	// hinge on an anti-neighbor it only hears through a common neighbor).
+	// The distsim conformance harness measured the machine-level protocol at
+	// one H-round more than announce+respond alone; this charge keeps the
+	// cost model honest about it.
+	cg.ChargeHRounds(opts.Phase+"/gather", 1, 2*cg.IDBits())
 	repeats := 0
 	for r := 0; r < rounds; r++ {
 		if opts.TargetRepeats > 0 && repeats >= opts.TargetRepeats {

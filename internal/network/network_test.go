@@ -538,3 +538,43 @@ func TestCostModelMultiplier(t *testing.T) {
 		t.Fatalf("total = %d, want 12", c.Rounds())
 	}
 }
+
+// TestRoundObserver pins the per-round observation hook on both schedulers:
+// the observer sees consecutive round indices, its deltas sum to the final
+// LinkStats, and each round's MaxLinkBits never exceeds the global maximum.
+func TestRoundObserver(t *testing.T) {
+	rng := graph.NewRand(7)
+	g := graph.MustGNP(40, 0.2, rng)
+	for _, sched := range []Scheduler{SchedulerPooled, SchedulerSpawn} {
+		eng, err := NewEngineWithScheduler(g, newFlood(g, 0), 0, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rounds []int
+		var sum LinkStats
+		eng.SetRoundObserver(func(round int, delta LinkStats) {
+			rounds = append(rounds, round)
+			sum.Rounds += delta.Rounds
+			sum.TotalBits += delta.TotalBits
+			sum.Messages += delta.Messages
+			if delta.MaxLinkBits > sum.MaxLinkBits {
+				sum.MaxLinkBits = delta.MaxLinkBits
+			}
+		})
+		for i := 0; i < 6; i++ {
+			if err := eng.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats := eng.Stats()
+		eng.Close()
+		for i, r := range rounds {
+			if r != i {
+				t.Fatalf("scheduler %v: observer saw round %d at position %d", sched, r, i)
+			}
+		}
+		if sum != stats {
+			t.Fatalf("scheduler %v: observer deltas sum to %+v, stats %+v", sched, sum, stats)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package parwork
 
 import (
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -77,6 +78,15 @@ func ForEach[T any](n int, f func(i int) (T, error)) ([]T, error) {
 		}
 	}
 	return out, nil
+}
+
+// StreamRNG returns the canonical PRNG stream for a derived seed. Every
+// consumer of a RowSeed-derived stream — the per-clique stage loops, the
+// distsim machine-level replays, and the pipeline itself — must construct
+// its generator through this one helper: byte-identical replay depends on
+// all of them using the same derivation.
+func StreamRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x6c62272e07bb0142))
 }
 
 // RowSeed derives an independent PRNG seed for item i of a loop from the
