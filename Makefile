@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-smoke bench-graph bench-color bench-distsim tables benchjson vet fmt check
+.PHONY: build test race fuzz bench bench-smoke bench-graph bench-color bench-distsim bench-acd tables benchjson vet fmt check
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzBuilder$$' -fuzztime 10s ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/fingerprint
 	$(GO) test -run '^$$' -fuzz '^FuzzWave$$' -fuzztime 10s ./internal/distsim
+	$(GO) test -run '^$$' -fuzz '^FuzzACD$$' -fuzztime 10s ./internal/acd
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -38,6 +39,11 @@ bench-color:
 
 bench-distsim:
 	$(GO) run ./cmd/benchtables -distsimbench BENCH_distsim.json
+
+# The full decomposition matrix includes the million-vertex GNP row; expect
+# multi-gigabyte sketch arenas and minutes of single-core wave time.
+bench-acd:
+	$(GO) run ./cmd/benchtables -acdbench BENCH_acd.json
 
 tables:
 	$(GO) run ./cmd/benchtables

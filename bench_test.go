@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"testing"
 
+	"clustercolor/internal/acd"
 	"clustercolor/internal/benchwork"
 	"clustercolor/internal/cluster"
 	"clustercolor/internal/coloring"
@@ -261,6 +262,38 @@ func BenchmarkColor(b *testing.B) {
 				}
 				if stats.Rounds <= 0 {
 					b.Fatal("no rounds charged")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkACD measures the arena-backed decomposition stack (ComputeWith +
+// BuildProfileWith) on the shared workload matrix, reusing one workspace so
+// the timings reflect the steady state. Workloads above 10⁵ vertices are
+// left to the benchtables -acdbench emitter (BENCH_acd.json): the go-test
+// benchmark also runs in the CI bench smoke, which cannot afford the
+// million-vertex arenas.
+func BenchmarkACD(b *testing.B) {
+	for _, w := range benchwork.ACDWorkloads() {
+		if w.N > 100_000 {
+			continue
+		}
+		b.Run(w.Name, func(b *testing.B) {
+			h, err := w.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cg, err := benchwork.NewACDInstance(h, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ws := acd.NewWorkspace()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := benchwork.RunACDOnce(cg, w.Eps, uint64(i)+1, ws); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

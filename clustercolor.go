@@ -82,6 +82,18 @@ func RingOfCliques(numCliques, cliqueSize int) (*Graph, error) {
 	return graph.RingOfCliques(numCliques, cliqueSize)
 }
 
+// PlantedACDSpec parameterizes PlantedACD.
+type PlantedACDSpec = graph.PlantedACDSpec
+
+// PlantedACD samples an instance with planted almost-cliques: dense blocks
+// with a fraction of internal edges dropped and a few external edges per
+// member, plus a sparse G(n, p) background — the ground-truth scenario for
+// decomposition experiments. It returns the graph and the planted block id
+// per vertex (-1 for background vertices).
+func PlantedACD(spec PlantedACDSpec, seed uint64) (*Graph, []int, error) {
+	return graph.PlantedACD(spec, graph.NewRand(seed))
+}
+
 // Power returns the k-th power of g (distance-k conflict graph); k must be
 // >= 1.
 func Power(g *Graph, k int) (*Graph, error) { return g.Power(k) }

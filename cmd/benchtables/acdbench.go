@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"clustercolor/internal/acd"
+	"clustercolor/internal/benchwork"
+	"clustercolor/internal/experiments"
+)
+
+// acdBenchReport is the BENCH_acd.json schema: one record per decomposition
+// workload with what the representative run found (dense/sparse/cabal
+// counts), what it charged (rounds, peak sketch payload), and the timings.
+// It tracks the perf trajectory of the fingerprint→ACD→profile stack the
+// way BENCH_color.json tracks the coloring pipeline.
+type acdBenchReport struct {
+	Schema      string           `json:"schema"`
+	GoMaxProcs  int              `json:"gomaxprocs"`
+	Parallelism int              `json:"parallelism"`
+	Seed        uint64           `json:"seed"`
+	MaxN        int              `json:"max_n,omitempty"`
+	Benchmarks  []acdBenchResult `json:"benchmarks"`
+}
+
+// acdBenchResult augments the shared timing record with the decomposition's
+// outcome and cost: the instance shape, the peak deviation-encoded sketch
+// payload in bits, the rounds charged, and the classification counts.
+type acdBenchResult struct {
+	benchResult
+	Vertices   int   `json:"vertices"`
+	Delta      int   `json:"delta"`
+	SketchBits int   `json:"sketch_bits"`
+	Rounds     int64 `json:"rounds"`
+	Cliques    int   `json:"cliques"`
+	Cabals     int   `json:"cabals"`
+	Sparse     int   `json:"sparse"`
+}
+
+// emitACDBench benchmarks every decomposition workload with N ≤ maxN
+// (maxN ≤ 0 = no cap) and writes the machine-readable report to path
+// ("-" for stdout).
+func emitACDBench(path string, seed uint64, maxN int) error {
+	return emitACDBenchWorkloads(path, seed, maxN, benchwork.ACDWorkloads())
+}
+
+// emitACDBenchWorkloads is emitACDBench over an explicit workload list, so
+// tests can exercise the emitter on small instances.
+func emitACDBenchWorkloads(path string, seed uint64, maxN int, workloads []benchwork.ACDWorkload) error {
+	report := acdBenchReport{
+		Schema:      "clustercolor/bench-acd/v1",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Parallelism: experiments.Parallelism(),
+		Seed:        seed,
+	}
+	if maxN > 0 {
+		report.MaxN = maxN
+	}
+	for _, w := range workloads {
+		if maxN > 0 && w.N > maxN {
+			continue
+		}
+		h, err := w.Build()
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+		cg, err := benchwork.NewACDInstance(h, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+		ws := acd.NewWorkspace()
+		// Representative run: collect the decomposition shape and cost
+		// before timing (the workspace is warm for the benchmark loop, so
+		// allocs/op reflects the arena-reuse steady state).
+		roundsBefore := cg.Cost().Rounds()
+		d, prof, err := benchwork.RunACDOnce(cg, w.Eps, seed, ws)
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+		rec := acdBenchResult{
+			Vertices:   h.N(),
+			Delta:      h.MaxDegree(),
+			SketchBits: cg.Cost().MaxPayload(),
+			Rounds:     cg.Cost().Rounds() - roundsBefore,
+			Cliques:    len(d.Cliques),
+			Sparse:     h.N(),
+		}
+		for _, cab := range prof.IsCabal {
+			if cab {
+				rec.Cabals++
+			}
+		}
+		for v := 0; v < h.N(); v++ {
+			if !d.IsSparse(v) {
+				rec.Sparse--
+			}
+		}
+		var loopErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := benchwork.RunACDOnce(cg, w.Eps, seed+uint64(i)+1, ws); err != nil {
+					loopErr = fmt.Errorf("%s: %w", w.Name, err)
+					b.Fatal(err)
+				}
+			}
+		})
+		if loopErr != nil {
+			return loopErr
+		}
+		rec.benchResult = record(w.Name, r)
+		rec.Edges = h.M()
+		report.Benchmarks = append(report.Benchmarks, rec)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

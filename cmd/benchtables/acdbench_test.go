@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clustercolor/internal/benchwork"
+	"clustercolor/internal/graph"
+)
+
+// TestEmitACDBench exercises the BENCH_acd.json emitter end-to-end on small
+// workloads and validates the report schema: timings present, the instance
+// shape and decomposition outcome recorded, rounds and sketch payloads
+// positive, and the -acdn size cap honored.
+func TestEmitACDBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark emitter in short mode")
+	}
+	small := []benchwork.ACDWorkload{
+		{
+			Name: "ACD/Planted/test",
+			N:    220,
+			Eps:  0.25,
+			Build: func() (*graph.Graph, error) {
+				h, _, err := graph.PlantedACD(graph.PlantedACDSpec{
+					NumCliques:     3,
+					CliqueSize:     40,
+					DropFraction:   0.03,
+					ExternalDegree: 2,
+					SparseN:        100,
+					SparseP:        0.05,
+				}, graph.NewRand(3))
+				return h, err
+			},
+		},
+		{
+			Name: "ACD/GNP/capped-out",
+			N:    5000,
+			Eps:  0.25,
+			Build: func() (*graph.Graph, error) {
+				t.Fatal("workload above the -acdn cap must not be built")
+				return nil, nil
+			},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_acd.json")
+	if err := emitACDBenchWorkloads(path, 7, 1000, small); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report acdBenchReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Schema != "clustercolor/bench-acd/v1" {
+		t.Fatalf("schema = %q", report.Schema)
+	}
+	if report.MaxN != 1000 {
+		t.Fatalf("max_n = %d, want 1000", report.MaxN)
+	}
+	if len(report.Benchmarks) != 1 {
+		t.Fatalf("got %d workload records, want 1 (cap should skip the second)", len(report.Benchmarks))
+	}
+	rec := report.Benchmarks[0]
+	if rec.Iterations <= 0 || rec.NsPerOp <= 0 {
+		t.Fatalf("workload record has empty measurements: %+v", rec)
+	}
+	if rec.Vertices != 220 || rec.Edges <= 0 || rec.Delta <= 0 {
+		t.Fatalf("instance shape not recorded: %+v", rec)
+	}
+	if rec.Rounds <= 0 || rec.SketchBits <= 0 {
+		t.Fatalf("decomposition cost missing: %+v", rec)
+	}
+	if rec.Cliques <= 0 || rec.Sparse <= 0 {
+		t.Fatalf("planted instance should decompose into cliques + sparse: %+v", rec)
+	}
+	if rec.Cliques < rec.Cabals {
+		t.Fatalf("cabal count %d exceeds clique count %d", rec.Cabals, rec.Cliques)
+	}
+}

@@ -9,6 +9,7 @@
 //	benchtables -graphbench out.json   # emit graph-generator benchmarks instead
 //	benchtables -colorbench out.json   # emit stage-level coloring benchmarks instead
 //	benchtables -distsimbench out.json # emit machine-granularity conformance benchmarks instead
+//	benchtables -acdbench out.json     # emit decomposition benchmarks instead (-acdn caps size)
 //
 // Tables are computed by a parallel runner that fans experiments and their
 // rows across CPUs; the output is byte-identical for every -parallel value.
@@ -18,6 +19,9 @@
 // O(n+m) instance generators (conventionally BENCH_graph.json), and
 // -colorbench for the coloring pipeline itself with per-stage round
 // breakdowns and palette micro-benchmarks (conventionally BENCH_color.json).
+// -acdbench benchmarks the fingerprint→ACD→profile decomposition stack
+// (conventionally BENCH_acd.json) with dense/sparse/cabal counts and peak
+// sketch payloads per workload.
 package main
 
 import (
@@ -42,10 +46,12 @@ func main() {
 		graphOut   = flag.String("graphbench", "", "run graph-generator benchmarks and write BENCH_graph.json to this path ('-' = stdout), then exit")
 		colorOut   = flag.String("colorbench", "", "run stage-level coloring benchmarks and write BENCH_color.json to this path ('-' = stdout), then exit")
 		distsimOut = flag.String("distsimbench", "", "run the machine-granularity conformance benchmarks and write BENCH_distsim.json to this path ('-' = stdout), then exit")
+		acdOut     = flag.String("acdbench", "", "run decomposition benchmarks and write BENCH_acd.json to this path ('-' = stdout), then exit")
+		acdN       = flag.Int("acdn", 0, "skip -acdbench workloads with more than this many vertices (0 = no cap; CI smoke uses a small cap)")
 	)
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
-	if *benchOut != "" || *graphOut != "" || *colorOut != "" || *distsimOut != "" {
+	if *benchOut != "" || *graphOut != "" || *colorOut != "" || *distsimOut != "" || *acdOut != "" {
 		if *benchOut != "" {
 			if err := emitEngineBench(*benchOut, *benchN, *seed); err != nil {
 				fmt.Fprintln(os.Stderr, "benchtables:", err)
@@ -66,6 +72,12 @@ func main() {
 		}
 		if *distsimOut != "" {
 			if err := emitDistsimBench(*distsimOut, *seed); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				os.Exit(1)
+			}
+		}
+		if *acdOut != "" {
+			if err := emitACDBench(*acdOut, *seed, *acdN); err != nil {
 				fmt.Fprintln(os.Stderr, "benchtables:", err)
 				os.Exit(1)
 			}

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"testing"
 
+	"clustercolor/internal/acd"
+	"clustercolor/internal/core"
 	"clustercolor/internal/parwork"
 )
 
@@ -42,28 +44,28 @@ func goldenCases() []goldenCase {
 			build: func(seed uint64) (*Graph, error) { return GNP(300, 0.08, seed) },
 			opts:  Options{},
 			seed:  3,
-			want:  0x5ac1b39ccd50e40a,
+			want:  0x603aa863bb1eb991,
 		},
 		{
 			name:  "gnp/n300/low/seed9",
 			build: func(seed uint64) (*Graph, error) { return GNP(300, 0.08, seed) },
 			opts:  Options{},
 			seed:  9,
-			want:  0x213189b081205c50,
+			want:  0x652984d40b004c6b,
 		},
 		{
 			name:  "ringcliques/high",
 			build: func(seed uint64) (*Graph, error) { return RingOfCliques(10, 40) },
 			opts:  Options{Topology: StarCluster, MachinesPerCluster: 3},
 			seed:  5,
-			want:  0x6d9240b1812eceb9,
+			want:  0x3be2ffefb100de67,
 		},
 		{
 			name:  "ba/tree-clusters",
 			build: func(seed uint64) (*Graph, error) { return BarabasiAlbert(260, 6, seed) },
 			opts:  Options{Topology: TreeCluster, MachinesPerCluster: 4},
 			seed:  7,
-			want:  0xd81226b2e208c6e0,
+			want:  0x0a350649a27f8530,
 		},
 		{
 			name: "geometric/redundant",
@@ -120,4 +122,139 @@ func TestGoldenColorFingerprints(t *testing.T) {
 
 func repinLine(name string, got uint64) string {
 	return fmt.Sprintf("update goldenCases entry %q to want: %#016x", name, got)
+}
+
+// decompFingerprint is a stable FNV-64a hash of a decomposition + profile:
+// CliqueOf as little-endian int32 per vertex followed by one cabal-flag byte
+// per clique. It pins the exact clique structure and classification, not
+// just its validity.
+func decompFingerprint(d *acd.Decomposition, prof *acd.Profile) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, k := range d.CliqueOf {
+		buf[0] = byte(k)
+		buf[1] = byte(k >> 8)
+		buf[2] = byte(k >> 16)
+		buf[3] = byte(k >> 24)
+		h.Write(buf[:])
+	}
+	for _, cab := range prof.IsCabal {
+		if cab {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	return h.Sum64()
+}
+
+// goldenDecompCase pins one decomposition scenario × seed cell.
+type goldenDecompCase struct {
+	name  string
+	build func(seed uint64) (*Graph, error)
+	opts  Options
+	seed  uint64
+	want  uint64
+}
+
+func goldenDecompCases() []goldenDecompCase {
+	return []goldenDecompCase{
+		{
+			name:  "acd/gnp/n300",
+			build: func(seed uint64) (*Graph, error) { return GNP(300, 0.08, seed) },
+			opts:  Options{},
+			seed:  3,
+			want:  0xd339907f3b080c35,
+		},
+		{
+			name:  "acd/ringcliques",
+			build: func(seed uint64) (*Graph, error) { return RingOfCliques(10, 40) },
+			opts:  Options{Topology: StarCluster, MachinesPerCluster: 3},
+			seed:  5,
+			want:  0xcb309dece80e959f,
+		},
+		{
+			name:  "acd/planted",
+			build: func(seed uint64) (*Graph, error) { return plantedGolden(seed) },
+			opts:  Options{Topology: TreeCluster, MachinesPerCluster: 4},
+			seed:  7,
+			want:  0x1204cf504d5262d8,
+		},
+		{
+			name: "acd/geometric/redundant",
+			build: func(seed uint64) (*Graph, error) {
+				return RandomGeometric(220, 0.16, seed)
+			},
+			opts: Options{Topology: StarCluster, MachinesPerCluster: 3, RedundantLinks: 2},
+			seed: 11,
+			want: 0x0b2675dc07c0d875,
+		},
+	}
+}
+
+func plantedGolden(seed uint64) (*Graph, error) {
+	h, _, err := PlantedACD(PlantedACDSpec{
+		NumCliques:     4,
+		CliqueSize:     40,
+		DropFraction:   0.04,
+		ExternalDegree: 3,
+		SparseN:        80,
+		SparseP:        0.06,
+	}, seed)
+	return h, err
+}
+
+// TestGoldenDecompositionFingerprints pins a stable hash of the
+// decomposition stage's full output (CliqueOf per vertex + cabal flag per
+// clique) per scenario × seed × parallelism level: the arena-backed waves
+// must reproduce the sequential decomposition bit for bit, and any intended
+// change to the decomposition fails loudly here with a repin line.
+func TestGoldenDecompositionFingerprints(t *testing.T) {
+	for _, gc := range goldenDecompCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			h, err := gc.build(gc.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cg, _, err := buildClusterGraph(h, Options{
+				Topology:           gc.opts.Topology,
+				MachinesPerCluster: gc.opts.MachinesPerCluster,
+				RedundantLinks:     gc.opts.RedundantLinks,
+				Seed:               gc.seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			params := core.DefaultParams(h.N())
+			var ref uint64
+			for _, par := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+				prev := parwork.SetParallelism(par)
+				rng := parwork.StreamRNG(gc.seed)
+				ws := acd.NewWorkspace()
+				d, err := acd.ComputeWith(cg, params.Eps, rng, ws)
+				if err == nil {
+					var prof *acd.Profile
+					prof, err = acd.BuildProfileWith(cg, d, float64(h.MaxDegree()), params.Ell(h.N()), rng, ws)
+					if err == nil {
+						got := decompFingerprint(d, prof)
+						if par == 1 {
+							ref = got
+							if got != gc.want {
+								t.Errorf("fingerprint = %#016x, pinned %#016x\n"+
+									"(if this change to the decomposition is intended, repin: update goldenDecompCases entry %q to want: %#016x)",
+									got, gc.want, gc.name, got)
+							}
+						} else if got != ref {
+							t.Errorf("parallelism %d fingerprint %#016x != sequential %#016x", par, got, ref)
+						}
+					}
+				}
+				parwork.SetParallelism(prev)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+			}
+		})
+	}
 }

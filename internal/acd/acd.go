@@ -5,6 +5,16 @@
 // and a further fingerprint wave estimates external degrees to classify
 // cabals (Section 4.1).
 //
+// The decomposition is the pipeline's first stage and runs arena-backed and
+// parallel: sample and sketch rows live in flat fingerprint.Arena backings
+// generated from per-vertex parwork.RowSeed streams, the waves fold over the
+// CSR graph across the worker pool (max-merge is commutative and idempotent,
+// so every parallelism level produces byte-identical output), and the buddy
+// predicate is evaluated exactly once per edge into a packed CSR-slot bitmap
+// that the dense classification, the component BFS, and downstream
+// consumers all read for free. A Workspace owns the reusable arenas so
+// repeated decompositions allocate O(1) objects regardless of n.
+//
 // An exact (centralized) reference decomposition is provided for testing and
 // for experiments that need ground truth.
 package acd
@@ -17,6 +27,7 @@ import (
 	"clustercolor/internal/cluster"
 	"clustercolor/internal/fingerprint"
 	"clustercolor/internal/graph"
+	"clustercolor/internal/parwork"
 )
 
 // Decomposition is an ε-almost-clique decomposition: a partition of the
@@ -47,6 +58,34 @@ func Sparsity(g *graph.Graph, v int) float64 {
 	return (delta*(delta-1)/2 - shared/2) / delta
 }
 
+// Workspace owns the reusable scratch of the decomposition waves: the sample
+// and sketch arenas (shared by Compute's two waves and BuildProfile's
+// external-degree wave — each wave refills them from an independent seed, so
+// the lemmas' independence requirements hold), the per-vertex estimate
+// buffers, the packed buddy-edge bitmap, and the component-BFS queue. One
+// Workspace serves one decomposition at a time; reusing it across calls
+// (core does, per Color run) keeps allocation counts independent of n.
+type Workspace struct {
+	samples  fingerprint.Arena
+	sketches fingerprint.Arena
+	deg      []float64
+	count    []float64
+	dense    []bool
+	buddy    []uint64
+	buddySrc []uint64
+	queue    []int32
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // Exact computes the decomposition centrally: buddy edges are pairs with
 // |N(u) ∩ N(v)| ≥ (1−2ξ)Δ, dense candidates have ≥ (1−2ξ)Δ incident buddy
 // edges, and almost-cliques are the connected components of the buddy graph
@@ -74,15 +113,23 @@ func Exact(g *graph.Graph, eps float64) (*Decomposition, error) {
 	for v := 0; v < g.N(); v++ {
 		dense[v] = float64(buddyDeg[v]) >= (1-2*xi)*float64(delta)
 	}
-	return assemble(g, eps, dense, isBuddy)
+	return assemble(g, eps, dense, func(v, u, slot int) bool { return isBuddy(v, u) }, nil)
 }
 
 // assemble groups dense vertices into almost-cliques via connected
-// components of the buddy graph restricted to dense vertices.
-func assemble(g *graph.Graph, eps float64, dense []bool, isBuddy func(u, v int) bool) (*Decomposition, error) {
+// components of the buddy graph restricted to dense vertices. isBuddy
+// receives the CSR slot of the directed edge (v, u) so memoized callers
+// answer in O(1). One queue buffer (from ws when non-nil) is reused across
+// components — the BFS allocates only the member lists that escape into the
+// result.
+func assemble(g *graph.Graph, eps float64, dense []bool, isBuddy func(v, u, slot int) bool, ws *Workspace) (*Decomposition, error) {
 	d := &Decomposition{Eps: eps, CliqueOf: make([]int, g.N())}
 	for v := range d.CliqueOf {
 		d.CliqueOf[v] = -1
+	}
+	var queue []int32
+	if ws != nil {
+		queue = ws.queue
 	}
 	for s := 0; s < g.N(); s++ {
 		if !dense[s] || d.CliqueOf[s] >= 0 {
@@ -90,17 +137,17 @@ func assemble(g *graph.Graph, eps float64, dense []bool, isBuddy func(u, v int) 
 		}
 		idx := len(d.Cliques)
 		var members []int
-		queue := []int{s}
+		queue = append(queue[:0], int32(s))
 		d.CliqueOf[s] = idx
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
+		for head := 0; head < len(queue); head++ {
+			v := int(queue[head])
 			members = append(members, v)
-			for _, u := range g.Neighbors(v) {
+			base := g.AdjOffset(v)
+			for j, u := range g.Neighbors(v) {
 				w := int(u)
-				if dense[w] && d.CliqueOf[w] < 0 && isBuddy(v, w) {
+				if dense[w] && d.CliqueOf[w] < 0 && isBuddy(v, w, base+j) {
 					d.CliqueOf[w] = idx
-					queue = append(queue, w)
+					queue = append(queue, int32(w))
 				}
 			}
 		}
@@ -110,6 +157,9 @@ func assemble(g *graph.Graph, eps float64, dense []bool, isBuddy func(u, v int) 
 			continue
 		}
 		d.Cliques = append(d.Cliques, members)
+	}
+	if ws != nil {
+		ws.queue = queue
 	}
 	// Reindex after dropped singletons.
 	for i, members := range d.Cliques {
@@ -121,17 +171,30 @@ func assemble(g *graph.Graph, eps float64, dense []bool, isBuddy func(u, v int) 
 }
 
 // Compute runs the distributed decomposition of Proposition 4.3 on a cluster
-// graph: fingerprint waves approximate degrees and joint neighborhood sizes
-// (Lemma 5.8), each edge solves the buddy predicate locally, a further wave
-// counts incident buddy edges, and an O(1)-round BFS labels the components.
+// graph with a workspace allocated for this call; see ComputeWith.
 func Compute(cg *cluster.CG, eps float64, rng *rand.Rand) (*Decomposition, error) {
+	return ComputeWith(cg, eps, rng, NewWorkspace())
+}
+
+// ComputeWith runs the distributed decomposition of Proposition 4.3:
+// fingerprint waves approximate degrees and joint neighborhood sizes
+// (Lemma 5.8), each edge solves the buddy predicate locally (memoized into
+// the workspace's packed edge bitmap, exactly one evaluation per edge), a
+// further wave counts incident buddy edges, and an O(1)-round BFS labels the
+// components. All randomness derives from one draw of rng through
+// parwork.RowSeed streams, and every wave runs across the worker pool, so
+// the decomposition is byte-identical at any parwork parallelism level.
+// ComputeWith is reentrant as long as workspaces are not shared.
+func ComputeWith(cg *cluster.CG, eps float64, rng *rand.Rand, ws *Workspace) (*Decomposition, error) {
 	if eps <= 0 || eps >= 1.0/3 {
 		return nil, fmt.Errorf("acd: eps %v out of (0, 1/3)", eps)
 	}
 	g := cg.H
+	n := g.N()
 	delta := float64(g.MaxDegree())
+	seed := rng.Uint64()
 	if delta == 0 {
-		d := &Decomposition{Eps: eps, CliqueOf: make([]int, g.N())}
+		d := &Decomposition{Eps: eps, CliqueOf: make([]int, n)}
 		for v := range d.CliqueOf {
 			d.CliqueOf[v] = -1
 		}
@@ -140,84 +203,227 @@ func Compute(cg *cluster.CG, eps float64, rng *rand.Rand) (*Decomposition, error
 	xi := eps / 2
 	// The buddy predicate conjoins several noisy estimates, so its sketches
 	// use double accuracy (ξ/2) relative to the decision margins.
-	t, err := fingerprint.TrialsFor(xi/2, g.N())
+	t, err := fingerprint.TrialsFor(xi/2, n)
 	if err != nil {
 		return nil, err
 	}
-	samples := fingerprint.SampleAll(g.N(), t, rng)
 	// Wave 1: per-vertex neighborhood sketches (degrees + reusable for the
 	// joint-neighborhood estimates on edges).
-	sketches, err := fingerprint.CollectSketches(cg, "acd/nbhd", samples, fingerprint.CollectOptions{})
+	ws.samples.Reset(n, t)
+	if err := ws.samples.FillGeometric(parwork.RowSeed(seed, 0)); err != nil {
+		return nil, err
+	}
+	maxBits, err := fingerprint.CollectArena(cg, "acd/nbhd", &ws.samples, &ws.sketches, fingerprint.ArenaCollectOptions{})
 	if err != nil {
 		return nil, err
 	}
-	deg := make([]float64, g.N())
-	for v, s := range sketches {
-		deg[v] = s.Estimate()
+	ws.deg = growFloats(ws.deg, n)
+	if err := parwork.ForRange(n, func(lo, hi int) error {
+		var est fingerprint.Estimator
+		for v := lo; v < hi; v++ {
+			ws.deg[v] = est.Estimate(ws.sketches.Row(v))
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	// Edge exchange: endpoints merge sketches and estimate |N(u) ∪ N(v)|.
 	// One H-round with a sketch payload (Lemma 5.8).
-	maxBits := 1
-	for _, s := range sketches {
-		if b := s.EncodedBits(); b > maxBits {
-			maxBits = b
-		}
-	}
 	cg.ChargeHRounds("acd/buddy-exchange", 1, maxBits)
-	lowDegree := func(v int) bool { return deg[v] < (1-1.5*xi)*delta }
-	// The buddy predicate runs once per edge; merging into one reusable
-	// scratch sketch instead of cloning keeps the decomposition free of
-	// per-edge allocation.
-	merged := fingerprint.NewSketch(t)
-	isBuddy := func(u, v int) bool {
-		if lowDegree(u) || lowDegree(v) {
-			return false
+	lowCut := (1 - 1.5*xi) * delta
+	joinCut := (1 + 1.5*xi) * delta
+	// The buddy predicate runs exactly once per edge, memoized into the
+	// packed per-slot bitmap: pass A evaluates forward slots (u > v) with
+	// per-worker merge scratch, pass B mirrors them onto the reverse slots.
+	// The shared-scratch closure this replaces made Compute non-reentrant
+	// and pinned the whole stage to one goroutine.
+	buddy, err := fillEdgeBits(g, ws, func(v int, sc *fingerprint.Scratch, set func(slot int)) {
+		if ws.deg[v] < lowCut {
+			return
 		}
-		copy(merged, sketches[u])
-		if err := merged.Merge(sketches[v]); err != nil {
-			return false
+		sv := ws.sketches.Row(v)
+		base := g.AdjOffset(v)
+		for j, u32 := range g.Neighbors(v) {
+			u := int(u32)
+			if u <= v || ws.deg[u] < lowCut {
+				continue
+			}
+			// F ≤ (1+1.5ξ)Δ means the joint neighborhood is small, i.e. the
+			// neighborhoods overlap heavily: a buddy edge.
+			if sc.Est.Estimate(sc.MergeTwo(sv, ws.sketches.Row(u))) <= joinCut {
+				set(base + j)
+			}
 		}
-		// F ≤ (1+1.5ξ)Δ means the joint neighborhood is small, i.e. the
-		// neighborhoods overlap heavily: a buddy edge.
-		return merged.Estimate() <= (1+1.5*xi)*delta
-	}
-	// Wave 2 (Proposition 4.3): approximate the number of incident buddy
-	// edges with the fingerprint counter.
-	buddyCount, err := fingerprint.ApproxCount(cg, "acd/buddy-count", xi, func(v, u int) bool {
-		return isBuddy(v, u)
-	}, rng)
+	})
 	if err != nil {
 		return nil, err
 	}
-	dense := make([]bool, g.N())
-	for v := 0; v < g.N(); v++ {
-		dense[v] = buddyCount[v] >= (1-1.5*xi)*delta
+	// Mirroring reads forward bits while writing reverse bits; a reader's
+	// forward word can coincide with another worker's reverse-write word, so
+	// the pass reads from an immutable snapshot of the forward bits.
+	if cap(ws.buddySrc) < len(buddy) {
+		ws.buddySrc = make([]uint64, len(buddy))
+	}
+	ws.buddySrc = ws.buddySrc[:len(buddy)]
+	copy(ws.buddySrc, buddy)
+	if err := mirrorEdgeBits(g, ws.buddySrc, buddy); err != nil {
+		return nil, err
+	}
+	// Wave 2 (Proposition 4.3): approximate the number of incident buddy
+	// edges with the fingerprint counter (Lemma 5.7), reusing the arenas.
+	// The dense test sits ~1.5ξ from the count it thresholds and members of
+	// one block fail together (their sketches merge nearly the same sample
+	// set), so this wave keeps the same doubled accuracy (ξ/2, hence the
+	// same t) as the predicate wave rather than Lemma 5.7's bare ξ.
+	ws.samples.Reset(n, t)
+	if err := ws.samples.FillGeometric(parwork.RowSeed(seed, 1)); err != nil {
+		return nil, err
+	}
+	if _, err := fingerprint.CollectArena(cg, "acd/buddy-count", &ws.samples, &ws.sketches, fingerprint.ArenaCollectOptions{
+		Pred: func(v, u, slot int) bool { return buddy[slot>>6]&(1<<(slot&63)) != 0 },
+	}); err != nil {
+		return nil, err
+	}
+	ws.count = growFloats(ws.count, n)
+	if err := parwork.ForRange(n, func(lo, hi int) error {
+		var est fingerprint.Estimator
+		for v := lo; v < hi; v++ {
+			ws.count[v] = est.Estimate(ws.sketches.Row(v))
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if cap(ws.dense) < n {
+		ws.dense = make([]bool, n)
+	}
+	ws.dense = ws.dense[:n]
+	denseCut := (1 - 1.5*xi) * delta
+	for v := 0; v < n; v++ {
+		ws.dense[v] = ws.count[v] >= denseCut
 	}
 	// O(1)-round BFS for leader election in each (diameter-2) component.
 	cg.ChargeHRounds("acd/leaders", 3, cg.IDBits())
-	return assemble(g, eps, dense, isBuddy)
+	return assemble(g, eps, ws.dense, func(v, u, slot int) bool {
+		return buddy[slot>>6]&(1<<(slot&63)) != 0
+	}, ws)
+}
+
+// fillEdgeBits sizes the workspace's packed per-slot bitmap for g, zeroes
+// it, and runs fill(v, scratch, set) for every vertex in parallel. Each
+// chunk owns the word-aligned span of its slot range; bits falling in a
+// chunk's leading partial word are spilled and applied sequentially, so no
+// two workers ever touch the same word — the packed bitmap stays race-free
+// without atomics.
+func fillEdgeBits(g *graph.Graph, ws *Workspace, fill func(v int, sc *fingerprint.Scratch, set func(slot int))) ([]uint64, error) {
+	n := g.N()
+	words := (2*g.M() + 63) / 64
+	if cap(ws.buddy) < words {
+		ws.buddy = make([]uint64, words)
+	}
+	ws.buddy = ws.buddy[:words]
+	for i := range ws.buddy {
+		ws.buddy[i] = 0
+	}
+	bits := ws.buddy
+	chunks := parwork.RangeChunks(n)
+	spills, err := parwork.ForEach(chunks, func(ci int) ([]int, error) {
+		lo, hi := parwork.ChunkBounds(n, ci)
+		ownStart := (g.AdjOffset(lo) + 63) &^ 63
+		var spill []int
+		var sc fingerprint.Scratch
+		set := func(slot int) {
+			if slot < ownStart {
+				spill = append(spill, slot)
+				return
+			}
+			bits[slot>>6] |= 1 << (slot & 63)
+		}
+		for v := lo; v < hi; v++ {
+			fill(v, &sc, set)
+		}
+		return spill, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, sp := range spills {
+		for _, slot := range sp {
+			bits[slot>>6] |= 1 << (slot & 63)
+		}
+	}
+	return bits, nil
+}
+
+// mirrorEdgeBits copies every forward bit (u > v) onto its reverse slot:
+// for each directed slot (v, u) with u < v it looks up the bit of (u, v) by
+// binary search in u's row. Forward bits are read from src — an immutable
+// snapshot taken before the pass, since a forward word being read can be
+// the same word another worker is writing reverse bits into — and workers
+// write only their own rows' slots of bits, with the same word-ownership
+// spill discipline as fillEdgeBits.
+func mirrorEdgeBits(g *graph.Graph, src, bits []uint64) error {
+	n := g.N()
+	chunks := parwork.RangeChunks(n)
+	spills, err := parwork.ForEach(chunks, func(ci int) ([]int, error) {
+		lo, hi := parwork.ChunkBounds(n, ci)
+		ownStart := (g.AdjOffset(lo) + 63) &^ 63
+		var spill []int
+		for v := lo; v < hi; v++ {
+			base := g.AdjOffset(v)
+			for j, u32 := range g.Neighbors(v) {
+				u := int(u32)
+				if u >= v {
+					break // neighbor lists are sorted ascending
+				}
+				fwd := g.AdjOffset(u) + g.NeighborIndex(u, v)
+				if src[fwd>>6]&(1<<(fwd&63)) == 0 {
+					continue
+				}
+				slot := base + j
+				if slot < ownStart {
+					spill = append(spill, slot)
+					continue
+				}
+				bits[slot>>6] |= 1 << (slot & 63)
+			}
+		}
+		return spill, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, sp := range spills {
+		for _, slot := range sp {
+			bits[slot>>6] |= 1 << (slot & 63)
+		}
+	}
+	return nil
 }
 
 // Validate checks Definition 4.2 structurally: every almost-clique K has
 // |K| ≤ (1+eps')Δ and every member has ≥ (1−eps')|K| neighbors inside K. It
 // returns the fraction of members violating the degree condition and an
 // error if size bounds break. eps' is the tolerance used for checking.
+// Membership tests run against one epoch-stamped array shared by all
+// cliques (the PR 2 BFS-scratch idiom) instead of a fresh map per clique.
 func (d *Decomposition) Validate(g *graph.Graph, epsCheck float64) (violFrac float64, err error) {
 	delta := float64(g.MaxDegree())
 	total, viol := 0, 0
+	inClique := make([]int32, g.N()) // epoch stamp: inClique[v] == i+1 ⇔ v ∈ clique i
 	for i, members := range d.Cliques {
 		if float64(len(members)) > (1+epsCheck)*delta+1 {
 			return 0, fmt.Errorf("acd: clique %d has %d > (1+%v)Δ members", i, len(members), epsCheck)
 		}
-		inClique := make(map[int]bool, len(members))
+		epoch := int32(i + 1)
 		for _, v := range members {
-			inClique[v] = true
+			inClique[v] = epoch
 		}
 		for _, v := range members {
 			total++
 			in := 0
 			for _, u := range g.Neighbors(v) {
-				if inClique[int(u)] {
+				if inClique[u] == epoch {
 					in++
 				}
 			}
@@ -233,14 +439,57 @@ func (d *Decomposition) Validate(g *graph.Graph, epsCheck float64) (violFrac flo
 }
 
 // SparseQuality returns the minimum exact sparsity among vertices classified
-// sparse (Definition 4.2 requires Ω(ε²Δ)); +Inf when there are none.
+// sparse (Definition 4.2 requires Ω(ε²Δ)); +Inf when there are none. It
+// examines every sparse vertex — O(n·Δ²) worst case; large-instance tests
+// should use SparseQualitySampled.
 func (d *Decomposition) SparseQuality(g *graph.Graph) float64 {
-	min := math.Inf(1)
+	return d.SparseQualitySampled(g, 0, 0)
+}
+
+// SparseQualitySampled is SparseQuality's documented sampled mode: it
+// evaluates the exact sparsity of at most maxSamples sparse vertices, chosen
+// uniformly (deterministically from seed), and returns their minimum —
+// a one-sided estimate that upper-bounds SparseQuality but costs
+// O(maxSamples·Δ²) instead of O(n·Δ²). maxSamples ≤ 0 checks every sparse
+// vertex. Evaluation fans across the worker pool; the result is independent
+// of the parallelism level (min is order-free).
+func (d *Decomposition) SparseQualitySampled(g *graph.Graph, maxSamples int, seed uint64) float64 {
+	var sparse []int
 	for v := 0; v < g.N(); v++ {
 		if d.IsSparse(v) {
-			if z := Sparsity(g, v); z < min {
-				min = z
+			sparse = append(sparse, v)
+		}
+	}
+	if maxSamples > 0 && len(sparse) > maxSamples {
+		// Partial Fisher–Yates: the prefix is a uniform sample without
+		// replacement.
+		rng := parwork.StreamRNG(seed)
+		for i := 0; i < maxSamples; i++ {
+			j := i + rng.IntN(len(sparse)-i)
+			sparse[i], sparse[j] = sparse[j], sparse[i]
+		}
+		sparse = sparse[:maxSamples]
+	}
+	min := math.Inf(1)
+	chunks := parwork.RangeChunks(len(sparse))
+	mins, err := parwork.ForEach(chunks, func(ci int) (float64, error) {
+		lo, hi := parwork.ChunkBounds(len(sparse), ci)
+		m := math.Inf(1)
+		for _, v := range sparse[lo:hi] {
+			if z := Sparsity(g, v); z < m {
+				m = z
 			}
+		}
+		return m, nil
+	})
+	if err != nil {
+		// The chunk closure never fails; +Inf here would masquerade as a
+		// perfect decomposition, so fail loudly if that ever changes.
+		panic("acd: sparse-quality scan failed: " + err.Error())
+	}
+	for _, m := range mins {
+		if m < min {
+			min = m
 		}
 	}
 	return min

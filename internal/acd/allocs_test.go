@@ -1,0 +1,61 @@
+//go:build !race
+
+// The allocation-count assertion is meaningless (and slow) under the race
+// detector: instrumentation both allocates and multiplies the arena waves'
+// cost. `make race` covers the same code paths through the other tests.
+
+package acd
+
+import (
+	"testing"
+
+	"clustercolor/internal/graph"
+	"clustercolor/internal/parwork"
+)
+
+// TestDecompositionAllocsIndependentOfN verifies the arena contract: with a
+// reused Workspace, a full decomposition + profile build performs a bounded
+// number of allocations that does not grow with the instance — a per-vertex
+// or per-edge allocation would blow past the bound at n=8192 immediately.
+// Parallelism is pinned to 1 so goroutine machinery doesn't add noise; the
+// parallel path adds only O(workers) allocations per wave.
+func TestDecompositionAllocsIndependentOfN(t *testing.T) {
+	prev := parwork.SetParallelism(1)
+	defer parwork.SetParallelism(prev)
+	measure := func(n int) float64 {
+		h, err := graph.GNP(n, 64/float64(n), graph.NewRand(uint64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cg := asCGSingleton(t, h, 5)
+		ws := NewWorkspace()
+		seed := uint64(7)
+		runOnce := func() {
+			rng := parwork.StreamRNG(seed)
+			d, err := ComputeWith(cg, 0.25, rng, ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := BuildProfileWith(cg, d, float64(h.MaxDegree()), 20, rng, ws); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runOnce() // warm the workspace: arenas and scratch reach steady state
+		return testing.AllocsPerRun(3, runOnce)
+	}
+	small := measure(2048)
+	large := measure(8192)
+	// BENCH_acd.json measures ~2.7k allocs at n=10⁵ and n=10⁶ alike; the
+	// bound only needs to exclude per-vertex or per-edge scaling (≥ 8192
+	// here).
+	const bound = 4000
+	if small > bound || large > bound {
+		t.Fatalf("decomposition allocates %.0f (n=2048) / %.0f (n=8192) objects; want ≤ %d (arena contract)", small, large, bound)
+	}
+	// The counts may wiggle (lazy per-chunk scratch growth follows the
+	// degree profile) but must not scale with n: 4× the vertices and edges,
+	// same allocation budget.
+	if large > small*1.5+64 {
+		t.Fatalf("allocations grew with n: %.0f at n=2048 vs %.0f at n=8192", small, large)
+	}
+}

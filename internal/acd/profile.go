@@ -6,6 +6,7 @@ import (
 
 	"clustercolor/internal/cluster"
 	"clustercolor/internal/fingerprint"
+	"clustercolor/internal/parwork"
 )
 
 // Profile carries the per-vertex and per-clique quantities of Section 4.1
@@ -29,33 +30,60 @@ type Profile struct {
 	Trees []*cluster.HTree
 }
 
-// BuildProfile computes the profile of Section 4.1 on a cluster graph:
+// BuildProfile computes the profile of Section 4.1 with a workspace
+// allocated for this call; see BuildProfileWith.
+func BuildProfile(cg *cluster.CG, d *Decomposition, delta float64, ell float64, rng *rand.Rand) (*Profile, error) {
+	return BuildProfileWith(cg, d, delta, ell, rng, NewWorkspace())
+}
+
+// BuildProfileWith computes the profile of Section 4.1 on a cluster graph:
 // a fingerprint wave estimates external degrees (Lemma 5.7 with the
 // predicate u ∉ K_v), then per-clique BFS trees aggregate sizes and
-// averages (the proof of Theorem 1.2 does exactly this).
-func BuildProfile(cg *cluster.CG, d *Decomposition, delta float64, ell float64, rng *rand.Rand) (*Profile, error) {
+// averages (the proof of Theorem 1.2 does exactly this). The wave reuses the
+// workspace's sample arena — refilled from a fresh seed, so it is
+// independent of the decomposition waves as the lemma requires — and both
+// the external-degree fold and the per-clique aggregation fan across the
+// worker pool with byte-identical output at any parallelism level.
+func BuildProfileWith(cg *cluster.CG, d *Decomposition, delta float64, ell float64, rng *rand.Rand, ws *Workspace) (*Profile, error) {
 	if ell <= 0 {
 		return nil, fmt.Errorf("acd: ell %v must be positive", ell)
 	}
+	n := cg.H.N()
 	p := &Profile{
 		Decomp:  d,
-		ExtDeg:  make([]float64, cg.H.N()),
+		ExtDeg:  make([]float64, n),
 		AvgExt:  make([]float64, len(d.Cliques)),
 		Size:    make([]int, len(d.Cliques)),
 		IsCabal: make([]bool, len(d.Cliques)),
 		Ell:     ell,
 	}
 	if len(d.Cliques) > 0 {
-		ext, err := fingerprint.ApproxCount(cg, "profile/extdeg", 0.25, func(v, u int) bool {
-			return d.CliqueOf[v] >= 0 && d.CliqueOf[u] != d.CliqueOf[v]
-		}, rng)
+		seed := rng.Uint64()
+		t, err := fingerprint.TrialsFor(0.25, n)
 		if err != nil {
 			return nil, err
 		}
-		for v := range ext {
-			if d.CliqueOf[v] >= 0 {
-				p.ExtDeg[v] = ext[v]
+		ws.samples.Reset(n, t)
+		if err := ws.samples.FillGeometric(parwork.RowSeed(seed, 0)); err != nil {
+			return nil, err
+		}
+		if _, err := fingerprint.CollectArena(cg, "profile/extdeg", &ws.samples, &ws.sketches, fingerprint.ArenaCollectOptions{
+			Pred: func(v, u, slot int) bool {
+				return d.CliqueOf[v] >= 0 && d.CliqueOf[u] != d.CliqueOf[v]
+			},
+		}); err != nil {
+			return nil, err
+		}
+		if err := parwork.ForRange(n, func(lo, hi int) error {
+			var est fingerprint.Estimator
+			for v := lo; v < hi; v++ {
+				if d.CliqueOf[v] >= 0 {
+					p.ExtDeg[v] = est.Estimate(ws.sketches.Row(v))
+				}
 			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		// Per-clique BFS trees (disjoint subgraphs → parallel, Lemma 3.2).
 		sources := make([]int, len(d.Cliques))
@@ -67,15 +95,17 @@ func BuildProfile(cg *cluster.CG, d *Decomposition, delta float64, ell float64, 
 				}
 			}
 		}
-		trees, err := cg.BFSForest("profile/trees", d.Cliques, sources, cg.H.N())
+		trees, err := cg.BFSForest("profile/trees", d.Cliques, sources, n)
 		if err != nil {
 			return nil, err
 		}
 		p.Trees = trees
 		// Aggregate |K| and Σẽ_v per clique: two O(log n)-bit aggregation
-		// waves up the BFS trees.
+		// waves up the BFS trees, computed in parallel across the disjoint
+		// cliques (each worker writes only its clique's slots).
 		cg.ChargeHRounds("profile/aggregate", 2, 2*cg.IDBits())
-		for i, members := range d.Cliques {
+		if _, err := parwork.ForEach(len(d.Cliques), func(i int) (struct{}, error) {
+			members := d.Cliques[i]
 			p.Size[i] = len(members)
 			var sum float64
 			for _, v := range members {
@@ -83,6 +113,9 @@ func BuildProfile(cg *cluster.CG, d *Decomposition, delta float64, ell float64, 
 			}
 			p.AvgExt[i] = sum / float64(len(members))
 			p.IsCabal[i] = p.AvgExt[i] < ell
+			return struct{}{}, nil
+		}); err != nil {
+			return nil, err
 		}
 	}
 	_ = delta

@@ -1,0 +1,118 @@
+package acd
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+	"clustercolor/internal/parwork"
+)
+
+// asCGSingleton wraps h as a singleton-cluster graph (H = G), the cheapest
+// fixture for allocation accounting.
+func asCGSingleton(t *testing.T, h *graph.Graph, seed uint64) *cluster.CG {
+	t.Helper()
+	exp, err := graph.Expand(h, graph.ExpandSpec{Topology: graph.TopologySingleton}, graph.NewRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := network.NewCostModel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := cluster.New(h, exp, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cg
+}
+
+// TestDecompositionByteIdenticalAcrossParallelism pins the parallel-waves
+// contract: ComputeWith and BuildProfileWith produce bit-identical output
+// (clique structure, external degrees, averages, cabal flags) at parallelism
+// 1, 4, and NumCPU. Run under -race via `make race`, this is also the data-
+// race canary for the chunked arena folds and the edge-bitmap spill
+// discipline.
+func TestDecompositionByteIdenticalAcrossParallelism(t *testing.T) {
+	g, _ := plantedInstance(t, 21)
+	cg := asCG(t, g, 23)
+	type outcome struct {
+		cliqueOf []int
+		cliques  [][]int
+		extDeg   []float64
+		avgExt   []float64
+		size     []int
+		isCabal  []bool
+	}
+	run := func() outcome {
+		rng := parwork.StreamRNG(99)
+		ws := NewWorkspace()
+		d, err := ComputeWith(cg, 0.3, rng, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := BuildProfileWith(cg, d, float64(g.MaxDegree()), 20, rng, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{d.CliqueOf, d.Cliques, p.ExtDeg, p.AvgExt, p.Size, p.IsCabal}
+	}
+	prev := parwork.SetParallelism(1)
+	ref := run()
+	parwork.SetParallelism(prev)
+	if len(ref.cliques) == 0 {
+		t.Fatal("planted instance decomposed into no cliques; the test would be vacuous")
+	}
+	for _, par := range []int{4, runtime.GOMAXPROCS(0)} {
+		parwork.SetParallelism(par)
+		got := run()
+		parwork.SetParallelism(prev)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("parallelism %d decomposition differs from sequential", par)
+		}
+	}
+}
+
+// TestDecompositionRaceStress drives the parallel waves hard enough for the
+// race detector to observe real interleavings: a planted instance with many
+// buddy edges (so the bitmap mirror pass both reads and writes heavily) at
+// parallelism 8, repeated, with outputs compared. A cross-chunk word
+// collision between mirror readers and writers reproduced here before the
+// snapshot fix; keep this test race-enabled and multi-worker.
+func TestDecompositionRaceStress(t *testing.T) {
+	rng := graph.NewRand(41)
+	g, _, err := graph.PlantedACD(graph.PlantedACDSpec{
+		NumCliques:     8,
+		CliqueSize:     80,
+		DropFraction:   0.05,
+		ExternalDegree: 4,
+		SparseN:        1000,
+		SparseP:        0.02,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := asCGSingleton(t, g, 43)
+	prev := parwork.SetParallelism(8)
+	defer parwork.SetParallelism(prev)
+	var ref *Decomposition
+	for rep := 0; rep < 3; rep++ {
+		d, err := ComputeWith(cg, 0.25, parwork.StreamRNG(7), NewWorkspace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Cliques) == 0 {
+			t.Fatal("stress instance produced no cliques; the mirror pass went unexercised")
+		}
+		if rep == 0 {
+			ref = d
+			continue
+		}
+		if !reflect.DeepEqual(ref.CliqueOf, d.CliqueOf) {
+			t.Fatalf("repetition %d produced a different decomposition", rep)
+		}
+	}
+}

@@ -125,14 +125,19 @@ func PaletteSparsification(cg *cluster.CG, col *coloring.Coloring, listFactor fl
 		listSize = int(col.MaxColor())
 	}
 	// Sample lists; announcing a list costs listSize·log Δ bits, pipelined.
+	// Lists are kept in draw order — ranging over the dedup map would leak
+	// Go's randomized map iteration into the wave outcomes and break the
+	// tables-are-a-pure-function-of-the-seed contract.
 	lists := make([][]int32, n)
 	for v := 0; v < n; v++ {
 		seen := make(map[int32]struct{}, listSize)
-		for len(seen) < listSize {
-			seen[int32(rng.IntN(int(col.MaxColor())))+1] = struct{}{}
-		}
 		lst := make([]int32, 0, listSize)
-		for c := range seen {
+		for len(lst) < listSize {
+			c := int32(rng.IntN(int(col.MaxColor()))) + 1
+			if _, dup := seen[c]; dup {
+				continue
+			}
+			seen[c] = struct{}{}
 			lst = append(lst, c)
 		}
 		lists[v] = lst

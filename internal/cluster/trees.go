@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"sort"
+
+	"clustercolor/internal/parwork"
 )
 
 // HTree is a rooted tree on H-vertices produced by BFSForest. Children are
@@ -51,12 +53,16 @@ func (cg *CG) BFSForest(phase string, subgraphs [][]int, sources []int, maxDepth
 			owner[v] = i
 		}
 	}
-	trees := make([]*HTree, len(subgraphs))
-	deepest := 0
 	for i, src := range sources {
 		if owner[src] != i {
 			return nil, fmt.Errorf("cluster: source %d not in subgraph %d", src, i)
 		}
+	}
+	// The subgraphs are vertex-disjoint, so each tree builds independently:
+	// the Lemma 3.2 parallelism is real, not just a cost-model fiction. Each
+	// worker reads only the shared owner array and writes only its own tree.
+	trees, err := parwork.ForEach(len(subgraphs), func(i int) (*HTree, error) {
+		src := sources[i]
 		tr := &HTree{
 			Root:   src,
 			Parent: make([]int, cg.H.N()),
@@ -68,7 +74,6 @@ func (cg *CG) BFSForest(phase string, subgraphs [][]int, sources []int, maxDepth
 		}
 		tr.Depth[src] = 0
 		frontier := []int{src}
-		tr.Vertices = append(tr.Vertices, src)
 		for d := 0; d < maxDepth && len(frontier) > 0; d++ {
 			var next []int
 			for _, v := range frontier {
@@ -90,7 +95,13 @@ func (cg *CG) BFSForest(phase string, subgraphs [][]int, sources []int, maxDepth
 		}
 		// Preorder traversal with children ordered by id.
 		tr.Vertices = preorder(tr, cg)
-		trees[i] = tr
+		return tr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	deepest := 0
+	for _, tr := range trees {
 		if tr.Height > deepest {
 			deepest = tr.Height
 		}

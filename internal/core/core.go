@@ -126,18 +126,26 @@ func (p Params) reservedFor(avgExt, ell float64, delta int) int32 {
 	return int32(r)
 }
 
-// decompose runs ComputeACD and profile building, filling decomposition
-// stats.
-func decompose(cg *cluster.CG, params Params, stats *Stats, rng *rand.Rand) (*acd.Decomposition, *acd.Profile, error) {
-	d, err := acd.Compute(cg, params.Eps, rng)
+// decompose runs ComputeACD and profile building as one traced,
+// separately-charged stage: both waves share one acd.Workspace (so the
+// sample arena is reused across Compute and BuildProfile), the rounds they
+// charge are recorded in Stats.DecompRounds, and a non-nil tracer observes
+// the stage as a "decompose" StageTrace (vertex-level — no per-clique tasks
+// or snapshot; the fingerprint-wave primitive covers its machine-level
+// conformance).
+func decompose(cg *cluster.CG, params Params, stats *Stats, rng *rand.Rand, tr StageTracer) (*acd.Decomposition, *acd.Profile, error) {
+	before := cg.Cost().Rounds()
+	ws := acd.NewWorkspace()
+	d, err := acd.ComputeWith(cg, params.Eps, rng, ws)
 	if err != nil {
 		return nil, nil, err
 	}
 	ell := params.Ell(cg.H.N())
-	prof, err := acd.BuildProfile(cg, d, float64(cg.H.MaxDegree()), ell, rng)
+	prof, err := acd.BuildProfileWith(cg, d, float64(cg.H.MaxDegree()), ell, rng, ws)
 	if err != nil {
 		return nil, nil, err
 	}
+	stats.DecompRounds = cg.Cost().Rounds() - before
 	stats.NumCliques = len(d.Cliques)
 	for _, cab := range prof.IsCabal {
 		if cab {
@@ -148,6 +156,9 @@ func decompose(cg *cluster.CG, params Params, stats *Stats, rng *rand.Rand) (*ac
 		if d.IsSparse(v) {
 			stats.NumSparse++
 		}
+	}
+	if tr != nil {
+		tr(&StageTrace{Stage: "decompose", ChargedRounds: stats.DecompRounds})
 	}
 	return d, prof, nil
 }

@@ -23,7 +23,7 @@ func colorHighDegree(cg *cluster.CG, col *coloring.Coloring, params Params, stat
 	h := cg.H
 	delta := h.MaxDegree()
 	stats.StageOrder = append(stats.StageOrder, "ComputeACD")
-	d, prof, err := decompose(cg, params, stats, rng)
+	d, prof, err := decompose(cg, params, stats, rng, tr)
 	if err != nil {
 		return err
 	}

@@ -131,6 +131,10 @@ type Stats struct {
 	// FallbackRounds is the subset of rounds spent in the terminal
 	// cleanup loop (0 = the stage logic finished everything itself).
 	FallbackRounds int64
+	// DecompRounds is the subset of rounds spent in the almost-clique
+	// decomposition stage (ComputeACD + profile building), charged
+	// separately so experiments can attribute decomposition cost.
+	DecompRounds int64
 	// PhaseRounds breaks rounds down by phase label.
 	PhaseRounds map[string]int64
 	// MaxPayloadBits is the largest single-message payload charged.

@@ -202,8 +202,10 @@ type MemberWrite struct {
 // and what every clique's engine wrote against its snapshot view (before
 // cross-clique conflict drops).
 type StageTrace struct {
-	// Stage is "matching/noncabals", "sct/noncabals", "matching/cabals",
-	// "sct/cabals", or "donate".
+	// Stage is "decompose", "matching/noncabals", "sct/noncabals",
+	// "matching/cabals", "sct/cabals", or "donate". A "decompose" trace is
+	// vertex-level: it carries only ChargedRounds (no tasks, snapshot, or
+	// writes) — the fingerprint-wave primitive covers its machine level.
 	Stage string
 	// BaseSeed is the stage's seed; clique i ran with a fresh PCG stream
 	// seeded by parwork.RowSeed(BaseSeed, i).

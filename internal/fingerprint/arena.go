@@ -1,0 +1,196 @@
+package fingerprint
+
+import (
+	"fmt"
+	"math/bits"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/parwork"
+)
+
+// This file holds the arena-backed, parallel form of the Section 5 sketch
+// machinery. The classic API (SampleAll, CollectSketches) allocates one heap
+// slice per party, which is fine for protocol-level simulations but makes
+// the decomposition allocation-bound at n = 10⁶. The Arena keeps all n rows
+// in one flat []int16 backing, sample rows are generated from per-row
+// counter streams (parwork.RowSeed) instead of a shared sequential PRNG, and
+// CollectArena runs the neighbor fold as a parallel per-vertex CSR sweep —
+// max-merge is commutative and idempotent, so the result is byte-identical
+// at every parallelism level.
+//
+// Ownership contract: an Arena (and a Scratch) belongs to one wave at a
+// time. Reset reuses the backing across waves; rows returned by Row alias
+// the backing and are invalidated by the next Reset.
+
+// Arena is a flat backing for n fixed-width sample or sketch rows.
+// The zero value is an empty arena; Reset sizes it.
+type Arena struct {
+	t    int
+	data []int16
+}
+
+// Reset sizes the arena to n rows of t trials, reusing the backing when it
+// is large enough. Row contents are undefined afterwards — callers fill
+// every row they read (FillGeometric, CollectArena).
+func (a *Arena) Reset(n, t int) {
+	size := n * t
+	if cap(a.data) < size {
+		a.data = make([]int16, size)
+	} else {
+		a.data = a.data[:size]
+	}
+	a.t = t
+}
+
+// Rows returns the number of rows.
+func (a *Arena) Rows() int {
+	if a.t == 0 {
+		return 0
+	}
+	return len(a.data) / a.t
+}
+
+// Trials returns the row width t.
+func (a *Arena) Trials() int { return a.t }
+
+// Row returns row i as a Sketch view into the backing. The view is valid
+// until the next Reset.
+func (a *Arena) Row(i int) Sketch { return a.data[i*a.t : (i+1)*a.t] }
+
+// FillGeometric fills every row with independent geometric(1/2) samples
+// drawn from per-row counter streams: row v's j-th sample is the trailing
+// zero count of the word RowSeed(RowSeed(seed, v), j). Rows are generated in
+// parallel and depend only on (seed, v, j), so any schedule produces the
+// same arena — the property the decomposition's byte-identical-at-any-
+// parallelism contract rests on.
+func (a *Arena) FillGeometric(seed uint64) error {
+	t := a.t
+	return parwork.ForRange(a.Rows(), func(lo, hi int) error {
+		for v := lo; v < hi; v++ {
+			rowSeed := parwork.RowSeed(seed, v)
+			row := a.Row(v)
+			for j := 0; j < t; j++ {
+				// An all-zero word maps to 64 trailing zeros — a legal
+				// (astronomically rare) sample well inside int16 range.
+				row[j] = int16(bits.TrailingZeros64(parwork.RowSeed(rowSeed, j)))
+			}
+		}
+		return nil
+	})
+}
+
+// Scratch bundles the per-goroutine reusable buffers of arena waves: a merge
+// row for two-sketch unions and the counting buffers behind estimates and
+// deviation encodings. The zero value is ready to use.
+type Scratch struct {
+	// Est estimates sketches without allocating per call.
+	Est    Estimator
+	merged Sketch
+	counts []int
+}
+
+// MergeTwo returns max(a, b) in the scratch's merge row. The returned slice
+// is valid until the next MergeTwo.
+func (sc *Scratch) MergeTwo(a, b Sketch) Sketch {
+	sc.merged = append(sc.merged[:0], a...)
+	mergeMax(sc.merged, b)
+	return sc.merged
+}
+
+// EncodedBits is Sketch.EncodedBits with the baseline-selection buffer
+// reused across calls.
+func (sc *Scratch) EncodedBits(s Sketch) int {
+	k, counts := s.baselineWith(sc.counts)
+	sc.counts = counts
+	return s.encodedBitsFor(k)
+}
+
+// mergeMax folds src into dst pointwise (dst[i] = max(dst[i], src[i])).
+// Lengths must match.
+func mergeMax(dst, src Sketch) {
+	dst = dst[:len(src)]
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+// ArenaCollectOptions configures CollectArena.
+type ArenaCollectOptions struct {
+	// IncludeSelf merges the vertex's own samples into its sketch.
+	IncludeSelf bool
+	// Pred filters which neighbors contribute to v's sketch; nil means all.
+	// slot is the CSR position of the directed edge (v, u) — AdjOffset(v)+j
+	// for the j-th neighbor — so callers can memoize per-edge predicates in
+	// flat bitmaps instead of re-deriving them from the endpoints. Pred must
+	// be safe for concurrent calls and must not depend on evaluation order.
+	Pred func(v, u, slot int) bool
+}
+
+// CollectArena runs one aggregation wave arena-backed: out row v becomes the
+// max-merge of the sample rows of v's admitted neighbors. The fold runs as a
+// parallel per-vertex CSR sweep; rows are disjoint and max-merge is
+// order-independent, so the output is byte-identical at any parallelism.
+// The round cost matches CollectNeighborSketches — one H-round for the
+// exchange plus the largest deviation-encoded payload, which is returned.
+func CollectArena(cg *cluster.CG, phase string, samples, out *Arena, opts ArenaCollectOptions) (int, error) {
+	g := cg.H
+	n := g.N()
+	if samples.Rows() != n {
+		return 0, fmt.Errorf("fingerprint: %d sample rows for %d vertices", samples.Rows(), n)
+	}
+	t := samples.Trials()
+	out.Reset(n, t)
+	cg.ChargeHRounds(phase, 1, 0) // payload charged below with true size
+	chunks := parwork.RangeChunks(n)
+	chunkBits, err := parwork.ForEach(chunks, func(ci int) (int, error) {
+		lo, hi := parwork.ChunkBounds(n, ci)
+		var sc Scratch
+		best := 1
+		for v := lo; v < hi; v++ {
+			row := out.Row(v)
+			empty := true
+			if opts.IncludeSelf {
+				// Own samples merge locally; no network cost.
+				copy(row, samples.Row(v))
+				empty = false
+			}
+			base := g.AdjOffset(v)
+			for j, u32 := range g.Neighbors(v) {
+				u := int(u32)
+				if opts.Pred != nil && !opts.Pred(v, u, base+j) {
+					continue
+				}
+				if empty {
+					copy(row, samples.Row(u))
+					empty = false
+					continue
+				}
+				mergeMax(row, samples.Row(u))
+			}
+			if empty {
+				for i := range row {
+					row[i] = Empty
+				}
+			}
+			if b := sc.EncodedBits(row); b > best {
+				best = b
+			}
+		}
+		return best, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Charge the true payload: the largest deviation-encoded sketch that
+	// crossed a link. Max over fixed chunk bounds is grouping-independent.
+	maxBits := 1
+	for _, b := range chunkBits {
+		if b > maxBits {
+			maxBits = b
+		}
+	}
+	cg.ChargeHRounds(phase+"/payload", 1, maxBits)
+	return maxBits, nil
+}

@@ -97,8 +97,16 @@ func (r *bitReader) readEliasGamma() (uint64, error) {
 
 // baseline returns the k minimizing Σ|Y_i − k|: the median of the maxima.
 func (s Sketch) baseline() int {
+	k, _ := s.baselineWith(nil)
+	return k
+}
+
+// baselineWith is baseline with a caller-owned counting buffer; it returns
+// the (possibly grown) buffer for reuse, so per-sketch loops allocate only
+// until the buffer covers the observed value range.
+func (s Sketch) baselineWith(counts []int) (int, []int) {
 	if len(s) == 0 {
-		return 0
+		return 0, counts
 	}
 	// Counting selection over the small value range of int16 maxima.
 	lo, hi := int(s[0]), int(s[0])
@@ -110,7 +118,15 @@ func (s Sketch) baseline() int {
 			hi = int(y)
 		}
 	}
-	counts := make([]int, hi-lo+1)
+	size := hi - lo + 1
+	if cap(counts) < size {
+		counts = make([]int, size)
+	} else {
+		counts = counts[:size]
+		for i := range counts {
+			counts[i] = 0
+		}
+	}
 	for _, y := range s {
 		counts[int(y)-lo]++
 	}
@@ -119,10 +135,10 @@ func (s Sketch) baseline() int {
 	for i, c := range counts {
 		run += c
 		if run >= mid {
-			return lo + i
+			return lo + i, counts
 		}
 	}
-	return hi
+	return hi, counts
 }
 
 // Encode serializes the sketch with the deviation encoding: Elias-gamma of
@@ -149,7 +165,10 @@ func (s Sketch) Encode() []byte {
 // EncodedBits returns the exact bit length of Encode's output without
 // materializing it.
 func (s Sketch) EncodedBits() int {
-	k := s.baseline()
+	return s.encodedBitsFor(s.baseline())
+}
+
+func (s Sketch) encodedBitsFor(k int) int {
 	n := eliasGammaBits(uint64(len(s))+1) + eliasGammaBits(uint64(k)+2)
 	for _, y := range s {
 		dev := int(y) - k

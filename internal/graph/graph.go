@@ -136,6 +136,24 @@ func (g *Graph) Degree(v int) int { return int(g.offsets[v+1] - g.offsets[v]) }
 // owned by the graph and must not be modified.
 func (g *Graph) Neighbors(v int) []int32 { return g.nbrs[g.offsets[v]:g.offsets[v+1]] }
 
+// AdjOffset returns the CSR position of v's first neighbor: the directed
+// edge (v, Neighbors(v)[j]) occupies slot AdjOffset(v)+j in [0, 2·M()).
+// Slot indices let callers memoize per-edge values in flat arrays without a
+// map from vertex pairs.
+func (g *Graph) AdjOffset(v int) int { return int(g.offsets[v]) }
+
+// NeighborIndex returns j such that Neighbors(u)[j] == v, or -1 when {u, v}
+// is not an edge — the mirror lookup for CSR slot indexing, by binary search
+// on u's sorted neighbor list.
+func (g *Graph) NeighborIndex(u, v int) int {
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(v) })
+	if i < len(nb) && nb[i] == int32(v) {
+		return i
+	}
+	return -1
+}
+
 // HasEdge reports whether {u, v} is an edge, by binary search on the sorted
 // adjacency list of the lower-degree endpoint.
 func (g *Graph) HasEdge(u, v int) bool {

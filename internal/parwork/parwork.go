@@ -80,6 +80,44 @@ func ForEach[T any](n int, f func(i int) (T, error)) ([]T, error) {
 	return out, nil
 }
 
+// rangeChunks caps how many chunks ForRange-style loops split an index
+// space into. The cap is what keeps per-chunk scratch allocations bounded by
+// a constant rather than growing with n or with the parallelism level.
+const rangeChunks = 128
+
+// RangeChunks returns the chunk count ForRange splits [0, n) into:
+// min(n, 128). It depends only on n — never on Parallelism() — so per-chunk
+// scratch use and chunk-level reductions produce identical results at every
+// worker count, and the number of chunk allocations stays O(1) in n.
+func RangeChunks(n int) int {
+	if n < rangeChunks {
+		return n
+	}
+	return rangeChunks
+}
+
+// ChunkBounds returns the half-open bounds of chunk i when [0, n) is split
+// into RangeChunks(n) contiguous near-even chunks.
+func ChunkBounds(n, i int) (lo, hi int) {
+	c := RangeChunks(n)
+	return i * n / c, (i + 1) * n / c
+}
+
+// ForRange runs f over the RangeChunks(n) contiguous chunks covering [0, n),
+// fanned across the worker pool. f owns [lo, hi) exclusively, so it may keep
+// per-call scratch and write disjoint output indices without synchronization;
+// like ForEach, it must derive any randomness from the indices alone.
+func ForRange(n int, f func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	_, err := ForEach(RangeChunks(n), func(i int) (struct{}, error) {
+		lo, hi := ChunkBounds(n, i)
+		return struct{}{}, f(lo, hi)
+	})
+	return err
+}
+
 // StreamRNG returns the canonical PRNG stream for a derived seed. Every
 // consumer of a RowSeed-derived stream — the per-clique stage loops, the
 // distsim machine-level replays, and the pipeline itself — must construct
