@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-smoke bench-graph bench-color bench-distsim bench-acd tables benchjson vet fmt check
+.PHONY: build test race fuzz bench bench-smoke bench-graph bench-color bench-distsim bench-acd bench-sketch tables benchjson vet fmt check
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/fingerprint
 	$(GO) test -run '^$$' -fuzz '^FuzzWave$$' -fuzztime 10s ./internal/distsim
 	$(GO) test -run '^$$' -fuzz '^FuzzACD$$' -fuzztime 10s ./internal/acd
+	$(GO) test -run '^$$' -fuzz '^FuzzSketchMerge$$' -fuzztime 10s ./internal/sketch
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -44,6 +45,12 @@ bench-distsim:
 # multi-gigabyte sketch arenas and minutes of single-core wave time.
 bench-acd:
 	$(GO) run ./cmd/benchtables -acdbench BENCH_acd.json
+
+# Sketch-engine microbench: merge kernels in isolation, collect waves at
+# parallelism 1/2/4/NumCPU, and the bits-per-vertex/accuracy profile of every
+# estimator variant.
+bench-sketch:
+	$(GO) run ./cmd/benchtables -sketchbench BENCH_sketch.json
 
 tables:
 	$(GO) run ./cmd/benchtables

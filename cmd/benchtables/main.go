@@ -10,6 +10,7 @@
 //	benchtables -colorbench out.json   # emit stage-level coloring benchmarks instead
 //	benchtables -distsimbench out.json # emit machine-granularity conformance benchmarks instead
 //	benchtables -acdbench out.json     # emit decomposition benchmarks instead (-acdn caps size)
+//	benchtables -sketchbench out.json  # emit sketch-engine benchmarks instead (-sketchn caps size)
 //
 // Tables are computed by a parallel runner that fans experiments and their
 // rows across CPUs; the output is byte-identical for every -parallel value.
@@ -21,7 +22,11 @@
 // breakdowns and palette micro-benchmarks (conventionally BENCH_color.json).
 // -acdbench benchmarks the fingerprint→ACD→profile decomposition stack
 // (conventionally BENCH_acd.json) with dense/sparse/cabal counts and peak
-// sketch payloads per workload.
+// sketch payloads per workload. -sketchbench benchmarks the mergeable-sketch
+// engine itself (conventionally BENCH_sketch.json): the isolated SWAR merge
+// kernel against its scalar reference, collect waves at parallelism
+// 1/2/4/NumCPU, and bits-per-vertex plus accuracy for every estimator
+// variant.
 package main
 
 import (
@@ -48,10 +53,12 @@ func main() {
 		distsimOut = flag.String("distsimbench", "", "run the machine-granularity conformance benchmarks and write BENCH_distsim.json to this path ('-' = stdout), then exit")
 		acdOut     = flag.String("acdbench", "", "run decomposition benchmarks and write BENCH_acd.json to this path ('-' = stdout), then exit")
 		acdN       = flag.Int("acdn", 0, "skip -acdbench workloads with more than this many vertices (0 = no cap; CI smoke uses a small cap)")
+		sketchOut  = flag.String("sketchbench", "", "run sketch-engine benchmarks and write BENCH_sketch.json to this path ('-' = stdout), then exit")
+		sketchN    = flag.Int("sketchn", 0, "skip -sketchbench workloads with more than this many vertices (0 = no cap; CI smoke uses a small cap)")
 	)
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
-	if *benchOut != "" || *graphOut != "" || *colorOut != "" || *distsimOut != "" || *acdOut != "" {
+	if *benchOut != "" || *graphOut != "" || *colorOut != "" || *distsimOut != "" || *acdOut != "" || *sketchOut != "" {
 		if *benchOut != "" {
 			if err := emitEngineBench(*benchOut, *benchN, *seed); err != nil {
 				fmt.Fprintln(os.Stderr, "benchtables:", err)
@@ -78,6 +85,12 @@ func main() {
 		}
 		if *acdOut != "" {
 			if err := emitACDBench(*acdOut, *seed, *acdN); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				os.Exit(1)
+			}
+		}
+		if *sketchOut != "" {
+			if err := emitSketchBench(*sketchOut, *seed, *sketchN); err != nil {
 				fmt.Fprintln(os.Stderr, "benchtables:", err)
 				os.Exit(1)
 			}

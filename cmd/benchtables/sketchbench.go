@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"slices"
+	"testing"
+
+	"clustercolor/internal/benchwork"
+	"clustercolor/internal/experiments"
+	"clustercolor/internal/parwork"
+	"clustercolor/internal/sketch"
+)
+
+// sketchBenchReport is the BENCH_sketch.json schema: the isolated merge
+// kernels (the SWAR word-at-a-time max against its scalar reference, and the
+// KMV insertion merge), one collect-wave timing per workload and parallelism
+// level, and the wire-size/accuracy profile of every estimator variant. It
+// tracks the sketch engine the way BENCH_acd.json tracks the decomposition
+// built on top of it.
+type sketchBenchReport struct {
+	Schema      string                `json:"schema"`
+	GoMaxProcs  int                   `json:"gomaxprocs"`
+	Parallelism int                   `json:"parallelism"`
+	Seed        uint64                `json:"seed"`
+	MaxN        int                   `json:"max_n,omitempty"`
+	Kernels     []benchResult         `json:"kernels"`
+	Waves       []sketchWaveResult    `json:"waves"`
+	Estimators  []sketchEstimatorStat `json:"estimators"`
+}
+
+// sketchWaveResult is one collect-wave measurement: fill + parallel CSR fold
+// at one parallelism level, with the instance shape and the peak encoded
+// payload the wave charged.
+type sketchWaveResult struct {
+	benchResult
+	Vertices   int `json:"vertices"`
+	Trials     int `json:"trials"`
+	SketchBits int `json:"sketch_bits"`
+}
+
+// sketchEstimatorStat profiles one estimator variant on one workload's wave
+// output: mean encoded row size (bits/vertex) and mean relative error
+// against exact degrees.
+type sketchEstimatorStat struct {
+	Workload      string  `json:"workload"`
+	Kernel        string  `json:"kernel"`
+	Estimator     string  `json:"estimator"`
+	Width         int     `json:"width"`
+	BitsPerVertex float64 `json:"bits_per_vertex"`
+	MeanRelErr    float64 `json:"mean_rel_err"`
+}
+
+// mergeBench times one merge function on arena-aligned max-kernel rows.
+func mergeBench(width int, fill sketch.Kernel, merge func(dst, src []int16)) testing.BenchmarkResult {
+	var a sketch.Arena
+	a.Reset(2, width)
+	fill.Fill(a.Row(0), parwork.RowSeed(1, 0))
+	fill.Fill(a.Row(1), parwork.RowSeed(1, 1))
+	dst, src := a.Row(0), a.Row(1)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(2 * width))
+		for i := 0; i < b.N; i++ {
+			merge(dst, src)
+		}
+	})
+}
+
+// emitSketchBench benchmarks the sketch engine over every workload with
+// N ≤ maxN (maxN ≤ 0 = no cap) and writes the machine-readable report to
+// path ("-" for stdout).
+func emitSketchBench(path string, seed uint64, maxN int) error {
+	return emitSketchBenchWorkloads(path, seed, maxN, benchwork.SketchWorkloads())
+}
+
+// emitSketchBenchWorkloads is emitSketchBench over an explicit workload
+// list, so tests can exercise the emitter on small instances.
+func emitSketchBenchWorkloads(path string, seed uint64, maxN int, workloads []benchwork.SketchWorkload) error {
+	report := sketchBenchReport{
+		Schema:      "clustercolor/bench-sketch/v1",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Parallelism: experiments.Parallelism(),
+		Seed:        seed,
+	}
+	if maxN > 0 {
+		report.MaxN = maxN
+	}
+	// Isolated merge kernels at the row width the decomposition actually
+	// runs (ξ = 0.125 at n = 10⁵) — the SWAR/scalar ratio is the kernel's
+	// whole reason to exist, so both sides go in the report.
+	t0, err := benchwork.SketchTrials(0.125, 100_000)
+	if err != nil {
+		return err
+	}
+	kmvWidth := sketch.KMVWidthFor(0.125)
+	report.Kernels = append(report.Kernels,
+		record(fmt.Sprintf("MergeMax/t=%d", t0), mergeBench(t0, sketch.MaxKernel{}, sketch.MergeMax)),
+		record(fmt.Sprintf("MergeMaxGeneric/t=%d", t0), mergeBench(t0, sketch.MaxKernel{}, sketch.MergeMaxGeneric)),
+		record(fmt.Sprintf("MergeKMV/k=%d", kmvWidth), mergeBench(kmvWidth, sketch.KMVKernel{}, sketch.MergeKMV)),
+	)
+	// Parallelism sweep: 1, 2, 4, NumCPU (deduplicated, sorted).
+	levelSet := map[int]bool{1: true, 2: true, 4: true, runtime.NumCPU(): true}
+	var levels []int
+	for l := range levelSet {
+		levels = append(levels, l)
+	}
+	slices.Sort(levels)
+	for _, w := range workloads {
+		if maxN > 0 && w.N > maxN {
+			continue
+		}
+		h, err := w.Build()
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+		cg, err := benchwork.NewSketchInstance(h, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+		trials, err := benchwork.SketchTrials(w.Xi, h.N())
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+		eng := sketch.NewEngine(sketch.MaxKernel{})
+		// Representative run: capture the charged payload and warm the
+		// arenas so allocs/op reflects the reuse steady state.
+		maxBits, err := benchwork.RunSketchWave(cg, eng, trials, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+		for _, par := range levels {
+			prev := experiments.SetParallelism(par)
+			var loopErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := benchwork.RunSketchWave(cg, eng, trials, seed+uint64(i)+1); err != nil {
+						loopErr = fmt.Errorf("%s: %w", w.Name, err)
+						b.Fatal(err)
+					}
+				}
+			})
+			experiments.SetParallelism(prev)
+			if loopErr != nil {
+				return loopErr
+			}
+			rec := sketchWaveResult{
+				benchResult: record(fmt.Sprintf("%s/p=%d", w.Name, par), r),
+				Vertices:    h.N(),
+				Trials:      trials,
+				SketchBits:  maxBits,
+			}
+			rec.Edges = h.M()
+			rec.Parallelism = par
+			report.Waves = append(report.Waves, rec)
+		}
+		// Estimator profile: rerun the plain-neighborhood wave so the rows
+		// match what the parallelism sweep's last iteration may have
+		// overwritten, then sweep each variant.
+		if _, err := benchwork.RunSketchWave(cg, eng, trials, seed); err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+		var harmonic sketch.MaxEstimator
+		var threshold sketch.ThresholdEstimator
+		for _, est := range []sketch.Estimator{&harmonic, &threshold} {
+			s := benchwork.SketchEstimatorStats(h, eng, est)
+			report.Estimators = append(report.Estimators, sketchEstimatorStat{
+				Workload:      w.Name,
+				Kernel:        eng.Kernel.Name(),
+				Estimator:     est.Name(),
+				Width:         trials,
+				BitsPerVertex: s.BitsPerVertex,
+				MeanRelErr:    s.MeanRelErr,
+			})
+		}
+		kmvEng := sketch.NewEngine(sketch.KMVKernel{})
+		if _, err := benchwork.RunSketchWave(cg, kmvEng, kmvWidth, seed); err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+		s := benchwork.SketchEstimatorStats(h, kmvEng, sketch.KMVEstimator{})
+		report.Estimators = append(report.Estimators, sketchEstimatorStat{
+			Workload:      w.Name,
+			Kernel:        kmvEng.Kernel.Name(),
+			Estimator:     sketch.KMVEstimator{}.Name(),
+			Width:         kmvWidth,
+			BitsPerVertex: s.BitsPerVertex,
+			MeanRelErr:    s.MeanRelErr,
+		})
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

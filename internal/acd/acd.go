@@ -6,14 +6,15 @@
 // cabals (Section 4.1).
 //
 // The decomposition is the pipeline's first stage and runs arena-backed and
-// parallel: sample and sketch rows live in flat fingerprint.Arena backings
-// generated from per-vertex parwork.RowSeed streams, the waves fold over the
-// CSR graph across the worker pool (max-merge is commutative and idempotent,
-// so every parallelism level produces byte-identical output), and the buddy
-// predicate is evaluated exactly once per edge into a packed CSR-slot bitmap
-// that the dense classification, the component BFS, and downstream
-// consumers all read for free. A Workspace owns the reusable arenas so
-// repeated decompositions allocate O(1) objects regardless of n.
+// parallel on the generic mergeable-sketch engine of internal/sketch: sample
+// and sketch rows live in the workspace's sketch.Engine arenas generated
+// from per-vertex parwork.RowSeed streams, the waves fold over the CSR graph
+// across the worker pool (the max kernel's merge is commutative and
+// idempotent, so every parallelism level produces byte-identical output),
+// and the buddy predicate is evaluated exactly once per edge into a packed
+// CSR-slot bitmap that the dense classification, the component BFS, and
+// downstream consumers all read for free. A Workspace owns the reusable
+// engine so repeated decompositions allocate O(1) objects regardless of n.
 //
 // An exact (centralized) reference decomposition is provided for testing and
 // for experiments that need ground truth.
@@ -28,6 +29,7 @@ import (
 	"clustercolor/internal/fingerprint"
 	"clustercolor/internal/graph"
 	"clustercolor/internal/parwork"
+	"clustercolor/internal/sketch"
 )
 
 // Decomposition is an ε-almost-clique decomposition: a partition of the
@@ -58,16 +60,16 @@ func Sparsity(g *graph.Graph, v int) float64 {
 	return (delta*(delta-1)/2 - shared/2) / delta
 }
 
-// Workspace owns the reusable scratch of the decomposition waves: the sample
-// and sketch arenas (shared by Compute's two waves and BuildProfile's
-// external-degree wave — each wave refills them from an independent seed, so
-// the lemmas' independence requirements hold), the per-vertex estimate
-// buffers, the packed buddy-edge bitmap, and the component-BFS queue. One
-// Workspace serves one decomposition at a time; reusing it across calls
-// (core does, per Color run) keeps allocation counts independent of n.
+// Workspace owns the reusable scratch of the decomposition waves: the
+// sketch-engine handle whose arenas back Compute's two waves and
+// BuildProfile's external-degree wave (each wave refills them from an
+// independent seed, so the lemmas' independence requirements hold), the
+// per-vertex estimate buffers, the packed buddy-edge bitmap, and the
+// component-BFS queue. One Workspace serves one decomposition at a time;
+// reusing it across calls (core does, per Color run) keeps allocation counts
+// independent of n.
 type Workspace struct {
-	samples  fingerprint.Arena
-	sketches fingerprint.Arena
+	eng      sketch.Engine
 	deg      []float64
 	count    []float64
 	dense    []bool
@@ -76,8 +78,20 @@ type Workspace struct {
 	queue    []int32
 }
 
-// NewWorkspace returns an empty workspace; buffers grow on first use.
-func NewWorkspace() *Workspace { return &Workspace{} }
+// NewWorkspace returns an empty workspace; buffers grow on first use. The
+// engine runs the max kernel — the kernel the paper's lemmas are stated for.
+func NewWorkspace() *Workspace {
+	return &Workspace{eng: sketch.Engine{Kernel: sketch.MaxKernel{}}}
+}
+
+// engine returns the workspace's sketch engine, defaulting the kernel for
+// zero-value workspaces constructed without NewWorkspace.
+func (ws *Workspace) engine() *sketch.Engine {
+	if ws.eng.Kernel == nil {
+		ws.eng.Kernel = sketch.MaxKernel{}
+	}
+	return &ws.eng
+}
 
 func growFloats(buf []float64, n int) []float64 {
 	if cap(buf) < n {
@@ -209,19 +223,19 @@ func ComputeWith(cg *cluster.CG, eps float64, rng *rand.Rand, ws *Workspace) (*D
 	}
 	// Wave 1: per-vertex neighborhood sketches (degrees + reusable for the
 	// joint-neighborhood estimates on edges).
-	ws.samples.Reset(n, t)
-	if err := ws.samples.FillGeometric(parwork.RowSeed(seed, 0)); err != nil {
+	eng := ws.engine()
+	if err := eng.FillSamples(n, t, parwork.RowSeed(seed, 0)); err != nil {
 		return nil, err
 	}
-	maxBits, err := fingerprint.CollectArena(cg, "acd/nbhd", &ws.samples, &ws.sketches, fingerprint.ArenaCollectOptions{})
+	maxBits, err := eng.Collect(cg, "acd/nbhd", sketch.CollectOptions{})
 	if err != nil {
 		return nil, err
 	}
 	ws.deg = growFloats(ws.deg, n)
 	if err := parwork.ForRange(n, func(lo, hi int) error {
-		var est fingerprint.Estimator
+		var est sketch.MaxEstimator
 		for v := lo; v < hi; v++ {
-			ws.deg[v] = est.Estimate(ws.sketches.Row(v))
+			ws.deg[v] = est.Estimate(eng.Row(v))
 		}
 		return nil
 	}); err != nil {
@@ -237,11 +251,11 @@ func ComputeWith(cg *cluster.CG, eps float64, rng *rand.Rand, ws *Workspace) (*D
 	// per-worker merge scratch, pass B mirrors them onto the reverse slots.
 	// The shared-scratch closure this replaces made Compute non-reentrant
 	// and pinned the whole stage to one goroutine.
-	buddy, err := fillEdgeBits(g, ws, func(v int, sc *fingerprint.Scratch, set func(slot int)) {
+	buddy, err := fillEdgeBits(g, ws, func(v int, sc *sketch.Scratch, set func(slot int)) {
 		if ws.deg[v] < lowCut {
 			return
 		}
-		sv := ws.sketches.Row(v)
+		sv := eng.Row(v)
 		base := g.AdjOffset(v)
 		for j, u32 := range g.Neighbors(v) {
 			u := int(u32)
@@ -250,7 +264,7 @@ func ComputeWith(cg *cluster.CG, eps float64, rng *rand.Rand, ws *Workspace) (*D
 			}
 			// F ≤ (1+1.5ξ)Δ means the joint neighborhood is small, i.e. the
 			// neighborhoods overlap heavily: a buddy edge.
-			if sc.Est.Estimate(sc.MergeTwo(sv, ws.sketches.Row(u))) <= joinCut {
+			if sc.Est.Estimate(sc.MergeTwo(sv, eng.Row(u))) <= joinCut {
 				set(base + j)
 			}
 		}
@@ -275,20 +289,19 @@ func ComputeWith(cg *cluster.CG, eps float64, rng *rand.Rand, ws *Workspace) (*D
 	// one block fail together (their sketches merge nearly the same sample
 	// set), so this wave keeps the same doubled accuracy (ξ/2, hence the
 	// same t) as the predicate wave rather than Lemma 5.7's bare ξ.
-	ws.samples.Reset(n, t)
-	if err := ws.samples.FillGeometric(parwork.RowSeed(seed, 1)); err != nil {
+	if err := eng.FillSamples(n, t, parwork.RowSeed(seed, 1)); err != nil {
 		return nil, err
 	}
-	if _, err := fingerprint.CollectArena(cg, "acd/buddy-count", &ws.samples, &ws.sketches, fingerprint.ArenaCollectOptions{
+	if _, err := eng.Collect(cg, "acd/buddy-count", sketch.CollectOptions{
 		Pred: func(v, u, slot int) bool { return buddy[slot>>6]&(1<<(slot&63)) != 0 },
 	}); err != nil {
 		return nil, err
 	}
 	ws.count = growFloats(ws.count, n)
 	if err := parwork.ForRange(n, func(lo, hi int) error {
-		var est fingerprint.Estimator
+		var est sketch.MaxEstimator
 		for v := lo; v < hi; v++ {
-			ws.count[v] = est.Estimate(ws.sketches.Row(v))
+			ws.count[v] = est.Estimate(eng.Row(v))
 		}
 		return nil
 	}); err != nil {
@@ -315,7 +328,7 @@ func ComputeWith(cg *cluster.CG, eps float64, rng *rand.Rand, ws *Workspace) (*D
 // chunk's leading partial word are spilled and applied sequentially, so no
 // two workers ever touch the same word — the packed bitmap stays race-free
 // without atomics.
-func fillEdgeBits(g *graph.Graph, ws *Workspace, fill func(v int, sc *fingerprint.Scratch, set func(slot int))) ([]uint64, error) {
+func fillEdgeBits(g *graph.Graph, ws *Workspace, fill func(v int, sc *sketch.Scratch, set func(slot int))) ([]uint64, error) {
 	n := g.N()
 	words := (2*g.M() + 63) / 64
 	if cap(ws.buddy) < words {
@@ -331,7 +344,7 @@ func fillEdgeBits(g *graph.Graph, ws *Workspace, fill func(v int, sc *fingerprin
 		lo, hi := parwork.ChunkBounds(n, ci)
 		ownStart := (g.AdjOffset(lo) + 63) &^ 63
 		var spill []int
-		var sc fingerprint.Scratch
+		var sc sketch.Scratch
 		set := func(slot int) {
 			if slot < ownStart {
 				spill = append(spill, slot)

@@ -7,6 +7,7 @@ import (
 	"clustercolor/internal/cluster"
 	"clustercolor/internal/fingerprint"
 	"clustercolor/internal/parwork"
+	"clustercolor/internal/sketch"
 )
 
 // Profile carries the per-vertex and per-clique quantities of Section 4.1
@@ -63,11 +64,11 @@ func BuildProfileWith(cg *cluster.CG, d *Decomposition, delta float64, ell float
 		if err != nil {
 			return nil, err
 		}
-		ws.samples.Reset(n, t)
-		if err := ws.samples.FillGeometric(parwork.RowSeed(seed, 0)); err != nil {
+		eng := ws.engine()
+		if err := eng.FillSamples(n, t, parwork.RowSeed(seed, 0)); err != nil {
 			return nil, err
 		}
-		if _, err := fingerprint.CollectArena(cg, "profile/extdeg", &ws.samples, &ws.sketches, fingerprint.ArenaCollectOptions{
+		if _, err := eng.Collect(cg, "profile/extdeg", sketch.CollectOptions{
 			Pred: func(v, u, slot int) bool {
 				return d.CliqueOf[v] >= 0 && d.CliqueOf[u] != d.CliqueOf[v]
 			},
@@ -75,10 +76,10 @@ func BuildProfileWith(cg *cluster.CG, d *Decomposition, delta float64, ell float
 			return nil, err
 		}
 		if err := parwork.ForRange(n, func(lo, hi int) error {
-			var est fingerprint.Estimator
+			var est sketch.MaxEstimator
 			for v := lo; v < hi; v++ {
 				if d.CliqueOf[v] >= 0 {
-					p.ExtDeg[v] = est.Estimate(ws.sketches.Row(v))
+					p.ExtDeg[v] = est.Estimate(eng.Row(v))
 				}
 			}
 			return nil

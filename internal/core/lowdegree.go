@@ -52,17 +52,18 @@ func colorLowDegree(cg *cluster.CG, col *coloring.Coloring, params Params, stats
 	// through one reusable scratch; each is consumed before the next Space
 	// call, per the scratch-ownership contract.
 	scratch := coloring.NewPaletteScratch()
+	var tsc trials.TryColorScratch
 	for i := 0; i < 2*loglog; i++ {
 		if uncoloredCount(col) == 0 {
 			return nil
 		}
-		if _, err := trials.TryColorRound(cg, col, trials.TryColorOptions{
+		if _, err := trials.TryColorRoundWith(cg, col, trials.TryColorOptions{
 			Phase:      "lowdeg/shatter",
 			Activation: 0.7,
 			Space: func(v int) []int32 {
 				return scratch.Palette(h, col, v)
 			},
-		}, rng); err != nil {
+		}, rng, &tsc); err != nil {
 			return err
 		}
 	}

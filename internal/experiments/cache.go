@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"math"
+	"sync"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+)
+
+// Instance caching across E-table rows. The battery builds the same GNP
+// graph and the same expansion over and over — E12 alone expands one graph
+// three times (ours + two baselines), and E15/E16 generate identical
+// G(n, 4/n) instances — so instances are memoized for the life of the
+// process, keyed by exactly the parameters generation is a pure function of:
+// (kind, params, seed). Graphs and expansion templates are immutable once
+// built (all mutable run state lives in the cost model, which every consumer
+// gets fresh via CG.WithCost), so sharing across rows, tables, and the
+// parallel runner is safe; a racy double-build can only waste one duplicate
+// construction, never change results.
+
+// gnpKey identifies one G(n, p) instance.
+type gnpKey struct {
+	n     int
+	pBits uint64
+	seed  uint64
+}
+
+var gnpCache sync.Map // gnpKey → *graph.Graph
+
+// cachedGNP returns the G(n, p) graph generated from seed, building it at
+// most once per process.
+func cachedGNP(n int, p float64, seed uint64) (*graph.Graph, error) {
+	key := gnpKey{n, math.Float64bits(p), seed}
+	if g, ok := gnpCache.Load(key); ok {
+		return g.(*graph.Graph), nil
+	}
+	g, err := graph.GNP(n, p, graph.NewRand(seed))
+	if err != nil {
+		return nil, err
+	}
+	shared, _ := gnpCache.LoadOrStore(key, g)
+	return shared.(*graph.Graph), nil
+}
+
+// cgKey identifies one expansion template: the concrete cluster graph (by
+// identity — cachedGNP makes repeated rows share pointers) plus the
+// expansion parameters. Bandwidth is excluded: it only parameterizes the
+// cost model, which is rebound per consumer.
+type cgKey struct {
+	h    *graph.Graph
+	topo graph.ClusterTopology
+	size int
+	seed uint64
+}
+
+var cgCache sync.Map // cgKey → *cluster.CG template (its cost model is never charged)
+
+// buildCG is the shared instance constructor. The expansion and support-tree
+// construction are memoized per (h, topo, size, seed); every call returns a
+// CG bound to a fresh cost model, so concurrent rows never share charge
+// state.
+func buildCG(h *graph.Graph, topo graph.ClusterTopology, size int, bw int, seed uint64) (*cluster.CG, error) {
+	if bw <= 0 {
+		bw = 48
+	}
+	cost, err := network.NewCostModel(bw)
+	if err != nil {
+		return nil, err
+	}
+	key := cgKey{h, topo, size, seed}
+	if t, ok := cgCache.Load(key); ok {
+		return t.(*cluster.CG).WithCost(cost), nil
+	}
+	exp, err := graph.Expand(h, graph.ExpandSpec{Topology: topo, MachinesPerCluster: size}, graph.NewRand(seed))
+	if err != nil {
+		return nil, err
+	}
+	templateCost, err := network.NewCostModel(bw)
+	if err != nil {
+		return nil, err
+	}
+	template, err := cluster.New(h, exp, templateCost)
+	if err != nil {
+		return nil, err
+	}
+	shared, _ := cgCache.LoadOrStore(key, template)
+	return shared.(*cluster.CG).WithCost(cost), nil
+}

@@ -10,12 +10,10 @@ import (
 	"strings"
 
 	"clustercolor/internal/acd"
-	"clustercolor/internal/cluster"
 	"clustercolor/internal/coloring"
 	"clustercolor/internal/core"
 	"clustercolor/internal/fingerprint"
 	"clustercolor/internal/graph"
-	"clustercolor/internal/network"
 )
 
 // Table is one regenerated table or figure series.
@@ -82,22 +80,6 @@ func writeCSVRow(sb *strings.Builder, cells []string) {
 		}
 	}
 	sb.WriteByte('\n')
-}
-
-// buildCG is the shared instance constructor.
-func buildCG(h *graph.Graph, topo graph.ClusterTopology, size int, bw int, seed uint64) (*cluster.CG, error) {
-	exp, err := graph.Expand(h, graph.ExpandSpec{Topology: topo, MachinesPerCluster: size}, graph.NewRand(seed))
-	if err != nil {
-		return nil, err
-	}
-	if bw <= 0 {
-		bw = 48
-	}
-	cost, err := network.NewCostModel(bw)
-	if err != nil {
-		return nil, err
-	}
-	return cluster.New(h, exp, cost)
 }
 
 func f1(x float64) string  { return fmt.Sprintf("%.1f", x) }
@@ -172,7 +154,7 @@ func E2LowDegreeRounds(sizes []int, seed uint64) (*Table, error) {
 	}
 	rows, err := forEach(len(sizes), func(i int) ([]string, error) {
 		n := sizes[i]
-		h, err := graph.GNP(n, 6.0/float64(n), graph.NewRand(seed))
+		h, err := cachedGNP(n, 6.0/float64(n), seed)
 		if err != nil {
 			return nil, err
 		}
@@ -356,7 +338,7 @@ func E10Bandwidth(sizes []int, seed uint64) (*Table, error) {
 	}
 	rows, err := forEach(len(sizes), func(i int) ([]string, error) {
 		n := sizes[i]
-		h, err := graph.GNP(n, 10.0/float64(n), graph.NewRand(seed))
+		h, err := cachedGNP(n, 10.0/float64(n), seed)
 		if err != nil {
 			return nil, err
 		}

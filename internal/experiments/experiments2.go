@@ -239,7 +239,7 @@ func E12Baselines(sizes []int, seed uint64) (*Table, error) {
 	}
 	rows, err := forEach(len(sizes), func(i int) ([]string, error) {
 		n := sizes[i]
-		h, err := graph.GNP(n, 20.0/float64(n), graph.NewRand(seed))
+		h, err := cachedGNP(n, 20.0/float64(n), seed)
 		if err != nil {
 			return nil, err
 		}
@@ -296,7 +296,7 @@ func E13TryColor(n int, rounds int, seed uint64) (*Table, error) {
 		Header: []string{"round", "uncolored", "shrinkFactor"},
 		Notes:  "with constant slack fraction each round removes a constant fraction (factor < 1)",
 	}
-	h, err := graph.GNP(n, 12.0/float64(n), graph.NewRand(seed))
+	h, err := cachedGNP(n, 12.0/float64(n), seed)
 	if err != nil {
 		return nil, err
 	}
@@ -411,7 +411,7 @@ func E15Distance2(sizes []int, seed uint64) (*Table, error) {
 	}
 	rows, err := forEach(len(sizes), func(i int) ([]string, error) {
 		n := sizes[i]
-		g, err := graph.GNP(n, 4.0/float64(n), graph.NewRand(seed))
+		g, err := cachedGNP(n, 4.0/float64(n), seed)
 		if err != nil {
 			return nil, err
 		}
@@ -492,7 +492,7 @@ func All(seed uint64) ([]*Table, error) {
 		func() (*Table, error) { return E9SCT(60, []int{1, 3, 6, 10}, seed) },
 		func() (*Table, error) { return E10Bandwidth([]int{200, 400}, seed) },
 		func() (*Table, error) {
-			h, err := graph.GNP(100, 0.1, graph.NewRand(seed))
+			h, err := cachedGNP(100, 0.1, seed)
 			if err != nil {
 				return nil, err
 			}

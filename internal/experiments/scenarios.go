@@ -29,7 +29,7 @@ func E18Scenarios(n int, seed uint64) (*Table, error) {
 	}
 	scenarios := []scenario{
 		{"gnp", func() (*graph.Graph, error) {
-			return graph.GNP(n, 10.0/float64(n), graph.NewRand(seed))
+			return cachedGNP(n, 10.0/float64(n), seed)
 		}},
 		{"geometric", func() (*graph.Graph, error) {
 			g, _, err := graph.RandomGeometric(n, 0.06, graph.NewRand(seed))
@@ -54,7 +54,7 @@ func E18Scenarios(n int, seed uint64) (*Table, error) {
 			return graph.RandomTree(n, graph.NewRand(seed)), nil
 		}},
 		{"power2", func() (*graph.Graph, error) {
-			g, err := graph.GNP(n, 8.0/float64(n), graph.NewRand(seed))
+			g, err := cachedGNP(n, 8.0/float64(n), seed)
 			if err != nil {
 				return nil, err
 			}

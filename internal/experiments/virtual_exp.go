@@ -24,7 +24,7 @@ func E16VirtualDistance2(sizes []int, seed uint64) (*Table, error) {
 		Notes:  "Appendix A: everything translates with overhead = edge congestion; ratio should equal the congestion",
 	}
 	for _, n := range sizes {
-		g, err := graph.GNP(n, 4.0/float64(n), graph.NewRand(seed))
+		g, err := cachedGNP(n, 4.0/float64(n), seed)
 		if err != nil {
 			return nil, err
 		}
@@ -79,7 +79,7 @@ func E17Linial(n int, avgDeg float64, seed uint64) (*Table, error) {
 		Header: []string{"step", "colors", "proper"},
 		Notes:  "colors collapse from n to Θ(Δ²) in O(log* n) steps, then one class per round to Δ+1",
 	}
-	h, err := graph.GNP(n, avgDeg/float64(n), graph.NewRand(seed))
+	h, err := cachedGNP(n, avgDeg/float64(n), seed)
 	if err != nil {
 		return nil, err
 	}

@@ -1,217 +1,29 @@
 package fingerprint
 
-import (
-	"fmt"
-	"math/bits"
-)
+import "clustercolor/internal/sketch"
 
-// The deviation encoding of Lemmas 5.5–5.6: a sketch's maxima concentrate
-// around log d, so instead of spending O(log log n) bits per entry we store
-// a baseline k plus each entry's deviation |Y_i − k| in unary with a sign
-// bit. Lemma 5.5 bounds the total deviation by O(t) w.h.p., so the whole
-// sketch costs O(t + log log d) bits.
-
-type bitWriter struct {
-	buf  []byte
-	nbit int
-}
-
-func (w *bitWriter) writeBit(b int) {
-	if w.nbit%8 == 0 {
-		w.buf = append(w.buf, 0)
-	}
-	if b != 0 {
-		w.buf[len(w.buf)-1] |= 1 << (w.nbit % 8)
-	}
-	w.nbit++
-}
-
-func (w *bitWriter) writeUnary(m int) {
-	for i := 0; i < m; i++ {
-		w.writeBit(1)
-	}
-	w.writeBit(0)
-}
-
-// writeEliasGamma encodes x >= 1 in 2⌊log x⌋+1 bits.
-func (w *bitWriter) writeEliasGamma(x uint64) {
-	n := bits.Len64(x)
-	for i := 0; i < n-1; i++ {
-		w.writeBit(0)
-	}
-	for i := n - 1; i >= 0; i-- {
-		w.writeBit(int(x >> i & 1))
-	}
-}
-
-type bitReader struct {
-	buf  []byte
-	nbit int
-}
-
-func (r *bitReader) readBit() (int, error) {
-	if r.nbit >= len(r.buf)*8 {
-		return 0, fmt.Errorf("fingerprint: truncated encoding")
-	}
-	b := int(r.buf[r.nbit/8] >> (r.nbit % 8) & 1)
-	r.nbit++
-	return b, nil
-}
-
-func (r *bitReader) readUnary() (int, error) {
-	m := 0
-	for {
-		b, err := r.readBit()
-		if err != nil {
-			return 0, err
-		}
-		if b == 0 {
-			return m, nil
-		}
-		m++
-	}
-}
-
-func (r *bitReader) readEliasGamma() (uint64, error) {
-	zeros := 0
-	for {
-		b, err := r.readBit()
-		if err != nil {
-			return 0, err
-		}
-		if b == 1 {
-			break
-		}
-		zeros++
-	}
-	x := uint64(1)
-	for i := 0; i < zeros; i++ {
-		b, err := r.readBit()
-		if err != nil {
-			return 0, err
-		}
-		x = x<<1 | uint64(b)
-	}
-	return x, nil
-}
+// The deviation encoding of Lemmas 5.5–5.6 lives in internal/sketch (it is
+// the max kernel's wire format); these methods keep the paper-side API.
 
 // baseline returns the k minimizing Σ|Y_i − k|: the median of the maxima.
 func (s Sketch) baseline() int {
-	k, _ := s.baselineWith(nil)
+	k, _ := sketch.DeviationBaseline(s, nil)
 	return k
-}
-
-// baselineWith is baseline with a caller-owned counting buffer; it returns
-// the (possibly grown) buffer for reuse, so per-sketch loops allocate only
-// until the buffer covers the observed value range.
-func (s Sketch) baselineWith(counts []int) (int, []int) {
-	if len(s) == 0 {
-		return 0, counts
-	}
-	// Counting selection over the small value range of int16 maxima.
-	lo, hi := int(s[0]), int(s[0])
-	for _, y := range s {
-		if int(y) < lo {
-			lo = int(y)
-		}
-		if int(y) > hi {
-			hi = int(y)
-		}
-	}
-	size := hi - lo + 1
-	if cap(counts) < size {
-		counts = make([]int, size)
-	} else {
-		counts = counts[:size]
-		for i := range counts {
-			counts[i] = 0
-		}
-	}
-	for _, y := range s {
-		counts[int(y)-lo]++
-	}
-	mid := (len(s) + 1) / 2
-	run := 0
-	for i, c := range counts {
-		run += c
-		if run >= mid {
-			return lo + i, counts
-		}
-	}
-	return hi, counts
 }
 
 // Encode serializes the sketch with the deviation encoding: Elias-gamma of
 // t, Elias-gamma of baseline k (offset so k ≥ -1 is representable), then a
 // sign bit and unary deviation per trial.
-func (s Sketch) Encode() []byte {
-	w := &bitWriter{}
-	w.writeEliasGamma(uint64(len(s)) + 1)
-	k := s.baseline()
-	w.writeEliasGamma(uint64(k) + 2) // k >= -1 → encoded >= 1
-	for _, y := range s {
-		dev := int(y) - k
-		if dev >= 0 {
-			w.writeBit(0)
-			w.writeUnary(dev)
-		} else {
-			w.writeBit(1)
-			w.writeUnary(-dev)
-		}
-	}
-	return w.buf
-}
+func (s Sketch) Encode() []byte { return sketch.EncodeDeviation(s) }
 
 // EncodedBits returns the exact bit length of Encode's output without
 // materializing it.
 func (s Sketch) EncodedBits() int {
-	return s.encodedBitsFor(s.baseline())
+	return sketch.DeviationBits(s, s.baseline())
 }
-
-func (s Sketch) encodedBitsFor(k int) int {
-	n := eliasGammaBits(uint64(len(s))+1) + eliasGammaBits(uint64(k)+2)
-	for _, y := range s {
-		dev := int(y) - k
-		if dev < 0 {
-			dev = -dev
-		}
-		n += 2 + dev // sign bit + unary + separator
-	}
-	return n
-}
-
-func eliasGammaBits(x uint64) int { return 2*bits.Len64(x) - 1 }
 
 // Decode reverses Encode.
 func Decode(buf []byte) (Sketch, error) {
-	r := &bitReader{buf: buf}
-	tPlus, err := r.readEliasGamma()
-	if err != nil {
-		return nil, err
-	}
-	if tPlus < 1 {
-		return nil, fmt.Errorf("fingerprint: bad trial count")
-	}
-	t := int(tPlus - 1)
-	kPlus, err := r.readEliasGamma()
-	if err != nil {
-		return nil, err
-	}
-	k := int(kPlus) - 2
-	s := make(Sketch, t)
-	for i := 0; i < t; i++ {
-		sign, err := r.readBit()
-		if err != nil {
-			return nil, err
-		}
-		dev, err := r.readUnary()
-		if err != nil {
-			return nil, err
-		}
-		if sign == 1 {
-			dev = -dev
-		}
-		s[i] = int16(k + dev)
-	}
-	return s, nil
+	row, err := sketch.DecodeDeviation(buf)
+	return Sketch(row), err
 }

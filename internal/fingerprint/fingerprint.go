@@ -9,6 +9,13 @@
 // use the variance-optimal harmonic extraction of the same statistic; see
 // Sketch.Estimate), and the deviation encoding of Lemmas 5.5–5.6 serializes
 // a sketch in O(t + log log d) bits.
+//
+// The package is the paper-semantics adapter over internal/sketch, which
+// owns the mechanics: the max-merge kernel, the arena storage and parallel
+// CSR folds, the estimators, and the deviation encoding (along with the
+// arena ownership contract) all live there. What stays here is the paper's
+// vocabulary — Samples, Sketch, the Lemma 5.2 trial budget, and the
+// Lemma 5.7/9.4 cluster-graph counting protocols.
 package fingerprint
 
 import (
@@ -17,11 +24,12 @@ import (
 	"math/rand/v2"
 
 	"clustercolor/internal/prng"
+	"clustercolor/internal/sketch"
 )
 
 // Empty is the sketch cell value for "no element seen": every geometric
 // sample is ≥ 0, so -1 acts as the identity of max-aggregation.
-const Empty = int16(-1)
+const Empty = sketch.Empty
 
 // Samples is one party's vector of geometric(1/2) samples (X_{v,1..t}).
 type Samples []int16
@@ -64,26 +72,20 @@ func (s Sketch) AddSamples(x Samples) error {
 	if len(x) != len(s) {
 		return fmt.Errorf("fingerprint: sample length %d != sketch length %d", len(x), len(s))
 	}
-	for i, v := range x {
-		if v > s[i] {
-			s[i] = v
-		}
-	}
+	sketch.MergeMax(s, x)
 	return nil
 }
 
 // Merge folds another sketch into s (pointwise max). Merging is commutative,
 // associative, and idempotent — the property that makes fingerprints safe to
-// aggregate over redundant paths.
+// aggregate over redundant paths. The fold goes through the sketch package's
+// max kernel, so vertex-level waves and the machine-level distsim replays
+// share one merge implementation.
 func (s Sketch) Merge(other Sketch) error {
 	if len(other) != len(s) {
 		return fmt.Errorf("fingerprint: sketch lengths %d != %d", len(other), len(s))
 	}
-	for i, v := range other {
-		if v > s[i] {
-			s[i] = v
-		}
-	}
+	sketch.MergeMax(s, other)
 	return nil
 }
 
@@ -106,184 +108,28 @@ func TrialsFor(xi float64, n int) (int, error) {
 	return t, nil
 }
 
+// Estimator is the reusable harmonic/threshold estimator of the max kernel
+// (moved to internal/sketch; the alias keeps the paper-side name). An
+// Estimator is owned by one goroutine; the zero value is ready to use.
+type Estimator = sketch.MaxEstimator
+
 // Estimate recovers d from the per-trial maxima. It returns 0 when no trial
 // saw any element. Hot loops that estimate many sketches should hold an
 // Estimator and call its Estimate to reuse the histogram scratch.
 //
-// The extraction is the harmonic-sum statistic S = (1/t)·Σ_i 2^−Y_i,
-// inverted against the exact law E[2^−Y] of the maximum of d geometrics —
-// the Flajolet–Martin/HyperLogLog aggregation applied to the paper's
-// sketch. It uses every trial (empirical error ≈ 1.04/√t, the rate
-// TrialsFor is calibrated for) instead of the single-threshold count of the
-// Lemma 5.2 proof, whose statistic is ~2× noisier with heavy tails at the
-// decision margins the decomposition cares about; the lemma's literal
-// estimator remains available as EstimateThreshold. Sketch semantics,
-// communication, and the Θ(ξ⁻² log n) trial bound are unchanged.
+// The extraction is sketch.MaxEstimator's harmonic-sum statistic
+// S = (1/t)·Σ_i 2^−Y_i, inverted against the exact law E[2^−Y] of the
+// maximum of d geometrics — the Flajolet–Martin/HyperLogLog aggregation
+// applied to the paper's sketch. It uses every trial (empirical error
+// ≈ 1.04/√t, the rate TrialsFor is calibrated for) instead of the
+// single-threshold count of the Lemma 5.2 proof, whose statistic is ~2×
+// noisier with heavy tails at the decision margins the decomposition cares
+// about; the lemma's literal estimator remains available as
+// Estimator.EstimateThreshold. Sketch semantics, communication, and the
+// Θ(ξ⁻² log n) trial bound are unchanged.
 func (s Sketch) Estimate() float64 {
 	var e Estimator
 	return e.Estimate(s)
-}
-
-// maxTrackedY caps the value range of the estimator's histogram: geometric
-// samples are at most 64 (one machine word of trailing zeros), so larger
-// values only occur in hand-built or adversarially decoded sketches, where
-// clamping merely saturates the estimate.
-const maxTrackedY = 64
-
-// logTail[y] = ln(1 − 2^−(y+1)), the log-CDF slope of the max-of-geometrics
-// law: P[Y ≤ y] = (1 − 2^−(y+1))^d.
-var logTail [maxTrackedY + 2]float64
-
-func init() {
-	for y := range logTail {
-		logTail[y] = math.Log1p(-math.Exp2(-float64(y + 1)))
-	}
-}
-
-// harmonicMean returns E[2^−Y] for Y the maximum of d geometric(1/2)
-// samples; it is strictly decreasing in d (≈ c/d for large d).
-func harmonicMean(d float64) float64 {
-	var sum, prev float64
-	for y := 0; y < len(logTail); y++ {
-		arg := d * logTail[y] // ≤ 0
-		var f float64
-		switch {
-		case arg < -40:
-			f = 0
-		case arg > -1e-12:
-			f = 1
-		default:
-			f = math.Exp(arg)
-		}
-		sum += math.Exp2(-float64(y)) * (f - prev)
-		if f == 1 {
-			// All remaining increments vanish.
-			return sum
-		}
-		prev = f
-	}
-	return sum
-}
-
-// Estimator is the reusable scratch of Estimate: a value histogram filled in
-// one pass over the sketch, from which both the harmonic statistic and the
-// threshold statistic derive. An Estimator is owned by one goroutine; the
-// zero value is ready to use.
-type Estimator struct {
-	hist []int
-}
-
-// fill builds the value histogram (hist[k] counts maxima equal to k−1,
-// values above maxTrackedY clamped) and returns the largest observed value.
-func (e *Estimator) fill(s Sketch) int {
-	maxY := int(Empty)
-	for _, y := range s {
-		if int(y) > maxY {
-			maxY = int(y)
-		}
-	}
-	if maxY > maxTrackedY {
-		maxY = maxTrackedY
-	}
-	size := maxY + 2
-	if cap(e.hist) < size {
-		e.hist = make([]int, size)
-	} else {
-		e.hist = e.hist[:size]
-		for i := range e.hist {
-			e.hist[i] = 0
-		}
-	}
-	for _, y := range s {
-		k := int(y)
-		if k > maxTrackedY {
-			k = maxTrackedY
-		}
-		e.hist[k+1]++
-	}
-	return maxY
-}
-
-// Estimate is Sketch.Estimate without allocating beyond the reused
-// histogram: it computes S = (1/t)·Σ 2^−Y_i and inverts harmonicMean by
-// damped log-Newton iteration (harmonicMean(d) ≈ c/d, so each step is a
-// near-exact Newton step in ln d).
-func (e *Estimator) Estimate(s Sketch) float64 {
-	t := len(s)
-	if t == 0 {
-		return 0
-	}
-	e.fill(s)
-	if e.hist[0] == t {
-		// No trial saw any element: the counted set is empty.
-		return 0
-	}
-	var sum float64
-	for k, c := range e.hist {
-		if c > 0 {
-			// Index k holds value k−1; the Empty cell (value −1, weight 2)
-			// only arises in hand-built sketches and pushes d̂ down.
-			sum += float64(c) * math.Exp2(-float64(k-1))
-		}
-	}
-	S := sum / float64(t)
-	d := 1 / S
-	for i := 0; i < 48; i++ {
-		g := harmonicMean(d)
-		if g <= 0 {
-			break
-		}
-		ratio := g / S
-		if math.Abs(ratio-1) < 1e-10 {
-			break
-		}
-		d *= ratio
-	}
-	return d
-}
-
-// EstimateThreshold implements the literal Lemma 5.2 statistic: compute
-// Z_k = |{i : Y_i < k}|, pick K* = min{k : Z_k ≥ (27/40)t}, and return
-//
-//	d̂ = ln(Z_K*/t) / ln(1 − 2^−K*).
-//
-// It returns 0 when most trials saw no element at all. Estimate supersedes
-// it in production paths (same sketch, ~2× lower error); it is kept for
-// reference and for experiments that measure the proof's own estimator.
-func (e *Estimator) EstimateThreshold(s Sketch) float64 {
-	t := len(s)
-	if t == 0 {
-		return 0
-	}
-	threshold := int(math.Ceil(27.0 / 40.0 * float64(t)))
-	maxY := e.fill(s)
-	z := 0
-	for k := 0; k <= maxY+1; k++ {
-		z += e.hist[k]
-		if z < threshold {
-			continue
-		}
-		if k == 0 {
-			// Most trials empty: the counted set is (near) empty.
-			return 0
-		}
-		zk := z
-		if zk == t {
-			// Degenerate small-d corner: all maxima below k. Clamp so the
-			// logarithm stays informative.
-			zk = t - 1
-			if zk < 1 {
-				return 0
-			}
-		}
-		num := math.Log(float64(zk) / float64(t))
-		den := math.Log(1 - math.Pow(2, -float64(k)))
-		if den == 0 {
-			return 0
-		}
-		return num / den
-	}
-	return 0
 }
 
 // EstimateInt returns the rounded estimate, never negative.

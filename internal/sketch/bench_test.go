@@ -1,0 +1,74 @@
+package sketch
+
+import (
+	"testing"
+
+	"clustercolor/internal/parwork"
+)
+
+// benchRows builds an aligned pair of max-kernel rows of the given width.
+func benchRows(width int) (dst, src []int16) {
+	var a Arena
+	a.Reset(2, width)
+	dst, src = a.Row(0), a.Row(1)
+	k := MaxKernel{}
+	k.Fill(dst, parwork.RowSeed(1, 0))
+	k.Fill(src, parwork.RowSeed(1, 1))
+	return dst, src
+}
+
+// BenchmarkMergeMax measures the SWAR word-at-a-time merge on an
+// arena-aligned row of the width the decomposition actually runs
+// (t ≈ 1099 at ξ = 0.125, n = 10⁵).
+func BenchmarkMergeMax(b *testing.B) {
+	dst, src := benchRows(1099)
+	b.SetBytes(int64(2 * len(dst)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeMax(dst, src)
+	}
+}
+
+// BenchmarkMergeMaxGeneric is the scalar reference on the same rows; the
+// ratio to BenchmarkMergeMax is the SWAR speedup reported in
+// BENCH_sketch.json.
+func BenchmarkMergeMaxGeneric(b *testing.B) {
+	dst, src := benchRows(1099)
+	b.SetBytes(int64(2 * len(dst)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeMaxGeneric(dst, src)
+	}
+}
+
+// BenchmarkMergeKMV measures the in-place KMV insertion merge at the width
+// matching ξ = 0.125 accuracy. Merging dst into itself would be a no-op, so
+// the loop alternates two source rows that keep displacing each other.
+func BenchmarkMergeKMV(b *testing.B) {
+	width := KMVWidthFor(0.125)
+	var a Arena
+	a.Reset(3, width)
+	k := KMVKernel{}
+	rows := [3][]int16{a.Row(0), a.Row(1), a.Row(2)}
+	for i, row := range rows {
+		k.Fill(row, parwork.RowSeed(2, i))
+	}
+	b.SetBytes(int64(2 * width))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeKMV(rows[0], rows[1+i%2])
+	}
+}
+
+// BenchmarkArenaFill measures per-row counter-stream filling at the current
+// parallelism.
+func BenchmarkArenaFill(b *testing.B) {
+	var a Arena
+	a.Reset(4096, 1099)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Fill(MaxKernel{}, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

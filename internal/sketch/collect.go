@@ -1,0 +1,120 @@
+package sketch
+
+import (
+	"fmt"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/parwork"
+)
+
+// CollectOptions configures Collect.
+type CollectOptions struct {
+	// IncludeSelf merges the vertex's own singleton row into its sketch.
+	IncludeSelf bool
+	// Pred filters which neighbors contribute to v's sketch; nil means all.
+	// slot is the CSR position of the directed edge (v, u) — AdjOffset(v)+j
+	// for the j-th neighbor — so callers can memoize per-edge predicates in
+	// flat bitmaps instead of re-deriving them from the endpoints. Pred must
+	// be safe for concurrent calls and must not depend on evaluation order.
+	Pred func(v, u, slot int) bool
+}
+
+// Collect runs one aggregation wave of kernel k: out row v becomes the merge
+// of the singleton rows of v's admitted neighbors. The fold runs as a
+// parallel per-vertex CSR sweep; rows are disjoint and the kernel's merge is
+// order-independent, so the output is byte-identical at any parallelism.
+// The round cost is one H-round for the exchange plus the largest encoded
+// payload that crossed a link, which is returned.
+func Collect(cg *cluster.CG, phase string, k Kernel, samples, out *Arena, opts CollectOptions) (int, error) {
+	g := cg.H
+	n := g.N()
+	if samples.Rows() != n {
+		return 0, fmt.Errorf("sketch: %d sample rows for %d vertices", samples.Rows(), n)
+	}
+	t := samples.Trials()
+	out.Reset(n, t)
+	cg.ChargeHRounds(phase, 1, 0) // payload charged below with true size
+	chunks := parwork.RangeChunks(n)
+	chunkBits, err := parwork.ForEach(chunks, func(ci int) (int, error) {
+		lo, hi := parwork.ChunkBounds(n, ci)
+		var counts []int
+		best := 1
+		for v := lo; v < hi; v++ {
+			row := out.Row(v)
+			empty := true
+			if opts.IncludeSelf {
+				// Own samples merge locally; no network cost.
+				copy(row, samples.Row(v))
+				empty = false
+			}
+			base := g.AdjOffset(v)
+			for j, u32 := range g.Neighbors(v) {
+				u := int(u32)
+				if opts.Pred != nil && !opts.Pred(v, u, base+j) {
+					continue
+				}
+				if empty {
+					copy(row, samples.Row(u))
+					empty = false
+					continue
+				}
+				k.Merge(row, samples.Row(u))
+			}
+			if empty {
+				cell := k.EmptyCell()
+				for i := range row {
+					row[i] = cell
+				}
+			}
+			if b := k.EncodedBits(row, &counts); b > best {
+				best = b
+			}
+		}
+		return best, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Charge the true payload: the largest encoded row that crossed a link.
+	// Max over fixed chunk bounds is grouping-independent.
+	maxBits := 1
+	for _, b := range chunkBits {
+		if b > maxBits {
+			maxBits = b
+		}
+	}
+	cg.ChargeHRounds(phase+"/payload", 1, maxBits)
+	return maxBits, nil
+}
+
+// Engine is a sketch-engine handle: one kernel plus the sample and output
+// arenas of its waves. Consumers that run repeated waves (the decomposition
+// workspace, benchmarks) own an Engine so arena backings are reused across
+// waves and allocation counts stay independent of n. The kernel is the
+// configuration point for sketch variants — the max kernel is the default
+// everywhere; the k-min-values kernel is opt-in.
+type Engine struct {
+	Kernel  Kernel
+	Samples Arena
+	Out     Arena
+}
+
+// NewEngine returns an engine running kernel k with empty arenas.
+func NewEngine(k Kernel) *Engine { return &Engine{Kernel: k} }
+
+// FillSamples resets the sample arena to n rows of width t and fills it from
+// the kernel's per-row counter streams (see Arena.Fill).
+func (e *Engine) FillSamples(n, t int, seed uint64) error {
+	e.Samples.Reset(n, t)
+	return e.Samples.Fill(e.Kernel, seed)
+}
+
+// Collect runs one aggregation wave from the sample arena into the output
+// arena (see Collect) and returns the peak encoded payload in bits.
+func (e *Engine) Collect(cg *cluster.CG, phase string, opts CollectOptions) (int, error) {
+	return Collect(cg, phase, e.Kernel, &e.Samples, &e.Out, opts)
+}
+
+// Row returns output row v of the latest Collect. The view is valid until
+// the next Collect or FillSamples with a larger shape.
+func (e *Engine) Row(v int) []int16 { return e.Out.Row(v) }

@@ -1,0 +1,139 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"clustercolor/internal/parwork"
+)
+
+// mergedRow builds the sketch of d parties by folding d singleton fills of
+// kernel k — exactly what a collect wave computes for a vertex with d
+// admitted neighbors.
+func mergedRow(k Kernel, width, d int, seed uint64) []int16 {
+	row := make([]int16, width)
+	cell := k.EmptyCell()
+	for i := range row {
+		row[i] = cell
+	}
+	tmp := make([]int16, width)
+	for p := 0; p < d; p++ {
+		k.Fill(tmp, parwork.RowSeed(seed, p))
+		k.Merge(row, tmp)
+	}
+	return row
+}
+
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / want
+}
+
+// TestEstimatorAccuracy bounds the relative error of each estimator variant
+// on rows built from known counts. The harmonic extraction is the production
+// path (error ≈ 1.04/√t); the Lemma 5.2 threshold statistic is ~2× noisier;
+// KMV runs at its own width with error ≈ 1/√(k−2).
+func TestEstimatorAccuracy(t *testing.T) {
+	const trials = 2048
+	counts := []int{10, 100, 1000, 20000}
+	var est MaxEstimator
+	var thr ThresholdEstimator
+	for i, d := range counts {
+		row := mergedRow(MaxKernel{}, trials, d, 0x9e3779b97f4a7c15+uint64(i))
+		if e := relErr(est.Estimate(row), float64(d)); e > 0.10 {
+			t.Errorf("max/harmonic d=%d: relative error %.3f > 0.10", d, e)
+		}
+		if e := relErr(thr.Estimate(row), float64(d)); e > 0.25 {
+			t.Errorf("max/threshold d=%d: relative error %.3f > 0.25", d, e)
+		}
+	}
+	kmvWidth := KMVWidthFor(0.1)
+	var kmv KMVEstimator
+	// KMV counts distinct 15-bit hashes, so its accuracy claim only covers
+	// counts well below the hash range (at d ≈ R the birthday bound makes
+	// distinct hashes saturate under d itself — a property of the kernel's
+	// wire width, not estimator noise).
+	for i, d := range []int{10, 100, 1000, 2000} {
+		row := mergedRow(KMVKernel{}, kmvWidth, d, 0xd1b54a32d192ed03+uint64(i))
+		if e := relErr(kmv.Estimate(row), float64(d)); e > 0.35 {
+			t.Errorf("kmv d=%d (k=%d): relative error %.3f > 0.35", d, kmvWidth, e)
+		}
+	}
+}
+
+// TestEstimatorsOnEmptyRow: an all-identity row means no party was seen; all
+// estimators must return 0.
+func TestEstimatorsOnEmptyRow(t *testing.T) {
+	maxEmpty := make([]int16, 128)
+	for i := range maxEmpty {
+		maxEmpty[i] = Empty
+	}
+	var est MaxEstimator
+	if got := est.Estimate(maxEmpty); got != 0 {
+		t.Errorf("max/harmonic on empty row: %v, want 0", got)
+	}
+	var thr ThresholdEstimator
+	if got := thr.Estimate(maxEmpty); got != 0 {
+		t.Errorf("max/threshold on empty row: %v, want 0", got)
+	}
+	kmvEmpty := make([]int16, 16)
+	for i := range kmvEmpty {
+		kmvEmpty[i] = kmvSentinel
+	}
+	var kmv KMVEstimator
+	if got := kmv.Estimate(kmvEmpty); got != 0 {
+		t.Errorf("kmv on empty row: %v, want 0", got)
+	}
+}
+
+// TestKMVSubSaturation: short of saturation the row holds every distinct
+// hash, so the estimate is the (near-exact) occupancy count.
+func TestKMVSubSaturation(t *testing.T) {
+	const k = 128
+	const d = 40
+	row := mergedRow(KMVKernel{}, k, d, 42)
+	var kmv KMVEstimator
+	got := kmv.Estimate(row)
+	// Hash collisions among d parties can only lower the count, and with
+	// d²/(2·32767) ≈ 0.02 expected collisions they essentially never do.
+	if got < d-2 || got > d {
+		t.Errorf("kmv sub-saturation estimate %v, want ≈ %d", got, d)
+	}
+}
+
+// TestDeviationBitsExact pins EncodedBits to the materialized encoding:
+// DeviationBits must equal the true bit position the writer ends at, with
+// Encode padding only to the next byte.
+func TestDeviationBitsExact(t *testing.T) {
+	for i, d := range []int{1, 7, 50, 900} {
+		row := mergedRow(MaxKernel{}, 257, d, 0xabcdef+uint64(i))
+		k, _ := DeviationBaseline(row, nil)
+		bits := DeviationBits(row, k)
+		buf := EncodeDeviation(row)
+		if len(buf) != (bits+7)/8 {
+			t.Errorf("d=%d: DeviationBits=%d but Encode produced %d bytes", d, bits, len(buf))
+		}
+		back, err := DecodeDeviation(buf)
+		if err != nil {
+			t.Fatalf("d=%d: decode: %v", d, err)
+		}
+		if !rowsEqual(back, row) {
+			t.Errorf("d=%d: decode round-trip mismatch", d)
+		}
+	}
+}
+
+// TestKernelEncodedBitsPositive: every kernel must charge at least one bit
+// for any row, including the empty one (the wave charges max(bits, 1)).
+func TestKernelEncodedBitsPositive(t *testing.T) {
+	for _, k := range []Kernel{MaxKernel{}, KMVKernel{}} {
+		row := make([]int16, 33)
+		cell := k.EmptyCell()
+		for i := range row {
+			row[i] = cell
+		}
+		var counts []int
+		if b := k.EncodedBits(row, &counts); b <= 0 {
+			t.Errorf("%s: EncodedBits(empty row) = %d, want > 0", k.Name(), b)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package sketch
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzSketchMerge throws arbitrary byte strings at both kernels' merges. For
+// the max kernel the rows decode to raw int16s (the full value range, far
+// beyond what geometric fills produce) and the SWAR path must match the
+// scalar reference exactly alongside the semilattice laws. For the KMV
+// kernel the bytes are canonicalized into valid rows (sorted distinct,
+// sentinel-padded) first, since MergeKMV's contract only covers rows the
+// kernel itself can produce.
+func FuzzSketchMerge(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte{0xff, 0x7f, 0x00, 0x80, 0xff, 0xff, 0x01, 0x00})
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pairs := len(data) / 2
+		width := pairs / 2
+		if width == 0 {
+			return
+		}
+		a := make([]int16, width)
+		b := make([]int16, width)
+		for i := 0; i < width; i++ {
+			a[i] = int16(data[2*i]) | int16(data[2*i+1])<<8
+			b[i] = int16(data[2*(width+i)]) | int16(data[2*(width+i)+1])<<8
+		}
+		// SWAR vs reference on raw values.
+		got := cloneRow(a)
+		MergeMax(got, b)
+		want := cloneRow(a)
+		MergeMaxGeneric(want, b)
+		if !rowsEqual(got, want) {
+			t.Fatalf("MergeMax != generic\n a=%v\n b=%v\n got=%v\n want=%v", a, b, got, want)
+		}
+		// Semilattice laws for both kernels, on rows canonicalized into each
+		// kernel's value domain (the identity law only holds there); derive a
+		// third row for associativity by swapping the halves.
+		c := append(cloneRow(b[width/2:]), b[:width/2]...)
+		checkMergeLaws(t, MaxKernel{}, canonMax(a), canonMax(b), canonMax(c))
+		checkMergeLaws(t, KMVKernel{}, canonKMV(a), canonKMV(b), canonKMV(c))
+	})
+}
+
+// canonMax folds values below the max kernel's identity (-1) back into its
+// value domain while keeping the fuzzer's spread.
+func canonMax(raw []int16) []int16 {
+	row := cloneRow(raw)
+	for i, v := range row {
+		if v < Empty {
+			row[i] = -v - 2
+		}
+	}
+	return row
+}
+
+// canonKMV maps arbitrary int16s to a valid KMV row of the same width.
+func canonKMV(raw []int16) []int16 {
+	vals := make([]int16, 0, len(raw))
+	seen := make(map[int16]bool, len(raw))
+	for _, v := range raw {
+		if v < 0 {
+			v = -v - 1 // fold negatives into range
+		}
+		if v == kmvSentinel {
+			continue
+		}
+		if !seen[v] {
+			seen[v] = true
+			vals = append(vals, v)
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	row := make([]int16, len(raw))
+	m := copy(row, vals)
+	for i := m; i < len(row); i++ {
+		row[i] = kmvSentinel
+	}
+	return row
+}

@@ -1,0 +1,108 @@
+package sketch
+
+import (
+	"math/bits"
+	"unsafe"
+
+	"clustercolor/internal/parwork"
+)
+
+// Empty is the max kernel's identity cell: every geometric sample is ≥ 0, so
+// -1 acts as the identity of max-aggregation.
+const Empty = int16(-1)
+
+// MaxKernel is the paper's Section 5 fingerprint kernel: cells are maxima of
+// independent geometric(1/2) samples, merge is the pointwise max, and the
+// wire format is the deviation encoding of Lemmas 5.5–5.6. It is the kernel
+// the decomposition runs on.
+type MaxKernel struct{}
+
+// Name implements Kernel.
+func (MaxKernel) Name() string { return "max" }
+
+// EmptyCell implements Kernel.
+func (MaxKernel) EmptyCell() int16 { return Empty }
+
+// Fill draws independent geometric(1/2) samples from the row's counter
+// stream: cell j is the trailing zero count of the word RowSeed(rowSeed, j).
+// An all-zero word maps to 64 trailing zeros — a legal (astronomically rare)
+// sample well inside int16 range.
+func (MaxKernel) Fill(row []int16, rowSeed uint64) {
+	for j := range row {
+		row[j] = int16(bits.TrailingZeros64(parwork.RowSeed(rowSeed, j)))
+	}
+}
+
+// Merge implements Kernel via MergeMax.
+func (MaxKernel) Merge(dst, src []int16) { MergeMax(dst, src) }
+
+// EncodedBits implements Kernel: the deviation encoding of Lemmas 5.5–5.6.
+func (MaxKernel) EncodedBits(row []int16, counts *[]int) int {
+	k, c := DeviationBaseline(row, *counts)
+	*counts = c
+	return DeviationBits(row, k)
+}
+
+// swarHigh masks the sign bit of each 16-bit lane of a word; xor-ing it
+// biases int16 lanes to unsigned order-preserving form and back.
+const swarHigh = 0x8000800080008000
+
+// MergeMax folds src into dst pointwise (dst[i] = max(dst[i], src[i])) and
+// panics if the lengths differ. This is the hot inner loop of every
+// max-kernel fold; the word-at-a-time body below shows up directly in the
+// decomposition's wave time, so it is benchmarked in isolation
+// (BenchmarkMergeMax, BENCH_sketch.json).
+//
+// When both rows are 8-byte aligned — arena rows always are, see
+// Arena.Reset's stride — four lanes merge per machine word with branch-free
+// SWAR compares: sketch maxima are effectively random, so the scalar loop's
+// per-cell branch mispredicts about half the time, and removing it is worth
+// more than the extra ALU ops. Misaligned or short rows take the scalar
+// tail, which the conformance suite pins byte-equal to the SWAR path.
+func MergeMax(dst, src []int16) {
+	if len(dst) != len(src) {
+		panic("sketch: MergeMax length mismatch")
+	}
+	n := len(src)
+	i := 0
+	if n >= 8 &&
+		uintptr(unsafe.Pointer(&dst[0]))%8 == 0 &&
+		uintptr(unsafe.Pointer(&src[0]))%8 == 0 {
+		words := n / 4
+		dw := unsafe.Slice((*uint64)(unsafe.Pointer(&dst[0])), words)
+		sw := unsafe.Slice((*uint64)(unsafe.Pointer(&src[0])), words)
+		for w := 0; w < words; w++ {
+			x := dw[w] ^ swarHigh // bias lanes to unsigned order
+			y := sw[w] ^ swarHigh
+			// Borrow-free per-lane subtract: lane = (xlow15 + 0x8000) − ylow15
+			// stays in [0x0001, 0xFFFF], so its sign bit is xlow15 ≥ ylow15.
+			z := (x | swarHigh) - (y &^ swarHigh)
+			// Per-lane x ≥ y (unsigned): high bits differ → x's high bit
+			// wins; equal → the low-15 compare in z decides.
+			m := ((x &^ y) | (^(x ^ y) & z)) & swarHigh
+			// Spread each lane's decision bit to a full-lane mask.
+			mask := (m - m>>15) | m
+			dw[w] = ((x & mask) | (y &^ mask)) ^ swarHigh
+		}
+		i = words * 4
+	}
+	for ; i < n; i++ {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// MergeMaxGeneric is the reference scalar merge the SWAR kernel is verified
+// against; benchmarks keep it around to report the kernel's speedup.
+func MergeMaxGeneric(dst, src []int16) {
+	if len(dst) != len(src) {
+		panic("sketch: MergeMaxGeneric length mismatch")
+	}
+	dst = dst[:len(src)]
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+}

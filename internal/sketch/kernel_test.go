@@ -1,0 +1,233 @@
+package sketch
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"unsafe"
+)
+
+// The kernel conformance suite: every Kernel must be a semilattice join
+// (identity, idempotent, commutative, associative) — the laws the
+// byte-identical-at-any-parallelism contract and the redundant-path safety
+// of the waves rest on — and the SWAR MergeMax must agree byte-for-byte with
+// the scalar reference on every alignment and length.
+
+// randMaxRow builds a max-kernel row with realistic value spread (Empty
+// through ~18, the range geometric maxima actually occupy).
+func randMaxRow(rng *rand.Rand, t int) []int16 {
+	row := make([]int16, t)
+	for i := range row {
+		row[i] = int16(rng.IntN(20)) - 1
+	}
+	return row
+}
+
+// randKMVRow builds a valid KMV row of width k: a sorted ascending set of
+// distinct hashes padded with sentinels.
+func randKMVRow(rng *rand.Rand, k int) []int16 {
+	m := rng.IntN(k + 1)
+	seen := make(map[int16]bool, m)
+	var vals []int16
+	for len(vals) < m {
+		v := int16(rng.IntN(kmvRange))
+		if !seen[v] {
+			seen[v] = true
+			vals = append(vals, v)
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	row := make([]int16, k)
+	copy(row, vals)
+	for i := len(vals); i < k; i++ {
+		row[i] = kmvSentinel
+	}
+	return row
+}
+
+func rowsEqual(a, b []int16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneRow(a []int16) []int16 {
+	out := make([]int16, len(a))
+	copy(out, a)
+	return out
+}
+
+// checkMergeLaws asserts the semilattice laws for kernel k on rows a, b, c.
+func checkMergeLaws(t *testing.T, k Kernel, a, b, c []int16) {
+	t.Helper()
+	empty := make([]int16, len(a))
+	for i := range empty {
+		empty[i] = k.EmptyCell()
+	}
+	// Identity: empty ⊔ a = a and a ⊔ empty = a.
+	got := cloneRow(empty)
+	k.Merge(got, a)
+	if !rowsEqual(got, a) {
+		t.Fatalf("%s: empty ⊔ a != a\n a=%v\n got=%v", k.Name(), a, got)
+	}
+	got = cloneRow(a)
+	k.Merge(got, empty)
+	if !rowsEqual(got, a) {
+		t.Fatalf("%s: a ⊔ empty != a\n a=%v\n got=%v", k.Name(), a, got)
+	}
+	// Idempotence: a ⊔ a = a.
+	got = cloneRow(a)
+	k.Merge(got, a)
+	if !rowsEqual(got, a) {
+		t.Fatalf("%s: a ⊔ a != a\n a=%v\n got=%v", k.Name(), a, got)
+	}
+	// Commutativity: a ⊔ b = b ⊔ a.
+	ab := cloneRow(a)
+	k.Merge(ab, b)
+	ba := cloneRow(b)
+	k.Merge(ba, a)
+	if !rowsEqual(ab, ba) {
+		t.Fatalf("%s: a ⊔ b != b ⊔ a\n a=%v\n b=%v\n ab=%v\n ba=%v", k.Name(), a, b, ab, ba)
+	}
+	// Associativity: (a ⊔ b) ⊔ c = a ⊔ (b ⊔ c).
+	left := cloneRow(a)
+	k.Merge(left, b)
+	k.Merge(left, c)
+	bc := cloneRow(b)
+	k.Merge(bc, c)
+	right := cloneRow(a)
+	k.Merge(right, bc)
+	if !rowsEqual(left, right) {
+		t.Fatalf("%s: merge not associative\n a=%v\n b=%v\n c=%v\n left=%v\n right=%v",
+			k.Name(), a, b, c, left, right)
+	}
+}
+
+func TestMaxKernelMergeLaws(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		width := 1 + rng.IntN(40)
+		checkMergeLaws(t, MaxKernel{},
+			randMaxRow(rng, width), randMaxRow(rng, width), randMaxRow(rng, width))
+	}
+}
+
+func TestKMVKernelMergeLaws(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 200; trial++ {
+		width := 1 + rng.IntN(24)
+		checkMergeLaws(t, KMVKernel{},
+			randKMVRow(rng, width), randKMVRow(rng, width), randKMVRow(rng, width))
+	}
+}
+
+// TestMergeKMVAgainstBruteForce pins the in-place insertion merge to the
+// obvious specification: the k smallest distinct values of the union.
+func TestMergeKMVAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.IntN(24)
+		a := randKMVRow(rng, k)
+		b := randKMVRow(rng, k)
+		seen := make(map[int16]bool)
+		var union []int16
+		for _, row := range [][]int16{a, b} {
+			for _, v := range row {
+				if v != kmvSentinel && !seen[v] {
+					seen[v] = true
+					union = append(union, v)
+				}
+			}
+		}
+		sort.Slice(union, func(i, j int) bool { return union[i] < union[j] })
+		want := make([]int16, k)
+		m := copy(want, union)
+		for i := m; i < k; i++ {
+			want[i] = kmvSentinel
+		}
+		got := cloneRow(a)
+		MergeKMV(got, b)
+		if !rowsEqual(got, want) {
+			t.Fatalf("MergeKMV mismatch\n a=%v\n b=%v\n got=%v\n want=%v", a, b, got, want)
+		}
+	}
+}
+
+// TestMergeMaxMatchesGeneric pins the SWAR path to the scalar reference over
+// every small length (exercising the word body, the tail, and the short-row
+// fallback) and over the full int16 value range.
+func TestMergeMaxMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for n := 0; n <= 67; n++ {
+		for trial := 0; trial < 50; trial++ {
+			dst := make([]int16, n)
+			src := make([]int16, n)
+			for i := 0; i < n; i++ {
+				dst[i] = int16(rng.IntN(1 << 16))
+				src[i] = int16(rng.IntN(1 << 16))
+			}
+			want := cloneRow(dst)
+			MergeMaxGeneric(want, src)
+			got := cloneRow(dst)
+			MergeMax(got, src)
+			if !rowsEqual(got, want) {
+				t.Fatalf("n=%d: MergeMax != generic\n dst=%v\n src=%v\n got=%v\n want=%v",
+					n, dst, src, got, want)
+			}
+		}
+	}
+}
+
+// TestMergeMaxMisaligned shifts the rows off 8-byte alignment (every offset
+// combination of a shared backing) and checks the result never depends on
+// which path ran.
+func TestMergeMaxMisaligned(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	const n = 33
+	for dOff := 0; dOff < 4; dOff++ {
+		for sOff := 0; sOff < 4; sOff++ {
+			dBack := make([]int16, n+4)
+			sBack := make([]int16, n+4)
+			for i := range dBack {
+				dBack[i] = int16(rng.IntN(1 << 16))
+				sBack[i] = int16(rng.IntN(1 << 16))
+			}
+			dst := dBack[dOff : dOff+n]
+			src := sBack[sOff : sOff+n]
+			want := cloneRow(dst)
+			MergeMaxGeneric(want, src)
+			got := cloneRow(dst)
+			MergeMax(got, src)
+			if !rowsEqual(got, want) {
+				t.Fatalf("offsets (%d,%d): MergeMax != generic", dOff, sOff)
+			}
+		}
+	}
+}
+
+// TestArenaRowsAligned checks the stride contract MergeMax's fast path
+// relies on: every arena row starts on an 8-byte boundary for every width.
+func TestArenaRowsAligned(t *testing.T) {
+	var a Arena
+	for _, width := range []int{1, 2, 3, 4, 5, 7, 8, 63, 64, 65, 1099} {
+		a.Reset(9, width)
+		if a.Trials() != width || a.Rows() != 9 {
+			t.Fatalf("t=%d: arena shape %dx%d", width, a.Rows(), a.Trials())
+		}
+		for i := 0; i < a.Rows(); i++ {
+			row := a.Row(i)
+			if len(row) != width {
+				t.Fatalf("t=%d: row %d has length %d", width, i, len(row))
+			}
+			if uintptr(unsafe.Pointer(&row[0]))%8 != 0 {
+				t.Fatalf("t=%d: row %d not 8-byte aligned", width, i)
+			}
+		}
+	}
+}

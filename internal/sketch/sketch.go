@@ -1,0 +1,63 @@
+// Package sketch is the generic mergeable-sketch engine behind the
+// decomposition's approximate counting: flat arenas of fixed-width []int16
+// rows, a pluggable merge kernel whose fold is commutative, associative, and
+// idempotent, and estimators that invert a merged row back into a count.
+//
+// The shape is the one federated aggregation systems use for
+// communication-efficient, order-independent state: because merging is a
+// semilattice join, rows can be folded in any order, across any number of
+// workers, over redundant paths, or shard by shard, and the result is
+// byte-identical every time. The paper's Section 5 fingerprint machinery
+// (per-trial geometric maxima, Lemma 5.2-style estimation) is the first
+// kernel; a k-min-values kernel provides the classic alternative trade-off
+// between row width and wire size. internal/fingerprint remains the
+// paper-semantics adapter over this package, and the machine-level distsim
+// replays route their merges through the same kernels, so vertex-level and
+// machine-level execution share one merge implementation.
+//
+// Ownership contract (moved here from internal/fingerprint): an Arena — and
+// any Scratch — belongs to one wave at a time. Arena.Reset reuses the flat
+// backing across waves; rows returned by Row alias the backing and are
+// invalidated by the next Reset. Estimators and Scratches are owned by one
+// goroutine; parallel folds give each chunk its own.
+package sketch
+
+// Kernel defines one mergeable-sketch family over fixed-width []int16 rows.
+//
+// Merge must be commutative, associative, and idempotent — a semilattice
+// join — and a row of EmptyCell values must be its identity. Those four laws
+// (checked by the conformance suite and FuzzSketchMerge) are what make every
+// fold in this package order-independent and therefore byte-identical at any
+// parallelism, immune to redundant-path double counting (the Section 1.1
+// hazard), and safe to aggregate shard by shard.
+//
+// Kernels are stateless values: methods must be safe for concurrent use, and
+// any per-call scratch is passed in by the caller.
+type Kernel interface {
+	// Name identifies the kernel in benchmarks and reports.
+	Name() string
+	// EmptyCell is the identity cell value: a row filled with it merges as
+	// a no-op ("no elements seen").
+	EmptyCell() int16
+	// Fill writes one party's singleton sketch into row, deriving all
+	// randomness from rowSeed's counter stream (parwork.RowSeed) so the row
+	// is a pure function of (rowSeed, width).
+	Fill(row []int16, rowSeed uint64)
+	// Merge folds src into dst (dst = dst ⊔ src). Lengths must match; rows
+	// must not partially overlap (dst == src is allowed and is a no-op by
+	// idempotence).
+	Merge(dst, src []int16)
+	// EncodedBits returns the wire size of row under the kernel's
+	// serialization, using *counts as reusable scratch (grown as needed).
+	EncodedBits(row []int16, counts *[]int) int
+}
+
+// Estimator inverts a merged row into an approximate count of the distinct
+// parties folded into it. Implementations carry reusable scratch and are
+// owned by one goroutine; the zero value is ready to use.
+type Estimator interface {
+	// Name identifies the estimator variant in benchmarks and reports.
+	Name() string
+	// Estimate returns d̂ for the row (0 when no party was seen).
+	Estimate(row []int16) float64
+}

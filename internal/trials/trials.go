@@ -40,11 +40,37 @@ type TryColorOptions struct {
 	Activation float64
 }
 
+// TryColorScratch is the reusable per-round buffer of TryColorRound. Loops
+// that run many rounds (TryColorLoop, the low-degree shatter loop) hold one
+// scratch so the per-vertex tried array stops being allocated every round.
+// The zero value is ready to use.
+type TryColorScratch struct {
+	tried []int32
+}
+
+// grow resizes the tried buffer to n and resets every cell to None.
+func (sc *TryColorScratch) grow(n int) []int32 {
+	if cap(sc.tried) < n {
+		sc.tried = make([]int32, n)
+		return sc.tried
+	}
+	sc.tried = sc.tried[:n]
+	for i := range sc.tried {
+		sc.tried[i] = coloring.None
+	}
+	return sc.tried
+}
+
 // TryColorRound runs one round of Algorithm 17 and returns the number of
 // vertices newly colored. Semantics: an activated vertex samples a uniform
 // color from its space and adopts it iff no colored neighbor holds it and no
 // activated neighbor of smaller index tries it.
 func TryColorRound(cg *cluster.CG, col *coloring.Coloring, opts TryColorOptions, rng *rand.Rand) (int, error) {
+	return TryColorRoundWith(cg, col, opts, rng, &TryColorScratch{})
+}
+
+// TryColorRoundWith is TryColorRound with caller-owned scratch.
+func TryColorRoundWith(cg *cluster.CG, col *coloring.Coloring, opts TryColorOptions, rng *rand.Rand, sc *TryColorScratch) (int, error) {
 	if opts.Space == nil {
 		return 0, fmt.Errorf("trials: nil color space")
 	}
@@ -53,7 +79,7 @@ func TryColorRound(cg *cluster.CG, col *coloring.Coloring, opts TryColorOptions,
 		p = 1
 	}
 	n := cg.H.N()
-	tried := make([]int32, n) // None = not trying
+	tried := sc.grow(n) // None = not trying
 	for v := 0; v < n; v++ {
 		if col.IsColored(v) {
 			continue
@@ -107,11 +133,12 @@ func TryColorRound(cg *cluster.CG, col *coloring.Coloring, opts TryColorOptions,
 // active set is fully colored. It returns the number of vertices still
 // uncolored in the active set.
 func TryColorLoop(cg *cluster.CG, col *coloring.Coloring, opts TryColorOptions, maxRounds int, rng *rand.Rand) (int, error) {
+	var sc TryColorScratch
 	for r := 0; r < maxRounds; r++ {
 		if remainingActive(cg, col, opts.Active) == 0 {
 			return 0, nil
 		}
-		if _, err := TryColorRound(cg, col, opts, rng); err != nil {
+		if _, err := TryColorRoundWith(cg, col, opts, rng, &sc); err != nil {
 			return 0, err
 		}
 	}
