@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-smoke bench-graph bench-color bench-distsim bench-acd bench-sketch tables benchjson vet fmt check
+.PHONY: build test race fuzz bench bench-smoke bench-graph bench-color bench-distsim bench-acd bench-sketch bench-shard tables benchjson vet fmt check
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,12 @@ bench-acd:
 # estimator variant.
 bench-sketch:
 	$(GO) run ./cmd/benchtables -sketchbench BENCH_sketch.json
+
+# Partitioned-substrate grid: the decomposition at shard counts 1/2/4/8 ×
+# parallelism 1/2/4/NumCPU against an unsharded reference. Includes the
+# million-vertex GNP row — expect the better part of an hour single-core.
+bench-shard:
+	$(GO) run ./cmd/benchtables -shardbench BENCH_shard.json
 
 tables:
 	$(GO) run ./cmd/benchtables

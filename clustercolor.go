@@ -144,6 +144,12 @@ type Options struct {
 	// (a zero Params is never valid on its own, so this is unambiguous —
 	// see core.Params.IsZero).
 	Params core.Params
+	// Shards routes the decomposition stage through the partitioned
+	// substrate: the graph splits into this many contiguous vertex slices
+	// with explicit boundary exchanges between sketch waves. 0 or 1 keeps
+	// the single-address-space path; the coloring and charged rounds are
+	// byte-identical either way. Overrides Params.Shards when positive.
+	Shards int
 	// Seed drives all randomness (expansion and algorithm). It always
 	// takes effect — 0 is a valid explicit seed, not "unset" — and
 	// overrides Params.Seed.
@@ -158,6 +164,9 @@ func resolveParams(opts Options, n int) core.Params {
 		params = core.DefaultParams(n)
 	}
 	params.Seed = opts.Seed
+	if opts.Shards > 0 {
+		params.Shards = opts.Shards
+	}
 	return params
 }
 

@@ -11,6 +11,7 @@
 //	benchtables -distsimbench out.json # emit machine-granularity conformance benchmarks instead
 //	benchtables -acdbench out.json     # emit decomposition benchmarks instead (-acdn caps size)
 //	benchtables -sketchbench out.json  # emit sketch-engine benchmarks instead (-sketchn caps size)
+//	benchtables -shardbench out.json   # emit partitioned-substrate benchmarks instead (-shardn caps size)
 //
 // Tables are computed by a parallel runner that fans experiments and their
 // rows across CPUs; the output is byte-identical for every -parallel value.
@@ -26,7 +27,11 @@
 // engine itself (conventionally BENCH_sketch.json): the isolated SWAR merge
 // kernel against its scalar reference, collect waves at parallelism
 // 1/2/4/NumCPU, and bits-per-vertex plus accuracy for every estimator
-// variant.
+// variant. -shardbench benchmarks the partitioned execution substrate
+// (conventionally BENCH_shard.json): the decomposition at shard counts
+// 1/2/4/8 × parallelism 1/2/4/NumCPU against an unsharded reference, with
+// charged rounds asserted shard-invariant and the cross-shard
+// boundary-exchange traffic reported per cell.
 package main
 
 import (
@@ -55,10 +60,12 @@ func main() {
 		acdN       = flag.Int("acdn", 0, "skip -acdbench workloads with more than this many vertices (0 = no cap; CI smoke uses a small cap)")
 		sketchOut  = flag.String("sketchbench", "", "run sketch-engine benchmarks and write BENCH_sketch.json to this path ('-' = stdout), then exit")
 		sketchN    = flag.Int("sketchn", 0, "skip -sketchbench workloads with more than this many vertices (0 = no cap; CI smoke uses a small cap)")
+		shardOut   = flag.String("shardbench", "", "run partitioned-substrate benchmarks and write BENCH_shard.json to this path ('-' = stdout), then exit")
+		shardN     = flag.Int("shardn", 0, "skip -shardbench workloads with more than this many vertices (0 = no cap; CI smoke uses a small cap)")
 	)
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
-	if *benchOut != "" || *graphOut != "" || *colorOut != "" || *distsimOut != "" || *acdOut != "" || *sketchOut != "" {
+	if *benchOut != "" || *graphOut != "" || *colorOut != "" || *distsimOut != "" || *acdOut != "" || *sketchOut != "" || *shardOut != "" {
 		if *benchOut != "" {
 			if err := emitEngineBench(*benchOut, *benchN, *seed); err != nil {
 				fmt.Fprintln(os.Stderr, "benchtables:", err)
@@ -91,6 +98,12 @@ func main() {
 		}
 		if *sketchOut != "" {
 			if err := emitSketchBench(*sketchOut, *seed, *sketchN); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				os.Exit(1)
+			}
+		}
+		if *shardOut != "" {
+			if err := emitShardBench(*shardOut, *seed, *shardN); err != nil {
 				fmt.Fprintln(os.Stderr, "benchtables:", err)
 				os.Exit(1)
 			}

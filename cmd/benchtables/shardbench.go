@@ -1,0 +1,216 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"clustercolor/internal/acd"
+	"clustercolor/internal/benchwork"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/parwork"
+	"clustercolor/internal/shard"
+	"clustercolor/internal/sketch"
+)
+
+// shardBenchReport is the BENCH_shard.json schema: for every decomposition
+// workload, one unsharded reference cell plus a grid of shard count ×
+// parallelism cells, each with the run time, the charged rounds (asserted
+// equal across the whole grid — sharding is an execution layout, not a cost
+// change), and the cross-shard exchange traffic that IS new in a partitioned
+// run.
+type shardBenchReport struct {
+	Schema     string             `json:"schema"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Seed       uint64             `json:"seed"`
+	MaxN       int                `json:"max_n,omitempty"`
+	Note       string             `json:"note"`
+	Benchmarks []shardBenchResult `json:"benchmarks"`
+}
+
+const shardBenchNote = "charged rounds are shard-invariant (every cell of a workload equals its unsharded reference; the emitter errors otherwise); exchanged rows/bits are boundary-exchange traffic of the execution layout, charged separately from cluster rounds"
+
+// shardBenchResult is one grid cell. Shards 0 marks the unsharded reference
+// the speedups are measured against.
+type shardBenchResult struct {
+	benchResult
+	Vertices int   `json:"vertices"`
+	Delta    int   `json:"delta"`
+	Shards   int   `json:"shards"`
+	Rounds   int64 `json:"rounds"`
+	// HaloVertices is the total replicated-boundary footprint of the
+	// partition (sum of halo sizes over shards); PartitionNs is the one-time
+	// slice-construction cost, reported on the first cell of each shard
+	// count.
+	HaloVertices int   `json:"halo_vertices,omitempty"`
+	PartitionNs  int64 `json:"partition_ns,omitempty"`
+	// ExchangedRows/Bits total the boundary-exchange phases of one run;
+	// MaxPhaseBits is the heaviest single phase.
+	ExchangedRows  int64 `json:"exchanged_rows"`
+	ExchangedBits  int64 `json:"exchanged_bits"`
+	MaxPhaseBits   int64 `json:"max_phase_bits,omitempty"`
+	ExchangePhases int   `json:"exchange_phases,omitempty"`
+	// Speedup is unsharded-reference ns/op over this cell's ns/op.
+	Speedup float64 `json:"speedup_vs_unsharded,omitempty"`
+}
+
+// shardGrid returns the shard counts every workload runs at.
+func shardGrid() []int { return []int{1, 2, 4, 8} }
+
+// shardParGrid returns the parallelism levels of the grid: 1, 2, 4, and
+// NumCPU, deduplicated and sorted.
+func shardParGrid() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.NumCPU(): true}
+	pars := make([]int, 0, len(set))
+	for p := range set {
+		pars = append(pars, p)
+	}
+	sort.Ints(pars)
+	return pars
+}
+
+// emitShardBench benchmarks the partitioned decomposition substrate on every
+// workload with N ≤ maxN (maxN ≤ 0 = no cap) and writes BENCH_shard.json to
+// path ("-" for stdout).
+func emitShardBench(path string, seed uint64, maxN int) error {
+	return emitShardBenchWorkloads(path, seed, maxN, benchwork.ACDWorkloads())
+}
+
+// emitShardBenchWorkloads is emitShardBench over an explicit workload list,
+// so tests can exercise the emitter on small instances.
+func emitShardBenchWorkloads(path string, seed uint64, maxN int, workloads []benchwork.ACDWorkload) error {
+	report := shardBenchReport{
+		Schema:     "clustercolor/bench-shard/v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+		Note:       shardBenchNote,
+	}
+	if maxN > 0 {
+		report.MaxN = maxN
+	}
+	for _, w := range workloads {
+		if maxN > 0 && w.N > maxN {
+			continue
+		}
+		h, err := w.Build()
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+		cg, err := benchwork.NewACDInstance(h, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+		ws := acd.NewWorkspace()
+		// Unsharded reference at parallelism 1: the baseline every grid
+		// cell's speedup and charged rounds are measured against. The seed is
+		// fixed across all iterations and cells so the byte-identity contract
+		// makes the round assertion exact.
+		var refRounds int64
+		var loopErr error
+		prev := parwork.SetParallelism(1)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				before := cg.Cost().Rounds()
+				if _, _, err := benchwork.RunACDOnce(cg, w.Eps, seed, ws); err != nil {
+					loopErr = fmt.Errorf("%s: %w", w.Name, err)
+					b.Fatal(err)
+				}
+				refRounds = cg.Cost().Rounds() - before
+			}
+		})
+		parwork.SetParallelism(prev)
+		if loopErr != nil {
+			return loopErr
+		}
+		ref := shardBenchResult{
+			benchResult: record(w.Name+"/unsharded", r),
+			Vertices:    h.N(),
+			Delta:       h.MaxDegree(),
+			Rounds:      refRounds,
+		}
+		ref.Parallelism = 1
+		ref.Edges = h.M()
+		report.Benchmarks = append(report.Benchmarks, ref)
+		for _, k := range shardGrid() {
+			t0 := time.Now()
+			sg, err := graph.NewShardedGraph(h, k)
+			if err != nil {
+				return fmt.Errorf("%s: shards=%d: %w", w.Name, k, err)
+			}
+			partitionNs := time.Since(t0).Nanoseconds()
+			halo := 0
+			for _, sl := range sg.Slices {
+				halo += len(sl.Halo)
+			}
+			for _, par := range shardParGrid() {
+				var rounds int64
+				var stats shard.ExchangeStats
+				prev := parwork.SetParallelism(par)
+				// The engine splits its per-shard pool shares from the
+				// parallelism knob at construction, so it is built inside the
+				// SetParallelism scope.
+				se := shard.NewEngine(sg, sketch.MaxKernel{})
+				r := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						se.ResetStats()
+						before := cg.Cost().Rounds()
+						if _, _, err := benchwork.RunACDShardedOnce(cg, se, w.Eps, seed, ws); err != nil {
+							loopErr = fmt.Errorf("%s: shards=%d par=%d: %w", w.Name, k, par, err)
+							b.Fatal(err)
+						}
+						rounds = cg.Cost().Rounds() - before
+						stats = se.Stats
+					}
+				})
+				parwork.SetParallelism(prev)
+				if loopErr != nil {
+					return loopErr
+				}
+				if rounds != refRounds {
+					return fmt.Errorf("%s: shards=%d par=%d charged %d rounds, unsharded reference charged %d — sharding must not change the round budget",
+						w.Name, k, par, rounds, refRounds)
+				}
+				if k == 1 && stats.Rows != 0 {
+					return fmt.Errorf("%s: single shard exchanged %d rows", w.Name, stats.Rows)
+				}
+				rec := shardBenchResult{
+					benchResult:    record(fmt.Sprintf("%s/shards=%d/par=%d", w.Name, k, par), r),
+					Vertices:       h.N(),
+					Delta:          h.MaxDegree(),
+					Shards:         k,
+					Rounds:         rounds,
+					HaloVertices:   halo,
+					ExchangedRows:  stats.Rows,
+					ExchangedBits:  stats.Bits,
+					MaxPhaseBits:   stats.MaxPhaseBits,
+					ExchangePhases: len(stats.Phases),
+				}
+				rec.Parallelism = par
+				rec.Edges = h.M()
+				if par == shardParGrid()[0] {
+					rec.PartitionNs = partitionNs
+				}
+				if rec.NsPerOp > 0 {
+					rec.Speedup = ref.NsPerOp / rec.NsPerOp
+				}
+				report.Benchmarks = append(report.Benchmarks, rec)
+			}
+		}
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clustercolor/internal/benchwork"
+	"clustercolor/internal/graph"
+)
+
+// TestEmitShardBench exercises the BENCH_shard.json emitter end-to-end on a
+// small workload and validates the report: the full shards × parallelism
+// grid plus the unsharded reference cell, charged rounds identical across
+// every cell (the emitter's own assertion, re-checked here from the JSON),
+// zero exchange at one shard and nonzero exchange across real boundaries,
+// and the -shardn size cap honored.
+func TestEmitShardBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark emitter in short mode")
+	}
+	small := []benchwork.ACDWorkload{
+		{
+			Name: "Shard/Planted/test",
+			N:    220,
+			Eps:  0.25,
+			Build: func() (*graph.Graph, error) {
+				h, _, err := graph.PlantedACD(graph.PlantedACDSpec{
+					NumCliques:     3,
+					CliqueSize:     40,
+					DropFraction:   0.03,
+					ExternalDegree: 2,
+					SparseN:        100,
+					SparseP:        0.05,
+				}, graph.NewRand(3))
+				return h, err
+			},
+		},
+		{
+			Name: "Shard/GNP/capped-out",
+			N:    5000,
+			Eps:  0.25,
+			Build: func() (*graph.Graph, error) {
+				t.Fatal("workload above the -shardn cap must not be built")
+				return nil, nil
+			},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_shard.json")
+	if err := emitShardBenchWorkloads(path, 7, 1000, small); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report shardBenchReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Schema != "clustercolor/bench-shard/v1" {
+		t.Fatalf("schema = %q", report.Schema)
+	}
+	if report.MaxN != 1000 {
+		t.Fatalf("max_n = %d, want 1000", report.MaxN)
+	}
+	wantCells := 1 + len(shardGrid())*len(shardParGrid())
+	if len(report.Benchmarks) != wantCells {
+		t.Fatalf("got %d cells, want %d (unsharded reference + full grid; cap should skip the second workload)",
+			len(report.Benchmarks), wantCells)
+	}
+	ref := report.Benchmarks[0]
+	if ref.Shards != 0 || ref.Rounds <= 0 || ref.NsPerOp <= 0 {
+		t.Fatalf("unsharded reference cell malformed: %+v", ref)
+	}
+	sawBoundary := false
+	for _, rec := range report.Benchmarks[1:] {
+		if rec.Iterations <= 0 || rec.NsPerOp <= 0 || rec.Speedup <= 0 {
+			t.Fatalf("cell %s has empty measurements: %+v", rec.Name, rec)
+		}
+		if rec.Vertices != 220 || rec.Edges <= 0 || rec.Delta <= 0 {
+			t.Fatalf("cell %s: instance shape not recorded: %+v", rec.Name, rec)
+		}
+		if rec.Rounds != ref.Rounds {
+			t.Fatalf("cell %s charged %d rounds, reference %d — the emitter should have rejected this grid",
+				rec.Name, rec.Rounds, ref.Rounds)
+		}
+		if rec.Shards == 1 && (rec.ExchangedRows != 0 || rec.ExchangedBits != 0) {
+			t.Fatalf("cell %s: single shard reported exchange traffic: %+v", rec.Name, rec)
+		}
+		if rec.Shards > 1 && rec.ExchangedRows > 0 {
+			sawBoundary = true
+			if rec.ExchangedBits <= 0 || rec.ExchangePhases <= 0 {
+				t.Fatalf("cell %s: exchanged rows without bits/phases: %+v", rec.Name, rec)
+			}
+		}
+	}
+	if !sawBoundary {
+		t.Fatal("no grid cell crossed a shard boundary — the planted instance spans every slice")
+	}
+}

@@ -8,7 +8,10 @@ import (
 
 	"clustercolor/internal/acd"
 	"clustercolor/internal/core"
+	"clustercolor/internal/graph"
 	"clustercolor/internal/parwork"
+	"clustercolor/internal/shard"
+	"clustercolor/internal/sketch"
 )
 
 // colorFingerprint is a stable FNV-64a hash of a run's full color vector
@@ -122,6 +125,43 @@ func TestGoldenColorFingerprints(t *testing.T) {
 
 func repinLine(name string, got uint64) string {
 	return fmt.Sprintf("update goldenCases entry %q to want: %#016x", name, got)
+}
+
+// TestGoldenColorFingerprintsSharded pins the partitioned substrate to the
+// same fingerprints: routing the decomposition through shard slices with
+// boundary exchanges must not move a single color, at any shard count or
+// parallelism. The pinned values are shared with TestGoldenColorFingerprints
+// — there is one truth, not a sharded variant of it.
+func TestGoldenColorFingerprintsSharded(t *testing.T) {
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			h, err := gc.build(gc.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{2, 4} {
+				for _, par := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+					prev := parwork.SetParallelism(par)
+					res, err := Color(h, Options{
+						Topology:           gc.opts.Topology,
+						MachinesPerCluster: gc.opts.MachinesPerCluster,
+						RedundantLinks:     gc.opts.RedundantLinks,
+						Shards:             shards,
+						Seed:               gc.seed,
+					})
+					parwork.SetParallelism(prev)
+					if err != nil {
+						t.Fatalf("shards=%d parallelism=%d: %v", shards, par, err)
+					}
+					if got := colorFingerprint(res.Colors()); got != gc.want {
+						t.Errorf("shards=%d parallelism=%d: fingerprint %#016x, pinned %#016x",
+							shards, par, got, gc.want)
+					}
+				}
+			}
+		})
+	}
 }
 
 // decompFingerprint is a stable FNV-64a hash of a decomposition + profile:
@@ -253,6 +293,58 @@ func TestGoldenDecompositionFingerprints(t *testing.T) {
 				parwork.SetParallelism(prev)
 				if err != nil {
 					t.Fatalf("parallelism %d: %v", par, err)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenDecompositionFingerprintsSharded runs the decomposition stage on
+// the shard engine at shard counts 2 and 4 and checks it against the same
+// pinned fingerprints as the unsharded stage.
+func TestGoldenDecompositionFingerprintsSharded(t *testing.T) {
+	for _, gc := range goldenDecompCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			h, err := gc.build(gc.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cg, _, err := buildClusterGraph(h, Options{
+				Topology:           gc.opts.Topology,
+				MachinesPerCluster: gc.opts.MachinesPerCluster,
+				RedundantLinks:     gc.opts.RedundantLinks,
+				Seed:               gc.seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			params := core.DefaultParams(h.N())
+			for _, shards := range []int{2, 4} {
+				for _, par := range []int{1, 4} {
+					prev := parwork.SetParallelism(par)
+					rng := parwork.StreamRNG(gc.seed)
+					ws := acd.NewWorkspace()
+					sg, err := graph.NewShardedGraph(cg.H, shards)
+					if err == nil {
+						se := shard.NewEngine(sg, sketch.MaxKernel{})
+						var d *acd.Decomposition
+						d, err = acd.ComputeShardedWith(cg, se, params.Eps, rng, ws)
+						if err == nil {
+							var prof *acd.Profile
+							prof, err = acd.BuildProfileShardedWith(cg, se, d, float64(h.MaxDegree()), params.Ell(h.N()), rng, ws)
+							if err == nil {
+								if got := decompFingerprint(d, prof); got != gc.want {
+									t.Errorf("shards=%d parallelism=%d: fingerprint %#016x, pinned %#016x",
+										shards, par, got, gc.want)
+								}
+							}
+						}
+					}
+					parwork.SetParallelism(prev)
+					if err != nil {
+						t.Fatalf("shards=%d parallelism=%d: %v", shards, par, err)
+					}
 				}
 			}
 		})

@@ -75,7 +75,8 @@ type Workspace struct {
 	dense    []bool
 	buddy    []uint64
 	buddySrc []uint64
-	queue    []int32
+	label    []int32
+	next     []int32
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use. The
@@ -133,55 +134,153 @@ func Exact(g *graph.Graph, eps float64) (*Decomposition, error) {
 // assemble groups dense vertices into almost-cliques via connected
 // components of the buddy graph restricted to dense vertices. isBuddy
 // receives the CSR slot of the directed edge (v, u) so memoized callers
-// answer in O(1). One queue buffer (from ws when non-nil) is reused across
-// components — the BFS allocates only the member lists that escape into the
-// result.
+// answer in O(1).
+//
+// Components are labeled by deterministic parallel min-label propagation
+// with pointer jumping: every pass recomputes labels from an immutable
+// snapshot across the worker pool, so the fixpoint — each dense vertex
+// labeled by its component's minimum member — is byte-identical at any
+// parallelism, and the O(m) edge scans that used to run as one serial BFS
+// (the last serial scan in the decomposition) now fan out through parwork.
+// Pointer jumping bounds the pass count by O(log n) even on long buddy
+// paths, though the diameter-2 components of Proposition 4.3 converge in a
+// couple of passes. Cliques are indexed by ascending minimum member (the
+// same order the serial BFS produced) with members ascending.
 func assemble(g *graph.Graph, eps float64, dense []bool, isBuddy func(v, u, slot int) bool, ws *Workspace) (*Decomposition, error) {
-	d := &Decomposition{Eps: eps, CliqueOf: make([]int, g.N())}
-	for v := range d.CliqueOf {
-		d.CliqueOf[v] = -1
-	}
-	var queue []int32
+	n := g.N()
+	d := &Decomposition{Eps: eps, CliqueOf: make([]int, n)}
+	var label, next []int32
 	if ws != nil {
-		queue = ws.queue
+		ws.label = growInt32(ws.label, n)
+		ws.next = growInt32(ws.next, n)
+		label, next = ws.label, ws.next
+	} else {
+		label = make([]int32, n)
+		next = make([]int32, n)
 	}
-	for s := 0; s < g.N(); s++ {
-		if !dense[s] || d.CliqueOf[s] >= 0 {
-			continue
-		}
-		idx := len(d.Cliques)
-		var members []int
-		queue = append(queue[:0], int32(s))
-		d.CliqueOf[s] = idx
-		for head := 0; head < len(queue); head++ {
-			v := int(queue[head])
-			members = append(members, v)
-			base := g.AdjOffset(v)
-			for j, u := range g.Neighbors(v) {
-				w := int(u)
-				if dense[w] && d.CliqueOf[w] < 0 && isBuddy(v, w, base+j) {
-					d.CliqueOf[w] = idx
-					queue = append(queue, int32(w))
-				}
+	if err := parwork.ForRange(n, func(lo, hi int) error {
+		for v := lo; v < hi; v++ {
+			if dense[v] {
+				label[v] = int32(v)
+			} else {
+				label[v] = -1
 			}
 		}
-		if len(members) == 1 {
-			// A lone dense candidate is not an almost-clique; reclassify.
-			d.CliqueOf[members[0]] = -1
-			continue
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for {
+		// Propagate: next[v] = min(label[v], labels of dense buddy
+		// neighbors). Reads only the previous labels, writes only next[v].
+		chunks := parwork.RangeChunks(n)
+		changes, err := parwork.ForEach(chunks, func(ci int) (bool, error) {
+			lo, hi := parwork.ChunkBounds(n, ci)
+			changed := false
+			for v := lo; v < hi; v++ {
+				if !dense[v] {
+					next[v] = -1
+					continue
+				}
+				m := label[v]
+				base := g.AdjOffset(v)
+				for j, u32 := range g.Neighbors(v) {
+					u := int(u32)
+					if dense[u] && label[u] < m && isBuddy(v, u, base+j) {
+						m = label[u]
+					}
+				}
+				next[v] = m
+				if m != label[v] {
+					changed = true
+				}
+			}
+			return changed, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		d.Cliques = append(d.Cliques, members)
+		// Jump: label[v] = next[next[v]]. A label is always a dense vertex
+		// of v's own component, so the hop stays within the component and
+		// only shortcuts toward its minimum. Reads only next.
+		jumps, err := parwork.ForEach(chunks, func(ci int) (bool, error) {
+			lo, hi := parwork.ChunkBounds(n, ci)
+			changed := false
+			for v := lo; v < hi; v++ {
+				l := next[v]
+				if l >= 0 {
+					if l2 := next[l]; l2 < l {
+						l = l2
+						changed = true
+					}
+				}
+				label[v] = l
+			}
+			return changed, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		done := true
+		for i := range changes {
+			if changes[i] || jumps[i] {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
 	}
-	if ws != nil {
-		ws.queue = queue
+	// Gather: component sizes per root (reusing next as scratch), clique
+	// indices for roots with ≥ 2 members in ascending root order, then the
+	// member lists — ascending within each clique. Lone dense candidates are
+	// not almost-cliques and reclassify as sparse.
+	for v := 0; v < n; v++ {
+		next[v] = 0
 	}
-	// Reindex after dropped singletons.
-	for i, members := range d.Cliques {
-		for _, v := range members {
-			d.CliqueOf[v] = i
+	for v := 0; v < n; v++ {
+		if dense[v] {
+			next[label[v]]++
+		}
+	}
+	idx := 0
+	for v := 0; v < n; v++ {
+		if dense[v] && int(label[v]) == v && next[v] >= 2 {
+			next[v] = int32(idx)
+			idx++
+		} else {
+			next[v] = -1
+		}
+	}
+	if err := parwork.ForRange(n, func(lo, hi int) error {
+		for v := lo; v < hi; v++ {
+			if dense[v] {
+				d.CliqueOf[v] = int(next[label[v]])
+			} else {
+				d.CliqueOf[v] = -1
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if idx > 0 {
+		d.Cliques = make([][]int, idx)
+		for v := 0; v < n; v++ {
+			if ci := d.CliqueOf[v]; ci >= 0 {
+				d.Cliques[ci] = append(d.Cliques[ci], v)
+			}
 		}
 	}
 	return d, nil
+}
+
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
 }
 
 // Compute runs the distributed decomposition of Proposition 4.3 on a cluster

@@ -1,0 +1,283 @@
+package acd
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/fingerprint"
+	"clustercolor/internal/graph"
+	"clustercolor/internal/parwork"
+	"clustercolor/internal/shard"
+	"clustercolor/internal/sketch"
+)
+
+// ComputeSharded runs the decomposition on a partitioned substrate with a
+// workspace and shard engine allocated for this call; see ComputeShardedWith.
+func ComputeSharded(cg *cluster.CG, sg *graph.ShardedGraph, eps float64, rng *rand.Rand) (*Decomposition, error) {
+	return ComputeShardedWith(cg, shard.NewEngine(sg, sketch.MaxKernel{}), eps, rng, NewWorkspace())
+}
+
+// ComputeShardedWith is ComputeWith on a partitioned substrate: the sketch
+// waves run per shard slice — each slice folds its own arenas over its local
+// CSR on its worker-pool share, with boundary-exchange phases shipping
+// sample and sketch rows by owner shard between the waves — and the buddy
+// predicate is evaluated by the owner of each forward edge into the global
+// slot bitmap through the slice slot maps. Every byte of randomness derives
+// from the same draw, every row from the same global RowSeed stream, and
+// every estimate from rows the kernel's semilattice merge makes identical to
+// the unsharded fold, so the decomposition — and the cost-model charges,
+// issued once globally per logical wave — is byte-identical to ComputeWith
+// at every shard count and parallelism. Cross-shard traffic lands in the
+// engine's ExchangeStats.
+func ComputeShardedWith(cg *cluster.CG, se *shard.Engine, eps float64, rng *rand.Rand, ws *Workspace) (*Decomposition, error) {
+	if eps <= 0 || eps >= 1.0/3 {
+		return nil, fmt.Errorf("acd: eps %v out of (0, 1/3)", eps)
+	}
+	g := cg.H
+	if se.SG.G != g {
+		return nil, fmt.Errorf("acd: shard engine partitions a different graph")
+	}
+	n := g.N()
+	delta := float64(g.MaxDegree())
+	seed := rng.Uint64()
+	if delta == 0 {
+		d := &Decomposition{Eps: eps, CliqueOf: make([]int, n)}
+		for v := range d.CliqueOf {
+			d.CliqueOf[v] = -1
+		}
+		return d, nil
+	}
+	xi := eps / 2
+	t, err := fingerprint.TrialsFor(xi/2, n)
+	if err != nil {
+		return nil, err
+	}
+	// Wave 1: neighborhood sketches, per shard with a sample exchange.
+	if err := se.FillSamples(t, parwork.RowSeed(seed, 0), "acd/nbhd"); err != nil {
+		return nil, err
+	}
+	maxBits, err := se.Collect(cg, "acd/nbhd", shard.CollectOptions{})
+	if err != nil {
+		return nil, err
+	}
+	ws.deg = growFloats(ws.deg, n)
+	if err := estimateSharded(se, ws.deg, nil); err != nil {
+		return nil, err
+	}
+	cg.ChargeHRounds("acd/buddy-exchange", 1, maxBits)
+	lowCut := (1 - 1.5*xi) * delta
+	joinCut := (1 + 1.5*xi) * delta
+	// Buddy predicate: each shard evaluates the forward edges of its owned
+	// vertices from its local rows (halo rows arrived in the collect's
+	// exchange), writing global slots through the slice slot map.
+	buddy, err := fillEdgeBitsSharded(g, se, ws, func(s, lv int, sl *graph.ShardSlice, sc *sketch.Scratch, set func(slot int)) {
+		v := sl.Lo + lv
+		if ws.deg[v] < lowCut {
+			return
+		}
+		sv := se.OutRowLocal(s, lv)
+		base := sl.CSR.AdjOffset(lv)
+		for j, lu := range sl.CSR.Neighbors(lv) {
+			u := sl.ToGlobal(int(lu))
+			if u <= v || ws.deg[u] < lowCut {
+				continue
+			}
+			if sc.Est.Estimate(sc.MergeTwo(sv, se.OutRowLocal(s, int(lu)))) <= joinCut {
+				set(int(sl.SlotToGlobal[base+j]))
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cap(ws.buddySrc) < len(buddy) {
+		ws.buddySrc = make([]uint64, len(buddy))
+	}
+	ws.buddySrc = ws.buddySrc[:len(buddy)]
+	copy(ws.buddySrc, buddy)
+	if err := mirrorEdgeBits(g, ws.buddySrc, buddy); err != nil {
+		return nil, err
+	}
+	// Wave 2: buddy-edge counts against the memoized bitmap.
+	if err := se.FillSamples(t, parwork.RowSeed(seed, 1), "acd/buddy-count"); err != nil {
+		return nil, err
+	}
+	if _, err := se.Collect(cg, "acd/buddy-count", shard.CollectOptions{
+		Pred: func(v, u, slot int) bool { return buddy[slot>>6]&(1<<(slot&63)) != 0 },
+	}); err != nil {
+		return nil, err
+	}
+	ws.count = growFloats(ws.count, n)
+	if err := estimateSharded(se, ws.count, nil); err != nil {
+		return nil, err
+	}
+	if cap(ws.dense) < n {
+		ws.dense = make([]bool, n)
+	}
+	ws.dense = ws.dense[:n]
+	denseCut := (1 - 1.5*xi) * delta
+	for v := 0; v < n; v++ {
+		ws.dense[v] = ws.count[v] >= denseCut
+	}
+	cg.ChargeHRounds("acd/leaders", 3, cg.IDBits())
+	return assemble(g, eps, ws.dense, func(v, u, slot int) bool {
+		return buddy[slot>>6]&(1<<(slot&63)) != 0
+	}, ws)
+}
+
+// estimateSharded fills out[v] with the estimator applied to v's collected
+// row, per shard on its pool share. A non-nil keep predicate gates which
+// vertices receive an estimate (others keep their zero value) — the profile
+// wave estimates clique members only.
+func estimateSharded(se *shard.Engine, out []float64, keep func(v int) bool) error {
+	k := se.SG.NumShards()
+	_, err := parwork.ForEach(k, func(s int) (struct{}, error) {
+		sl := se.SG.Slices[s]
+		return struct{}{}, se.Pool(s).ForRange(sl.Own(), func(lo, hi int) error {
+			var est sketch.MaxEstimator
+			for lv := lo; lv < hi; lv++ {
+				v := sl.Lo + lv
+				if keep != nil && !keep(v) {
+					continue
+				}
+				out[v] = est.Estimate(se.OutRowLocal(s, lv))
+			}
+			return nil
+		})
+	})
+	return err
+}
+
+// fillEdgeBitsSharded is fillEdgeBits on the partitioned substrate: the
+// global packed per-slot bitmap is sized once, and each shard's pool chunks
+// its owned range with the same word-ownership spill discipline — a chunk
+// owns the word-aligned span starting at its first owned global slot; bits
+// below it spill and apply sequentially after all shards finish. Owned
+// global slot ranges are contiguous and ascending across (shard, chunk)
+// pairs, so word ownership is globally consistent and the bitmap stays
+// race-free without atomics.
+func fillEdgeBitsSharded(g *graph.Graph, se *shard.Engine, ws *Workspace, fill func(s, lv int, sl *graph.ShardSlice, sc *sketch.Scratch, set func(slot int))) ([]uint64, error) {
+	words := (2*g.M() + 63) / 64
+	if cap(ws.buddy) < words {
+		ws.buddy = make([]uint64, words)
+	}
+	ws.buddy = ws.buddy[:words]
+	for i := range ws.buddy {
+		ws.buddy[i] = 0
+	}
+	bits := ws.buddy
+	k := se.SG.NumShards()
+	spillsPerShard, err := parwork.ForEach(k, func(s int) ([][]int, error) {
+		sl := se.SG.Slices[s]
+		own := sl.Own()
+		chunks := parwork.RangeChunks(own)
+		spills := make([][]int, chunks)
+		err := se.Pool(s).ForEach(chunks, func(ci int) error {
+			lo, hi := parwork.ChunkBounds(own, ci)
+			ownStart := (g.AdjOffset(sl.Lo+lo) + 63) &^ 63
+			var spill []int
+			var sc sketch.Scratch
+			set := func(slot int) {
+				if slot < ownStart {
+					spill = append(spill, slot)
+					return
+				}
+				bits[slot>>6] |= 1 << (slot & 63)
+			}
+			for lv := lo; lv < hi; lv++ {
+				fill(s, lv, sl, &sc, set)
+			}
+			spills[ci] = spill
+			return nil
+		})
+		return spills, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, spills := range spillsPerShard {
+		for _, sp := range spills {
+			for _, slot := range sp {
+				bits[slot>>6] |= 1 << (slot & 63)
+			}
+		}
+	}
+	return bits, nil
+}
+
+// BuildProfileSharded computes the Section 4.1 profile on the partitioned
+// substrate; see BuildProfileShardedWith.
+func BuildProfileSharded(cg *cluster.CG, sg *graph.ShardedGraph, d *Decomposition, delta, ell float64, rng *rand.Rand) (*Profile, error) {
+	return BuildProfileShardedWith(cg, shard.NewEngine(sg, sketch.MaxKernel{}), d, delta, ell, rng, NewWorkspace())
+}
+
+// BuildProfileShardedWith mirrors BuildProfileWith with the external-degree
+// wave running on the shard engine: per-shard fills and folds, a boundary
+// exchange for the halo rows, and one global charge — byte-identical output
+// and cost at every shard count. The tree and aggregation stages are
+// vertex-level primitives on the cluster graph and run unchanged.
+func BuildProfileShardedWith(cg *cluster.CG, se *shard.Engine, d *Decomposition, delta, ell float64, rng *rand.Rand, ws *Workspace) (*Profile, error) {
+	if ell <= 0 {
+		return nil, fmt.Errorf("acd: ell %v must be positive", ell)
+	}
+	n := cg.H.N()
+	p := &Profile{
+		Decomp:  d,
+		ExtDeg:  make([]float64, n),
+		AvgExt:  make([]float64, len(d.Cliques)),
+		Size:    make([]int, len(d.Cliques)),
+		IsCabal: make([]bool, len(d.Cliques)),
+		Ell:     ell,
+	}
+	if len(d.Cliques) > 0 {
+		seed := rng.Uint64()
+		t, err := fingerprint.TrialsFor(0.25, n)
+		if err != nil {
+			return nil, err
+		}
+		if err := se.FillSamples(t, parwork.RowSeed(seed, 0), "profile/extdeg"); err != nil {
+			return nil, err
+		}
+		if _, err := se.Collect(cg, "profile/extdeg", shard.CollectOptions{
+			Pred: func(v, u, slot int) bool {
+				return d.CliqueOf[v] >= 0 && d.CliqueOf[u] != d.CliqueOf[v]
+			},
+		}); err != nil {
+			return nil, err
+		}
+		if err := estimateSharded(se, p.ExtDeg, func(v int) bool { return d.CliqueOf[v] >= 0 }); err != nil {
+			return nil, err
+		}
+		sources := make([]int, len(d.Cliques))
+		for i, members := range d.Cliques {
+			sources[i] = members[0]
+			for _, v := range members {
+				if v < sources[i] {
+					sources[i] = v
+				}
+			}
+		}
+		trees, err := cg.BFSForest("profile/trees", d.Cliques, sources, n)
+		if err != nil {
+			return nil, err
+		}
+		p.Trees = trees
+		cg.ChargeHRounds("profile/aggregate", 2, 2*cg.IDBits())
+		if _, err := parwork.ForEach(len(d.Cliques), func(i int) (struct{}, error) {
+			members := d.Cliques[i]
+			p.Size[i] = len(members)
+			var sum float64
+			for _, v := range members {
+				sum += p.ExtDeg[v]
+			}
+			p.AvgExt[i] = sum / float64(len(members))
+			p.IsCabal[i] = p.AvgExt[i] < ell
+			return struct{}{}, nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	_ = delta
+	return p, nil
+}

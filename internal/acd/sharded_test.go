@@ -1,0 +1,144 @@
+package acd
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"clustercolor/internal/graph"
+	"clustercolor/internal/network"
+	"clustercolor/internal/parwork"
+	"clustercolor/internal/shard"
+	"clustercolor/internal/sketch"
+)
+
+type decompRun struct {
+	d       *Decomposition
+	p       *Profile
+	rounds  int64
+	bits    int64
+	xchange shard.ExchangeStats
+}
+
+func runDecomp(t *testing.T, h *graph.Graph, shards, par int) decompRun {
+	t.Helper()
+	prev := parwork.SetParallelism(par)
+	defer parwork.SetParallelism(prev)
+	cg := asCG(t, h, 17)
+	cost, err := network.NewCostModel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := cg.WithCost(cost)
+	rng := parwork.StreamRNG(41)
+	ell := 8.0
+	var out decompRun
+	if shards == 0 {
+		ws := NewWorkspace()
+		d, err := ComputeWith(run, 0.2, rng, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := BuildProfileWith(run, d, float64(h.MaxDegree()), ell, rng, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.d, out.p = d, p
+	} else {
+		sg, err := graph.NewShardedGraph(run.H, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se := shard.NewEngine(sg, sketch.MaxKernel{})
+		ws := NewWorkspace()
+		d, err := ComputeShardedWith(run, se, 0.2, rng, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := BuildProfileShardedWith(run, se, d, float64(h.MaxDegree()), ell, rng, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.d, out.p = d, p
+		out.xchange = se.Stats
+	}
+	out.rounds = run.Cost().Rounds()
+	out.bits = run.Cost().TotalBits()
+	return out
+}
+
+func assertSameDecomp(t *testing.T, label string, want, got decompRun) {
+	t.Helper()
+	if len(got.d.CliqueOf) != len(want.d.CliqueOf) {
+		t.Fatalf("%s: CliqueOf length %d, want %d", label, len(got.d.CliqueOf), len(want.d.CliqueOf))
+	}
+	for v := range want.d.CliqueOf {
+		if got.d.CliqueOf[v] != want.d.CliqueOf[v] {
+			t.Fatalf("%s: CliqueOf[%d] = %d, want %d", label, v, got.d.CliqueOf[v], want.d.CliqueOf[v])
+		}
+	}
+	if len(got.d.Cliques) != len(want.d.Cliques) {
+		t.Fatalf("%s: %d cliques, want %d", label, len(got.d.Cliques), len(want.d.Cliques))
+	}
+	for i := range want.d.Cliques {
+		if len(got.d.Cliques[i]) != len(want.d.Cliques[i]) {
+			t.Fatalf("%s: clique %d size %d, want %d", label, i, len(got.d.Cliques[i]), len(want.d.Cliques[i]))
+		}
+		for j := range want.d.Cliques[i] {
+			if got.d.Cliques[i][j] != want.d.Cliques[i][j] {
+				t.Fatalf("%s: clique %d member %d = %d, want %d", label, i, j, got.d.Cliques[i][j], want.d.Cliques[i][j])
+			}
+		}
+	}
+	for i := range want.p.IsCabal {
+		if got.p.IsCabal[i] != want.p.IsCabal[i] {
+			t.Fatalf("%s: IsCabal[%d] = %v, want %v", label, i, got.p.IsCabal[i], want.p.IsCabal[i])
+		}
+		if math.Float64bits(got.p.AvgExt[i]) != math.Float64bits(want.p.AvgExt[i]) {
+			t.Fatalf("%s: AvgExt[%d] = %v, want %v (bit-exact)", label, i, got.p.AvgExt[i], want.p.AvgExt[i])
+		}
+	}
+	for v := range want.p.ExtDeg {
+		if math.Float64bits(got.p.ExtDeg[v]) != math.Float64bits(want.p.ExtDeg[v]) {
+			t.Fatalf("%s: ExtDeg[%d] = %v, want %v (bit-exact)", label, v, got.p.ExtDeg[v], want.p.ExtDeg[v])
+		}
+	}
+	if got.rounds != want.rounds || got.bits != want.bits {
+		t.Fatalf("%s: charged rounds/bits %d/%d, want %d/%d — sharding must not change the budget", label, got.rounds, got.bits, want.rounds, want.bits)
+	}
+}
+
+// TestComputeShardedByteIdentity is the tentpole invariant at the
+// decomposition layer: the partitioned pipeline must reproduce the
+// unsharded decomposition and profile bit for bit — same cliques, same
+// cabal flags, same float estimates, same charged budget — at shard counts
+// 1/2/4 (plus a non-dividing count) and parallelism 1/4/NumCPU.
+func TestComputeShardedByteIdentity(t *testing.T) {
+	planted, _ := plantedInstance(t, 3)
+	ring, err := graph.RingOfCliques(7, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := map[string]*graph.Graph{
+		"planted":     planted,
+		"ringcliques": ring,
+		"gnp":         graph.MustGNP(240, 0.12, graph.NewRand(19)),
+	}
+	pars := []int{1, 4, runtime.NumCPU()}
+	for gname, h := range graphs {
+		want := runDecomp(t, h, 0, 1)
+		for _, shards := range []int{1, 2, 4, 5} {
+			for _, par := range pars {
+				label := gname
+				got := runDecomp(t, h, shards, par)
+				assertSameDecomp(t, label, want, got)
+				if shards == 1 && got.xchange.Rows != 0 {
+					t.Fatalf("%s: single shard shipped %d boundary rows", label, got.xchange.Rows)
+				}
+				if shards > 1 && gname == "ringcliques" && got.xchange.Rows == 0 {
+					t.Fatalf("%s shards=%d: expected boundary traffic", label, shards)
+				}
+			}
+		}
+	}
+}

@@ -24,7 +24,53 @@ import (
 	"clustercolor/internal/cluster"
 	"clustercolor/internal/coloring"
 	"clustercolor/internal/graph"
+	"clustercolor/internal/parwork"
 )
+
+// decideWave resolves one announce wave for both baselines: vertex v adopts
+// tried[v] iff no neighbor holds it and no lower-ID neighbor tried it.
+// Decisions are computed in parallel — they depend only on the pre-wave
+// coloring and the tried array, since a lower-ID neighbor newly adopting c
+// must have tried c — and applied sequentially in vertex order, preserving
+// the deterministic write-apply contract. Reports whether any vertex was
+// colored.
+func decideWave(h *graph.Graph, col *coloring.Coloring, tried, win []int32) (bool, error) {
+	n := h.N()
+	if err := parwork.ForRange(n, func(lo, hi int) error {
+		for v := lo; v < hi; v++ {
+			c := tried[v]
+			win[v] = coloring.None
+			if c == coloring.None {
+				continue
+			}
+			ok := true
+			for _, u := range h.Neighbors(v) {
+				w := int(u)
+				if col.Get(w) == c || (w < v && tried[w] == c) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				win[v] = c
+			}
+		}
+		return nil
+	}); err != nil {
+		return false, err
+	}
+	progress := false
+	for v := 0; v < n; v++ {
+		if win[v] == coloring.None {
+			continue
+		}
+		if err := col.Set(v, win[v]); err != nil {
+			return progress, err
+		}
+		progress = true
+	}
+	return progress, nil
+}
 
 // Greedy colors the graph sequentially with first-fit and returns the
 // coloring; it always uses at most Δ+1 colors.
@@ -61,6 +107,8 @@ func RandomTrials(cg *cluster.CG, col *coloring.Coloring, maxWaves int, rng *ran
 		paletteHops = 1
 	}
 	waves := 0
+	tried := make([]int32, h.N())
+	win := make([]int32, h.N())
 	for ; waves < maxWaves; waves++ {
 		if col.DomSize() == col.N() {
 			break
@@ -68,7 +116,9 @@ func RandomTrials(cg *cluster.CG, col *coloring.Coloring, maxWaves int, rng *ran
 		// Palette learning + announce + respond.
 		cg.ChargeHRounds("baseline/luby-palette", paletteHops, bw)
 		cg.ChargeHRounds("baseline/luby-try", 2, 2*cg.IDBits())
-		tried := make([]int32, h.N())
+		for i := range tried {
+			tried[i] = coloring.None
+		}
 		for v := 0; v < h.N(); v++ {
 			if col.IsColored(v) {
 				continue
@@ -79,24 +129,8 @@ func RandomTrials(cg *cluster.CG, col *coloring.Coloring, maxWaves int, rng *ran
 			}
 			tried[v] = pal[rng.IntN(len(pal))]
 		}
-		for v := 0; v < h.N(); v++ {
-			c := tried[v]
-			if c == coloring.None {
-				continue
-			}
-			ok := true
-			for _, u := range h.Neighbors(v) {
-				w := int(u)
-				if col.Get(w) == c || (w < v && tried[w] == c) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				if err := col.Set(v, c); err != nil {
-					return nil, err
-				}
-			}
+		if _, err := decideWave(h, col, tried, win); err != nil {
+			return nil, err
 		}
 	}
 	if col.DomSize() != col.N() {
@@ -145,18 +179,22 @@ func PaletteSparsification(cg *cluster.CG, col *coloring.Coloring, listFactor fl
 	listBits := listSize * (cg.IDBits() / 2)
 	cg.ChargeHRounds("baseline/ps-lists", 1, listBits)
 	waves := 0
+	tried := make([]int32, n)
+	win := make([]int32, n)
+	var avail []int32
 	for ; waves < maxWaves; waves++ {
 		if col.DomSize() == col.N() {
 			break
 		}
 		cg.ChargeHRounds("baseline/ps-try", 2, 2*cg.IDBits())
-		tried := make([]int32, n)
-		progress := false
+		for i := range tried {
+			tried[i] = coloring.None
+		}
 		for v := 0; v < n; v++ {
 			if col.IsColored(v) {
 				continue
 			}
-			var avail []int32
+			avail = avail[:0]
 			for _, c := range lists[v] {
 				if coloring.Available(h, col, v, c) {
 					avail = append(avail, c)
@@ -167,25 +205,9 @@ func PaletteSparsification(cg *cluster.CG, col *coloring.Coloring, listFactor fl
 			}
 			tried[v] = avail[rng.IntN(len(avail))]
 		}
-		for v := 0; v < n; v++ {
-			c := tried[v]
-			if c == coloring.None {
-				continue
-			}
-			ok := true
-			for _, u := range h.Neighbors(v) {
-				w := int(u)
-				if col.Get(w) == c || (w < v && tried[w] == c) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				if err := col.Set(v, c); err != nil {
-					return nil, err
-				}
-				progress = true
-			}
+		progress, err := decideWave(h, col, tried, win)
+		if err != nil {
+			return nil, err
 		}
 		if !progress && col.DomSize() != col.N() {
 			return nil, fmt.Errorf("baseline: palette sparsification stuck with lists of %d colors", listSize)

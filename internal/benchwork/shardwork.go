@@ -1,0 +1,30 @@
+package benchwork
+
+import (
+	"clustercolor/internal/acd"
+	"clustercolor/internal/cluster"
+	"clustercolor/internal/core"
+	"clustercolor/internal/parwork"
+	"clustercolor/internal/shard"
+)
+
+// RunACDShardedOnce is RunACDOnce on the partitioned substrate: the same
+// decomposition + profile build, driven through a shard engine's per-slice
+// arenas and boundary-exchange phases. With equal seeds the outputs are
+// byte-identical to RunACDOnce — the benchmarks compare execution layouts,
+// not algorithms — and the cross-shard traffic of the run accumulates in
+// se.Stats (callers reset it between runs to read per-run numbers).
+func RunACDShardedOnce(cg *cluster.CG, se *shard.Engine, eps float64, seed uint64, ws *acd.Workspace) (*acd.Decomposition, *acd.Profile, error) {
+	rng := parwork.StreamRNG(seed)
+	d, err := acd.ComputeShardedWith(cg, se, eps, rng, ws)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := cg.H.N()
+	ell := core.DefaultParams(n).Ell(n)
+	prof, err := acd.BuildProfileShardedWith(cg, se, d, float64(cg.H.MaxDegree()), ell, rng, ws)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, prof, nil
+}

@@ -154,19 +154,25 @@ func TestBFSForestMatchesSequentialBFS(t *testing.T) {
 	for i, allow := range []func(int) bool{func(v int) bool { return v%2 == 0 }, func(v int) bool { return v%2 == 1 }} {
 		depth, _ := h.BFSDepths(trees[i].Root, allow)
 		for v := 0; v < h.N(); v++ {
-			if trees[i].Depth[v] != depth[v] {
-				t.Fatalf("tree %d depth[%d] = %d, want %d", i, v, trees[i].Depth[v], depth[v])
+			if trees[i].Depth(v) != depth[v] {
+				t.Fatalf("tree %d depth[%d] = %d, want %d", i, v, trees[i].Depth(v), depth[v])
+			}
+			if trees[i].Contains(v) != (depth[v] >= 0) {
+				t.Fatalf("tree %d Contains(%d) = %v, depth %d", i, v, trees[i].Contains(v), depth[v])
 			}
 		}
 		// Parent edges are H-edges and decrease depth by one.
 		for v := 0; v < h.N(); v++ {
-			p := trees[i].Parent[v]
+			p := trees[i].Parent(v)
 			if p < 0 {
 				continue
 			}
-			if !h.HasEdge(v, p) || trees[i].Depth[v] != trees[i].Depth[p]+1 {
+			if !h.HasEdge(v, p) || trees[i].Depth(v) != trees[i].Depth(p)+1 {
 				t.Fatalf("tree %d bad parent edge %d->%d", i, v, p)
 			}
+		}
+		if trees[i].Len() != len(trees[i].Vertices) {
+			t.Fatalf("tree %d Len %d != %d members", i, trees[i].Len(), len(trees[i].Vertices))
 		}
 	}
 }
@@ -192,8 +198,8 @@ func TestBFSForestRespectsDepthBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if trees[0].Depth[2] != 2 || trees[0].Depth[3] != -1 {
-		t.Fatalf("depth budget ignored: %v", trees[0].Depth[:4])
+	if trees[0].Depth(2) != 2 || trees[0].Depth(3) != -1 {
+		t.Fatalf("depth budget ignored: depth(2)=%d depth(3)=%d", trees[0].Depth(2), trees[0].Depth(3))
 	}
 }
 

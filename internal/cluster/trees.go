@@ -9,25 +9,52 @@ import (
 
 // HTree is a rooted tree on H-vertices produced by BFSForest. Children are
 // ordered (by vertex id), which induces the total vertex order used by
-// PrefixSums (Lemma 3.3).
+// PrefixSums (Lemma 3.3). The representation is member-indexed: parent and
+// depth are stored per member (parallel to Vertices) with a position map for
+// lookups, so a tree costs O(members) memory rather than O(n) — on
+// million-vertex instances with thousands of cliques the dense arrays this
+// replaces were the profile stage's dominant allocation.
 type HTree struct {
 	Root int
-	// Parent per H-vertex; -1 for the root and for vertices outside the
-	// tree.
-	Parent []int
-	// Depth per H-vertex; -1 outside the tree.
-	Depth []int
 	// Vertices lists the tree's members in the tree order ≺ (root first,
 	// then recursively by ordered children — a preorder).
 	Vertices []int
 	// Height is the maximum depth.
 	Height int
+	// parent[i] is the parent of Vertices[i] (-1 for the root); depth[i] is
+	// its BFS depth. pos maps a member vertex to its index in Vertices.
+	parent []int32
+	depth  []int32
+	pos    map[int]int32
 }
 
 // Contains reports whether v belongs to the tree.
 func (t *HTree) Contains(v int) bool {
-	return v >= 0 && v < len(t.Depth) && t.Depth[v] >= 0
+	_, ok := t.pos[v]
+	return ok
 }
+
+// Parent returns v's parent in the tree, -1 for the root and for vertices
+// outside the tree.
+func (t *HTree) Parent(v int) int {
+	i, ok := t.pos[v]
+	if !ok {
+		return -1
+	}
+	return int(t.parent[i])
+}
+
+// Depth returns v's BFS depth, -1 for vertices outside the tree.
+func (t *HTree) Depth(v int) int {
+	i, ok := t.pos[v]
+	if !ok {
+		return -1
+	}
+	return int(t.depth[i])
+}
+
+// Len returns the number of member vertices.
+func (t *HTree) Len() int { return len(t.Vertices) }
 
 // BFSForest implements Lemma 3.2: a parallel t-hop BFS in vertex-disjoint
 // subgraphs of H. Each subgraph is given by its member set and a source
@@ -63,27 +90,25 @@ func (cg *CG) BFSForest(phase string, subgraphs [][]int, sources []int, maxDepth
 	// worker reads only the shared owner array and writes only its own tree.
 	trees, err := parwork.ForEach(len(subgraphs), func(i int) (*HTree, error) {
 		src := sources[i]
-		tr := &HTree{
-			Root:   src,
-			Parent: make([]int, cg.H.N()),
-			Depth:  make([]int, cg.H.N()),
-		}
-		for v := range tr.Parent {
-			tr.Parent[v] = -1
-			tr.Depth[v] = -1
-		}
-		tr.Depth[src] = 0
+		tr := &HTree{Root: src}
+		// Member-local BFS state: maps sized by the subgraph, never by n.
+		depth := make(map[int]int32, len(subgraphs[i]))
+		parent := make(map[int]int, len(subgraphs[i]))
+		depth[src] = 0
 		frontier := []int{src}
 		for d := 0; d < maxDepth && len(frontier) > 0; d++ {
 			var next []int
 			for _, v := range frontier {
 				for _, w := range cg.H.Neighbors(v) {
 					u := int(w)
-					if owner[u] != i || tr.Depth[u] >= 0 {
+					if owner[u] != i {
 						continue
 					}
-					tr.Depth[u] = d + 1
-					tr.Parent[u] = v
+					if _, seen := depth[u]; seen {
+						continue
+					}
+					depth[u] = int32(d + 1)
+					parent[u] = v
 					next = append(next, u)
 				}
 			}
@@ -93,8 +118,21 @@ func (cg *CG) BFSForest(phase string, subgraphs [][]int, sources []int, maxDepth
 				tr.Height = d + 1
 			}
 		}
-		// Preorder traversal with children ordered by id.
-		tr.Vertices = preorder(tr, cg)
+		// Preorder traversal with children ordered by id, then freeze the
+		// member-indexed arrays in that order.
+		tr.Vertices = preorder(tr, parent, len(depth))
+		tr.parent = make([]int32, len(tr.Vertices))
+		tr.depth = make([]int32, len(tr.Vertices))
+		tr.pos = make(map[int]int32, len(tr.Vertices))
+		for idx, v := range tr.Vertices {
+			tr.pos[v] = int32(idx)
+			tr.depth[idx] = depth[v]
+			if p, ok := parent[v]; ok {
+				tr.parent[idx] = int32(p)
+			} else {
+				tr.parent[idx] = -1
+			}
+		}
 		return tr, nil
 	})
 	if err != nil {
@@ -116,17 +154,15 @@ func (cg *CG) BFSForest(phase string, subgraphs [][]int, sources []int, maxDepth
 	return trees, nil
 }
 
-func preorder(t *HTree, cg *CG) []int {
-	children := make(map[int][]int)
-	for v := 0; v < cg.H.N(); v++ {
-		if p := t.Parent[v]; p >= 0 {
-			children[p] = append(children[p], v)
-		}
+func preorder(t *HTree, parent map[int]int, members int) []int {
+	children := make(map[int][]int, len(parent))
+	for v, p := range parent {
+		children[p] = append(children[p], v)
 	}
 	for _, c := range children {
 		sort.Ints(c)
 	}
-	var order []int
+	order := make([]int, 0, members)
 	var walk func(v int)
 	walk = func(v int) {
 		order = append(order, v)

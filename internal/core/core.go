@@ -8,7 +8,10 @@ import (
 	"clustercolor/internal/acd"
 	"clustercolor/internal/cluster"
 	"clustercolor/internal/coloring"
+	"clustercolor/internal/graph"
 	"clustercolor/internal/parwork"
+	"clustercolor/internal/shard"
+	"clustercolor/internal/sketch"
 	"clustercolor/internal/trials"
 )
 
@@ -136,14 +139,39 @@ func (p Params) reservedFor(avgExt, ell float64, delta int) int32 {
 func decompose(cg *cluster.CG, params Params, stats *Stats, rng *rand.Rand, tr StageTracer) (*acd.Decomposition, *acd.Profile, error) {
 	before := cg.Cost().Rounds()
 	ws := acd.NewWorkspace()
-	d, err := acd.ComputeWith(cg, params.Eps, rng, ws)
-	if err != nil {
-		return nil, nil, err
-	}
 	ell := params.Ell(cg.H.N())
-	prof, err := acd.BuildProfileWith(cg, d, float64(cg.H.MaxDegree()), ell, rng, ws)
-	if err != nil {
-		return nil, nil, err
+	var d *acd.Decomposition
+	var prof *acd.Profile
+	var err error
+	if params.Shards > 1 {
+		// Partitioned path: both waves run on one shard engine so arenas and
+		// slices are shared, and the cross-shard traffic lands in Stats.
+		var sg *graph.ShardedGraph
+		sg, err = graph.NewShardedGraph(cg.H, params.Shards)
+		if err != nil {
+			return nil, nil, err
+		}
+		se := shard.NewEngine(sg, sketch.MaxKernel{})
+		d, err = acd.ComputeShardedWith(cg, se, params.Eps, rng, ws)
+		if err != nil {
+			return nil, nil, err
+		}
+		prof, err = acd.BuildProfileShardedWith(cg, se, d, float64(cg.H.MaxDegree()), ell, rng, ws)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.Shards = params.Shards
+		stats.ShardExchangedRows = se.Stats.Rows
+		stats.ShardExchangedBits = se.Stats.Bits
+	} else {
+		d, err = acd.ComputeWith(cg, params.Eps, rng, ws)
+		if err != nil {
+			return nil, nil, err
+		}
+		prof, err = acd.BuildProfileWith(cg, d, float64(cg.H.MaxDegree()), ell, rng, ws)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	stats.DecompRounds = cg.Cost().Rounds() - before
 	stats.NumCliques = len(d.Cliques)

@@ -8,6 +8,7 @@ import (
 	"clustercolor/internal/cluster"
 	"clustercolor/internal/coloring"
 	"clustercolor/internal/linial"
+	"clustercolor/internal/parwork"
 	"clustercolor/internal/trials"
 )
 
@@ -111,19 +112,45 @@ func smallInstanceColoring(cg *cluster.CG, col *coloring.Coloring, stats *Stats,
 	for i, c := range linColors {
 		byClass[c] = append(byClass[c], orig[i])
 	}
-	scratch := coloring.NewPaletteScratch()
+	// Each class is an independent set of the shattered subgraph, and its
+	// members are pairwise non-adjacent in h too (all were uncolored, so an
+	// h-edge would appear in the induced subgraph). Palette picks within a
+	// class therefore never observe each other's writes: compute them in
+	// parallel across the pool, apply sequentially in vertex order —
+	// byte-identical to the serial loop.
+	var choice []int32
 	for c := linQ - 1; c >= 0; c-- {
-		if len(byClass[c]) == 0 {
+		vs := byClass[c]
+		if len(vs) == 0 {
 			continue
 		}
 		cg.ChargeHRounds("lowdeg/small-instance", 1, 2*cg.IDBits())
-		sort.Ints(byClass[c])
-		for _, v := range byClass[c] {
-			pal := scratch.Palette(h, col, v)
-			if len(pal) == 0 {
-				continue // left to the terminal fallback
+		sort.Ints(vs)
+		if cap(choice) < len(vs) {
+			choice = make([]int32, len(vs))
+		}
+		choice = choice[:len(vs)]
+		chunks := parwork.RangeChunks(len(vs))
+		if _, err := parwork.ForEach(chunks, func(ci int) (struct{}, error) {
+			lo, hi := parwork.ChunkBounds(len(vs), ci)
+			sc := coloring.NewPaletteScratch()
+			for i := lo; i < hi; i++ {
+				pal := sc.Palette(h, col, vs[i])
+				if len(pal) == 0 {
+					choice[i] = coloring.None // left to the terminal fallback
+					continue
+				}
+				choice[i] = pal[0]
 			}
-			if err := col.Set(v, pal[0]); err != nil {
+			return struct{}{}, nil
+		}); err != nil {
+			return err
+		}
+		for i, v := range vs {
+			if choice[i] == coloring.None {
+				continue
+			}
+			if err := col.Set(v, choice[i]); err != nil {
 				return err
 			}
 		}

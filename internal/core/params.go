@@ -45,6 +45,14 @@ type Params struct {
 	MatchingTrialFactor int
 	// MaxFallbackRounds bounds the terminal cleanup loop (default 200).
 	MaxFallbackRounds int
+	// Shards routes the decomposition stage through the partitioned
+	// substrate (internal/shard): the graph splits into this many contiguous
+	// vertex slices, each running its own sketch arenas and worker-pool
+	// share, stitched by boundary-exchange phases. 0 or 1 keeps the
+	// single-address-space path. The coloring, decomposition, and charged
+	// rounds are byte-identical either way; only the execution layout (and
+	// the cross-shard traffic reported in Stats) changes.
+	Shards int
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -92,6 +100,9 @@ func (p Params) Validate() error {
 	}
 	if p.MaxFallbackRounds < 1 {
 		return fmt.Errorf("core: MaxFallbackRounds %v must be >= 1", p.MaxFallbackRounds)
+	}
+	if p.Shards < 0 {
+		return fmt.Errorf("core: Shards %v must be >= 0", p.Shards)
 	}
 	return nil
 }
@@ -164,4 +175,12 @@ type Stats struct {
 	// overstate the applied effect by at most this amount; the dropped
 	// vertices are recovered by later stages or the terminal fallback.
 	ParallelDroppedWrites int
+	// Shards echoes Params.Shards when the decomposition ran partitioned
+	// (0 = single address space); ShardExchangedRows/Bits are the sketch
+	// rows shipped across shard boundaries and their deviation-encoded
+	// size. Exchange traffic is an execution-layout cost, not a cluster
+	// round charge — Rounds is identical with and without sharding.
+	Shards             int
+	ShardExchangedRows int64
+	ShardExchangedBits int64
 }

@@ -34,6 +34,7 @@ import (
 
 	"clustercolor/internal/cluster"
 	"clustercolor/internal/fingerprint"
+	"clustercolor/internal/graph"
 	"clustercolor/internal/network"
 )
 
@@ -188,16 +189,68 @@ func FingerprintWave(cg *cluster.CG, samples []fingerprint.Samples, bandwidthBit
 // FingerprintWaveWith is FingerprintWave under an explicit engine
 // scheduler; the wave must behave identically under all of them.
 func FingerprintWaveWith(cg *cluster.CG, samples []fingerprint.Samples, bandwidthBits int, sched network.Scheduler) ([]fingerprint.Sketch, network.LinkStats, error) {
+	wave, err := buildWaveMachines(cg, samples)
+	if err != nil {
+		return nil, network.LinkStats{}, err
+	}
+	machines := make([]network.Machine, len(wave))
+	for i, wm := range wave {
+		machines[i] = wm
+	}
+	eng, err := network.NewEngineWithScheduler(cg.G, machines, bandwidthBits, sched)
+	if err != nil {
+		return nil, network.LinkStats{}, err
+	}
+	defer eng.Close()
+	if _, err := eng.Run(WaveRoundBudget(cg.Dilation), waveDone(wave)); err != nil {
+		return nil, eng.Stats(), err
+	}
+	return waveResults(cg, wave), eng.Stats(), nil
+}
+
+// FingerprintWaveSharded is the wave on a partitioned substrate: machines of
+// the communication graph G are split across shards of a MultiEngine, with
+// messages between machines in different shards carried by the coordinator's
+// boundary-exchange phase. The returned sketches and LinkStats must be
+// byte-identical to FingerprintWave at every shard count; the exchanged row
+// count is returned for traffic inspection.
+func FingerprintWaveSharded(cg *cluster.CG, samples []fingerprint.Samples, bandwidthBits, shards int) ([]fingerprint.Sketch, network.LinkStats, int64, error) {
+	wave, err := buildWaveMachines(cg, samples)
+	if err != nil {
+		return nil, network.LinkStats{}, 0, err
+	}
+	machines := make([]network.Machine, len(wave))
+	for i, wm := range wave {
+		machines[i] = wm
+	}
+	sg, err := graph.NewShardedGraph(cg.G, shards)
+	if err != nil {
+		return nil, network.LinkStats{}, 0, err
+	}
+	me, err := network.NewMultiEngine(sg, machines, bandwidthBits)
+	if err != nil {
+		return nil, network.LinkStats{}, 0, err
+	}
+	defer me.Close()
+	if _, err := me.Run(WaveRoundBudget(cg.Dilation), waveDone(wave)); err != nil {
+		exRows, _ := me.Exchanged()
+		return nil, me.Stats(), exRows, err
+	}
+	exRows, _ := me.Exchanged()
+	return waveResults(cg, wave), me.Stats(), exRows, nil
+}
+
+// buildWaveMachines constructs the wave protocol's machine set for cg.
+func buildWaveMachines(cg *cluster.CG, samples []fingerprint.Samples) ([]*waveMachine, error) {
 	g := cg.G
 	if len(samples) != cg.H.N() {
-		return nil, network.LinkStats{}, fmt.Errorf("distsim: %d sample vectors for %d vertices", len(samples), cg.H.N())
+		return nil, fmt.Errorf("distsim: %d sample vectors for %d vertices", len(samples), cg.H.N())
 	}
 	t := 0
 	if len(samples) > 0 {
 		t = len(samples[0])
 	}
 	topo := newMachineTopo(cg)
-	machines := make([]network.Machine, g.N())
 	wave := make([]*waveMachine, g.N())
 	for mID := 0; mID < g.N(); mID++ {
 		wm := &waveMachine{
@@ -211,14 +264,13 @@ func FingerprintWaveWith(cg *cluster.CG, samples []fingerprint.Samples, bandwidt
 		wm.pendingUp = len(topo.children[mID])
 		wm.pendingExchange = len(topo.cross[mID])
 		wave[mID] = wm
-		machines[mID] = wm
 	}
-	eng, err := network.NewEngineWithScheduler(g, machines, bandwidthBits, sched)
-	if err != nil {
-		return nil, network.LinkStats{}, err
-	}
-	defer eng.Close()
-	allDone := func() bool {
+	return wave, nil
+}
+
+// waveDone reports whether every leader has its aggregated result.
+func waveDone(wave []*waveMachine) func() bool {
+	return func() bool {
 		for _, wm := range wave {
 			if wm.t.leader[wm.id] {
 				wm.mu.Lock()
@@ -231,15 +283,20 @@ func FingerprintWaveWith(cg *cluster.CG, samples []fingerprint.Samples, bandwidt
 		}
 		return true
 	}
-	if _, err := eng.Run(WaveRoundBudget(cg.Dilation), allDone); err != nil {
-		return nil, eng.Stats(), err
-	}
+}
+
+// waveResults gathers the per-vertex neighbor sketches from the leaders.
+func waveResults(cg *cluster.CG, wave []*waveMachine) []fingerprint.Sketch {
 	out := make([]fingerprint.Sketch, cg.H.N())
+	if len(wave) == 0 {
+		return out
+	}
+	topo := wave[0].t
 	for v := 0; v < cg.H.N(); v++ {
 		wm := wave[topo.leaderOf[v]]
 		wm.mu.Lock()
 		out[v] = wm.result.Clone()
 		wm.mu.Unlock()
 	}
-	return out, eng.Stats(), nil
+	return out
 }

@@ -1,0 +1,177 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"clustercolor/internal/graph"
+)
+
+func shardGraph(t *testing.T, g *graph.Graph, shards int) *graph.ShardedGraph {
+	t.Helper()
+	sg, err := graph.NewShardedGraph(g, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sg
+}
+
+// runFloodMulti executes the BFS flood on a MultiEngine and returns the
+// per-machine hear times, merged stats, and exchanged row count.
+func runFloodMulti(t *testing.T, g *graph.Graph, src, shards int) ([]int, LinkStats, int64) {
+	t.Helper()
+	machines := newFlood(g, src)
+	me, err := NewMultiEngine(shardGraph(t, g, shards), machines, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer me.Close()
+	for i := 0; i < g.N()+2; i++ {
+		if err := me.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	heard := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		heard[v] = machines[v].(*floodMachine).heardAt
+	}
+	rows, _ := me.Exchanged()
+	return heard, me.Stats(), rows
+}
+
+// TestMultiEngineFloodMatchesEngine is the coordinator's acceptance
+// contract: machine results and LinkStats are byte-identical to the
+// single-address-space engine at every shard count, and cross-shard traffic
+// appears exactly when the partition cuts edges.
+func TestMultiEngineFloodMatchesEngine(t *testing.T) {
+	g := graph.MustGNP(160, 0.05, graph.NewRand(23))
+	wantHeard, wantStats := runFlood(t, g, 0, SchedulerPooled)
+	for _, shards := range []int{1, 2, 4, 7} {
+		heard, stats, exRows := runFloodMulti(t, g, 0, shards)
+		for v := range wantHeard {
+			if heard[v] != wantHeard[v] {
+				t.Fatalf("shards=%d machine %d heardAt=%d, want %d", shards, v, heard[v], wantHeard[v])
+			}
+		}
+		if stats != wantStats {
+			t.Fatalf("shards=%d LinkStats diverge: multi=%+v engine=%+v", shards, stats, wantStats)
+		}
+		if shards == 1 && exRows != 0 {
+			t.Fatalf("single shard exchanged %d rows", exRows)
+		}
+		if shards > 1 && exRows == 0 {
+			t.Fatalf("shards=%d exchanged no rows on a connected graph", shards)
+		}
+	}
+}
+
+// TestMultiEngineInboxOrder pins the id-translation contract: the exact
+// inbox sequences (global sender order included) every machine observes are
+// identical to the unsharded engine's, even though halo senders occupy
+// out-of-order local ids inside each shard.
+func TestMultiEngineInboxOrder(t *testing.T) {
+	g := graph.MustGNP(120, 0.08, graph.NewRand(31))
+	want := runRecorders(t, g, SchedulerPooled)
+	ms := make([]Machine, g.N())
+	for i := 0; i < g.N(); i++ {
+		ms[i] = &recorderMachine{id: i, neighbors: g.Neighbors(i)}
+	}
+	me, err := NewMultiEngine(shardGraph(t, g, 3), ms, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer me.Close()
+	for r := 0; r < 5; r++ {
+		if err := me.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v, m := range ms {
+		got := m.(*recorderMachine).history
+		if len(got) != len(want[v]) {
+			t.Fatalf("machine %d history length %d, want %d", v, len(got), len(want[v]))
+		}
+		for r := range got {
+			if len(got[r]) != len(want[v][r]) {
+				t.Fatalf("machine %d round %d inbox size %d, want %d", v, r, len(got[r]), len(want[v][r]))
+			}
+			for k := range got[r] {
+				if got[r][k] != want[v][r][k] {
+					t.Fatalf("machine %d round %d position %d: from %d, want %d", v, r, k, got[r][k], want[v][r][k])
+				}
+			}
+		}
+	}
+}
+
+// TestMultiEngineEnforcesBandwidth checks the cap applies to the globally
+// merged per-link totals: the same flood that trips the single engine trips
+// the coordinator, including on links that cross a shard boundary.
+func TestMultiEngineEnforcesBandwidth(t *testing.T) {
+	g := graph.Clique(6)
+	me, err := NewMultiEngine(shardGraph(t, g, 3), newFlood(g, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each flood message is 1 bit and each link carries at most one message
+	// per round, so cap 1 passes every round...
+	defer me.Close()
+	for i := 0; i < g.N()+2; i++ {
+		if err := me.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ...while a wide message on a cross-shard link must trip a cap of 1.
+	wide := make([]Machine, g.N())
+	for i := range wide {
+		wide[i] = idleMachine{}
+	}
+	wide[0] = stepFunc(func(round int, inbox []Message) ([]Message, error) {
+		if round > 0 {
+			return nil, nil
+		}
+		return []Message{{From: 0, To: 5, Bits: 9, Payload: "wide"}}, nil
+	})
+	me2, err := NewMultiEngine(shardGraph(t, g, 3), wide, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer me2.Close()
+	err = me2.Step()
+	if err == nil || !strings.Contains(err.Error(), "bandwidth") {
+		t.Fatalf("want bandwidth violation, got %v", err)
+	}
+}
+
+type stepFunc func(round int, inbox []Message) ([]Message, error)
+
+func (f stepFunc) Step(round int, inbox []Message) ([]Message, error) { return f(round, inbox) }
+
+// TestMultiEngineRejectsNonLinkMessage checks validation parity: a message
+// to a non-neighbor fails whether the recipient is inside the shard, in its
+// halo, or outside both.
+func TestMultiEngineRejectsNonLinkMessage(t *testing.T) {
+	g := graph.Path(6)
+	for _, to := range []int{2, 5} { // 2 = same-shard non-neighbor path case varies; 5 = far vertex
+		bad := make([]Machine, g.N())
+		for i := range bad {
+			bad[i] = idleMachine{}
+		}
+		target := to
+		bad[0] = stepFunc(func(round int, inbox []Message) ([]Message, error) {
+			if round > 0 {
+				return nil, nil
+			}
+			return []Message{{From: 0, To: target, Bits: 1}}, nil
+		})
+		me, err := NewMultiEngine(shardGraph(t, g, 2), bad, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = me.Step()
+		me.Close()
+		if err == nil || !strings.Contains(err.Error(), "without link") {
+			t.Fatalf("to=%d: want link violation, got %v", target, err)
+		}
+	}
+}

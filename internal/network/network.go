@@ -92,6 +92,13 @@ type engineState struct {
 	round     int
 	stats     LinkStats
 	observer  RoundObserver
+	// egressAt marks the first egress machine index: messages addressed to
+	// machines in [egressAt, n) are validated and accounted like any other,
+	// but held in per-worker egress lists instead of being delivered locally.
+	// The multi-engine coordinator sets it to a shard's owned-vertex count so
+	// halo-addressed messages can be re-routed to their owner shard between
+	// the compute and deliver phases. Defaults to n (no egress).
+	egressAt int
 
 	// Spawn-scheduler state: inbox per machine for the next round.
 	pending [][]Message
@@ -127,6 +134,9 @@ type engineWorker struct {
 	// shard t, in emission order, so the delivery phase only touches
 	// messages addressed to it instead of rescanning every outbox.
 	routes [][]Message
+	// egress collects messages addressed at or beyond engineState.egressAt,
+	// in emission order, for the multi-engine boundary exchange.
+	egress []Message
 }
 
 // Worker commands.
@@ -174,6 +184,7 @@ func NewEngineWithScheduler(g *graph.Graph, machines []Machine, bandwidthBits in
 		sched:     sched,
 		pending:   make([][]Message, g.N()),
 		stop:      make(chan struct{}),
+		egressAt:  len(machines),
 	}
 	eng := &Engine{st}
 	runtime.SetFinalizer(eng, (*Engine).Close)
@@ -321,6 +332,7 @@ func (s *engineState) dispatch(op int) {
 func (s *engineState) computeShard(w *engineWorker) {
 	clear(w.linkBits)
 	w.totalBits, w.messages = 0, 0
+	w.egress = w.egress[:0]
 	for t := range w.routes {
 		w.routes[t] = w.routes[t][:0]
 	}
@@ -344,6 +356,10 @@ func (s *engineState) computeShard(w *engineWorker) {
 			w.linkBits[linkKey(msg.From, msg.To)] += msg.Bits
 			w.totalBits += int64(msg.Bits)
 			w.messages++
+			if msg.To >= s.egressAt {
+				w.egress = append(w.egress, msg)
+				continue
+			}
 			t := s.shardOf[msg.To]
 			w.routes[t] = append(w.routes[t], msg)
 		}
@@ -375,8 +391,30 @@ func sortInbox(inbox []Message) {
 }
 
 func (s *engineState) stepPooled() error {
-	s.startPool()
 	before := s.stats
+	if err := s.computePooled(); err != nil {
+		return err
+	}
+	roundMax, err := checkLinkCap(s.linkBits, s.bandwidth, s.round)
+	if err != nil {
+		return err
+	}
+	if roundMax > s.stats.MaxLinkBits {
+		s.stats.MaxLinkBits = roundMax
+	}
+	s.finishPooled(before, roundMax)
+	return nil
+}
+
+// computePooled is the compute half of a pooled round: it clears the
+// next-round inboxes, steps every machine, surfaces machine and validation
+// errors, and merges the per-worker accumulators into the round link-bit map
+// and the running totals. Sums are order-independent, and per-link totals
+// are summed before taking the max, so LinkStats are identical to a single
+// global pass over all messages. The multi-engine coordinator calls it per
+// sub-engine, re-routes egress messages, then calls finishPooled.
+func (s *engineState) computePooled() error {
+	s.startPool()
 	n := len(s.machines)
 	for i := range s.next {
 		s.next[i] = s.next[i][:0]
@@ -392,9 +430,6 @@ func (s *engineState) stepPooled() error {
 			return err
 		}
 	}
-	// Merge the per-worker accumulators. Sums are order-independent, and
-	// per-link totals are summed before taking the max, so LinkStats are
-	// identical to a single global pass over all messages.
 	clear(s.linkBits)
 	for _, w := range s.workers {
 		s.stats.TotalBits += w.totalBits
@@ -403,27 +438,36 @@ func (s *engineState) stepPooled() error {
 			s.linkBits[key] += bits
 		}
 	}
+	return nil
+}
+
+// checkLinkCap scans a round's per-link totals, returning the round maximum
+// and an error for the lowest-numbered link over the cap (deterministic
+// regardless of map iteration order). bandwidth 0 disables the cap.
+func checkLinkCap(linkBits map[[2]int32]int, bandwidth, round int) (int, error) {
 	overKey, overBits := [2]int32{}, -1
 	roundMax := 0
-	for key, bits := range s.linkBits {
+	for key, bits := range linkBits {
 		if bits > roundMax {
 			roundMax = bits
 		}
-		if bits > s.stats.MaxLinkBits {
-			s.stats.MaxLinkBits = bits
-		}
-		if s.bandwidth > 0 && bits > s.bandwidth {
-			// Report the lowest-numbered violating link so the error does
-			// not depend on map iteration order.
+		if bandwidth > 0 && bits > bandwidth {
 			if overBits < 0 || key[0] < overKey[0] || (key[0] == overKey[0] && key[1] < overKey[1]) {
 				overKey, overBits = key, bits
 			}
 		}
 	}
 	if overBits >= 0 {
-		return fmt.Errorf("network: link {%d,%d} carried %d bits > bandwidth %d in round %d",
-			overKey[0], overKey[1], overBits, s.bandwidth, s.round)
+		return roundMax, fmt.Errorf("network: link {%d,%d} carried %d bits > bandwidth %d in round %d",
+			overKey[0], overKey[1], overBits, bandwidth, round)
 	}
+	return roundMax, nil
+}
+
+// finishPooled is the deliver half of a pooled round: routed messages are
+// appended and sorted into next-round inboxes, the buffers swap, and the
+// round commits.
+func (s *engineState) finishPooled(before LinkStats, roundMax int) {
 	s.dispatch(opDeliver)
 	// The just-consumed inboxes become the scratch buffers for the next
 	// round's delivery; machines must not have retained them.
@@ -438,7 +482,6 @@ func (s *engineState) stepPooled() error {
 			Messages:    s.stats.Messages - before.Messages,
 		})
 	}
-	return nil
 }
 
 // --- spawn scheduler (reference) -----------------------------------------
@@ -486,18 +529,12 @@ func (s *engineState) stepSpawn() error {
 			s.pending[msg.To] = append(s.pending[msg.To], msg)
 		}
 	}
-	roundMax := 0
-	for key, bits := range linkBits {
-		if bits > roundMax {
-			roundMax = bits
-		}
-		if bits > s.stats.MaxLinkBits {
-			s.stats.MaxLinkBits = bits
-		}
-		if s.bandwidth > 0 && bits > s.bandwidth {
-			return fmt.Errorf("network: link {%d,%d} carried %d bits > bandwidth %d in round %d",
-				key[0], key[1], bits, s.bandwidth, s.round)
-		}
+	roundMax, err := checkLinkCap(linkBits, s.bandwidth, s.round)
+	if err != nil {
+		return err
+	}
+	if roundMax > s.stats.MaxLinkBits {
+		s.stats.MaxLinkBits = roundMax
 	}
 	// Deterministic inbox order regardless of goroutine scheduling.
 	for i := range s.pending {

@@ -1,0 +1,106 @@
+package parwork
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ShardPool is a worker budget carved out of the process-wide parallelism
+// knob for one shard of a partitioned run. Pools exist so k shards can
+// execute concurrently without multiplying the goroutine count: SplitPools
+// divides Parallelism() across the shards, and each shard's inner loops fan
+// out only across its own share. Chunking inside a pool stays
+// RangeChunks-based — a function of n alone — so outputs are byte-identical
+// whatever the budget split.
+type ShardPool struct {
+	workers int
+}
+
+// Workers returns the pool's goroutine budget (≥ 1).
+func (p *ShardPool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// SplitPools divides the current Parallelism() budget near-evenly across k
+// pools, every pool getting at least one worker. Earlier pools receive the
+// remainder, so budgets differ by at most one.
+func SplitPools(k int) []*ShardPool {
+	if k < 1 {
+		k = 1
+	}
+	p := Parallelism()
+	pools := make([]*ShardPool, k)
+	for i := range pools {
+		w := p / k
+		if i < p%k {
+			w++
+		}
+		if w < 1 {
+			w = 1
+		}
+		pools[i] = &ShardPool{workers: w}
+	}
+	return pools
+}
+
+// ForEach is ForEach bounded by the pool's budget instead of the global
+// knob: f(i) runs for every i in [0, n) across min(Workers(), n) goroutines
+// pulling from a shared counter. The lowest-index error wins. A nil pool
+// runs sequentially.
+func (p *ShardPool) ForEach(n int, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForRange runs f over the RangeChunks(n) contiguous chunks covering [0, n)
+// on the pool's workers, with the same ownership contract as the package
+// ForRange: chunk bounds depend only on n, so results are byte-identical at
+// every budget.
+func (p *ShardPool) ForRange(n int, f func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	return p.ForEach(RangeChunks(n), func(i int) error {
+		lo, hi := ChunkBounds(n, i)
+		return f(lo, hi)
+	})
+}

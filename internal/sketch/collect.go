@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"clustercolor/internal/cluster"
+	"clustercolor/internal/graph"
 	"clustercolor/internal/parwork"
 )
 
@@ -31,12 +32,36 @@ func Collect(cg *cluster.CG, phase string, k Kernel, samples, out *Arena, opts C
 	if samples.Rows() != n {
 		return 0, fmt.Errorf("sketch: %d sample rows for %d vertices", samples.Rows(), n)
 	}
-	t := samples.Trials()
-	out.Reset(n, t)
+	out.Reset(n, samples.Trials())
 	cg.ChargeHRounds(phase, 1, 0) // payload charged below with true size
-	chunks := parwork.RangeChunks(n)
-	chunkBits, err := parwork.ForEach(chunks, func(ci int) (int, error) {
-		lo, hi := parwork.ChunkBounds(n, ci)
+	maxBits, err := CollectRows(g, k, samples, out, opts, n, nil)
+	if err != nil {
+		return 0, err
+	}
+	cg.ChargeHRounds(phase+"/payload", 1, maxBits)
+	return maxBits, nil
+}
+
+// CollectRows is the computational core of Collect: it folds the sample
+// rows of each vertex's admitted neighbors into out rows [0, rows) over g
+// and returns the largest encoded payload among those rows, without
+// resetting the arena or charging the cost model. Partitioned callers (the
+// shard engine) run it per slice — computing only the owned rows of a local
+// CSR whose arena also carries halo rows — and charge the wave once
+// globally. A non-nil pool bounds the fan-out to that shard's worker
+// budget; chunk bounds depend only on rows, so the fold is byte-identical
+// at any parallelism and any budget split.
+func CollectRows(g *graph.Graph, k Kernel, samples, out *Arena, opts CollectOptions, rows int, pool *parwork.ShardPool) (int, error) {
+	if rows > out.Rows() || rows > g.N() {
+		return 0, fmt.Errorf("sketch: %d rows to collect exceeds %d out rows / %d vertices", rows, out.Rows(), g.N())
+	}
+	if samples.Rows() != g.N() {
+		return 0, fmt.Errorf("sketch: %d sample rows for %d vertices", samples.Rows(), g.N())
+	}
+	chunks := parwork.RangeChunks(rows)
+	chunkBits := make([]int, chunks)
+	fold := func(ci int) error {
+		lo, hi := parwork.ChunkBounds(rows, ci)
 		var counts []int
 		best := 1
 		for v := lo; v < hi; v++ {
@@ -70,20 +95,26 @@ func Collect(cg *cluster.CG, phase string, k Kernel, samples, out *Arena, opts C
 				best = b
 			}
 		}
-		return best, nil
-	})
+		chunkBits[ci] = best
+		return nil
+	}
+	var err error
+	if pool != nil {
+		err = pool.ForEach(chunks, fold)
+	} else {
+		_, err = parwork.ForEach(chunks, func(ci int) (struct{}, error) { return struct{}{}, fold(ci) })
+	}
 	if err != nil {
 		return 0, err
 	}
-	// Charge the true payload: the largest encoded row that crossed a link.
-	// Max over fixed chunk bounds is grouping-independent.
+	// Max over fixed chunk bounds is grouping-independent: the largest
+	// encoded row that would cross a link.
 	maxBits := 1
 	for _, b := range chunkBits {
 		if b > maxBits {
 			maxBits = b
 		}
 	}
-	cg.ChargeHRounds(phase+"/payload", 1, maxBits)
 	return maxBits, nil
 }
 

@@ -23,6 +23,7 @@ import (
 
 	"clustercolor/internal/cluster"
 	"clustercolor/internal/coloring"
+	"clustercolor/internal/parwork"
 	"clustercolor/internal/prng"
 )
 
@@ -46,6 +47,7 @@ type TryColorOptions struct {
 // The zero value is ready to use.
 type TryColorScratch struct {
 	tried []int32
+	win   []int32
 }
 
 // grow resizes the tried buffer to n and resets every cell to None.
@@ -101,30 +103,53 @@ func TryColorRoundWith(cg *cluster.CG, col *coloring.Coloring, opts TryColorOpti
 	colorBits := bits.Len(uint(col.MaxColor())) + 1
 	cg.ChargeHRounds(opts.Phase+"/announce", 1, colorBits)
 	cg.ChargeHRounds(opts.Phase+"/respond", 1, colorBits)
+	// Decide in parallel, apply sequentially (the PR 3 write-apply order
+	// contract). A vertex's decision depends only on the pre-round coloring
+	// and the tried array: a lower-ID neighbor newly adopting c necessarily
+	// tried c, so the tried[w] == c check subsumes every same-round write the
+	// serial loop would have observed — the parallel decisions are
+	// byte-identical to the serial ones.
+	if cap(sc.win) < n {
+		sc.win = make([]int32, n)
+	}
+	sc.win = sc.win[:n]
+	win := sc.win
+	if err := parwork.ForRange(n, func(lo, hi int) error {
+		for v := lo; v < hi; v++ {
+			c := tried[v]
+			win[v] = coloring.None
+			if c == coloring.None {
+				continue
+			}
+			ok := true
+			for _, u := range cg.H.Neighbors(v) {
+				w := int(u)
+				if col.Get(w) == c {
+					ok = false
+					break
+				}
+				if w < v && tried[w] == c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				win[v] = c
+			}
+		}
+		return nil
+	}); err != nil {
+		return 0, err
+	}
 	colored := 0
 	for v := 0; v < n; v++ {
-		c := tried[v]
-		if c == coloring.None {
+		if win[v] == coloring.None {
 			continue
 		}
-		ok := true
-		for _, u := range cg.H.Neighbors(v) {
-			w := int(u)
-			if col.Get(w) == c {
-				ok = false
-				break
-			}
-			if w < v && tried[w] == c {
-				ok = false
-				break
-			}
+		if err := col.Set(v, win[v]); err != nil {
+			return colored, fmt.Errorf("trials: adopting color: %w", err)
 		}
-		if ok {
-			if err := col.Set(v, c); err != nil {
-				return colored, fmt.Errorf("trials: adopting color: %w", err)
-			}
-			colored++
-		}
+		colored++
 	}
 	return colored, nil
 }
@@ -237,6 +262,8 @@ type mctScratch struct {
 	// idxBuf holds the member indices accepted for the current vertex, the
 	// dedup set of the sampling loop.
 	idxBuf []int
+	// win buffers the parallel phase decisions before the sequential apply.
+	win []int32
 }
 
 // tried returns v's tried set for the current phase.
@@ -323,18 +350,35 @@ func mctPhase(cg *cluster.CG, col *coloring.Coloring, opts MCTOptions, x, phase 
 	}
 	cg.ChargeHRounds(opts.Phase+"/announce", 1, maxDescBits)
 	cg.ChargeHRounds(opts.Phase+"/respond", 1, maxDescBits)
+	// Decide in parallel, apply sequentially: a lower-ID neighbor can only
+	// adopt colors from its own tried set, which adoptable already rejects,
+	// so decisions match the serial loop exactly (same argument as
+	// TryColorRoundWith).
+	if cap(ms.win) < n {
+		ms.win = make([]int32, n)
+	}
+	ms.win = ms.win[:n]
+	win := ms.win
+	if err := parwork.ForRange(n, func(lo, hi int) error {
+		for v := lo; v < hi; v++ {
+			win[v] = coloring.None
+			for _, c := range ms.tried(v) {
+				if adoptable(cg, col, ms, v, c) {
+					win[v] = c
+					break
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
 	for v := 0; v < n; v++ {
-		set := ms.tried(v)
-		if len(set) == 0 {
+		if win[v] == coloring.None {
 			continue
 		}
-		for _, c := range set {
-			if adoptable(cg, col, ms, v, c) {
-				if err := col.Set(v, c); err != nil {
-					return fmt.Errorf("trials: adopting color: %w", err)
-				}
-				break
-			}
+		if err := col.Set(v, win[v]); err != nil {
+			return fmt.Errorf("trials: adopting color: %w", err)
 		}
 	}
 	return nil
