@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-smoke bench-graph bench-color bench-distsim bench-acd bench-sketch bench-shard tables benchjson vet fmt check
+.PHONY: build test race fuzz bench bench-smoke bench-engine bench-graph bench-color bench-distsim bench-acd bench-sketch bench-shard tables benchjson vet fmt check
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzWave$$' -fuzztime 10s ./internal/distsim
 	$(GO) test -run '^$$' -fuzz '^FuzzACD$$' -fuzztime 10s ./internal/acd
 	$(GO) test -run '^$$' -fuzz '^FuzzSketchMerge$$' -fuzztime 10s ./internal/sketch
+	$(GO) test -run '^$$' -fuzz '^FuzzShardStream$$' -fuzztime 10s ./internal/graph
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -53,16 +54,22 @@ bench-sketch:
 	$(GO) run ./cmd/benchtables -sketchbench BENCH_sketch.json
 
 # Partitioned-substrate grid: the decomposition at shard counts 1/2/4/8 ×
-# parallelism 1/2/4/NumCPU against an unsharded reference. Includes the
-# million-vertex GNP row — expect the better part of an hour single-core.
+# parallelism 1/2/4/NumCPU against an unsharded reference, plus the
+# streaming-construction rows (GNP edge streams up to n=10⁷ partitioned with
+# no global CSR). Includes million- and ten-million-vertex rows — expect the
+# better part of an hour single-core and ~90 GB of peak sketch arenas.
 bench-shard:
-	$(GO) run ./cmd/benchtables -shardbench BENCH_shard.json
+	$(GO) run ./cmd/benchtables -shardbench BENCH_shard.json -shardstream 10000000
 
 tables:
 	$(GO) run ./cmd/benchtables
 
-benchjson:
+# Round-engine + experiment-runner microbench (BENCH_engine.json), part of
+# the bench-* family; benchjson is the historical alias.
+bench-engine:
 	$(GO) run ./cmd/benchtables -enginebench BENCH_engine.json
+
+benchjson: bench-engine
 
 vet:
 	$(GO) vet ./...

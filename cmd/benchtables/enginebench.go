@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"slices"
 	"testing"
 
 	"clustercolor/internal/benchwork"
@@ -16,14 +15,20 @@ import (
 
 // benchResult is one machine-readable benchmark record.
 type benchResult struct {
-	Name        string  `json:"name"`
-	Machines    int     `json:"machines,omitempty"`
-	Edges       int     `json:"edges,omitempty"`
-	Parallelism int     `json:"parallelism,omitempty"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
+	Name        string `json:"name"`
+	Machines    int    `json:"machines,omitempty"`
+	Edges       int    `json:"edges,omitempty"`
+	Parallelism int    `json:"parallelism,omitempty"`
+	// EffectiveParallelism is min(Parallelism, GOMAXPROCS) at emission time
+	// — the worker count the row actually ran with. Emitters skip grid cells
+	// where the two would differ, so on any honest report this equals
+	// Parallelism; it is recorded anyway so the artifact states the
+	// conditions instead of asking the reader to trust them.
+	EffectiveParallelism int     `json:"effective_parallelism,omitempty"`
+	Iterations           int     `json:"iterations"`
+	NsPerOp              float64 `json:"ns_per_op"`
+	AllocsPerOp          int64   `json:"allocs_per_op"`
+	BytesPerOp           int64   `json:"bytes_per_op"`
 }
 
 // benchReport is the BENCH_engine.json schema.
@@ -105,16 +110,11 @@ func emitEngineBench(path string, machines int, seed uint64) error {
 		report.Benchmarks = append(report.Benchmarks, rec)
 	}
 	// Measure sequential, the configured -parallel level, and full
-	// parallelism (deduplicated, ascending).
-	levels := map[int]bool{1: true, experiments.Parallelism(): true, runtime.GOMAXPROCS(0): true}
-	pars := make([]int, 0, len(levels))
-	for p := range levels {
-		pars = append(pars, p)
-	}
-	slices.Sort(pars)
-	for _, par := range pars {
+	// parallelism — deduplicated, ascending, oversubscribed levels dropped.
+	for _, par := range honestParGrid("enginebench", 1, experiments.Parallelism(), runtime.GOMAXPROCS(0)) {
 		rec := record(fmt.Sprintf("ExperimentRunner/parallel-%d", par), runnerBench(par, seed))
 		rec.Parallelism = par
+		rec.EffectiveParallelism = effectivePar(par)
 		report.Benchmarks = append(report.Benchmarks, rec)
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")

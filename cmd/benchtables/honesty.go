@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// effectivePar returns the worker count a requested parallelism level can
+// actually obtain from the scheduler: min(requested, GOMAXPROCS). Recorded
+// per row so speedup tables stay honest on machines whose core count is
+// below the requested grid.
+func effectivePar(requested int) int {
+	if mp := runtime.GOMAXPROCS(0); requested > mp {
+		return mp
+	}
+	return requested
+}
+
+// honestParGrid deduplicates and sorts a requested parallelism grid,
+// dropping every oversubscribed level: a cell requesting more workers than
+// GOMAXPROCS re-measures the min(level, GOMAXPROCS) configuration — plus
+// goroutine-scheduling overhead — under a dishonest label. Skipped levels
+// are logged so a report regenerated on a small machine says what it
+// dropped instead of silently shrinking the grid.
+func honestParGrid(kind string, requested ...int) []int {
+	mp := runtime.GOMAXPROCS(0)
+	set := map[int]bool{}
+	skipped := map[int]bool{}
+	for _, l := range requested {
+		if l < 1 {
+			continue
+		}
+		if l > mp {
+			if !skipped[l] {
+				skipped[l] = true
+				fmt.Fprintf(os.Stderr, "benchtables: %s: skipping parallelism %d (oversubscribed: GOMAXPROCS=%d)\n", kind, l, mp)
+			}
+			continue
+		}
+		set[l] = true
+	}
+	out := make([]int, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}

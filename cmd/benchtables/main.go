@@ -11,7 +11,7 @@
 //	benchtables -distsimbench out.json # emit machine-granularity conformance benchmarks instead
 //	benchtables -acdbench out.json     # emit decomposition benchmarks instead (-acdn caps size)
 //	benchtables -sketchbench out.json  # emit sketch-engine benchmarks instead (-sketchn caps size)
-//	benchtables -shardbench out.json   # emit partitioned-substrate benchmarks instead (-shardn caps size)
+//	benchtables -shardbench out.json   # emit partitioned-substrate benchmarks instead (-shardn caps size, -shardstream adds streaming rows)
 //
 // Tables are computed by a parallel runner that fans experiments and their
 // rows across CPUs; the output is byte-identical for every -parallel value.
@@ -31,7 +31,13 @@
 // (conventionally BENCH_shard.json): the decomposition at shard counts
 // 1/2/4/8 × parallelism 1/2/4/NumCPU against an unsharded reference, with
 // charged rounds asserted shard-invariant and the cross-shard
-// boundary-exchange traffic reported per cell.
+// boundary-exchange traffic reported per cell. Adding -shardstream N emits
+// streaming-construction rows: GNP edge streams partitioned into slices with
+// no global CSR, up to n = N, with partition cost, peak slice footprint, and
+// a digest cross-check against the materialized path at the overlap size.
+// Parallelism grids are honest: every row records its effective
+// min(parallelism, GOMAXPROCS), and cells requesting more workers than
+// GOMAXPROCS can schedule are skipped with a note on stderr.
 package main
 
 import (
@@ -62,6 +68,7 @@ func main() {
 		sketchN    = flag.Int("sketchn", 0, "skip -sketchbench workloads with more than this many vertices (0 = no cap; CI smoke uses a small cap)")
 		shardOut   = flag.String("shardbench", "", "run partitioned-substrate benchmarks and write BENCH_shard.json to this path ('-' = stdout), then exit")
 		shardN     = flag.Int("shardn", 0, "skip -shardbench workloads with more than this many vertices (0 = no cap; CI smoke uses a small cap)")
+		streamN    = flag.Int("shardstream", 0, "with -shardbench: also emit streaming-construction rows for GNP edge streams up to this many vertices (0 = off; CI smoke uses a small cap)")
 	)
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
@@ -103,7 +110,7 @@ func main() {
 			}
 		}
 		if *shardOut != "" {
-			if err := emitShardBench(*shardOut, *seed, *shardN); err != nil {
+			if err := emitShardBench(*shardOut, *seed, *shardN, *streamN); err != nil {
 				fmt.Fprintln(os.Stderr, "benchtables:", err)
 				os.Exit(1)
 			}

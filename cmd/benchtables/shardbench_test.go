@@ -48,7 +48,7 @@ func TestEmitShardBench(t *testing.T) {
 		},
 	}
 	path := filepath.Join(t.TempDir(), "BENCH_shard.json")
-	if err := emitShardBenchWorkloads(path, 7, 1000, small); err != nil {
+	if err := emitShardBenchWorkloads(path, 7, 1000, 0, small); err != nil {
 		t.Fatal(err)
 	}
 	buf, err := os.ReadFile(path)
@@ -82,6 +82,10 @@ func TestEmitShardBench(t *testing.T) {
 		if rec.Vertices != 220 || rec.Edges <= 0 || rec.Delta <= 0 {
 			t.Fatalf("cell %s: instance shape not recorded: %+v", rec.Name, rec)
 		}
+		if rec.EffectiveParallelism != rec.Parallelism {
+			t.Fatalf("cell %s: effective parallelism %d != requested %d — oversubscribed cells must be skipped, not emitted",
+				rec.Name, rec.EffectiveParallelism, rec.Parallelism)
+		}
 		if rec.Rounds != ref.Rounds {
 			t.Fatalf("cell %s charged %d rounds, reference %d — the emitter should have rejected this grid",
 				rec.Name, rec.Rounds, ref.Rounds)
@@ -98,5 +102,53 @@ func TestEmitShardBench(t *testing.T) {
 	}
 	if !sawBoundary {
 		t.Fatal("no grid cell crossed a shard boundary — the planted instance spans every slice")
+	}
+}
+
+// TestEmitShardStreamRows exercises the -shardstream path end-to-end at a
+// smoke size: one row built from a GNP edge stream with no global CSR,
+// decomposed under a headless cluster view and digest-checked bit for bit
+// against the materialized construction of the same instance, with the
+// partition-cost and footprint gauges recorded.
+func TestEmitShardStreamRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark emitter in short mode")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_shard.json")
+	if err := emitShardBenchWorkloads(path, 7, 1000, 900, nil); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report shardBenchReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.StreamMaxN != 900 {
+		t.Fatalf("stream_max_n = %d, want 900", report.StreamMaxN)
+	}
+	if len(report.Benchmarks) != 0 {
+		t.Fatalf("no workloads given, yet %d grid cells emitted", len(report.Benchmarks))
+	}
+	if len(report.Streaming) != 1 {
+		t.Fatalf("got %d streaming rows, want 1 (cap below the ladder collapses to the cap)", len(report.Streaming))
+	}
+	row := report.Streaming[0]
+	if row.Vertices != 900 || row.Shards != 2 || row.Edges <= 0 || row.Delta <= 0 {
+		t.Fatalf("streaming row missing instance shape: %+v", row)
+	}
+	if row.Eps <= 0 || row.Eps >= 1 {
+		t.Fatalf("streaming row must record its accuracy setting: %+v", row)
+	}
+	if row.PartitionNs <= 0 || row.PeakBufferedEdges <= 0 || row.PeakSliceBytes <= 0 || row.HaloVertices <= 0 {
+		t.Fatalf("streaming row missing construction gauges: %+v", row)
+	}
+	if !row.DigestChecked {
+		t.Fatalf("overlap row not digest-checked: %+v", row)
+	}
+	if row.DecompNs <= 0 || row.Rounds <= 0 || row.ExchangedRows <= 0 || row.ExchangedBits <= 0 {
+		t.Fatalf("streaming row missing decomposition measurements: %+v", row)
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"slices"
 	"testing"
 
 	"clustercolor/internal/benchwork"
@@ -101,13 +100,10 @@ func emitSketchBenchWorkloads(path string, seed uint64, maxN int, workloads []be
 		record(fmt.Sprintf("MergeMaxGeneric/t=%d", t0), mergeBench(t0, sketch.MaxKernel{}, sketch.MergeMaxGeneric)),
 		record(fmt.Sprintf("MergeKMV/k=%d", kmvWidth), mergeBench(kmvWidth, sketch.KMVKernel{}, sketch.MergeKMV)),
 	)
-	// Parallelism sweep: 1, 2, 4, NumCPU (deduplicated, sorted).
-	levelSet := map[int]bool{1: true, 2: true, 4: true, runtime.NumCPU(): true}
-	var levels []int
-	for l := range levelSet {
-		levels = append(levels, l)
-	}
-	slices.Sort(levels)
+	// Parallelism sweep: 1, 2, 4, NumCPU — deduplicated, sorted, and with
+	// oversubscribed levels skipped (logged) so every wave row measures a
+	// worker count the scheduler can deliver.
+	levels := honestParGrid("sketchbench", 1, 2, 4, runtime.NumCPU())
 	for _, w := range workloads {
 		if maxN > 0 && w.N > maxN {
 			continue
@@ -155,6 +151,7 @@ func emitSketchBenchWorkloads(path string, seed uint64, maxN int, workloads []be
 			}
 			rec.Edges = h.M()
 			rec.Parallelism = par
+			rec.EffectiveParallelism = effectivePar(par)
 			report.Waves = append(report.Waves, rec)
 		}
 		// Estimator profile: rerun the plain-neighborhood wave so the rows

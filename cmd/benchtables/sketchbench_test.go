@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"clustercolor/internal/benchwork"
@@ -64,8 +65,12 @@ func TestEmitSketchBench(t *testing.T) {
 			t.Fatalf("kernel record has empty measurements: %+v", k)
 		}
 	}
-	if len(report.Waves) < 3 {
-		t.Fatalf("got %d wave records, want ≥ 3 parallelism levels", len(report.Waves))
+	// The sweep is the honest grid: every deliverable level of {1,2,4,NumCPU}
+	// gets a row, oversubscribed levels are skipped, and each row records an
+	// effective parallelism equal to its requested one.
+	levels := honestParGrid("test", 1, 2, 4, runtime.NumCPU())
+	if len(report.Waves) != len(levels) {
+		t.Fatalf("got %d wave records, want %d honest parallelism levels", len(report.Waves), len(levels))
 	}
 	seenPar := map[int]bool{}
 	for _, w := range report.Waves {
@@ -75,9 +80,13 @@ func TestEmitSketchBench(t *testing.T) {
 		if w.Iterations <= 0 || w.NsPerOp <= 0 {
 			t.Fatalf("wave record has empty measurements: %+v", w)
 		}
+		if w.EffectiveParallelism != w.Parallelism {
+			t.Fatalf("wave record at par %d reports effective %d — oversubscribed cells must be skipped, not emitted",
+				w.Parallelism, w.EffectiveParallelism)
+		}
 		seenPar[w.Parallelism] = true
 	}
-	for _, par := range []int{1, 2, 4} {
+	for _, par := range levels {
 		if !seenPar[par] {
 			t.Fatalf("no wave record at parallelism %d", par)
 		}

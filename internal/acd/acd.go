@@ -148,31 +148,7 @@ func Exact(g *graph.Graph, eps float64) (*Decomposition, error) {
 // same order the serial BFS produced) with members ascending.
 func assemble(g *graph.Graph, eps float64, dense []bool, isBuddy func(v, u, slot int) bool, ws *Workspace) (*Decomposition, error) {
 	n := g.N()
-	d := &Decomposition{Eps: eps, CliqueOf: make([]int, n)}
-	var label, next []int32
-	if ws != nil {
-		ws.label = growInt32(ws.label, n)
-		ws.next = growInt32(ws.next, n)
-		label, next = ws.label, ws.next
-	} else {
-		label = make([]int32, n)
-		next = make([]int32, n)
-	}
-	if err := parwork.ForRange(n, func(lo, hi int) error {
-		for v := lo; v < hi; v++ {
-			if dense[v] {
-				label[v] = int32(v)
-			} else {
-				label[v] = -1
-			}
-		}
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	for {
-		// Propagate: next[v] = min(label[v], labels of dense buddy
-		// neighbors). Reads only the previous labels, writes only next[v].
+	return assembleFrom(n, eps, dense, ws, func(label, next []int32) (bool, error) {
 		chunks := parwork.RangeChunks(n)
 		changes, err := parwork.ForEach(chunks, func(ci int) (bool, error) {
 			lo, hi := parwork.ChunkBounds(n, ci)
@@ -198,6 +174,53 @@ func assemble(g *graph.Graph, eps float64, dense []bool, isBuddy func(v, u, slot
 			return changed, nil
 		})
 		if err != nil {
+			return false, err
+		}
+		for _, c := range changes {
+			if c {
+				return true, nil
+			}
+		}
+		return false, nil
+	})
+}
+
+// assembleFrom is the graph-shape-independent core of assemble: propagate
+// performs one full min-label pass — next[v] must be written for every v
+// (the component minimum over v's dense buddy neighborhood, or -1 for
+// non-dense v) from the immutable previous labels — and reports whether any
+// label moved. next is a pure function of label, so any propagate walking
+// the same edge set (global CSR or shard slices) reaches the same fixpoint
+// byte for byte.
+func assembleFrom(n int, eps float64, dense []bool, ws *Workspace, propagate func(label, next []int32) (bool, error)) (*Decomposition, error) {
+	d := &Decomposition{Eps: eps, CliqueOf: make([]int, n)}
+	var label, next []int32
+	if ws != nil {
+		ws.label = growInt32(ws.label, n)
+		ws.next = growInt32(ws.next, n)
+		label, next = ws.label, ws.next
+	} else {
+		label = make([]int32, n)
+		next = make([]int32, n)
+	}
+	if err := parwork.ForRange(n, func(lo, hi int) error {
+		for v := lo; v < hi; v++ {
+			if dense[v] {
+				label[v] = int32(v)
+			} else {
+				label[v] = -1
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	chunks := parwork.RangeChunks(n)
+	for {
+		// Propagate: next[v] = min(label[v], labels of dense buddy
+		// neighbors). Reads only the previous labels, writes only next[v].
+		changed, err := propagate(label, next)
+		if err != nil {
 			return nil, err
 		}
 		// Jump: label[v] = next[next[v]]. A label is always a dense vertex
@@ -221,9 +244,9 @@ func assemble(g *graph.Graph, eps float64, dense []bool, isBuddy func(v, u, slot
 		if err != nil {
 			return nil, err
 		}
-		done := true
-		for i := range changes {
-			if changes[i] || jumps[i] {
+		done := !changed
+		for i := range jumps {
+			if jumps[i] {
 				done = false
 				break
 			}

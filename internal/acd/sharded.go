@@ -30,16 +30,31 @@ func ComputeSharded(cg *cluster.CG, sg *graph.ShardedGraph, eps float64, rng *ra
 // issued once globally per logical wave — is byte-identical to ComputeWith
 // at every shard count and parallelism. Cross-shard traffic lands in the
 // engine's ExchangeStats.
+//
+// The engine may partition a global-graph-less sharded graph (streaming
+// construction, SG.G == nil): the buddy predicate is then memoized per shard
+// into bitmaps keyed by local directed slots — each owned directed edge
+// evaluates the symmetric predicate itself, replacing the forward+mirror
+// passes — and component assembly walks the slices. Every estimate still
+// derives from rows the semilattice merge makes byte-identical to the
+// materialized fold, so the decomposition and the charges are unchanged; the
+// cluster graph may be a materialized view over the same vertex count or a
+// cluster.NewHeadless view for runs where the global graph never exists.
 func ComputeShardedWith(cg *cluster.CG, se *shard.Engine, eps float64, rng *rand.Rand, ws *Workspace) (*Decomposition, error) {
 	if eps <= 0 || eps >= 1.0/3 {
 		return nil, fmt.Errorf("acd: eps %v out of (0, 1/3)", eps)
 	}
-	g := cg.H
-	if se.SG.G != g {
-		return nil, fmt.Errorf("acd: shard engine partitions a different graph")
+	sg := se.SG
+	streaming := sg.G == nil
+	if !streaming {
+		if sg.G != cg.H {
+			return nil, fmt.Errorf("acd: shard engine partitions a different graph")
+		}
+	} else if cg.H != nil && cg.H.N() != sg.N() {
+		return nil, fmt.Errorf("acd: shard engine partitions %d vertices, cluster graph has %d", sg.N(), cg.H.N())
 	}
-	n := g.N()
-	delta := float64(g.MaxDegree())
+	n := sg.N()
+	delta := float64(sg.MaxDegree())
 	seed := rng.Uint64()
 	if delta == 0 {
 		d := &Decomposition{Eps: eps, CliqueOf: make([]int, n)}
@@ -68,44 +83,87 @@ func ComputeShardedWith(cg *cluster.CG, se *shard.Engine, eps float64, rng *rand
 	cg.ChargeHRounds("acd/buddy-exchange", 1, maxBits)
 	lowCut := (1 - 1.5*xi) * delta
 	joinCut := (1 + 1.5*xi) * delta
-	// Buddy predicate: each shard evaluates the forward edges of its owned
-	// vertices from its local rows (halo rows arrived in the collect's
-	// exchange), writing global slots through the slice slot map.
-	buddy, err := fillEdgeBitsSharded(g, se, ws, func(s, lv int, sl *graph.ShardSlice, sc *sketch.Scratch, set func(slot int)) {
-		v := sl.Lo + lv
-		if ws.deg[v] < lowCut {
-			return
-		}
-		sv := se.OutRowLocal(s, lv)
-		base := sl.CSR.AdjOffset(lv)
-		for j, lu := range sl.CSR.Neighbors(lv) {
-			u := sl.ToGlobal(int(lu))
-			if u <= v || ws.deg[u] < lowCut {
-				continue
+	var wave2 shard.CollectOptions
+	var assembleACD func() (*Decomposition, error)
+	if !streaming {
+		g := sg.G
+		// Buddy predicate: each shard evaluates the forward edges of its
+		// owned vertices from its local rows (halo rows arrived in the
+		// collect's exchange), writing global slots through the slice slot
+		// map; the mirror pass then reflects them onto reverse slots.
+		buddy, err := fillEdgeBitsSharded(g, se, ws, func(s, lv int, sl *graph.ShardSlice, sc *sketch.Scratch, set func(slot int)) {
+			v := sl.Lo + lv
+			if ws.deg[v] < lowCut {
+				return
 			}
-			if sc.Est.Estimate(sc.MergeTwo(sv, se.OutRowLocal(s, int(lu)))) <= joinCut {
-				set(int(sl.SlotToGlobal[base+j]))
+			sv := se.OutRowLocal(s, lv)
+			base := sl.CSR.AdjOffset(lv)
+			for j, lu := range sl.CSR.Neighbors(lv) {
+				u := sl.ToGlobal(int(lu))
+				if u <= v || ws.deg[u] < lowCut {
+					continue
+				}
+				if sc.Est.Estimate(sc.MergeTwo(sv, se.OutRowLocal(s, int(lu)))) <= joinCut {
+					set(int(sl.SlotToGlobal[base+j]))
+				}
 			}
+		})
+		if err != nil {
+			return nil, err
 		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	if cap(ws.buddySrc) < len(buddy) {
-		ws.buddySrc = make([]uint64, len(buddy))
-	}
-	ws.buddySrc = ws.buddySrc[:len(buddy)]
-	copy(ws.buddySrc, buddy)
-	if err := mirrorEdgeBits(g, ws.buddySrc, buddy); err != nil {
-		return nil, err
+		if cap(ws.buddySrc) < len(buddy) {
+			ws.buddySrc = make([]uint64, len(buddy))
+		}
+		ws.buddySrc = ws.buddySrc[:len(buddy)]
+		copy(ws.buddySrc, buddy)
+		if err := mirrorEdgeBits(g, ws.buddySrc, buddy); err != nil {
+			return nil, err
+		}
+		wave2.Pred = func(v, u, slot int) bool { return buddy[slot>>6]&(1<<(slot&63)) != 0 }
+		assembleACD = func() (*Decomposition, error) {
+			return assemble(g, eps, ws.dense, func(v, u, slot int) bool {
+				return buddy[slot>>6]&(1<<(slot&63)) != 0
+			}, ws)
+		}
+	} else {
+		// No global slots exist: each shard memoizes the predicate into its
+		// own local-slot bitmap, evaluating every owned directed edge — the
+		// kernel's merge is commutative, so both directions of an edge
+		// compute the identical estimate and the bits agree with the
+		// materialized forward+mirror result without a mirror pass (which
+		// would need the global CSR).
+		buddy, wordOff, err := fillEdgeBitsShardedLocal(se, ws, func(s, lv int, sl *graph.ShardSlice, sc *sketch.Scratch, set func(slot int)) {
+			v := sl.Lo + lv
+			if ws.deg[v] < lowCut {
+				return
+			}
+			sv := se.OutRowLocal(s, lv)
+			base := sl.CSR.AdjOffset(lv)
+			for j, lu := range sl.CSR.Neighbors(lv) {
+				if ws.deg[sl.ToGlobal(int(lu))] < lowCut {
+					continue
+				}
+				if sc.Est.Estimate(sc.MergeTwo(sv, se.OutRowLocal(s, int(lu)))) <= joinCut {
+					set(base + j)
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		isBuddy := func(s, lslot int) bool {
+			return buddy[wordOff[s]+(lslot>>6)]&(1<<(lslot&63)) != 0
+		}
+		wave2.LocalPred = func(s, lv, lu, lslot int) bool { return isBuddy(s, lslot) }
+		assembleACD = func() (*Decomposition, error) {
+			return assembleShardedStream(se, eps, ws.dense, isBuddy, ws)
+		}
 	}
 	// Wave 2: buddy-edge counts against the memoized bitmap.
 	if err := se.FillSamples(t, parwork.RowSeed(seed, 1), "acd/buddy-count"); err != nil {
 		return nil, err
 	}
-	if _, err := se.Collect(cg, "acd/buddy-count", shard.CollectOptions{
-		Pred: func(v, u, slot int) bool { return buddy[slot>>6]&(1<<(slot&63)) != 0 },
-	}); err != nil {
+	if _, err := se.Collect(cg, "acd/buddy-count", wave2); err != nil {
 		return nil, err
 	}
 	ws.count = growFloats(ws.count, n)
@@ -121,9 +179,7 @@ func ComputeShardedWith(cg *cluster.CG, se *shard.Engine, eps float64, rng *rand
 		ws.dense[v] = ws.count[v] >= denseCut
 	}
 	cg.ChargeHRounds("acd/leaders", 3, cg.IDBits())
-	return assemble(g, eps, ws.dense, func(v, u, slot int) bool {
-		return buddy[slot>>6]&(1<<(slot&63)) != 0
-	}, ws)
+	return assembleACD()
 }
 
 // estimateSharded fills out[v] with the estimator applied to v's collected
@@ -206,6 +262,128 @@ func fillEdgeBitsSharded(g *graph.Graph, se *shard.Engine, ws *Workspace, fill f
 	return bits, nil
 }
 
+// fillEdgeBitsShardedLocal is fillEdgeBits for global-graph-less slices: one
+// flat packed bitmap holding a word-aligned region per shard, indexed by the
+// shard's local directed slots (wordOff[s] is shard s's first word). Each
+// shard's pool chunks its owned range with the same word-ownership spill
+// discipline as the global variants; a shard's spills apply right after its
+// own chunks drain — regions never share words, so shards stay mutually
+// race-free.
+func fillEdgeBitsShardedLocal(se *shard.Engine, ws *Workspace, fill func(s, lv int, sl *graph.ShardSlice, sc *sketch.Scratch, set func(slot int))) ([]uint64, []int, error) {
+	k := se.SG.NumShards()
+	wordOff := make([]int, k+1)
+	for s := 0; s < k; s++ {
+		sl := se.SG.Slices[s]
+		wordOff[s+1] = wordOff[s] + (sl.CSR.AdjOffset(sl.Own())+63)/64
+	}
+	words := wordOff[k]
+	if cap(ws.buddy) < words {
+		ws.buddy = make([]uint64, words)
+	}
+	ws.buddy = ws.buddy[:words]
+	for i := range ws.buddy {
+		ws.buddy[i] = 0
+	}
+	bits := ws.buddy
+	if _, err := parwork.ForEach(k, func(s int) (struct{}, error) {
+		sl := se.SG.Slices[s]
+		own := sl.Own()
+		base := wordOff[s]
+		chunks := parwork.RangeChunks(own)
+		spills := make([][]int, chunks)
+		if err := se.Pool(s).ForEach(chunks, func(ci int) error {
+			lo, hi := parwork.ChunkBounds(own, ci)
+			ownStart := (sl.CSR.AdjOffset(lo) + 63) &^ 63
+			var spill []int
+			var sc sketch.Scratch
+			set := func(slot int) {
+				if slot < ownStart {
+					spill = append(spill, slot)
+					return
+				}
+				bits[base+(slot>>6)] |= 1 << (slot & 63)
+			}
+			for lv := lo; lv < hi; lv++ {
+				fill(s, lv, sl, &sc, set)
+			}
+			spills[ci] = spill
+			return nil
+		}); err != nil {
+			return struct{}{}, err
+		}
+		for _, sp := range spills {
+			for _, slot := range sp {
+				bits[base+(slot>>6)] |= 1 << (slot & 63)
+			}
+		}
+		return struct{}{}, nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	return bits, wordOff, nil
+}
+
+// assembleShardedStream is assemble for global-graph-less runs: the
+// propagation pass walks every shard's owned rows on its pool share instead
+// of the global CSR. An owned local row holds the exact global neighbor set
+// of its vertex and the buddy bits agree with the materialized bitmap, so
+// next is the same pure function of label and the fixpoint — hence the
+// decomposition — is byte-identical to the materialized assemble.
+func assembleShardedStream(se *shard.Engine, eps float64, dense []bool, isBuddy func(s, lslot int) bool, ws *Workspace) (*Decomposition, error) {
+	sg := se.SG
+	n := sg.N()
+	return assembleFrom(n, eps, dense, ws, func(label, next []int32) (bool, error) {
+		perShard, err := parwork.ForEach(sg.NumShards(), func(s int) (bool, error) {
+			sl := sg.Slices[s]
+			own := sl.Own()
+			chunks := parwork.RangeChunks(own)
+			ch := make([]bool, chunks)
+			if err := se.Pool(s).ForEach(chunks, func(ci int) error {
+				lo, hi := parwork.ChunkBounds(own, ci)
+				changed := false
+				for lv := lo; lv < hi; lv++ {
+					v := sl.Lo + lv
+					if !dense[v] {
+						next[v] = -1
+						continue
+					}
+					m := label[v]
+					base := sl.CSR.AdjOffset(lv)
+					for j, lu := range sl.CSR.Neighbors(lv) {
+						u := sl.ToGlobal(int(lu))
+						if dense[u] && label[u] < m && isBuddy(s, base+j) {
+							m = label[u]
+						}
+					}
+					next[v] = m
+					if m != label[v] {
+						changed = true
+					}
+				}
+				ch[ci] = changed
+				return nil
+			}); err != nil {
+				return false, err
+			}
+			for _, c := range ch {
+				if c {
+					return true, nil
+				}
+			}
+			return false, nil
+		})
+		if err != nil {
+			return false, err
+		}
+		for _, c := range perShard {
+			if c {
+				return true, nil
+			}
+		}
+		return false, nil
+	})
+}
+
 // BuildProfileSharded computes the Section 4.1 profile on the partitioned
 // substrate; see BuildProfileShardedWith.
 func BuildProfileSharded(cg *cluster.CG, sg *graph.ShardedGraph, d *Decomposition, delta, ell float64, rng *rand.Rand) (*Profile, error) {
@@ -220,6 +398,11 @@ func BuildProfileSharded(cg *cluster.CG, sg *graph.ShardedGraph, d *Decompositio
 func BuildProfileShardedWith(cg *cluster.CG, se *shard.Engine, d *Decomposition, delta, ell float64, rng *rand.Rand, ws *Workspace) (*Profile, error) {
 	if ell <= 0 {
 		return nil, fmt.Errorf("acd: ell %v must be positive", ell)
+	}
+	if cg.H == nil {
+		// The tree stage needs the materialized cluster graph (BFSForest
+		// walks H); headless runs get the decomposition only.
+		return nil, fmt.Errorf("acd: profile requires a materialized cluster graph")
 	}
 	n := cg.H.N()
 	p := &Profile{

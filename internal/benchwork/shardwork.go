@@ -1,9 +1,12 @@
 package benchwork
 
 import (
+	"math/bits"
+
 	"clustercolor/internal/acd"
 	"clustercolor/internal/cluster"
 	"clustercolor/internal/core"
+	"clustercolor/internal/network"
 	"clustercolor/internal/parwork"
 	"clustercolor/internal/shard"
 )
@@ -27,4 +30,32 @@ func RunACDShardedOnce(cg *cluster.CG, se *shard.Engine, eps float64, seed uint6
 		return nil, nil, err
 	}
 	return d, prof, nil
+}
+
+// NewStreamedACDInstance is NewACDInstance without the materialized graphs:
+// a headless cluster view charging as n singleton machines — machine count
+// n and dilation 0, exactly what the TopologySingleton expansion produces —
+// with the same Θ(log n) bandwidth. Decomposition runs under it charge
+// byte-identically to runs under the materialized singleton fixture, so the
+// streaming benchmarks can cross-check against NewACDInstance at sizes where
+// both paths exist.
+func NewStreamedACDInstance(n int) (*cluster.CG, error) {
+	m := n
+	if m < 2 {
+		m = 2
+	}
+	cost, err := network.NewCostModel(2*bits.Len(uint(m)) + 16)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.NewHeadless(n, 0, cost)
+}
+
+// RunACDStreamedOnce is the decomposition half of RunACDShardedOnce for
+// global-graph-less runs: headless cluster views carry no materialized graph
+// for the profile stage to walk, so only ComputeShardedWith runs. It works
+// under materialized views too, which is how the streaming benchmarks compare
+// the two construction paths on equal footing.
+func RunACDStreamedOnce(cg *cluster.CG, se *shard.Engine, eps float64, seed uint64, ws *acd.Workspace) (*acd.Decomposition, error) {
+	return acd.ComputeShardedWith(cg, se, eps, parwork.StreamRNG(seed), ws)
 }

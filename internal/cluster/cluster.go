@@ -46,6 +46,10 @@ type CG struct {
 	Dilation int
 
 	cost *network.CostModel
+	// machineN is the machine count identifier widths are computed from. It
+	// is recorded at construction so cost accounting (IDBits) works on
+	// headless views where G itself is nil.
+	machineN int
 }
 
 // New builds the cluster layer from an expansion of H. Every cluster must be
@@ -67,6 +71,7 @@ func New(h *graph.Graph, exp *graph.Expansion, cost *network.CostModel) (*CG, er
 		TreeParent: make([]int32, exp.G.N()),
 		TreeDepth:  make([]int, exp.G.N()),
 		cost:       cost,
+		machineN:   exp.G.N(),
 	}
 	for i := range cg.TreeParent {
 		cg.TreeParent[i] = -1
@@ -130,7 +135,28 @@ func NewAbstract(h *graph.Graph, g *graph.Graph, dilation int, cost *network.Cos
 	if dilation < 0 {
 		return nil, fmt.Errorf("cluster: negative dilation %d", dilation)
 	}
-	return &CG{H: h, G: g, Dilation: dilation, cost: cost}, nil
+	return &CG{H: h, G: g, Dilation: dilation, cost: cost, machineN: g.N()}, nil
+}
+
+// NewHeadless builds a cluster-graph view with no materialized graphs at
+// all: only the dilation and the machine count for identifier widths, so
+// round and payload accounting (ChargeHRounds, IDBits) work while every
+// primitive that walks H or G is unavailable. Streaming partitioned runs —
+// where the decomposition executes over shard slices and the global graph
+// is never built — use this view with machines = n, the singleton-expansion
+// topology, making their charges byte-identical to a materialized
+// singleton-expansion run.
+func NewHeadless(machines, dilation int, cost *network.CostModel) (*CG, error) {
+	if cost == nil {
+		return nil, fmt.Errorf("cluster: nil cost model")
+	}
+	if dilation < 0 {
+		return nil, fmt.Errorf("cluster: negative dilation %d", dilation)
+	}
+	if machines < 0 {
+		return nil, fmt.Errorf("cluster: negative machine count %d", machines)
+	}
+	return &CG{Dilation: dilation, cost: cost, machineN: machines}, nil
 }
 
 // Cost exposes the underlying cost model.

@@ -244,7 +244,7 @@ func (cg *CG) Enumerate(phase string, trees []*HTree, pred func(v int) bool) ([]
 // network.
 func (cg *CG) idBits() int {
 	bits := 1
-	for 1<<bits < cg.G.N()+1 {
+	for 1<<bits < cg.machineN+1 {
 		bits++
 	}
 	return bits

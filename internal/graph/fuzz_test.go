@@ -82,3 +82,54 @@ func FuzzBuilder(f *testing.F) {
 		}
 	})
 }
+
+// FuzzShardStream pins streaming ≡ materialized shard construction on
+// arbitrary small edge lists: bytes decode as (n, k, edge pairs), the valid
+// edges build a materialized graph partitioned the usual way, and streaming
+// the same (duplicated, unordered) edge sequence through the sharded builder
+// must reproduce every slice byte for byte.
+func FuzzShardStream(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 2, 0, 1, 1, 2, 2, 3, 3, 0})
+	f.Add([]byte{6, 3, 0, 5, 5, 0, 1, 4}) // cross-shard + reversed duplicate
+	f.Add([]byte{3, 7, 0, 1})             // k > n: empty shards
+	f.Add([]byte{5, 1, 0, 0, 9, 1})       // invalid edges among valid ones
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		n := int(data[0]%48) + 1
+		k := int(data[1]%8) + 1
+		var edges [][2]int
+		for i := 2; i+1 < len(data) && i < 200; i += 2 {
+			u, v := int(data[i]), int(data[i+1])
+			if u == v || u >= n || v >= n {
+				continue
+			}
+			edges = append(edges, [2]int{u, v})
+		}
+		b := NewBuilder(n)
+		for _, e := range edges {
+			if err := b.AddEdge(e[0], e[1]); err != nil {
+				t.Fatalf("AddEdge(%d,%d): %v", e[0], e[1], err)
+			}
+		}
+		g := b.Build()
+		want, err := NewShardedGraph(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewShardedGraphFromEdges(n, k, func(emit func(u, v int) error) error {
+			for _, e := range edges {
+				if err := emit(e[0], e[1]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalShardedStructures(t, "fuzz", want, got)
+	})
+}

@@ -51,14 +51,23 @@ func MustGNP(n int, p float64, rng *rand.Rand) *Graph {
 // gnpInto adds the edges of G(hi-lo, p) on the vertex window [lo, hi) of b.
 // p must already be validated to [0,1].
 func gnpInto(b *Builder, lo, hi int, p float64, rng *rand.Rand) error {
-	n := hi - lo
+	return gnpPairs(hi-lo, p, rng, func(v, w int) error {
+		return b.AddEdge(lo+v, lo+w)
+	})
+}
+
+// gnpPairs enumerates the edges of G(n, p) by geometric skip sampling,
+// calling visit(v, w), w < v, once per edge in row order. Both the
+// materialized generator and the streaming emitter run through this one
+// loop, so for the same rng state they produce the same edge sequence.
+func gnpPairs(n int, p float64, rng *rand.Rand, visit func(v, w int) error) error {
 	if n < 2 || p == 0 {
 		return nil
 	}
 	if p == 1 {
 		for u := 0; u < n; u++ {
 			for v := u + 1; v < n; v++ {
-				if err := b.AddEdge(lo+u, lo+v); err != nil {
+				if err := visit(v, u); err != nil {
 					return err
 				}
 			}
@@ -81,12 +90,30 @@ func gnpInto(b *Builder, lo, hi int, p float64, rng *rand.Rand) error {
 			v++
 		}
 		if v < n {
-			if err := b.AddEdge(lo+v, lo+w); err != nil {
+			if err := visit(v, w); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
+}
+
+// GNPStream returns a re-runnable EdgeStream of G(n, p): each invocation
+// replays the identical edge sequence from a fresh NewRand(seed), so
+// GNPStream(n, p, seed) feeding streaming shard construction yields slices
+// byte-identical to partitioning GNP(n, p, NewRand(seed)) — while never
+// requiring the global CSR, which is what lets instances past the global
+// builder cap be generated shard-by-shard.
+func GNPStream(n int, p float64, seed uint64) (EdgeStream, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: GNP n %d < 0", n)
+	}
+	if !validProb(p) {
+		return nil, fmt.Errorf("graph: GNP p %v out of [0,1]", p)
+	}
+	return func(emit func(u, v int) error) error {
+		return gnpPairs(n, p, NewRand(seed), emit)
+	}, nil
 }
 
 // CliqueFits reports whether K_n fits the builder's edge capacity; callers

@@ -66,17 +66,37 @@ func (s *ShardSlice) LocalOf(global int) (int, bool) {
 }
 
 // ShardedGraph is the partitioned view of a graph: k contiguous shard
-// slices whose owned ranges cover [0, n). The global graph stays available
-// for consumers that need it (single-process runs keep it mapped; a
-// multi-process deployment would hold only its own slice).
+// slices whose owned ranges cover [0, n). The global graph is optional:
+// materialized construction (NewShardedGraph) keeps it mapped for consumers
+// that need global CSR slots, while streaming construction
+// (NewShardedGraphFromEdges) leaves G nil — slices then carry no
+// SlotToGlobal map and per-edge state must be keyed by local slots. Global
+// dimensions (N, M, MaxDegree) are recorded at construction either way, so
+// consumers never need G for sizing.
 type ShardedGraph struct {
 	G      *Graph
 	Starts []int32 // len k+1; shard s owns [Starts[s], Starts[s+1])
 	Slices []*ShardSlice
+
+	n, m, maxDeg int
 }
 
 // NumShards returns the shard count.
 func (sg *ShardedGraph) NumShards() int { return len(sg.Slices) }
+
+// N returns the global vertex count, available with or without the global
+// graph.
+func (sg *ShardedGraph) N() int { return sg.n }
+
+// M returns the global undirected edge count, available with or without the
+// global graph.
+func (sg *ShardedGraph) M() int { return sg.m }
+
+// MaxDegree returns the global maximum degree. Owned local rows hold every
+// global neighbor, so the maximum owned local degree over all slices equals
+// the global maximum and streaming construction records it without ever
+// holding the global CSR.
+func (sg *ShardedGraph) MaxDegree() int { return sg.maxDeg }
 
 // Owner returns the shard owning global vertex v.
 func (sg *ShardedGraph) Owner(v int) int {
@@ -87,13 +107,9 @@ func (sg *ShardedGraph) Owner(v int) int {
 // (shard s owns [s·n/k, (s+1)·n/k), so k need not divide n and k > n leaves
 // trailing shards empty) and builds the per-shard slices in parallel.
 func NewShardedGraph(g *Graph, k int) (*ShardedGraph, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("graph: shard count %d < 1", k)
-	}
-	starts := make([]int32, k+1)
-	n := g.N()
-	for s := 0; s <= k; s++ {
-		starts[s] = int32(s * n / k)
+	starts, err := EvenStarts(g.N(), k)
+	if err != nil {
+		return nil, err
 	}
 	return ShardedGraphFromStarts(g, starts)
 }
@@ -103,18 +119,10 @@ func NewShardedGraph(g *Graph, k int) (*ShardedGraph, error) {
 // construct independently, so the work fans across the worker pool.
 func ShardedGraphFromStarts(g *Graph, starts []int32) (*ShardedGraph, error) {
 	k := len(starts) - 1
-	if k < 1 {
-		return nil, fmt.Errorf("graph: partition needs at least one shard")
+	if err := validStarts(g.N(), starts); err != nil {
+		return nil, err
 	}
-	if starts[0] != 0 || int(starts[k]) != g.N() {
-		return nil, fmt.Errorf("graph: partition bounds [%d, %d) do not cover [0, %d)", starts[0], starts[k], g.N())
-	}
-	for s := 0; s < k; s++ {
-		if starts[s] > starts[s+1] {
-			return nil, fmt.Errorf("graph: partition starts decrease at shard %d", s)
-		}
-	}
-	sg := &ShardedGraph{G: g, Starts: starts}
+	sg := &ShardedGraph{G: g, Starts: starts, n: g.N(), m: g.M(), maxDeg: g.MaxDegree()}
 	slices, err := parwork.ForEach(k, func(s int) (*ShardSlice, error) {
 		return buildSlice(g, sg, s, int(starts[s]), int(starts[s+1]))
 	})
@@ -204,6 +212,37 @@ func ownedDegree(g *Graph, v, lo, hi int) int {
 	a := sort.Search(len(row), func(i int) bool { return int(row[i]) >= lo })
 	b := sort.Search(len(row), func(i int) bool { return int(row[i]) >= hi })
 	return b - a
+}
+
+// EvenStarts returns the near-even contiguous partition of [0, n) into k
+// shards: shard s owns [s·n/k, (s+1)·n/k), so k need not divide n and k > n
+// leaves trailing shards empty.
+func EvenStarts(n, k int) ([]int32, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("graph: shard count %d < 1", k)
+	}
+	starts := make([]int32, k+1)
+	for s := 0; s <= k; s++ {
+		starts[s] = int32(s * n / k)
+	}
+	return starts, nil
+}
+
+// validStarts checks a partition: non-decreasing starts covering [0, n).
+func validStarts(n int, starts []int32) error {
+	k := len(starts) - 1
+	if k < 1 {
+		return fmt.Errorf("graph: partition needs at least one shard")
+	}
+	if starts[0] != 0 || int(starts[k]) != n {
+		return fmt.Errorf("graph: partition bounds [%d, %d) do not cover [0, %d)", starts[0], starts[k], n)
+	}
+	for s := 0; s < k; s++ {
+		if starts[s] > starts[s+1] {
+			return fmt.Errorf("graph: partition starts decrease at shard %d", s)
+		}
+	}
+	return nil
 }
 
 func dedupe(s []int32) []int32 {

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"slices"
 	"testing"
 )
 
@@ -217,5 +218,77 @@ func TestShardedGraphRejectsBadPartitions(t *testing.T) {
 	}
 	if _, err := ShardedGraphFromStarts(g, []int32{1, 5}); err == nil {
 		t.Fatal("offset cover accepted")
+	}
+}
+
+// TestShardedIDMapsProperty drives Owner, LocalOf, and ToGlobal against
+// brute-force scans over randomized partitions — including empty shards,
+// k > n, and single-vertex slices — on both construction paths.
+func TestShardedIDMapsProperty(t *testing.T) {
+	rng := NewRand(42)
+	for trial := 0; trial < 60; trial++ {
+		n := rng.IntN(40)
+		k := 1 + rng.IntN(n+5) // routinely exceeds n, forcing empty shards
+		starts := make([]int32, k+1)
+		for s := 1; s < k; s++ {
+			starts[s] = int32(rng.IntN(n + 1))
+		}
+		starts[k] = int32(n)
+		slices.Sort(starts)
+		g, err := GNP(n, 0.2, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mat, err := ShardedGraphFromStarts(g, starts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		str, err := ShardedGraphFromEdgeStarts(n, starts, StreamOf(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, sg := range map[string]*ShardedGraph{"materialized": mat, "streamed": str} {
+			if sg.N() != n || sg.M() != g.M() || sg.MaxDegree() != g.MaxDegree() {
+				t.Fatalf("trial %d %s: dims n=%d m=%d Δ=%d, want %d/%d/%d",
+					trial, name, sg.N(), sg.M(), sg.MaxDegree(), n, g.M(), g.MaxDegree())
+			}
+			for v := 0; v < n; v++ {
+				// Brute force: last shard whose range contains v.
+				want := -1
+				for s := 0; s < k; s++ {
+					if v >= int(starts[s]) && v < int(starts[s+1]) {
+						want = s
+						break
+					}
+				}
+				if got := sg.Owner(v); got != want {
+					t.Fatalf("trial %d %s: Owner(%d) = %d, want %d (starts %v)", trial, name, v, got, want, starts)
+				}
+			}
+			for s, sl := range sg.Slices {
+				for v := 0; v < n; v++ {
+					// Brute force: owned if in range, else linear halo scan.
+					wantLocal, wantOK := -1, false
+					if v >= sl.Lo && v < sl.Hi {
+						wantLocal, wantOK = v-sl.Lo, true
+					} else {
+						for i, h := range sl.Halo {
+							if int(h) == v {
+								wantLocal, wantOK = sl.Own()+i, true
+								break
+							}
+						}
+					}
+					got, ok := sl.LocalOf(v)
+					if ok != wantOK || (ok && got != wantLocal) {
+						t.Fatalf("trial %d %s: slice %d LocalOf(%d) = (%d,%v), want (%d,%v)",
+							trial, name, s, v, got, ok, wantLocal, wantOK)
+					}
+					if wantOK && sl.ToGlobal(wantLocal) != v {
+						t.Fatalf("trial %d %s: slice %d ToGlobal(%d) != %d", trial, name, s, wantLocal, v)
+					}
+				}
+			}
+		}
 	}
 }

@@ -12,8 +12,19 @@ import (
 // out only across its own share. Chunking inside a pool stays
 // RangeChunks-based — a function of n alone — so outputs are byte-identical
 // whatever the budget split.
+//
+// Pools from one SplitPools call additionally share a token budget capping
+// their total concurrently executing workers at the Parallelism() recorded
+// at split time: with k > Parallelism() every pool still gets a worker (so
+// no shard starves), but the floored shares can no longer multiply — k
+// shards driven concurrently run at most max(Parallelism(), 1) workers
+// in flight. Loops inside one pool's worker must not invoke a sibling pool
+// of the same split (a worker holds its token for the duration of its
+// drain), which no current caller does: shard engines use their own pool's
+// loops only.
 type ShardPool struct {
 	workers int
+	tokens  chan struct{} // shared across one SplitPools group; nil = ungated
 }
 
 // Workers returns the pool's goroutine budget (≥ 1).
@@ -26,12 +37,18 @@ func (p *ShardPool) Workers() int {
 
 // SplitPools divides the current Parallelism() budget near-evenly across k
 // pools, every pool getting at least one worker. Earlier pools receive the
-// remainder, so budgets differ by at most one.
+// remainder, so budgets differ by at most one. The pools share a token
+// budget of max(Parallelism(), 1) concurrent workers, so the per-pool
+// 1-worker floor cannot oversubscribe the process budget when k exceeds it.
 func SplitPools(k int) []*ShardPool {
 	if k < 1 {
 		k = 1
 	}
 	p := Parallelism()
+	if p < 1 {
+		p = 1
+	}
+	tokens := make(chan struct{}, p)
 	pools := make([]*ShardPool, k)
 	for i := range pools {
 		w := p / k
@@ -41,9 +58,19 @@ func SplitPools(k int) []*ShardPool {
 		if w < 1 {
 			w = 1
 		}
-		pools[i] = &ShardPool{workers: w}
+		pools[i] = &ShardPool{workers: w, tokens: tokens}
 	}
 	return pools
+}
+
+// acquire blocks until a worker token is free and returns its release.
+// Ungated pools (nil, or constructed outside SplitPools) return a no-op.
+func (p *ShardPool) acquire() func() {
+	if p == nil || p.tokens == nil {
+		return func() {}
+	}
+	p.tokens <- struct{}{}
+	return func() { <-p.tokens }
 }
 
 // ForEach is ForEach bounded by the pool's budget instead of the global
@@ -59,6 +86,8 @@ func (p *ShardPool) ForEach(n int, f func(i int) error) error {
 		w = n
 	}
 	if w <= 1 {
+		release := p.acquire()
+		defer release()
 		for i := 0; i < n; i++ {
 			if err := f(i); err != nil {
 				return err
@@ -73,6 +102,8 @@ func (p *ShardPool) ForEach(n int, f func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			release := p.acquire()
+			defer release()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {

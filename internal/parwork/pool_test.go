@@ -1,0 +1,98 @@
+package parwork_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clustercolor/internal/parwork"
+)
+
+// TestSplitPoolsBudget is the regression test for the worker-budget
+// contract: k pools of one split driven fully concurrently (raw goroutines,
+// deliberately bypassing parwork.ForEach's own cap) must never have more
+// than max(Parallelism(), 1) workers in flight, even when k exceeds the
+// budget and every pool floors at one worker.
+func TestSplitPoolsBudget(t *testing.T) {
+	for _, tc := range []struct{ par, k int }{
+		{1, 8}, {2, 8}, {3, 5}, {4, 3}, {4, 4},
+	} {
+		prev := parwork.SetParallelism(tc.par)
+		pools := parwork.SplitPools(tc.k)
+		var inFlight, peak atomic.Int64
+		var wg sync.WaitGroup
+		for s := 0; s < tc.k; s++ {
+			pool := pools[s]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				err := pool.ForEach(16, func(i int) error {
+					cur := inFlight.Add(1)
+					for {
+						p := peak.Load()
+						if cur <= p || peak.CompareAndSwap(p, cur) {
+							break
+						}
+					}
+					time.Sleep(200 * time.Microsecond)
+					inFlight.Add(-1)
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+		parwork.SetParallelism(prev)
+		budget := int64(tc.par)
+		if budget < 1 {
+			budget = 1
+		}
+		if got := peak.Load(); got > budget {
+			t.Errorf("par=%d k=%d: %d workers in flight, budget %d", tc.par, tc.k, got, budget)
+		}
+	}
+}
+
+// TestSplitPoolsShares pins the budget split: shares are near-even, ≥ 1,
+// and sum to max(Parallelism(), k).
+func TestSplitPoolsShares(t *testing.T) {
+	prev := parwork.SetParallelism(5)
+	defer parwork.SetParallelism(prev)
+	pools := parwork.SplitPools(3)
+	want := []int{2, 2, 1}
+	for i, p := range pools {
+		if p.Workers() != want[i] {
+			t.Errorf("pool %d: %d workers, want %d", i, p.Workers(), want[i])
+		}
+	}
+}
+
+// TestShardPoolForEachError checks the lowest-index error wins under a
+// gated pool, and that pools stay usable after an error drain.
+func TestShardPoolForEachError(t *testing.T) {
+	prev := parwork.SetParallelism(2)
+	defer parwork.SetParallelism(prev)
+	pools := parwork.SplitPools(4)
+	for _, pool := range pools {
+		err := pool.ForEach(8, func(i int) error {
+			if i >= 3 {
+				return errIndex(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "index 3" {
+			t.Fatalf("got %v, want index 3", err)
+		}
+		if err := pool.ForEach(4, func(i int) error { return nil }); err != nil {
+			t.Fatalf("pool unusable after error: %v", err)
+		}
+	}
+}
+
+type errIndex int
+
+func (e errIndex) Error() string { return fmt.Sprintf("index %d", int(e)) }

@@ -117,10 +117,15 @@ func (e *Engine) FillSamples(t int, seed uint64, phase string) error {
 // CollectOptions mirrors sketch.CollectOptions with global vertex ids: Pred
 // receives the global endpoints and the global CSR slot, so the same
 // memoized predicates (the acd buddy bitmap) drive sharded and unsharded
-// runs identically.
+// runs identically. On global-graph-less slices there is no global slot —
+// Pred then receives slot = -1, and predicates memoized per edge should use
+// LocalPred instead, which takes precedence over Pred and receives the
+// shard, the local endpoint ids, and the local directed slot of the owned
+// row being folded.
 type CollectOptions struct {
 	IncludeSelf bool
 	Pred        func(v, u, slot int) bool
+	LocalPred   func(s, lv, lu, lslot int) bool
 }
 
 // Collect runs one aggregation wave: every shard folds its owned rows over
@@ -140,10 +145,23 @@ func (e *Engine) Collect(cg *cluster.CG, phase string, opts CollectOptions) (int
 		st := &e.states[s]
 		var localOpts sketch.CollectOptions
 		localOpts.IncludeSelf = opts.IncludeSelf
-		if opts.Pred != nil {
+		switch {
+		case opts.LocalPred != nil:
+			pred := opts.LocalPred
+			localOpts.Pred = func(lv, lu, lslot int) bool {
+				return pred(s, lv, lu, lslot)
+			}
+		case opts.Pred != nil && sl.SlotToGlobal != nil:
 			pred := opts.Pred
 			localOpts.Pred = func(lv, lu, lslot int) bool {
 				return pred(sl.Lo+lv, sl.ToGlobal(lu), int(sl.SlotToGlobal[lslot]))
+			}
+		case opts.Pred != nil:
+			// Streaming slices carry no slot map; slot-free predicates (the
+			// profile wave) still work with the sentinel.
+			pred := opts.Pred
+			localOpts.Pred = func(lv, lu, lslot int) bool {
+				return pred(sl.Lo+lv, sl.ToGlobal(lu), -1)
 			}
 		}
 		bits, err := sketch.CollectRows(sl.CSR, e.Kernel, &st.samples, &st.out, localOpts, sl.Own(), e.pools[s])
