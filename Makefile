@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-smoke bench-engine bench-graph bench-color bench-distsim bench-acd bench-sketch bench-shard tables benchjson vet fmt check
+.PHONY: build test race fuzz bench bench-smoke bench-engine bench-graph bench-color bench-distsim bench-acd bench-sketch bench-shard bench-speedup bench-speedup-smoke tables benchjson vet fmt check
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,22 @@ bench-sketch:
 # better part of an hour single-core and ~90 GB of peak sketch arenas.
 bench-shard:
 	$(GO) run ./cmd/benchtables -shardbench BENCH_shard.json -shardstream 10000000
+
+# Speedup-curve surface: per-stage wall-clock at parallelism 1/2/4/NumCPU for
+# every pipeline mode (coloring stages, decomposition waves + profile, sketch
+# collect, sharded exchange), written as BENCH_speedup.json. On a box that
+# cannot schedule more than one effective level the artifact is annotated
+# degraded_grid=true (loudly); add -require-full-grid to refuse instead.
+bench-speedup:
+	$(GO) run ./cmd/benchtables -speedupbench BENCH_speedup.json
+
+# CI-sized speedup smoke under the race detector: one curve per pipeline mode
+# (the 50000 cap keeps the smallest sketch workload) on the 1,2 grid.
+# -require-full-grid turns a collapsed grid — a runner that cannot actually
+# schedule 2 workers — into a hard failure instead of a silently degraded
+# artifact, so the smoke also asserts no grid level was dropped.
+bench-speedup-smoke:
+	$(GO) run -race ./cmd/benchtables -speedupbench /tmp/BENCH_speedup_smoke.json -speedupn 50000 -speedupgrid 1,2 -require-full-grid
 
 tables:
 	$(GO) run ./cmd/benchtables

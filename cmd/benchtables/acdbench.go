@@ -18,12 +18,21 @@ import (
 // It tracks the perf trajectory of the fingerprint→ACD→profile stack the
 // way BENCH_color.json tracks the coloring pipeline.
 type acdBenchReport struct {
-	Schema      string           `json:"schema"`
-	GoMaxProcs  int              `json:"gomaxprocs"`
-	Parallelism int              `json:"parallelism"`
-	Seed        uint64           `json:"seed"`
-	MaxN        int              `json:"max_n,omitempty"`
-	Benchmarks  []acdBenchResult `json:"benchmarks"`
+	Schema      string `json:"schema"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	Parallelism int    `json:"parallelism"`
+	Seed        uint64 `json:"seed"`
+	MaxN        int    `json:"max_n,omitempty"`
+	// GridLevels is the honest parallelism grid the speedup curves ran at;
+	// DegradedGrid marks a report whose requested grid (1, 2, 4, NumCPU)
+	// collapsed to a single effective level on the emitting box — its curves
+	// measure no deliverable concurrency.
+	GridLevels   []int            `json:"grid_levels"`
+	DegradedGrid bool             `json:"degraded_grid,omitempty"`
+	Benchmarks   []acdBenchResult `json:"benchmarks"`
+	// Curves holds the per-stage speedup curves (decompose waves, profile
+	// build, total) of every workload over GridLevels.
+	Curves []speedupCurve `json:"curves"`
 }
 
 // acdBenchResult augments the shared timing record with the decomposition's
@@ -50,11 +59,17 @@ func emitACDBench(path string, seed uint64, maxN int) error {
 // emitACDBenchWorkloads is emitACDBench over an explicit workload list, so
 // tests can exercise the emitter on small instances.
 func emitACDBenchWorkloads(path string, seed uint64, maxN int, workloads []benchwork.ACDWorkload) error {
+	levels, degraded, err := parGrid("acdbench", defaultCurveGrid()...)
+	if err != nil {
+		return err
+	}
 	report := acdBenchReport{
-		Schema:      "clustercolor/bench-acd/v1",
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		Parallelism: experiments.Parallelism(),
-		Seed:        seed,
+		Schema:       "clustercolor/bench-acd/v1",
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Parallelism:  experiments.Parallelism(),
+		Seed:         seed,
+		GridLevels:   levels,
+		DegradedGrid: degraded,
 	}
 	if maxN > 0 {
 		report.MaxN = maxN
@@ -114,6 +129,11 @@ func emitACDBenchWorkloads(path string, seed uint64, maxN int, workloads []bench
 		rec.benchResult = record(w.Name, r)
 		rec.Edges = h.M()
 		report.Benchmarks = append(report.Benchmarks, rec)
+		curves, err := acdCurves(w, cg, ws, seed, levels)
+		if err != nil {
+			return err
+		}
+		report.Curves = append(report.Curves, curves...)
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -18,12 +18,21 @@ import (
 // tracks the perf trajectory of Color itself the way BENCH_engine.json and
 // BENCH_graph.json track the round engine and the generators.
 type colorBenchReport struct {
-	Schema      string             `json:"schema"`
-	GoMaxProcs  int                `json:"gomaxprocs"`
-	Parallelism int                `json:"parallelism"`
-	Seed        uint64             `json:"seed"`
-	Benchmarks  []colorBenchResult `json:"benchmarks"`
-	PaletteOps  []benchResult      `json:"palette_ops"`
+	Schema      string `json:"schema"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	Parallelism int    `json:"parallelism"`
+	Seed        uint64 `json:"seed"`
+	// GridLevels is the honest parallelism grid the speedup curves ran at;
+	// DegradedGrid marks a report whose requested grid (1, 2, 4, NumCPU)
+	// collapsed to a single effective level on the emitting box — its curves
+	// measure no deliverable concurrency.
+	GridLevels   []int              `json:"grid_levels"`
+	DegradedGrid bool               `json:"degraded_grid,omitempty"`
+	Benchmarks   []colorBenchResult `json:"benchmarks"`
+	// Curves holds the per-stage speedup curves of every workload over
+	// GridLevels (same rows as BENCH_speedup.json, scoped to this mode).
+	Curves     []speedupCurve `json:"curves"`
+	PaletteOps []benchResult  `json:"palette_ops"`
 }
 
 // colorBenchResult augments the shared timing record with what the run did:
@@ -50,11 +59,17 @@ func emitColorBench(path string, seed uint64) error {
 // and palette-fixture size, so tests can exercise the emitter on small
 // instances.
 func emitColorBenchWorkloads(path string, seed uint64, workloads []benchwork.ColorWorkload, fixtureN int) error {
+	levels, degraded, err := parGrid("colorbench", defaultCurveGrid()...)
+	if err != nil {
+		return err
+	}
 	report := colorBenchReport{
-		Schema:      "clustercolor/bench-color/v1",
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		Parallelism: experiments.Parallelism(),
-		Seed:        seed,
+		Schema:       "clustercolor/bench-color/v1",
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Parallelism:  experiments.Parallelism(),
+		Seed:         seed,
+		GridLevels:   levels,
+		DegradedGrid: degraded,
 	}
 	for _, w := range workloads {
 		h, err := w.Build()
@@ -94,6 +109,11 @@ func emitColorBenchWorkloads(path string, seed uint64, workloads []benchwork.Col
 		}
 		rec.Edges = h.M()
 		report.Benchmarks = append(report.Benchmarks, rec)
+		curves, err := colorCurves(w, h, seed, levels)
+		if err != nil {
+			return err
+		}
+		report.Curves = append(report.Curves, curves...)
 	}
 	g, col, err := benchwork.PaletteOpsFixture(fixtureN)
 	if err != nil {

@@ -33,10 +33,15 @@ type benchResult struct {
 
 // benchReport is the BENCH_engine.json schema.
 type benchReport struct {
-	Schema     string        `json:"schema"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	Seed       uint64        `json:"seed"`
-	Benchmarks []benchResult `json:"benchmarks"`
+	Schema     string `json:"schema"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Seed       uint64 `json:"seed"`
+	// GridLevels is the honest parallelism grid the runner sweep ran at;
+	// DegradedGrid marks a report whose requested grid collapsed to a single
+	// effective level on the emitting box.
+	GridLevels   []int         `json:"grid_levels"`
+	DegradedGrid bool          `json:"degraded_grid,omitempty"`
+	Benchmarks   []benchResult `json:"benchmarks"`
 }
 
 func record(name string, r testing.BenchmarkResult) benchResult {
@@ -109,9 +114,17 @@ func emitEngineBench(path string, machines int, seed uint64) error {
 		rec.Edges = g.M()
 		report.Benchmarks = append(report.Benchmarks, rec)
 	}
-	// Measure sequential, the configured -parallel level, and full
-	// parallelism — deduplicated, ascending, oversubscribed levels dropped.
-	for _, par := range honestParGrid("enginebench", 1, experiments.Parallelism(), runtime.GOMAXPROCS(0)) {
+	// Measure sequential, two workers, the configured -parallel level, and
+	// full parallelism — deduplicated, ascending, oversubscribed levels
+	// dropped; a grid collapsed to one level annotates the header (or
+	// refuses under -require-full-grid).
+	levels, degraded, err := parGrid("enginebench", 1, 2, experiments.Parallelism(), runtime.NumCPU())
+	if err != nil {
+		return err
+	}
+	report.GridLevels = levels
+	report.DegradedGrid = degraded
+	for _, par := range levels {
 		rec := record(fmt.Sprintf("ExperimentRunner/parallel-%d", par), runnerBench(par, seed))
 		rec.Parallelism = par
 		rec.EffectiveParallelism = effectivePar(par)

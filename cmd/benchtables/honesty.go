@@ -48,3 +48,40 @@ func honestParGrid(kind string, requested ...int) []int {
 	sort.Ints(out)
 	return out
 }
+
+// requireFullGrid is set by -require-full-grid: a degraded parallelism grid
+// (see parGrid) becomes a hard error instead of an annotated artifact. CI
+// smoke runs set it so a report claiming multi-level measurements can never
+// be produced by a box that cannot schedule them.
+var requireFullGrid bool
+
+// parGrid is honestParGrid plus the honesty-contract verdict: it returns the
+// surviving levels and whether the grid is degraded — the requested grid
+// spanned more than one level but collapsed to at most one effective level
+// on this box. A degraded grid means the artifact measures no deliverable
+// concurrency at all; emitters must either annotate their header with
+// degraded_grid=true (the default, with a loud stderr note) or refuse
+// outright (under -require-full-grid).
+func parGrid(kind string, requested ...int) ([]int, bool, error) {
+	levels := honestParGrid(kind, requested...)
+	maxReq := 0
+	for _, l := range requested {
+		if l > maxReq {
+			maxReq = l
+		}
+	}
+	degraded := len(levels) <= 1 && maxReq > 1
+	if degraded {
+		if requireFullGrid {
+			return nil, true, fmt.Errorf("%s: requested parallelism grid %v collapses to %v (GOMAXPROCS=%d): refusing to emit a degraded artifact under -require-full-grid",
+				kind, requested, levels, runtime.GOMAXPROCS(0))
+		}
+		fmt.Fprintf(os.Stderr, "benchtables: %s: requested parallelism grid %v collapses to %v (GOMAXPROCS=%d); the artifact will carry degraded_grid=true — regenerate on a multi-core box for a real speedup surface\n",
+			kind, requested, levels, runtime.GOMAXPROCS(0))
+	}
+	return levels, degraded, nil
+}
+
+// defaultCurveGrid is the requested parallelism grid of every speedup-curve
+// surface: 1, 2, 4, NumCPU.
+func defaultCurveGrid() []int { return []int{1, 2, 4, runtime.NumCPU()} }

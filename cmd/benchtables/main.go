@@ -12,6 +12,7 @@
 //	benchtables -acdbench out.json     # emit decomposition benchmarks instead (-acdn caps size)
 //	benchtables -sketchbench out.json  # emit sketch-engine benchmarks instead (-sketchn caps size)
 //	benchtables -shardbench out.json   # emit partitioned-substrate benchmarks instead (-shardn caps size, -shardstream adds streaming rows)
+//	benchtables -speedupbench out.json # emit per-stage speedup curves instead (-speedupn caps size, -speedupgrid picks levels)
 //
 // Tables are computed by a parallel runner that fans experiments and their
 // rows across CPUs; the output is byte-identical for every -parallel value.
@@ -35,9 +36,19 @@
 // streaming-construction rows: GNP edge streams partitioned into slices with
 // no global CSR, up to n = N, with partition cost, peak slice footprint, and
 // a digest cross-check against the materialized path at the overlap size.
+// -speedupbench measures the per-stage scaling surface (conventionally
+// BENCH_speedup.json): decompose, matchings, SCTs, palettes, donation,
+// low-degree, sketch collect, and sharded boundary exchange, each timed at
+// parallelism 1/2/4/NumCPU with speedup-vs-serial per point; the stage
+// outputs are byte-identical across levels, so the curves move wall-clock
+// only.
 // Parallelism grids are honest: every row records its effective
 // min(parallelism, GOMAXPROCS), and cells requesting more workers than
-// GOMAXPROCS can schedule are skipped with a note on stderr.
+// GOMAXPROCS can schedule are skipped with a note on stderr. A grid that
+// collapses to a single effective level annotates the report header with
+// degraded_grid=true; under -require-full-grid the emitter refuses instead,
+// so CI can assert that published artifacts really measured a multi-level
+// surface.
 package main
 
 import (
@@ -69,10 +80,15 @@ func main() {
 		shardOut   = flag.String("shardbench", "", "run partitioned-substrate benchmarks and write BENCH_shard.json to this path ('-' = stdout), then exit")
 		shardN     = flag.Int("shardn", 0, "skip -shardbench workloads with more than this many vertices (0 = no cap; CI smoke uses a small cap)")
 		streamN    = flag.Int("shardstream", 0, "with -shardbench: also emit streaming-construction rows for GNP edge streams up to this many vertices (0 = off; CI smoke uses a small cap)")
+		speedupOut = flag.String("speedupbench", "", "measure per-stage speedup curves and write BENCH_speedup.json to this path ('-' = stdout), then exit")
+		speedupN   = flag.Int("speedupn", 200_000, "skip -speedupbench workloads with more than this many vertices (0 = no cap; CI smoke uses a small cap)")
+		speedupGr  = flag.String("speedupgrid", "", "comma-separated parallelism grid for -speedupbench (empty = 1,2,4,NumCPU)")
+		fullGrid   = flag.Bool("require-full-grid", false, "refuse to emit any benchmark artifact whose parallelism grid collapses to a single effective level, instead of annotating it with degraded_grid")
 	)
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
-	if *benchOut != "" || *graphOut != "" || *colorOut != "" || *distsimOut != "" || *acdOut != "" || *sketchOut != "" || *shardOut != "" {
+	requireFullGrid = *fullGrid
+	if *benchOut != "" || *graphOut != "" || *colorOut != "" || *distsimOut != "" || *acdOut != "" || *sketchOut != "" || *shardOut != "" || *speedupOut != "" {
 		if *benchOut != "" {
 			if err := emitEngineBench(*benchOut, *benchN, *seed); err != nil {
 				fmt.Fprintln(os.Stderr, "benchtables:", err)
@@ -111,6 +127,17 @@ func main() {
 		}
 		if *shardOut != "" {
 			if err := emitShardBench(*shardOut, *seed, *shardN, *streamN); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				os.Exit(1)
+			}
+		}
+		if *speedupOut != "" {
+			grid, err := parseParGrid(*speedupGr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				os.Exit(1)
+			}
+			if err := emitSpeedupBench(*speedupOut, *seed, *speedupN, grid); err != nil {
 				fmt.Fprintln(os.Stderr, "benchtables:", err)
 				os.Exit(1)
 			}

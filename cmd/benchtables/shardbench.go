@@ -26,13 +26,18 @@ import (
 // change), and the cross-shard exchange traffic that IS new in a partitioned
 // run.
 type shardBenchReport struct {
-	Schema     string             `json:"schema"`
-	GoMaxProcs int                `json:"gomaxprocs"`
-	Seed       uint64             `json:"seed"`
-	MaxN       int                `json:"max_n,omitempty"`
-	StreamMaxN int                `json:"stream_max_n,omitempty"`
-	Note       string             `json:"note"`
-	Benchmarks []shardBenchResult `json:"benchmarks"`
+	Schema     string `json:"schema"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Seed       uint64 `json:"seed"`
+	MaxN       int    `json:"max_n,omitempty"`
+	StreamMaxN int    `json:"stream_max_n,omitempty"`
+	// GridLevels is the honest parallelism grid of the shard × parallelism
+	// sweep; DegradedGrid marks a report whose requested grid (1, 2, 4,
+	// NumCPU) collapsed to a single effective level on the emitting box.
+	GridLevels   []int              `json:"grid_levels"`
+	DegradedGrid bool               `json:"degraded_grid,omitempty"`
+	Note         string             `json:"note"`
+	Benchmarks   []shardBenchResult `json:"benchmarks"`
 	// Streaming holds the streaming-construction rows: GNP instances
 	// produced as edge streams and partitioned into slices without ever
 	// materializing a global CSR, at sizes past what the grid above (and the
@@ -57,13 +62,18 @@ type shardBenchResult struct {
 	HaloVertices int   `json:"halo_vertices,omitempty"`
 	PartitionNs  int64 `json:"partition_ns,omitempty"`
 	// ExchangedRows/Bits total the boundary-exchange phases of one run;
-	// MaxPhaseBits is the heaviest single phase.
+	// MaxPhaseBits is the heaviest single phase; ExchangeNs is the wall-clock
+	// share those phases cost the run.
 	ExchangedRows  int64 `json:"exchanged_rows"`
 	ExchangedBits  int64 `json:"exchanged_bits"`
 	MaxPhaseBits   int64 `json:"max_phase_bits,omitempty"`
 	ExchangePhases int   `json:"exchange_phases,omitempty"`
-	// Speedup is unsharded-reference ns/op over this cell's ns/op.
-	Speedup float64 `json:"speedup_vs_unsharded,omitempty"`
+	ExchangeNs     int64 `json:"exchange_ns,omitempty"`
+	// Speedup is unsharded-reference ns/op over this cell's ns/op;
+	// SpeedupVsSerial compares the cell with the parallelism-1 cell of the
+	// same workload and shard count (the per-shard-count scaling curve).
+	Speedup         float64 `json:"speedup_vs_unsharded,omitempty"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
 }
 
 // shardStreamResult is one streaming-construction row: a GNP instance
@@ -114,9 +124,10 @@ func shardGrid() []int { return []int{1, 2, 4, 8} }
 
 // shardParGrid returns the parallelism levels of the grid — 1, 2, 4, and
 // NumCPU, deduplicated and sorted, with oversubscribed levels skipped so
-// every cell measures a worker count the scheduler can deliver.
-func shardParGrid() []int {
-	return honestParGrid("shardbench", 1, 2, 4, runtime.NumCPU())
+// every cell measures a worker count the scheduler can deliver — plus the
+// degraded-grid verdict (or a refusal under -require-full-grid).
+func shardParGrid() ([]int, bool, error) {
+	return parGrid("shardbench", defaultCurveGrid()...)
 }
 
 // emitShardBench benchmarks the partitioned decomposition substrate on every
@@ -139,7 +150,12 @@ func emitShardBenchWorkloads(path string, seed uint64, maxN, streamN int, worklo
 	if maxN > 0 {
 		report.MaxN = maxN
 	}
-	pars := shardParGrid()
+	pars, degraded, err := shardParGrid()
+	if err != nil {
+		return err
+	}
+	report.GridLevels = pars
+	report.DegradedGrid = degraded
 	for _, w := range workloads {
 		if maxN > 0 && w.N > maxN {
 			continue
@@ -196,6 +212,7 @@ func emitShardBenchWorkloads(path string, seed uint64, maxN, streamN int, worklo
 			for _, sl := range sg.Slices {
 				halo += len(sl.Halo)
 			}
+			var serialNs float64
 			for _, par := range pars {
 				var rounds int64
 				var stats shard.ExchangeStats
@@ -239,15 +256,20 @@ func emitShardBenchWorkloads(path string, seed uint64, maxN, streamN int, worklo
 					ExchangedBits:  stats.Bits,
 					MaxPhaseBits:   stats.MaxPhaseBits,
 					ExchangePhases: len(stats.Phases),
+					ExchangeNs:     stats.ExchangeNs,
 				}
 				rec.Parallelism = par
 				rec.EffectiveParallelism = effectivePar(par)
 				rec.Edges = h.M()
 				if par == pars[0] {
 					rec.PartitionNs = partitionNs
+					serialNs = rec.NsPerOp
 				}
 				if rec.NsPerOp > 0 {
 					rec.Speedup = ref.NsPerOp / rec.NsPerOp
+					if serialNs > 0 {
+						rec.SpeedupVsSerial = serialNs / rec.NsPerOp
+					}
 				}
 				report.Benchmarks = append(report.Benchmarks, rec)
 			}

@@ -65,7 +65,11 @@ func TestEmitShardBench(t *testing.T) {
 	if report.MaxN != 1000 {
 		t.Fatalf("max_n = %d, want 1000", report.MaxN)
 	}
-	wantCells := 1 + len(shardGrid())*len(shardParGrid())
+	pars, _, err := shardParGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := 1 + len(shardGrid())*len(pars)
 	if len(report.Benchmarks) != wantCells {
 		t.Fatalf("got %d cells, want %d (unsharded reference + full grid; cap should skip the second workload)",
 			len(report.Benchmarks), wantCells)

@@ -20,14 +20,23 @@ import (
 // tracks the sketch engine the way BENCH_acd.json tracks the decomposition
 // built on top of it.
 type sketchBenchReport struct {
-	Schema      string                `json:"schema"`
-	GoMaxProcs  int                   `json:"gomaxprocs"`
-	Parallelism int                   `json:"parallelism"`
-	Seed        uint64                `json:"seed"`
-	MaxN        int                   `json:"max_n,omitempty"`
-	Kernels     []benchResult         `json:"kernels"`
-	Waves       []sketchWaveResult    `json:"waves"`
-	Estimators  []sketchEstimatorStat `json:"estimators"`
+	Schema      string `json:"schema"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	Parallelism int    `json:"parallelism"`
+	Seed        uint64 `json:"seed"`
+	MaxN        int    `json:"max_n,omitempty"`
+	// GridLevels is the honest parallelism grid the wave sweep ran at;
+	// DegradedGrid marks a report whose requested grid (1, 2, 4, NumCPU)
+	// collapsed to a single effective level on the emitting box — its waves
+	// and curves measure no deliverable concurrency.
+	GridLevels   []int              `json:"grid_levels"`
+	DegradedGrid bool               `json:"degraded_grid,omitempty"`
+	Kernels      []benchResult      `json:"kernels"`
+	Waves        []sketchWaveResult `json:"waves"`
+	// Curves re-expresses the wave sweep as one collect speedup curve per
+	// workload (same rows as BENCH_speedup.json, scoped to this mode).
+	Curves     []speedupCurve        `json:"curves"`
+	Estimators []sketchEstimatorStat `json:"estimators"`
 }
 
 // sketchWaveResult is one collect-wave measurement: fill + parallel CSR fold
@@ -102,8 +111,14 @@ func emitSketchBenchWorkloads(path string, seed uint64, maxN int, workloads []be
 	)
 	// Parallelism sweep: 1, 2, 4, NumCPU — deduplicated, sorted, and with
 	// oversubscribed levels skipped (logged) so every wave row measures a
-	// worker count the scheduler can deliver.
-	levels := honestParGrid("sketchbench", 1, 2, 4, runtime.NumCPU())
+	// worker count the scheduler can deliver. A grid collapsed to one level
+	// annotates the report header (or refuses under -require-full-grid).
+	levels, degraded, err := parGrid("sketchbench", defaultCurveGrid()...)
+	if err != nil {
+		return err
+	}
+	report.GridLevels = levels
+	report.DegradedGrid = degraded
 	for _, w := range workloads {
 		if maxN > 0 && w.N > maxN {
 			continue
@@ -127,7 +142,8 @@ func emitSketchBenchWorkloads(path string, seed uint64, maxN int, workloads []be
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
-		for _, par := range levels {
+		waveNs := make([]float64, len(levels))
+		for li, par := range levels {
 			prev := experiments.SetParallelism(par)
 			var loopErr error
 			r := testing.Benchmark(func(b *testing.B) {
@@ -152,8 +168,10 @@ func emitSketchBenchWorkloads(path string, seed uint64, maxN int, workloads []be
 			rec.Edges = h.M()
 			rec.Parallelism = par
 			rec.EffectiveParallelism = effectivePar(par)
+			waveNs[li] = rec.NsPerOp
 			report.Waves = append(report.Waves, rec)
 		}
+		report.Curves = append(report.Curves, curveFromNs(w.Name, "collect", levels, waveNs))
 		// Estimator profile: rerun the plain-neighborhood wave so the rows
 		// match what the parallelism sweep's last iteration may have
 		// overwritten, then sweep each variant.

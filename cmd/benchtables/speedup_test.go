@@ -1,0 +1,378 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"clustercolor/internal/benchwork"
+	"clustercolor/internal/core"
+	"clustercolor/internal/experiments"
+	"clustercolor/internal/graph"
+)
+
+// TestFinishCurve pins the speedup column and the monotonicity flag: speedup
+// is measured against the first point with a nonzero cost, the serial point's
+// own speedup is exactly 1, and NonMonotone trips whenever speedup decreases
+// between consecutive points — strictly, so the CI smoke's monotone-or-flagged
+// assertion holds by construction.
+func TestFinishCurve(t *testing.T) {
+	mk := func(ns ...float64) []curvePoint {
+		pts := make([]curvePoint, len(ns))
+		for i, v := range ns {
+			pts[i] = curvePoint{Parallelism: 1 << i, EffectiveParallelism: 1 << i, NsPerOp: v}
+		}
+		return pts
+	}
+	c := finishCurve("w", "total", mk(100, 50, 25))
+	if got := []float64{c.Points[0].SpeedupVsSerial, c.Points[1].SpeedupVsSerial, c.Points[2].SpeedupVsSerial}; got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("clean doubling curve got speedups %v, want [1 2 4]", got)
+	}
+	if c.NonMonotone {
+		t.Fatal("strictly improving curve flagged non-monotone")
+	}
+
+	c = finishCurve("w", "total", mk(100, 50, 80))
+	if !c.NonMonotone {
+		t.Fatal("straggling last point (speedup 2 → 1.25) not flagged non-monotone")
+	}
+
+	// A zero-cost first point is skipped when picking the serial baseline.
+	c = finishCurve("w", "total", mk(0, 50, 25))
+	if c.Points[0].SpeedupVsSerial != 0 {
+		t.Fatalf("unmeasured point carries speedup %v", c.Points[0].SpeedupVsSerial)
+	}
+	if c.Points[1].SpeedupVsSerial != 1 || c.Points[2].SpeedupVsSerial != 2 {
+		t.Fatalf("baseline did not shift to the first measurable point: %+v", c.Points)
+	}
+
+	c = finishCurve("w", "total", mk(0, 0))
+	for _, p := range c.Points {
+		if p.SpeedupVsSerial != 0 {
+			t.Fatalf("all-zero curve produced a speedup: %+v", c.Points)
+		}
+	}
+	if c.NonMonotone {
+		t.Fatal("all-zero curve flagged non-monotone")
+	}
+}
+
+// TestCurveBuilderStageOrder checks curves() emits canonical stages in
+// stageOrder and unknown stages alphabetically after them, with one point per
+// grid level.
+func TestCurveBuilderStageOrder(t *testing.T) {
+	levels := []int{1, 2}
+	cb := newCurveBuilder("w", levels)
+	for _, stage := range []string{"zzz", "collect", "aaa", "total", "decompose"} {
+		for li := range levels {
+			cb.add(li, stage, float64(100*(li+1)))
+		}
+	}
+	cs := cb.curves()
+	var got []string
+	for _, c := range cs {
+		got = append(got, c.Stage)
+		if len(c.Points) != len(levels) {
+			t.Fatalf("stage %s has %d points, want one per grid level (%d)", c.Stage, len(c.Points), len(levels))
+		}
+	}
+	want := []string{"total", "decompose", "collect", "aaa", "zzz"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("stage order %v, want %v", got, want)
+	}
+}
+
+// TestParseParGrid covers the -speedupgrid flag syntax.
+func TestParseParGrid(t *testing.T) {
+	if g, err := parseParGrid(""); err != nil || g != nil {
+		t.Fatalf("empty grid: %v %v", g, err)
+	}
+	g, err := parseParGrid(" 1, 2 ,4")
+	if err != nil || fmt.Sprint(g) != "[1 2 4]" {
+		t.Fatalf("got %v %v, want [1 2 4]", g, err)
+	}
+	for _, bad := range []string{"0", "x", "1,,2", "-1", "1,2.5"} {
+		if _, err := parseParGrid(bad); err == nil {
+			t.Errorf("grid %q accepted", bad)
+		}
+	}
+}
+
+// TestTimeStageRuns pins the measurement loop: always at least one run, the
+// iteration cap binds when the wall budget doesn't, and stage costs come back
+// averaged.
+func TestTimeStageRuns(t *testing.T) {
+	avg, iters, err := timeStageRuns(0, 8, func(iter int) (map[string]int64, error) {
+		return map[string]int64{"a": 100}, nil
+	})
+	if err != nil || iters != 1 {
+		t.Fatalf("zero wall budget ran %d iters (err %v), want exactly 1", iters, err)
+	}
+	if avg["a"] != 100 {
+		t.Fatalf("avg = %v", avg)
+	}
+	avg, iters, err = timeStageRuns(time.Hour, 3, func(iter int) (map[string]int64, error) {
+		return map[string]int64{"a": int64(100 * (iter + 1))}, nil
+	})
+	if err != nil || iters != 3 {
+		t.Fatalf("capped loop ran %d iters (err %v), want 3", iters, err)
+	}
+	if avg["a"] != 200 { // (100+200+300)/3
+		t.Fatalf("average over iterations = %v, want 200", avg["a"])
+	}
+	boom := fmt.Errorf("boom")
+	if _, _, err := timeStageRuns(0, 8, func(int) (map[string]int64, error) { return nil, boom }); err != boom {
+		t.Fatalf("step error not surfaced: %v", err)
+	}
+}
+
+// speedupTestTimings shrinks the per-cell measurement budget for emitter tests
+// and returns the restore func.
+func speedupTestTimings(minWall time.Duration, maxIters int) func() {
+	prevWall, prevIters := speedupMinWall, speedupMaxIters
+	speedupMinWall, speedupMaxIters = minWall, maxIters
+	return func() { speedupMinWall, speedupMaxIters = prevWall, prevIters }
+}
+
+// TestEmitSpeedupBench runs the BENCH_speedup.json emitter end-to-end on
+// small workloads with GOMAXPROCS widened to 4, so the grid survives even on
+// a 1-core regeneration box, and validates the schema: the full requested
+// grid measured, one point per level per stage with
+// effective_parallelism == parallelism on every surviving cell, serial points
+// at speedup exactly 1, end-to-end headlines present, per-mode stage coverage
+// (color total, ACD decompose, sketch collect, shard exchange), and the
+// curve's serial total within an order of magnitude of a directly measured
+// single-threaded run.
+func TestEmitSpeedupBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark emitter in short mode")
+	}
+	prevProcs := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prevProcs)
+	defer speedupTestTimings(20*time.Millisecond, 4)()
+
+	colorW := benchwork.ColorWorkload{
+		Name: "Color/GNP/n=300/test",
+		N:    300,
+		Build: func() (*graph.Graph, error) {
+			return graph.GNP(300, 0.05, graph.NewRand(5))
+		},
+		Params: core.DefaultParams,
+	}
+	acdW := benchwork.ACDWorkload{
+		Name: "ACD/Planted/test",
+		N:    220,
+		Eps:  0.25,
+		Build: func() (*graph.Graph, error) {
+			h, _, err := graph.PlantedACD(graph.PlantedACDSpec{
+				NumCliques:     3,
+				CliqueSize:     40,
+				DropFraction:   0.03,
+				ExternalDegree: 2,
+				SparseN:        100,
+				SparseP:        0.05,
+			}, graph.NewRand(3))
+			return h, err
+		},
+	}
+	sketchW := benchwork.SketchWorkload{
+		Name: "Sketch/GNP/n=400/test",
+		N:    400,
+		Xi:   0.25,
+		Build: func() (*graph.Graph, error) {
+			return graph.GNP(400, 24.0/400, graph.NewRand(5))
+		},
+	}
+
+	const seed = 7
+	requested := []int{1, 2, 4}
+	path := filepath.Join(t.TempDir(), "BENCH_speedup.json")
+	err := emitSpeedupBenchWorkloads(path, seed, 2_000, requested,
+		[]benchwork.ColorWorkload{colorW}, []benchwork.ACDWorkload{acdW}, []benchwork.SketchWorkload{sketchW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report speedupReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Schema != "clustercolor/bench-speedup/v1" {
+		t.Fatalf("schema = %q", report.Schema)
+	}
+	if fmt.Sprint(report.RequestedLevels) != fmt.Sprint(requested) {
+		t.Fatalf("requested_levels = %v, want %v", report.RequestedLevels, requested)
+	}
+	if fmt.Sprint(report.Levels) != fmt.Sprint(requested) {
+		t.Fatalf("levels = %v, want the full requested grid %v at GOMAXPROCS=4", report.Levels, requested)
+	}
+	if report.DegradedGrid {
+		t.Fatal("degraded_grid set on a full grid")
+	}
+	if len(report.Curves) == 0 {
+		t.Fatal("no curves emitted")
+	}
+
+	stagesOf := map[string]map[string]speedupCurve{}
+	for _, c := range report.Curves {
+		if len(c.Points) != len(report.Levels) {
+			t.Fatalf("%s/%s has %d points, want one per grid level (%d)", c.Workload, c.Stage, len(c.Points), len(report.Levels))
+		}
+		for i, p := range c.Points {
+			if p.Parallelism != report.Levels[i] {
+				t.Fatalf("%s/%s point %d at parallelism %d, want grid level %d", c.Workload, c.Stage, i, p.Parallelism, report.Levels[i])
+			}
+			if p.EffectiveParallelism != p.Parallelism {
+				t.Fatalf("%s/%s: surviving cell at parallelism %d reports effective %d — surviving levels must be deliverable", c.Workload, c.Stage, p.Parallelism, p.EffectiveParallelism)
+			}
+		}
+		if p := c.Points[0]; p.NsPerOp > 0 && p.SpeedupVsSerial != 1 {
+			t.Fatalf("%s/%s serial point has speedup %v, want exactly 1", c.Workload, c.Stage, p.SpeedupVsSerial)
+		}
+		m, ok := stagesOf[c.Workload]
+		if !ok {
+			m = map[string]speedupCurve{}
+			stagesOf[c.Workload] = m
+		}
+		m[c.Stage] = c
+	}
+
+	// Per-mode stage coverage.
+	for _, want := range []struct{ wl, stage string }{
+		{colorW.Name, "total"},
+		{acdW.Name, "total"},
+		{acdW.Name, "decompose"},
+		{acdW.Name, "profile"},
+		{sketchW.Name, "collect"},
+		{acdW.Name + "/shards=2", "sharded-total"},
+		{acdW.Name + "/shards=2", "exchange"},
+	} {
+		wl, stage := want.wl, want.stage
+		c, ok := stagesOf[wl][stage]
+		if !ok {
+			t.Fatalf("workload %s missing stage curve %q (have %v)", wl, stage, stagesOf[wl])
+		}
+		for _, p := range c.Points {
+			if p.NsPerOp <= 0 {
+				t.Fatalf("%s/%s has an unmeasured point: %+v", wl, stage, c.Points)
+			}
+		}
+	}
+	// The coloring pipeline must also expose per-stage curves (which stages
+	// ran depends on the low/high-degree path, so don't pin their names).
+	if len(stagesOf[colorW.Name]) < 2 {
+		t.Fatalf("color workload has only %v — per-stage curves missing", stagesOf[colorW.Name])
+	}
+
+	// Headlines cover every end-to-end curve.
+	wantHeadlines := map[string]bool{colorW.Name: false, acdW.Name: false, acdW.Name + "/shards=2": false}
+	for _, h := range report.Headline {
+		if _, ok := wantHeadlines[h.Workload]; ok {
+			wantHeadlines[h.Workload] = true
+			if h.SerialNsPerOp <= 0 || h.BestSpeedup <= 0 || h.BestParallelism == 0 {
+				t.Fatalf("headline for %s is empty: %+v", h.Workload, h)
+			}
+		}
+	}
+	for wl, seen := range wantHeadlines {
+		if !seen {
+			t.Fatalf("no headline row for %s", wl)
+		}
+	}
+
+	// The curve's serial total must agree with a directly measured
+	// single-threaded run within an order of magnitude — the serial point is
+	// a real single-threaded measurement, not a derived number.
+	serial := stagesOf[colorW.Name]["total"].Points[0].NsPerOp
+	h, err := colorW.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := colorW.Params(h.N())
+	prevPar := experiments.SetParallelism(1)
+	direct := math.Inf(1)
+	for trial := 0; trial < 3; trial++ {
+		t0 := time.Now()
+		if _, err := benchwork.RunColor(h, params, seed); err != nil {
+			experiments.SetParallelism(prevPar)
+			t.Fatal(err)
+		}
+		if d := float64(time.Since(t0)); d < direct {
+			direct = d
+		}
+	}
+	experiments.SetParallelism(prevPar)
+	if serial > 10*direct || direct > 10*serial {
+		t.Fatalf("curve serial total %.0fns vs direct single-threaded run %.0fns: more than an order of magnitude apart", serial, direct)
+	}
+}
+
+// TestEmitSpeedupBenchDegradedGrid pins the honesty contract on a box that
+// cannot schedule the grid: with GOMAXPROCS=1 a requested [1,2] grid
+// collapses, the artifact carries degraded_grid=true with only the surviving
+// level, and under -require-full-grid the emitter refuses outright.
+func TestEmitSpeedupBenchDegradedGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark emitter in short mode")
+	}
+	prevProcs := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prevProcs)
+	defer speedupTestTimings(time.Millisecond, 1)()
+
+	colorWs := []benchwork.ColorWorkload{{
+		Name: "Color/GNP/n=200/test",
+		N:    200,
+		Build: func() (*graph.Graph, error) {
+			return graph.GNP(200, 0.05, graph.NewRand(5))
+		},
+		Params: core.DefaultParams,
+	}}
+	path := filepath.Join(t.TempDir(), "BENCH_speedup.json")
+	if err := emitSpeedupBenchWorkloads(path, 7, 2_000, []int{1, 2}, colorWs, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report speedupReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !report.DegradedGrid {
+		t.Fatal("collapsed grid not annotated degraded_grid=true")
+	}
+	if fmt.Sprint(report.Levels) != "[1]" {
+		t.Fatalf("levels = %v, want the single surviving level [1]", report.Levels)
+	}
+	if fmt.Sprint(report.RequestedLevels) != "[1 2]" {
+		t.Fatalf("requested_levels = %v, want the original request [1 2]", report.RequestedLevels)
+	}
+	for _, c := range report.Curves {
+		if len(c.Points) != 1 || c.Points[0].Parallelism != 1 {
+			t.Fatalf("%s/%s points = %+v, want the single surviving level", c.Workload, c.Stage, c.Points)
+		}
+	}
+
+	// Under -require-full-grid the same request is a hard error, and no
+	// artifact is written.
+	requireFullGrid = true
+	defer func() { requireFullGrid = false }()
+	refused := filepath.Join(t.TempDir(), "refused.json")
+	err = emitSpeedupBenchWorkloads(refused, 7, 2_000, []int{1, 2}, colorWs, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "require-full-grid") {
+		t.Fatalf("degraded grid under -require-full-grid returned %v, want a refusal", err)
+	}
+	if _, statErr := os.Stat(refused); !os.IsNotExist(statErr) {
+		t.Fatal("refused emitter still wrote an artifact")
+	}
+}

@@ -149,9 +149,12 @@ func Exact(g *graph.Graph, eps float64) (*Decomposition, error) {
 func assemble(g *graph.Graph, eps float64, dense []bool, isBuddy func(v, u, slot int) bool, ws *Workspace) (*Decomposition, error) {
 	n := g.N()
 	return assembleFrom(n, eps, dense, ws, func(label, next []int32) (bool, error) {
+		// Propagation cost is one edge scan per dense vertex: weight chunk
+		// bounds by the offsets array so heavy rows spread across chunks.
 		chunks := parwork.RangeChunks(n)
+		cum := func(v int) int64 { return int64(g.AdjOffset(v)) + 16*int64(v) }
 		changes, err := parwork.ForEach(chunks, func(ci int) (bool, error) {
-			lo, hi := parwork.ChunkBounds(n, ci)
+			lo, hi := parwork.WeightedChunkBounds(n, chunks, ci, cum)
 			changed := false
 			for v := lo; v < hi; v++ {
 				if !dense[v] {
@@ -227,7 +230,7 @@ func assembleFrom(n int, eps float64, dense []bool, ws *Workspace, propagate fun
 		// of v's own component, so the hop stays within the component and
 		// only shortcuts toward its minimum. Reads only next.
 		jumps, err := parwork.ForEach(chunks, func(ci int) (bool, error) {
-			lo, hi := parwork.ChunkBounds(n, ci)
+			lo, hi := parwork.ChunkBoundsIn(n, chunks, ci)
 			changed := false
 			for v := lo; v < hi; v++ {
 				l := next[v]
@@ -462,8 +465,9 @@ func fillEdgeBits(g *graph.Graph, ws *Workspace, fill func(v int, sc *sketch.Scr
 	}
 	bits := ws.buddy
 	chunks := parwork.RangeChunks(n)
+	cum := func(v int) int64 { return int64(g.AdjOffset(v)) + 16*int64(v) }
 	spills, err := parwork.ForEach(chunks, func(ci int) ([]int, error) {
-		lo, hi := parwork.ChunkBounds(n, ci)
+		lo, hi := parwork.WeightedChunkBounds(n, chunks, ci, cum)
 		ownStart := (g.AdjOffset(lo) + 63) &^ 63
 		var spill []int
 		var sc sketch.Scratch
@@ -500,8 +504,9 @@ func fillEdgeBits(g *graph.Graph, ws *Workspace, fill func(v int, sc *sketch.Scr
 func mirrorEdgeBits(g *graph.Graph, src, bits []uint64) error {
 	n := g.N()
 	chunks := parwork.RangeChunks(n)
+	cum := func(v int) int64 { return int64(g.AdjOffset(v)) + 16*int64(v) }
 	spills, err := parwork.ForEach(chunks, func(ci int) ([]int, error) {
-		lo, hi := parwork.ChunkBounds(n, ci)
+		lo, hi := parwork.WeightedChunkBounds(n, chunks, ci, cum)
 		ownStart := (g.AdjOffset(lo) + 63) &^ 63
 		var spill []int
 		for v := lo; v < hi; v++ {
@@ -608,7 +613,7 @@ func (d *Decomposition) SparseQualitySampled(g *graph.Graph, maxSamples int, see
 	min := math.Inf(1)
 	chunks := parwork.RangeChunks(len(sparse))
 	mins, err := parwork.ForEach(chunks, func(ci int) (float64, error) {
-		lo, hi := parwork.ChunkBounds(len(sparse), ci)
+		lo, hi := parwork.ChunkBoundsIn(len(sparse), chunks, ci)
 		m := math.Inf(1)
 		for _, v := range sparse[lo:hi] {
 			if z := Sparsity(g, v); z < m {

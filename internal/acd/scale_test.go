@@ -33,9 +33,13 @@ func asCGSingleton(t *testing.T, h *graph.Graph, seed uint64) *cluster.CG {
 // TestDecompositionByteIdenticalAcrossParallelism pins the parallel-waves
 // contract: ComputeWith and BuildProfileWith produce bit-identical output
 // (clique structure, external degrees, averages, cabal flags) at parallelism
-// 1, 4, and NumCPU. Run under -race via `make race`, this is also the data-
-// race canary for the chunked arena folds and the edge-bitmap spill
-// discipline.
+// 1, 4, NumCPU, and 32. The 32 level matters independently of core count:
+// past 16 workers the adaptive grain rule scales the chunk count (8 per
+// worker), so it runs the folds and the degree-weighted chunk bounds on a
+// different partition of the vertex range than the other levels — the
+// byte-identity here is what licenses the grain to move with the budget.
+// Run under -race via `make race`, this is also the data-race canary for the
+// chunked arena folds and the edge-bitmap spill discipline.
 func TestDecompositionByteIdenticalAcrossParallelism(t *testing.T) {
 	g, _ := plantedInstance(t, 21)
 	cg := asCG(t, g, 23)
@@ -66,7 +70,7 @@ func TestDecompositionByteIdenticalAcrossParallelism(t *testing.T) {
 	if len(ref.cliques) == 0 {
 		t.Fatal("planted instance decomposed into no cliques; the test would be vacuous")
 	}
-	for _, par := range []int{4, runtime.GOMAXPROCS(0)} {
+	for _, par := range []int{4, runtime.GOMAXPROCS(0), 32} {
 		parwork.SetParallelism(par)
 		got := run()
 		parwork.SetParallelism(prev)

@@ -227,10 +227,11 @@ func fillEdgeBitsSharded(g *graph.Graph, se *shard.Engine, ws *Workspace, fill f
 	spillsPerShard, err := parwork.ForEach(k, func(s int) ([][]int, error) {
 		sl := se.SG.Slices[s]
 		own := sl.Own()
-		chunks := parwork.RangeChunks(own)
+		chunks := parwork.RangeChunksAt(own, se.Pool(s).Workers())
+		cum := func(v int) int64 { return int64(sl.CSR.AdjOffset(v)) + 16*int64(v) }
 		spills := make([][]int, chunks)
 		err := se.Pool(s).ForEach(chunks, func(ci int) error {
-			lo, hi := parwork.ChunkBounds(own, ci)
+			lo, hi := parwork.WeightedChunkBounds(own, chunks, ci, cum)
 			ownStart := (g.AdjOffset(sl.Lo+lo) + 63) &^ 63
 			var spill []int
 			var sc sketch.Scratch
@@ -289,10 +290,11 @@ func fillEdgeBitsShardedLocal(se *shard.Engine, ws *Workspace, fill func(s, lv i
 		sl := se.SG.Slices[s]
 		own := sl.Own()
 		base := wordOff[s]
-		chunks := parwork.RangeChunks(own)
+		chunks := parwork.RangeChunksAt(own, se.Pool(s).Workers())
+		cum := func(v int) int64 { return int64(sl.CSR.AdjOffset(v)) + 16*int64(v) }
 		spills := make([][]int, chunks)
 		if err := se.Pool(s).ForEach(chunks, func(ci int) error {
-			lo, hi := parwork.ChunkBounds(own, ci)
+			lo, hi := parwork.WeightedChunkBounds(own, chunks, ci, cum)
 			ownStart := (sl.CSR.AdjOffset(lo) + 63) &^ 63
 			var spill []int
 			var sc sketch.Scratch
@@ -336,10 +338,11 @@ func assembleShardedStream(se *shard.Engine, eps float64, dense []bool, isBuddy 
 		perShard, err := parwork.ForEach(sg.NumShards(), func(s int) (bool, error) {
 			sl := sg.Slices[s]
 			own := sl.Own()
-			chunks := parwork.RangeChunks(own)
+			chunks := parwork.RangeChunksAt(own, se.Pool(s).Workers())
+			cum := func(v int) int64 { return int64(sl.CSR.AdjOffset(v)) + 16*int64(v) }
 			ch := make([]bool, chunks)
 			if err := se.Pool(s).ForEach(chunks, func(ci int) error {
-				lo, hi := parwork.ChunkBounds(own, ci)
+				lo, hi := parwork.WeightedChunkBounds(own, chunks, ci, cum)
 				changed := false
 				for lv := lo; lv < hi; lv++ {
 					v := sl.Lo + lv

@@ -2,6 +2,7 @@ package benchwork
 
 import (
 	"math/bits"
+	"time"
 
 	"clustercolor/internal/acd"
 	"clustercolor/internal/cluster"
@@ -99,16 +100,28 @@ func NewACDInstance(h *graph.Graph, seed uint64) (*cluster.CG, error) {
 // independent of n). The cabal threshold is the pipeline's default ℓ for
 // the instance size.
 func RunACDOnce(cg *cluster.CG, eps float64, seed uint64, ws *acd.Workspace) (*acd.Decomposition, *acd.Profile, error) {
+	d, prof, _, _, err := RunACDOnceTimed(cg, eps, seed, ws)
+	return d, prof, err
+}
+
+// RunACDOnceTimed is RunACDOnce reporting the wall-clock split between the
+// decomposition waves (ComputeWith) and the profile build — the per-stage
+// surface the speedup-curve emitters plot. Timing feeds no decision; the
+// outputs are those of RunACDOnce, byte for byte.
+func RunACDOnceTimed(cg *cluster.CG, eps float64, seed uint64, ws *acd.Workspace) (*acd.Decomposition, *acd.Profile, time.Duration, time.Duration, error) {
 	rng := parwork.StreamRNG(seed)
+	start := time.Now()
 	d, err := acd.ComputeWith(cg, eps, rng, ws)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, 0, err
 	}
+	computeNs := time.Since(start)
 	n := cg.H.N()
 	ell := core.DefaultParams(n).Ell(n)
+	start = time.Now()
 	prof, err := acd.BuildProfileWith(cg, d, float64(cg.H.MaxDegree()), ell, rng, ws)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, 0, err
 	}
-	return d, prof, nil
+	return d, prof, computeNs, time.Since(start), nil
 }

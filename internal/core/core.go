@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"time"
 
 	"clustercolor/internal/acd"
 	"clustercolor/internal/cluster"
@@ -42,7 +43,9 @@ func ColorTraced(cg *cluster.CG, params Params, tr StageTracer) (*coloring.Color
 	var err error
 	if delta <= params.DeltaLowThreshold(h.N()) {
 		stats.Path = "low-degree"
+		start := time.Now()
 		err = colorLowDegree(cg, col, params, stats, rng)
+		stats.AddStageNs("lowdegree", time.Since(start))
 	} else {
 		stats.Path = "high-degree"
 		err = colorHighDegree(cg, col, params, stats, rng, tr)
@@ -54,7 +57,9 @@ func ColorTraced(cg *cluster.CG, params Params, tr StageTracer) (*coloring.Color
 	// finite scale is finished by palette-exact random trials, counted
 	// separately so experiments can report stage-only behaviour.
 	fbStart := cg.Cost().Rounds()
+	fbWall := time.Now()
 	fbErr := fallbackFinish(cg, col, params, stats, rng)
+	stats.AddStageNs("fallback", time.Since(fbWall))
 	stats.FallbackRounds = cg.Cost().Rounds() - fbStart
 	stats.Rounds = cg.Cost().Rounds() - baseline
 	stats.PhaseRounds = cg.Cost().PhaseRounds()
@@ -138,6 +143,8 @@ func (p Params) reservedFor(avgExt, ell float64, delta int) int32 {
 // conformance).
 func decompose(cg *cluster.CG, params Params, stats *Stats, rng *rand.Rand, tr StageTracer) (*acd.Decomposition, *acd.Profile, error) {
 	before := cg.Cost().Rounds()
+	wall := time.Now()
+	defer func() { stats.AddStageNs("decompose", time.Since(wall)) }()
 	ws := acd.NewWorkspace()
 	ell := params.Ell(cg.H.N())
 	var d *acd.Decomposition
@@ -163,6 +170,7 @@ func decompose(cg *cluster.CG, params Params, stats *Stats, rng *rand.Rand, tr S
 		stats.Shards = params.Shards
 		stats.ShardExchangedRows = se.Stats.Rows
 		stats.ShardExchangedBits = se.Stats.Bits
+		stats.AddStageNs("exchange", time.Duration(se.Stats.ExchangeNs))
 	} else {
 		d, err = acd.ComputeWith(cg, params.Eps, rng, ws)
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/bits"
 	"math/rand/v2"
+	"time"
 
 	"clustercolor/internal/acd"
 	"clustercolor/internal/cluster"
@@ -44,6 +45,7 @@ func colorHighDegree(cg *cluster.CG, col *coloring.Coloring, params Params, stat
 	}
 	// Step 2: slack generation everywhere but cabals.
 	stats.StageOrder = append(stats.StageOrder, "SlackGeneration")
+	wall := time.Now()
 	if _, err := slackgen.Run(cg, col, slackgen.Options{
 		Activation:  params.SlackActivation,
 		ReservedMax: globalReserved,
@@ -51,12 +53,15 @@ func colorHighDegree(cg *cluster.CG, col *coloring.Coloring, params Params, stat
 	}, rng); err != nil {
 		return err
 	}
+	stats.AddStageNs("slackgen", time.Since(wall))
 	stats.StageOrder = append(stats.StageOrder, "ColoringSparse")
 	// Step 3: color the sparse vertices (TryColor warm-up + MCT, full
 	// color space — Proposition 4.5 gives them Ω(Δ) slack).
+	wall = time.Now()
 	if err := colorSparse(cg, col, d, stats, rng); err != nil {
 		return err
 	}
+	stats.AddStageNs("sparse", time.Since(wall))
 	// Step 4: non-cabals (Algorithm 4).
 	stats.StageOrder = append(stats.StageOrder, "ColoringNonCabals")
 	if err := colorNonCabals(cg, col, d, prof, reserved, globalReserved, params, stats, rng, tr); err != nil {
@@ -141,7 +146,7 @@ func colorNonCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition
 		return err
 	}
 	// Step 4: Complete (Algorithm 11).
-	if err := complete(cg, col, d, cliques, reserved, inlier, full, rng); err != nil {
+	if err := complete(cg, col, d, cliques, reserved, inlier, full, stats, rng); err != nil {
 		return err
 	}
 	stats.NonCabalColored = col.DomSize() - before
@@ -152,7 +157,7 @@ func colorNonCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition
 // to shrink the slack-poor set; Phase II finishes on reserved colors with
 // MultiColorTrial.
 func complete(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition,
-	cliques []int, reserved []int32, inlier []bool, full []int32, rng *rand.Rand) error {
+	cliques []int, reserved []int32, inlier []bool, full []int32, stats *Stats, rng *rand.Rand) error {
 	h := cg.H
 	active := func(v int) bool {
 		k := d.CliqueOf[v]
@@ -167,9 +172,11 @@ func complete(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition,
 	palettes := make(map[int]*coloring.CliquePalette, len(cliques))
 	spaces := make(map[int][]int32, len(cliques))
 	for iter := 0; iter < 3; iter++ {
+		wall := time.Now()
 		if err := buildPalettes(cg, col, d, cliques, palettes); err != nil {
 			return err
 		}
+		stats.AddStageNs("palettes", time.Since(wall))
 		for _, i := range cliques {
 			space := spaces[i][:0]
 			for _, c := range palettes[i].FreeView() {
@@ -325,6 +332,7 @@ func colorCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, p
 	// Step 6: color put-aside sets via donation (parallel across cabals).
 	// The per-cabal job body lives in DonateJob (seams.go); the tasks pin
 	// the forbidden-donor flags (Lemma 7.2 Property 2) up front.
+	donateWall := time.Now()
 	lg := bits.Len(uint(h.N()))
 	donateSeed := rng.Uint64()
 	tasks := make([]DonateTask, len(cabals))
@@ -366,6 +374,7 @@ func colorCabals(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition, p
 		return err
 	}
 	stats.ParallelDroppedWrites += dropped
+	stats.AddStageNs("donate", time.Since(donateWall))
 	for _, ds := range dstats {
 		stats.PutAsideDonated += ds.Donated
 		stats.PutAsideFree += ds.Free
@@ -412,6 +421,8 @@ func foreignAdjacency(h *graph.Graph, putAside [][]int, self int) map[int]bool {
 func runMatchings(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition,
 	cliques []int, globalReserved int32, params Params, withFingerprint bool, stats *Stats, rng *rand.Rand,
 	tr StageTracer, stageLabel string) ([]int, error) {
+	wall := time.Now()
+	defer func() { stats.AddStageNs("matchings", time.Since(wall)) }()
 	h := cg.H
 	lg := bits.Len(uint(h.N()))
 	baseSeed := rng.Uint64()
@@ -465,6 +476,8 @@ func runMatchings(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition,
 func runSCTs(cg *cluster.CG, col *coloring.Coloring, d *acd.Decomposition,
 	cliques []int, reserved []int32, inlier []bool, exclude map[int]bool, stats *Stats, rng *rand.Rand,
 	tr StageTracer, stageLabel string) error {
+	wall := time.Now()
+	defer func() { stats.AddStageNs("scts", time.Since(wall)) }()
 	baseSeed := rng.Uint64()
 	tasks := make([]SCTTask, len(cliques))
 	for idx, i := range cliques {

@@ -132,7 +132,7 @@ func smallInstanceColoring(cg *cluster.CG, col *coloring.Coloring, stats *Stats,
 		choice = choice[:len(vs)]
 		chunks := parwork.RangeChunks(len(vs))
 		if _, err := parwork.ForEach(chunks, func(ci int) (struct{}, error) {
-			lo, hi := parwork.ChunkBounds(len(vs), ci)
+			lo, hi := parwork.ChunkBoundsIn(len(vs), chunks, ci)
 			sc := coloring.NewPaletteScratch()
 			for i := lo; i < hi; i++ {
 				pal := sc.Palette(h, col, vs[i])

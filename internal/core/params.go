@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Params are the tunable constants of the algorithm.
@@ -183,4 +184,20 @@ type Stats struct {
 	Shards             int
 	ShardExchangedRows int64
 	ShardExchangedBits int64
+	// StageNs accrues wall-clock nanoseconds per pipeline stage ("decompose",
+	// "slackgen", "sparse", "matchings", "scts", "palettes", "donate",
+	// "lowdegree", "fallback", ...). Stages that run more than once (the
+	// matching and SCT stages run for non-cabals and cabals) accumulate.
+	// Wall time is an execution measurement for the speedup-curve emitters —
+	// it feeds no algorithmic decision, so colorings stay byte-identical
+	// whatever the clock says.
+	StageNs map[string]int64
+}
+
+// AddStageNs accrues d under StageNs[stage], allocating the map on first use.
+func (s *Stats) AddStageNs(stage string, d time.Duration) {
+	if s.StageNs == nil {
+		s.StageNs = make(map[string]int64)
+	}
+	s.StageNs[stage] += int64(d)
 }

@@ -128,6 +128,53 @@ func runPerClique[T any](cg *cluster.CG, col *coloring.Coloring, phase string,
 		writes = make([][]MemberWrite, n)
 	}
 	subs := make([]*network.CostModel, n)
+	// The apply loop must stay sequential (clique order is the conflict
+	// tie-break), but its O(deg) neighbor scan per write only needs the
+	// neighbors that were themselves written this stage: every engine keeps
+	// its snapshot view proper against the full neighborhood, so for any
+	// write v→c and unwritten neighbor u, c differs from u's snapshot color —
+	// which is exactly u's color for the whole apply pass. (Neighbors whose
+	// write is a net-uncolor still count as written: their write drops and
+	// they keep a snapshot color the engine no longer vouches against.) So at
+	// parallelism > 1 the edge scans — the serial fraction that capped Amdahl
+	// scaling of the per-clique stages — precompute candidate lists across
+	// the pool, and the sequential decision loop touches candidates only.
+	// Checking the same col.Get values in the same order, it makes decisions
+	// byte-identical to the full scan.
+	var cands [][][]int32
+	totalWrites := 0
+	for i := range runs {
+		totalWrites += len(runs[i].writesV)
+	}
+	if totalWrites >= parallelApplyMinWrites && parwork.Parallelism() > 1 {
+		written := make([]bool, col.N())
+		for i := range runs {
+			for _, vv := range runs[i].writesV {
+				written[vv] = true
+			}
+		}
+		cands = make([][][]int32, n)
+		if _, err := parwork.ForEach(n, func(i int) (struct{}, error) {
+			wv := runs[i].writesV
+			if len(wv) == 0 {
+				return struct{}{}, nil
+			}
+			lists := make([][]int32, len(wv))
+			for j, vv := range wv {
+				var cl []int32
+				for _, u := range cg.H.Neighbors(int(vv)) {
+					if written[u] {
+						cl = append(cl, int32(u))
+					}
+				}
+				lists[j] = cl
+			}
+			cands[i] = lists
+			return struct{}{}, nil
+		}); err != nil {
+			return nil, nil, 0, err
+		}
+	}
 	dropped := 0
 	for i, run := range runs {
 		vals[i] = run.val
@@ -144,10 +191,19 @@ func runPerClique[T any](cg *cluster.CG, col *coloring.Coloring, phase string,
 				continue
 			}
 			conflict := false
-			for _, u := range cg.H.Neighbors(v) {
-				if col.Get(int(u)) == c {
-					conflict = true
-					break
+			if cands != nil {
+				for _, u := range cands[i][j] {
+					if col.Get(int(u)) == c {
+						conflict = true
+						break
+					}
+				}
+			} else {
+				for _, u := range cg.H.Neighbors(v) {
+					if col.Get(int(u)) == c {
+						conflict = true
+						break
+					}
 				}
 			}
 			if conflict {
@@ -162,3 +218,8 @@ func runPerClique[T any](cg *cluster.CG, col *coloring.Coloring, phase string,
 	cg.Cost().AbsorbParallel(phase, subs)
 	return vals, writes, dropped, nil
 }
+
+// parallelApplyMinWrites gates the candidate precompute: below it the plain
+// serial scan is cheaper than a pool dispatch. The decisions are identical
+// either way — the gate moves only wall-clock.
+const parallelApplyMinWrites = 128

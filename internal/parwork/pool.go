@@ -9,9 +9,10 @@ import (
 // knob for one shard of a partitioned run. Pools exist so k shards can
 // execute concurrently without multiplying the goroutine count: SplitPools
 // divides Parallelism() across the shards, and each shard's inner loops fan
-// out only across its own share. Chunking inside a pool stays
-// RangeChunks-based — a function of n alone — so outputs are byte-identical
-// whatever the budget split.
+// out only across its own share. Chunking inside a pool uses
+// RangeChunksAt(n, Workers()) — a pure function of n and the pool's own
+// budget — and every chunk-level reduction is partition-independent, so
+// outputs are byte-identical whatever the budget split.
 //
 // Pools from one SplitPools call additionally share a token budget capping
 // their total concurrently executing workers at the Parallelism() recorded
@@ -75,8 +76,10 @@ func (p *ShardPool) acquire() func() {
 
 // ForEach is ForEach bounded by the pool's budget instead of the global
 // knob: f(i) runs for every i in [0, n) across min(Workers(), n) goroutines
-// pulling from a shared counter. The lowest-index error wins. A nil pool
-// runs sequentially.
+// pulling from a shared counter. The first error observed wins and stops the
+// loop (any error aborts the caller, so which one is reported doesn't affect
+// results); the happy path allocates O(workers), not O(n). A nil pool runs
+// sequentially.
 func (p *ShardPool) ForEach(n int, f func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -95,7 +98,7 @@ func (p *ShardPool) ForEach(n int, f func(i int) error) error {
 		}
 		return nil
 	}
-	errs := make([]error, n)
+	var firstErr atomic.Pointer[error]
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for g := 0; g < w; g++ {
@@ -104,34 +107,55 @@ func (p *ShardPool) ForEach(n int, f func(i int) error) error {
 			defer wg.Done()
 			release := p.acquire()
 			defer release()
-			for {
+			for firstErr.Load() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = f(i)
+				if err := f(i); err != nil {
+					// Copy before taking the address: &err directly would
+					// make err escape and cost one heap allocation per
+					// iteration on the happy path too.
+					e := err
+					firstErr.CompareAndSwap(nil, &e)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if ep := firstErr.Load(); ep != nil {
+		return *ep
 	}
 	return nil
 }
 
-// ForRange runs f over the RangeChunks(n) contiguous chunks covering [0, n)
-// on the pool's workers, with the same ownership contract as the package
-// ForRange: chunk bounds depend only on n, so results are byte-identical at
-// every budget.
+// ForRange runs f over the RangeChunksAt(n, Workers()) contiguous chunks
+// covering [0, n) on the pool's workers, with the same ownership contract as
+// the package ForRange. The grain is a pure function of (n, pool budget);
+// chunk-level reductions stay partition-independent, so results are
+// byte-identical at every budget.
 func (p *ShardPool) ForRange(n int, f func(lo, hi int) error) error {
 	if n <= 0 {
 		return nil
 	}
-	return p.ForEach(RangeChunks(n), func(i int) error {
-		lo, hi := ChunkBounds(n, i)
+	chunks := RangeChunksAt(n, p.Workers())
+	return p.ForEach(chunks, func(i int) error {
+		lo, hi := ChunkBoundsIn(n, chunks, i)
+		return f(lo, hi)
+	})
+}
+
+// ForRangeWeighted is ForRange with WeightedChunkBounds over the pool's
+// grain: boundaries equalize cum (e.g. a CSR offsets array plus a constant
+// per item) so degree-skewed sweeps don't straggle on tail chunks.
+func (p *ShardPool) ForRangeWeighted(n int, cum func(v int) int64, f func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	chunks := RangeChunksAt(n, p.Workers())
+	return p.ForEach(chunks, func(i int) error {
+		lo, hi := WeightedChunkBounds(n, chunks, i, cum)
 		return f(lo, hi)
 	})
 }

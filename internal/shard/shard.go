@@ -18,6 +18,7 @@ package shard
 
 import (
 	"fmt"
+	"time"
 
 	"clustercolor/internal/cluster"
 	"clustercolor/internal/graph"
@@ -33,6 +34,10 @@ type PhaseStats struct {
 	Rows int64
 	// Bits is the total deviation-encoded size of the shipped rows.
 	Bits int64
+	// Ns is the wall-clock cost of the phase — copy plus encoding-size
+	// accounting — for the speedup-curve emitters. Timing feeds no
+	// algorithmic decision; outputs are identical whatever the clock says.
+	Ns int64
 }
 
 // ExchangeStats aggregates the cross-shard traffic of a partitioned run.
@@ -42,16 +47,19 @@ type ExchangeStats struct {
 	// Rows and Bits total the per-phase counts.
 	Rows int64
 	Bits int64
+	// ExchangeNs totals the per-phase wall-clock cost.
+	ExchangeNs int64
 	// MaxPhaseBits is the largest single-phase exchange.
 	MaxPhaseBits int64
 	// PairBits sums bits per directed (from, to) shard pair.
 	PairBits map[[2]int]int64
 }
 
-func (st *ExchangeStats) record(phase string, rows, bits int64) {
-	st.Phases = append(st.Phases, PhaseStats{Phase: phase, Rows: rows, Bits: bits})
+func (st *ExchangeStats) record(phase string, rows, bits, ns int64) {
+	st.Phases = append(st.Phases, PhaseStats{Phase: phase, Rows: rows, Bits: bits, Ns: ns})
 	st.Rows += rows
 	st.Bits += bits
+	st.ExchangeNs += ns
 	if bits > st.MaxPhaseBits {
 		st.MaxPhaseBits = bits
 	}
@@ -215,6 +223,7 @@ func (e *Engine) Pool(s int) *parwork.ShardPool { return e.pools[s] }
 // fill their own halos in parallel; the ForEach barrier orders the phase
 // after every owner's rows are final.
 func (e *Engine) exchange(phase string, arena func(s int) *sketch.Arena) error {
+	start := time.Now()
 	k := e.SG.NumShards()
 	type pairKey = [2]int
 	rows := make([]int64, k)
@@ -248,7 +257,7 @@ func (e *Engine) exchange(phase string, arena func(s int) *sketch.Arena) error {
 			e.Stats.PairBits[pk] += b
 		}
 	}
-	e.Stats.record(phase, totalRows, totalBits)
+	e.Stats.record(phase, totalRows, totalBits, int64(time.Since(start)))
 	return nil
 }
 

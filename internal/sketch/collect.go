@@ -49,8 +49,10 @@ func Collect(cg *cluster.CG, phase string, k Kernel, samples, out *Arena, opts C
 // shard engine) run it per slice — computing only the owned rows of a local
 // CSR whose arena also carries halo rows — and charge the wave once
 // globally. A non-nil pool bounds the fan-out to that shard's worker
-// budget; chunk bounds depend only on rows, so the fold is byte-identical
-// at any parallelism and any budget split.
+// budget. Chunk bounds are degree-weighted from the CSR offsets array (plus
+// a constant per row), so heavy vertices don't pile into straggler chunks;
+// the fold itself is partition-independent (disjoint rows, max reduction),
+// so the output is byte-identical at any parallelism and any budget split.
 func CollectRows(g *graph.Graph, k Kernel, samples, out *Arena, opts CollectOptions, rows int, pool *parwork.ShardPool) (int, error) {
 	if rows > out.Rows() || rows > g.N() {
 		return 0, fmt.Errorf("sketch: %d rows to collect exceeds %d out rows / %d vertices", rows, out.Rows(), g.N())
@@ -59,9 +61,13 @@ func CollectRows(g *graph.Graph, k Kernel, samples, out *Arena, opts CollectOpti
 		return 0, fmt.Errorf("sketch: %d sample rows for %d vertices", samples.Rows(), g.N())
 	}
 	chunks := parwork.RangeChunks(rows)
+	if pool != nil {
+		chunks = parwork.RangeChunksAt(rows, pool.Workers())
+	}
+	cum := func(v int) int64 { return int64(g.AdjOffset(v)) + 16*int64(v) }
 	chunkBits := make([]int, chunks)
 	fold := func(ci int) error {
-		lo, hi := parwork.ChunkBounds(rows, ci)
+		lo, hi := parwork.WeightedChunkBounds(rows, chunks, ci, cum)
 		var counts []int
 		best := 1
 		for v := lo; v < hi; v++ {
