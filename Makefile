@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-smoke bench-engine bench-graph bench-color bench-distsim bench-acd bench-sketch bench-shard bench-speedup bench-speedup-smoke tables benchjson vet fmt check
+.PHONY: build test race fuzz bench bench-smoke bench-engine bench-graph bench-color bench-distsim bench-acd bench-sketch bench-shard bench-speedup bench-speedup-smoke bench-compare tables benchjson vet fmt check
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,16 @@ bench-speedup:
 # artifact, so the smoke also asserts no grid level was dropped.
 bench-speedup-smoke:
 	$(GO) run -race ./cmd/benchtables -speedupbench /tmp/BENCH_speedup_smoke.json -speedupn 50000 -speedupgrid 1,2 -require-full-grid
+
+# Per-row ns/op and allocs/op delta table between two BENCH_*.json artifacts
+# of the same schema (and the same gomaxprocs — anything else is refused).
+# Defaults to the decomposition trajectory: the checked-in pre-narrowing
+# baseline against the current artifact. Override either end:
+#   make bench-compare OLD=BENCH_sketch_old.json NEW=BENCH_sketch.json
+OLD ?= BENCH_acd_baseline.json
+NEW ?= BENCH_acd.json
+bench-compare:
+	$(GO) run ./cmd/benchtables -compare $(OLD) $(NEW)
 
 tables:
 	$(GO) run ./cmd/benchtables

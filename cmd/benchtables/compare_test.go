@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCompareArtifact(t *testing.T, name, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCompareDeltaTable: two artifacts of the same schema pair row-by-row on
+// identity fields and report the ns/op and allocs/op movement.
+func TestCompareDeltaTable(t *testing.T) {
+	old := writeCompareArtifact(t, "old.json", `{
+		"schema": "clustercolor/bench-acd/v1", "gomaxprocs": 1,
+		"benchmarks": [
+			{"name": "ACD/GNP/n=1e6", "ns_per_op": 200000000000, "allocs_per_op": 3000, "sketch_bits": 5775},
+			{"name": "ACD/Planted", "ns_per_op": 1000, "allocs_per_op": 10}
+		],
+		"curves": [{"workload": "ACD/GNP/n=1e6", "stage": "decompose",
+			"points": [{"parallelism": 1, "ns_per_op": 5000}, {"parallelism": 2, "ns_per_op": 2600}]}]
+	}`)
+	new := writeCompareArtifact(t, "new.json", `{
+		"schema": "clustercolor/bench-acd/v1", "gomaxprocs": 1,
+		"benchmarks": [
+			{"name": "ACD/GNP/n=1e6", "ns_per_op": 100000000000, "allocs_per_op": 2990, "sketch_bits": 5775},
+			{"name": "ACD/Planted", "ns_per_op": 1500, "allocs_per_op": 10}
+		],
+		"curves": [{"workload": "ACD/GNP/n=1e6", "stage": "decompose",
+			"points": [{"parallelism": 1, "ns_per_op": 5000}, {"parallelism": 2, "ns_per_op": 2600}]}]
+	}`)
+	var sb strings.Builder
+	if err := runCompare(&sb, old, new); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"-50.0%",        // the GNP row halved
+		"+50.0%",        // the planted row regressed
+		"3000 → 2990",   // allocs movement is reported
+		"4 paired rows", // 2 benchmarks + 2 curve points
+		"0 old-only, 0 new-only",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCompareRefusesMismatchedHeaders: timing deltas across a different
+// schema or a different core count are meaningless and must be refused.
+func TestCompareRefusesMismatchedHeaders(t *testing.T) {
+	a := writeCompareArtifact(t, "a.json", `{"schema": "clustercolor/bench-acd/v1", "gomaxprocs": 1, "benchmarks": [{"name": "x", "ns_per_op": 10}]}`)
+	for _, tc := range []struct{ name, body string }{
+		{"schema", `{"schema": "clustercolor/bench-sketch/v1", "gomaxprocs": 1, "benchmarks": [{"name": "x", "ns_per_op": 10}]}`},
+		{"gomaxprocs", `{"schema": "clustercolor/bench-acd/v1", "gomaxprocs": 8, "benchmarks": [{"name": "x", "ns_per_op": 10}]}`},
+	} {
+		b := writeCompareArtifact(t, tc.name+".json", tc.body)
+		var sb strings.Builder
+		if err := runCompare(&sb, a, b); err == nil || !strings.Contains(err.Error(), tc.name) {
+			t.Errorf("mismatched %s: got err %v, want refusal naming %s", tc.name, err, tc.name)
+		}
+	}
+}
+
+// TestCompareIdentityIncludesOutputs: a row whose pinned output (sketch_bits)
+// changed must not silently pair — it shows up as removed+added instead.
+func TestCompareIdentityIncludesOutputs(t *testing.T) {
+	old := writeCompareArtifact(t, "old.json", `{"schema": "s", "gomaxprocs": 1,
+		"benchmarks": [{"name": "x", "ns_per_op": 10, "sketch_bits": 5775}, {"name": "y", "ns_per_op": 10}]}`)
+	new := writeCompareArtifact(t, "new.json", `{"schema": "s", "gomaxprocs": 1,
+		"benchmarks": [{"name": "x", "ns_per_op": 10, "sketch_bits": 9999}, {"name": "y", "ns_per_op": 10}]}`)
+	var sb strings.Builder
+	if err := runCompare(&sb, old, new); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1 paired rows, 1 old-only, 1 new-only") {
+		t.Errorf("changed sketch_bits should unpair the row:\n%s", sb.String())
+	}
+}

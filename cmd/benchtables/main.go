@@ -13,6 +13,7 @@
 //	benchtables -sketchbench out.json  # emit sketch-engine benchmarks instead (-sketchn caps size)
 //	benchtables -shardbench out.json   # emit partitioned-substrate benchmarks instead (-shardn caps size, -shardstream adds streaming rows)
 //	benchtables -speedupbench out.json # emit per-stage speedup curves instead (-speedupn caps size, -speedupgrid picks levels)
+//	benchtables -compare old.json new.json # print a per-row delta table between two artifacts of the same schema
 //
 // Tables are computed by a parallel runner that fans experiments and their
 // rows across CPUs; the output is byte-identical for every -parallel value.
@@ -84,8 +85,20 @@ func main() {
 		speedupN   = flag.Int("speedupn", 200_000, "skip -speedupbench workloads with more than this many vertices (0 = no cap; CI smoke uses a small cap)")
 		speedupGr  = flag.String("speedupgrid", "", "comma-separated parallelism grid for -speedupbench (empty = 1,2,4,NumCPU)")
 		fullGrid   = flag.Bool("require-full-grid", false, "refuse to emit any benchmark artifact whose parallelism grid collapses to a single effective level, instead of annotating it with degraded_grid")
+		compareOld = flag.String("compare", "", "compare this baseline BENCH_*.json against the artifact given as the positional argument; print a per-row ns/op and allocs/op delta table, then exit")
 	)
 	flag.Parse()
+	if *compareOld != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchtables: -compare old.json takes exactly one positional argument: the new artifact")
+			os.Exit(2)
+		}
+		if err := runCompare(os.Stdout, *compareOld, flag.Arg(0)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	experiments.SetParallelism(*parallel)
 	requireFullGrid = *fullGrid
 	if *benchOut != "" || *graphOut != "" || *colorOut != "" || *distsimOut != "" || *acdOut != "" || *sketchOut != "" || *shardOut != "" || *speedupOut != "" {

@@ -61,18 +61,63 @@ type sketchEstimatorStat struct {
 	MeanRelErr    float64 `json:"mean_rel_err"`
 }
 
-// mergeBench times one merge function on arena-aligned max-kernel rows.
-func mergeBench(width int, fill sketch.Kernel, merge func(dst, src []int16)) testing.BenchmarkResult {
-	var a sketch.Arena
+// mergeBench times one merge function on arena-aligned rows filled by fill.
+func mergeBench[C sketch.Cell](width int, fill func(row []C, rowSeed uint64), merge func(dst, src []C)) testing.BenchmarkResult {
+	var a sketch.Arena[C]
 	a.Reset(2, width)
-	fill.Fill(a.Row(0), parwork.RowSeed(1, 0))
-	fill.Fill(a.Row(1), parwork.RowSeed(1, 1))
+	fill(a.Row(0), parwork.RowSeed(1, 0))
+	fill(a.Row(1), parwork.RowSeed(1, 1))
 	dst, src := a.Row(0), a.Row(1)
 	return testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		b.SetBytes(int64(2 * width))
 		for i := 0; i < b.N; i++ {
 			merge(dst, src)
+		}
+	})
+}
+
+// mergePairBench times the paired fold (dst = dst ⊔ a ⊔ b) the collect wave
+// uses to keep two source-row miss streams in flight.
+func mergePairBench(width int) testing.BenchmarkResult {
+	var a sketch.Arena[int8]
+	a.Reset(3, width)
+	k := sketch.MaxKernel{}
+	for i := 0; i < 3; i++ {
+		k.Fill(a.Row(i), parwork.RowSeed(1, i))
+	}
+	dst, x, y := a.Row(0), a.Row(1), a.Row(2)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(3 * width))
+		for i := 0; i < b.N; i++ {
+			sketch.MergeMax8Pair(dst, x, y)
+		}
+	})
+}
+
+// benchSink keeps estimator results observable so the benched calls cannot be
+// dead-code eliminated.
+var benchSink float64
+
+// estimateMergedBench times estimating the union of two max-kernel rows:
+// fused (EstimateMerged) or through a materialized scratch merge — the
+// per-edge baseline the fused kernel replaced in the buddy predicate.
+func estimateMergedBench(width int, fused bool) testing.BenchmarkResult {
+	var a sketch.Arena[int8]
+	a.Reset(2, width)
+	sketch.MaxKernel{}.Fill(a.Row(0), parwork.RowSeed(1, 0))
+	sketch.MaxKernel{}.Fill(a.Row(1), parwork.RowSeed(1, 1))
+	x, y := a.Row(0), a.Row(1)
+	var sc sketch.Scratch[int8]
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if fused {
+				benchSink += sc.Est.EstimateMerged(x, y)
+			} else {
+				benchSink += sc.Est.Estimate(sc.MergeTwo(x, y))
+			}
 		}
 	})
 }
@@ -104,10 +149,24 @@ func emitSketchBenchWorkloads(path string, seed uint64, maxN int, workloads []be
 		return err
 	}
 	kmvWidth := sketch.KMVWidthFor(0.125)
+	// The int16 reference kernels (kept for the fingerprint adapter's wide
+	// rows) bench on the same geometric values, widened from the narrow fill.
+	wideFill := func(row []int16, rowSeed uint64) {
+		narrow := make([]int8, len(row))
+		sketch.MaxKernel{}.Fill(narrow, rowSeed)
+		for i, v := range narrow {
+			row[i] = int16(v)
+		}
+	}
 	report.Kernels = append(report.Kernels,
-		record(fmt.Sprintf("MergeMax/t=%d", t0), mergeBench(t0, sketch.MaxKernel{}, sketch.MergeMax)),
-		record(fmt.Sprintf("MergeMaxGeneric/t=%d", t0), mergeBench(t0, sketch.MaxKernel{}, sketch.MergeMaxGeneric)),
-		record(fmt.Sprintf("MergeKMV/k=%d", kmvWidth), mergeBench(kmvWidth, sketch.KMVKernel{}, sketch.MergeKMV)),
+		record(fmt.Sprintf("MergeMax8/t=%d", t0), mergeBench(t0, sketch.MaxKernel{}.Fill, sketch.MergeMax8)),
+		record(fmt.Sprintf("MergeMax8Generic/t=%d", t0), mergeBench(t0, sketch.MaxKernel{}.Fill, sketch.MergeMax8Generic)),
+		record(fmt.Sprintf("MergeMax8Pair/t=%d", t0), mergePairBench(t0)),
+		record(fmt.Sprintf("MergeMax/t=%d", t0), mergeBench(t0, wideFill, sketch.MergeMax)),
+		record(fmt.Sprintf("MergeMaxGeneric/t=%d", t0), mergeBench(t0, wideFill, sketch.MergeMaxGeneric)),
+		record(fmt.Sprintf("MergeKMV/k=%d", kmvWidth), mergeBench(kmvWidth, sketch.KMVKernel{}.Fill, sketch.MergeKMV)),
+		record(fmt.Sprintf("EstimateMerged/t=%d", t0), estimateMergedBench(t0, true)),
+		record(fmt.Sprintf("EstimateMergeTwo/t=%d", t0), estimateMergedBench(t0, false)),
 	)
 	// Parallelism sweep: 1, 2, 4, NumCPU — deduplicated, sorted, and with
 	// oversubscribed levels skipped (logged) so every wave row measures a
@@ -135,7 +194,7 @@ func emitSketchBenchWorkloads(path string, seed uint64, maxN int, workloads []be
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
-		eng := sketch.NewEngine(sketch.MaxKernel{})
+		eng := sketch.NewEngine[int8](sketch.MaxKernel{})
 		// Representative run: capture the charged payload and warm the
 		// arenas so allocs/op reflects the reuse steady state.
 		maxBits, err := benchwork.RunSketchWave(cg, eng, trials, seed)
@@ -178,9 +237,9 @@ func emitSketchBenchWorkloads(path string, seed uint64, maxN int, workloads []be
 		if _, err := benchwork.RunSketchWave(cg, eng, trials, seed); err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
-		var harmonic sketch.MaxEstimator
-		var threshold sketch.ThresholdEstimator
-		for _, est := range []sketch.Estimator{&harmonic, &threshold} {
+		var harmonic sketch.MaxEstimator[int8]
+		var threshold sketch.ThresholdEstimator[int8]
+		for _, est := range []sketch.Estimator[int8]{&harmonic, &threshold} {
 			s := benchwork.SketchEstimatorStats(h, eng, est)
 			report.Estimators = append(report.Estimators, sketchEstimatorStat{
 				Workload:      w.Name,
@@ -191,7 +250,7 @@ func emitSketchBenchWorkloads(path string, seed uint64, maxN int, workloads []be
 				MeanRelErr:    s.MeanRelErr,
 			})
 		}
-		kmvEng := sketch.NewEngine(sketch.KMVKernel{})
+		kmvEng := sketch.NewEngine[int16](sketch.KMVKernel{})
 		if _, err := benchwork.RunSketchWave(cg, kmvEng, kmvWidth, seed); err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}

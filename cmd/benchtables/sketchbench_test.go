@@ -57,8 +57,8 @@ func TestEmitSketchBench(t *testing.T) {
 	if report.MaxN != 1000 {
 		t.Fatalf("max_n = %d, want 1000", report.MaxN)
 	}
-	if len(report.Kernels) != 3 {
-		t.Fatalf("got %d kernel records, want 3 (SWAR, generic, kmv)", len(report.Kernels))
+	if len(report.Kernels) != 8 {
+		t.Fatalf("got %d kernel records, want 8 (narrow/wide SWAR + generics, paired fold, kmv, fused/materialized estimate)", len(report.Kernels))
 	}
 	for _, k := range report.Kernels {
 		if k.Iterations <= 0 || k.NsPerOp <= 0 {

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sort"
 
 	"clustercolor/internal/cluster"
 	"clustercolor/internal/fingerprint"
@@ -69,7 +70,7 @@ func Sparsity(g *graph.Graph, v int) float64 {
 // reusing it across calls (core does, per Color run) keeps allocation counts
 // independent of n.
 type Workspace struct {
-	eng      sketch.Engine
+	eng      sketch.Engine[int8]
 	deg      []float64
 	count    []float64
 	dense    []bool
@@ -82,12 +83,12 @@ type Workspace struct {
 // NewWorkspace returns an empty workspace; buffers grow on first use. The
 // engine runs the max kernel — the kernel the paper's lemmas are stated for.
 func NewWorkspace() *Workspace {
-	return &Workspace{eng: sketch.Engine{Kernel: sketch.MaxKernel{}}}
+	return &Workspace{eng: sketch.Engine[int8]{Kernel: sketch.MaxKernel{}}}
 }
 
 // engine returns the workspace's sketch engine, defaulting the kernel for
 // zero-value workspaces constructed without NewWorkspace.
-func (ws *Workspace) engine() *sketch.Engine {
+func (ws *Workspace) engine() *sketch.Engine[int8] {
 	if ws.eng.Kernel == nil {
 		ws.eng.Kernel = sketch.MaxKernel{}
 	}
@@ -358,7 +359,7 @@ func ComputeWith(cg *cluster.CG, eps float64, rng *rand.Rand, ws *Workspace) (*D
 	}
 	ws.deg = growFloats(ws.deg, n)
 	if err := parwork.ForRange(n, func(lo, hi int) error {
-		var est sketch.MaxEstimator
+		var est sketch.MaxEstimator[int8]
 		for v := lo; v < hi; v++ {
 			ws.deg[v] = est.Estimate(eng.Row(v))
 		}
@@ -373,27 +374,17 @@ func ComputeWith(cg *cluster.CG, eps float64, rng *rand.Rand, ws *Workspace) (*D
 	joinCut := (1 + 1.5*xi) * delta
 	// The buddy predicate runs exactly once per edge, memoized into the
 	// packed per-slot bitmap: pass A evaluates forward slots (u > v) with
-	// per-worker merge scratch, pass B mirrors them onto the reverse slots.
-	// The shared-scratch closure this replaces made Compute non-reentrant
-	// and pinned the whole stage to one goroutine.
-	buddy, err := fillEdgeBits(g, ws, func(v int, sc *sketch.Scratch, set func(slot int)) {
-		if ws.deg[v] < lowCut {
-			return
-		}
-		sv := eng.Row(v)
-		base := g.AdjOffset(v)
-		for j, u32 := range g.Neighbors(v) {
-			u := int(u32)
-			if u <= v || ws.deg[u] < lowCut {
-				continue
-			}
+	// per-worker estimator scratch, pass B mirrors them onto the reverse
+	// slots. The shared-scratch closure this replaces made Compute
+	// non-reentrant and pinned the whole stage to one goroutine.
+	buddy, err := fillEdgeBits(g, ws, t,
+		func(v int) bool { return ws.deg[v] >= lowCut },
+		func(sc *sketch.Scratch[int8], v, u int) bool {
 			// F ≤ (1+1.5ξ)Δ means the joint neighborhood is small, i.e. the
-			// neighborhoods overlap heavily: a buddy edge.
-			if sc.Est.Estimate(sc.MergeTwo(sv, eng.Row(u))) <= joinCut {
-				set(base + j)
-			}
-		}
-	})
+			// neighborhoods overlap heavily: a buddy edge. The fused kernel
+			// estimates the union without materializing the merged row.
+			return sc.Est.EstimateMerged(eng.Row(v), eng.Row(u)) <= joinCut
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -424,7 +415,7 @@ func ComputeWith(cg *cluster.CG, eps float64, rng *rand.Rand, ws *Workspace) (*D
 	}
 	ws.count = growFloats(ws.count, n)
 	if err := parwork.ForRange(n, func(lo, hi int) error {
-		var est sketch.MaxEstimator
+		var est sketch.MaxEstimator[int8]
 		for v := lo; v < hi; v++ {
 			ws.count[v] = est.Estimate(eng.Row(v))
 		}
@@ -447,13 +438,41 @@ func ComputeWith(cg *cluster.CG, eps float64, rng *rand.Rand, ws *Workspace) (*D
 	}, ws)
 }
 
+// edgeBlockBytes is the sketch-row footprint one predicate block targets:
+// small enough that a block of target rows stays cache-resident while every
+// admitted edge into it is judged, large enough that per-block bookkeeping
+// stays negligible next to the estimates.
+const edgeBlockBytes = 512 << 10
+
+// edgeBlockRows converts the block budget into a target-row count for rows of
+// rowBytes bytes.
+func edgeBlockRows(rowBytes int) int {
+	if rowBytes < 1 {
+		rowBytes = 1
+	}
+	rows := edgeBlockBytes / rowBytes
+	if rows < 64 {
+		rows = 64
+	}
+	return rows
+}
+
 // fillEdgeBits sizes the workspace's packed per-slot bitmap for g, zeroes
-// it, and runs fill(v, scratch, set) for every vertex in parallel. Each
-// chunk owns the word-aligned span of its slot range; bits falling in a
+// it, and evaluates judge over every directed forward edge (v, u) with u > v
+// and both endpoints admitted, setting the edge's CSR slot bit on success.
+// Each chunk owns the word-aligned span of its slot range; bits falling in a
 // chunk's leading partial word are spilled and applied sequentially, so no
 // two workers ever touch the same word — the packed bitmap stays race-free
 // without atomics.
-func fillEdgeBits(g *graph.Graph, ws *Workspace, fill func(v int, sc *sketch.Scratch, set func(slot int))) ([]uint64, error) {
+//
+// Evaluation is cache-blocked: within each degree-weighted chunk, the
+// admitted sources sweep their forward neighbor runs in ascending blocks of
+// edgeBlockRows target ids (rowBytes is the sketch-row width in bytes), so a
+// block of target rows is reused by every source in the chunk while it is
+// cache-resident instead of each source streaming the whole id range. The
+// blocked order sets the same slots — OR-ing into the bitmap is order-free —
+// so the bitmap is byte-identical to a per-source scan.
+func fillEdgeBits(g *graph.Graph, ws *Workspace, rowBytes int, admit func(v int) bool, judge func(sc *sketch.Scratch[int8], v, u int) bool) ([]uint64, error) {
 	n := g.N()
 	words := (2*g.M() + 63) / 64
 	if cap(ws.buddy) < words {
@@ -464,13 +483,14 @@ func fillEdgeBits(g *graph.Graph, ws *Workspace, fill func(v int, sc *sketch.Scr
 		ws.buddy[i] = 0
 	}
 	bits := ws.buddy
+	blockRows := edgeBlockRows(rowBytes)
 	chunks := parwork.RangeChunks(n)
 	cum := func(v int) int64 { return int64(g.AdjOffset(v)) + 16*int64(v) }
 	spills, err := parwork.ForEach(chunks, func(ci int) ([]int, error) {
 		lo, hi := parwork.WeightedChunkBounds(n, chunks, ci, cum)
 		ownStart := (g.AdjOffset(lo) + 63) &^ 63
 		var spill []int
-		var sc sketch.Scratch
+		var sc sketch.Scratch[int8]
 		set := func(slot int) {
 			if slot < ownStart {
 				spill = append(spill, slot)
@@ -478,8 +498,53 @@ func fillEdgeBits(g *graph.Graph, ws *Workspace, fill func(v int, sc *sketch.Scr
 			}
 			bits[slot>>6] |= 1 << (slot & 63)
 		}
+		// Gather the chunk's admitted sources that have forward neighbors;
+		// cur[i] indexes the next unjudged forward neighbor of srcs[i].
+		var srcs, cur []int32
 		for v := lo; v < hi; v++ {
-			fill(v, &sc, set)
+			if !admit(v) {
+				continue
+			}
+			nb := g.Neighbors(v)
+			j := sort.Search(len(nb), func(i int) bool { return int(nb[i]) > v })
+			if j < len(nb) {
+				srcs = append(srcs, int32(v))
+				cur = append(cur, int32(j))
+			}
+		}
+		// Blocked sweep: each round starts at the smallest pending target and
+		// judges every admitted edge into [blockLo, blockLo+blockRows) —
+		// neighbor lists are sorted ascending, so each source contributes one
+		// contiguous run per round — then compacts exhausted sources.
+		for len(srcs) > 0 {
+			blockLo := n
+			for i, v32 := range srcs {
+				if u := int(g.Neighbors(int(v32))[cur[i]]); u < blockLo {
+					blockLo = u
+				}
+			}
+			blockHi := blockLo + blockRows
+			alive := 0
+			for i, v32 := range srcs {
+				v := int(v32)
+				nb := g.Neighbors(v)
+				base := g.AdjOffset(v)
+				j := int(cur[i])
+				for j < len(nb) && int(nb[j]) < blockHi {
+					u := int(nb[j])
+					if admit(u) && judge(&sc, v, u) {
+						set(base + j)
+					}
+					j++
+				}
+				if j < len(nb) {
+					srcs[alive] = v32
+					cur[alive] = int32(j)
+					alive++
+				}
+			}
+			srcs = srcs[:alive]
+			cur = cur[:alive]
 		}
 		return spill, nil
 	})

@@ -76,7 +76,7 @@ func BuildProfileWith(cg *cluster.CG, d *Decomposition, delta float64, ell float
 			return nil, err
 		}
 		if err := parwork.ForRange(n, func(lo, hi int) error {
-			var est sketch.MaxEstimator
+			var est sketch.MaxEstimator[int8]
 			for v := lo; v < hi; v++ {
 				if d.CliqueOf[v] >= 0 {
 					p.ExtDeg[v] = est.Estimate(eng.Row(v))

@@ -2,6 +2,7 @@ package acd
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 
 	"clustercolor/internal/cluster"
@@ -40,7 +41,7 @@ func ComputeSharded(cg *cluster.CG, sg *graph.ShardedGraph, eps float64, rng *ra
 // materialized fold, so the decomposition and the charges are unchanged; the
 // cluster graph may be a materialized view over the same vertex count or a
 // cluster.NewHeadless view for runs where the global graph never exists.
-func ComputeShardedWith(cg *cluster.CG, se *shard.Engine, eps float64, rng *rand.Rand, ws *Workspace) (*Decomposition, error) {
+func ComputeShardedWith(cg *cluster.CG, se *shard.Engine[int8], eps float64, rng *rand.Rand, ws *Workspace) (*Decomposition, error) {
 	if eps <= 0 || eps >= 1.0/3 {
 		return nil, fmt.Errorf("acd: eps %v out of (0, 1/3)", eps)
 	}
@@ -91,23 +92,18 @@ func ComputeShardedWith(cg *cluster.CG, se *shard.Engine, eps float64, rng *rand
 		// owned vertices from its local rows (halo rows arrived in the
 		// collect's exchange), writing global slots through the slice slot
 		// map; the mirror pass then reflects them onto reverse slots.
-		buddy, err := fillEdgeBitsSharded(g, se, ws, func(s, lv int, sl *graph.ShardSlice, sc *sketch.Scratch, set func(slot int)) {
-			v := sl.Lo + lv
-			if ws.deg[v] < lowCut {
-				return
-			}
-			sv := se.OutRowLocal(s, lv)
-			base := sl.CSR.AdjOffset(lv)
-			for j, lu := range sl.CSR.Neighbors(lv) {
-				u := sl.ToGlobal(int(lu))
+		buddy, err := fillEdgeBitsSharded(g, se, ws, t,
+			func(v int) bool { return ws.deg[v] >= lowCut },
+			func(s int, sl *graph.ShardSlice, sc *sketch.Scratch[int8], lv, lu, lslot int, set func(slot int)) {
+				v := sl.Lo + lv
+				u := sl.ToGlobal(lu)
 				if u <= v || ws.deg[u] < lowCut {
-					continue
+					return
 				}
-				if sc.Est.Estimate(sc.MergeTwo(sv, se.OutRowLocal(s, int(lu)))) <= joinCut {
-					set(int(sl.SlotToGlobal[base+j]))
+				if sc.Est.EstimateMerged(se.OutRowLocal(s, lv), se.OutRowLocal(s, lu)) <= joinCut {
+					set(int(sl.SlotToGlobal[lslot]))
 				}
-			}
-		})
+			})
 		if err != nil {
 			return nil, err
 		}
@@ -132,22 +128,16 @@ func ComputeShardedWith(cg *cluster.CG, se *shard.Engine, eps float64, rng *rand
 		// compute the identical estimate and the bits agree with the
 		// materialized forward+mirror result without a mirror pass (which
 		// would need the global CSR).
-		buddy, wordOff, err := fillEdgeBitsShardedLocal(se, ws, func(s, lv int, sl *graph.ShardSlice, sc *sketch.Scratch, set func(slot int)) {
-			v := sl.Lo + lv
-			if ws.deg[v] < lowCut {
-				return
-			}
-			sv := se.OutRowLocal(s, lv)
-			base := sl.CSR.AdjOffset(lv)
-			for j, lu := range sl.CSR.Neighbors(lv) {
-				if ws.deg[sl.ToGlobal(int(lu))] < lowCut {
-					continue
+		buddy, wordOff, err := fillEdgeBitsShardedLocal(se, ws, t,
+			func(v int) bool { return ws.deg[v] >= lowCut },
+			func(s int, sl *graph.ShardSlice, sc *sketch.Scratch[int8], lv, lu, lslot int, set func(slot int)) {
+				if ws.deg[sl.ToGlobal(lu)] < lowCut {
+					return
 				}
-				if sc.Est.Estimate(sc.MergeTwo(sv, se.OutRowLocal(s, int(lu)))) <= joinCut {
-					set(base + j)
+				if sc.Est.EstimateMerged(se.OutRowLocal(s, lv), se.OutRowLocal(s, lu)) <= joinCut {
+					set(lslot)
 				}
-			}
-		})
+			})
 		if err != nil {
 			return nil, err
 		}
@@ -186,12 +176,12 @@ func ComputeShardedWith(cg *cluster.CG, se *shard.Engine, eps float64, rng *rand
 // row, per shard on its pool share. A non-nil keep predicate gates which
 // vertices receive an estimate (others keep their zero value) — the profile
 // wave estimates clique members only.
-func estimateSharded(se *shard.Engine, out []float64, keep func(v int) bool) error {
+func estimateSharded(se *shard.Engine[int8], out []float64, keep func(v int) bool) error {
 	k := se.SG.NumShards()
 	_, err := parwork.ForEach(k, func(s int) (struct{}, error) {
 		sl := se.SG.Slices[s]
 		return struct{}{}, se.Pool(s).ForRange(sl.Own(), func(lo, hi int) error {
-			var est sketch.MaxEstimator
+			var est sketch.MaxEstimator[int8]
 			for lv := lo; lv < hi; lv++ {
 				v := sl.Lo + lv
 				if keep != nil && !keep(v) {
@@ -205,6 +195,55 @@ func estimateSharded(se *shard.Engine, out []float64, keep func(v int) bool) err
 	return err
 }
 
+// blockedEdgeSweep drives the cache-blocked edge evaluation of a shard
+// chunk: for every admitted owned source lv in [lo, hi) it calls
+// eval(lv, lu, lslot) for each neighbor slot, sweeping the sources' neighbor
+// runs in ascending blocks of blockRows local target ids — slice neighbor
+// lists are sorted ascending by local id (owned then halo sub-rows), so each
+// source contributes one contiguous run per round and a block of target rows
+// is reused by every source in the chunk while it is cache-resident. admit
+// takes the source's global id. eval sees the same (lv, lu, lslot) triples
+// as a per-source scan, in a different order.
+func blockedEdgeSweep(sl *graph.ShardSlice, lo, hi, blockRows int, admit func(v int) bool, eval func(lv, lu, lslot int)) {
+	var srcs, cur []int32
+	for lv := lo; lv < hi; lv++ {
+		if !admit(sl.Lo + lv) {
+			continue
+		}
+		if len(sl.CSR.Neighbors(lv)) > 0 {
+			srcs = append(srcs, int32(lv))
+			cur = append(cur, 0)
+		}
+	}
+	for len(srcs) > 0 {
+		blockLo := math.MaxInt
+		for i, v32 := range srcs {
+			if u := int(sl.CSR.Neighbors(int(v32))[cur[i]]); u < blockLo {
+				blockLo = u
+			}
+		}
+		blockHi := blockLo + blockRows
+		alive := 0
+		for i, v32 := range srcs {
+			lv := int(v32)
+			nb := sl.CSR.Neighbors(lv)
+			base := sl.CSR.AdjOffset(lv)
+			j := int(cur[i])
+			for j < len(nb) && int(nb[j]) < blockHi {
+				eval(lv, int(nb[j]), base+j)
+				j++
+			}
+			if j < len(nb) {
+				srcs[alive] = v32
+				cur[alive] = int32(j)
+				alive++
+			}
+		}
+		srcs = srcs[:alive]
+		cur = cur[:alive]
+	}
+}
+
 // fillEdgeBitsSharded is fillEdgeBits on the partitioned substrate: the
 // global packed per-slot bitmap is sized once, and each shard's pool chunks
 // its owned range with the same word-ownership spill discipline — a chunk
@@ -212,8 +251,10 @@ func estimateSharded(se *shard.Engine, out []float64, keep func(v int) bool) err
 // below it spill and apply sequentially after all shards finish. Owned
 // global slot ranges are contiguous and ascending across (shard, chunk)
 // pairs, so word ownership is globally consistent and the bitmap stays
-// race-free without atomics.
-func fillEdgeBitsSharded(g *graph.Graph, se *shard.Engine, ws *Workspace, fill func(s, lv int, sl *graph.ShardSlice, sc *sketch.Scratch, set func(slot int))) ([]uint64, error) {
+// race-free without atomics. Edge evaluation is cache-blocked per chunk
+// (blockedEdgeSweep; rowBytes is the sketch-row width in bytes); eval gates
+// and judges each edge and maps its local slot to the global bitmap slot.
+func fillEdgeBitsSharded(g *graph.Graph, se *shard.Engine[int8], ws *Workspace, rowBytes int, admit func(v int) bool, eval func(s int, sl *graph.ShardSlice, sc *sketch.Scratch[int8], lv, lu, lslot int, set func(slot int))) ([]uint64, error) {
 	words := (2*g.M() + 63) / 64
 	if cap(ws.buddy) < words {
 		ws.buddy = make([]uint64, words)
@@ -223,6 +264,7 @@ func fillEdgeBitsSharded(g *graph.Graph, se *shard.Engine, ws *Workspace, fill f
 		ws.buddy[i] = 0
 	}
 	bits := ws.buddy
+	blockRows := edgeBlockRows(rowBytes)
 	k := se.SG.NumShards()
 	spillsPerShard, err := parwork.ForEach(k, func(s int) ([][]int, error) {
 		sl := se.SG.Slices[s]
@@ -234,7 +276,7 @@ func fillEdgeBitsSharded(g *graph.Graph, se *shard.Engine, ws *Workspace, fill f
 			lo, hi := parwork.WeightedChunkBounds(own, chunks, ci, cum)
 			ownStart := (g.AdjOffset(sl.Lo+lo) + 63) &^ 63
 			var spill []int
-			var sc sketch.Scratch
+			var sc sketch.Scratch[int8]
 			set := func(slot int) {
 				if slot < ownStart {
 					spill = append(spill, slot)
@@ -242,9 +284,9 @@ func fillEdgeBitsSharded(g *graph.Graph, se *shard.Engine, ws *Workspace, fill f
 				}
 				bits[slot>>6] |= 1 << (slot & 63)
 			}
-			for lv := lo; lv < hi; lv++ {
-				fill(s, lv, sl, &sc, set)
-			}
+			blockedEdgeSweep(sl, lo, hi, blockRows, admit, func(lv, lu, lslot int) {
+				eval(s, sl, &sc, lv, lu, lslot, set)
+			})
 			spills[ci] = spill
 			return nil
 		})
@@ -269,8 +311,9 @@ func fillEdgeBitsSharded(g *graph.Graph, se *shard.Engine, ws *Workspace, fill f
 // shard's pool chunks its owned range with the same word-ownership spill
 // discipline as the global variants; a shard's spills apply right after its
 // own chunks drain — regions never share words, so shards stay mutually
-// race-free.
-func fillEdgeBitsShardedLocal(se *shard.Engine, ws *Workspace, fill func(s, lv int, sl *graph.ShardSlice, sc *sketch.Scratch, set func(slot int))) ([]uint64, []int, error) {
+// race-free. Edge evaluation is cache-blocked per chunk (blockedEdgeSweep;
+// rowBytes is the sketch-row width in bytes).
+func fillEdgeBitsShardedLocal(se *shard.Engine[int8], ws *Workspace, rowBytes int, admit func(v int) bool, eval func(s int, sl *graph.ShardSlice, sc *sketch.Scratch[int8], lv, lu, lslot int, set func(slot int))) ([]uint64, []int, error) {
 	k := se.SG.NumShards()
 	wordOff := make([]int, k+1)
 	for s := 0; s < k; s++ {
@@ -286,6 +329,7 @@ func fillEdgeBitsShardedLocal(se *shard.Engine, ws *Workspace, fill func(s, lv i
 		ws.buddy[i] = 0
 	}
 	bits := ws.buddy
+	blockRows := edgeBlockRows(rowBytes)
 	if _, err := parwork.ForEach(k, func(s int) (struct{}, error) {
 		sl := se.SG.Slices[s]
 		own := sl.Own()
@@ -297,7 +341,7 @@ func fillEdgeBitsShardedLocal(se *shard.Engine, ws *Workspace, fill func(s, lv i
 			lo, hi := parwork.WeightedChunkBounds(own, chunks, ci, cum)
 			ownStart := (sl.CSR.AdjOffset(lo) + 63) &^ 63
 			var spill []int
-			var sc sketch.Scratch
+			var sc sketch.Scratch[int8]
 			set := func(slot int) {
 				if slot < ownStart {
 					spill = append(spill, slot)
@@ -305,9 +349,9 @@ func fillEdgeBitsShardedLocal(se *shard.Engine, ws *Workspace, fill func(s, lv i
 				}
 				bits[base+(slot>>6)] |= 1 << (slot & 63)
 			}
-			for lv := lo; lv < hi; lv++ {
-				fill(s, lv, sl, &sc, set)
-			}
+			blockedEdgeSweep(sl, lo, hi, blockRows, admit, func(lv, lu, lslot int) {
+				eval(s, sl, &sc, lv, lu, lslot, set)
+			})
 			spills[ci] = spill
 			return nil
 		}); err != nil {
@@ -331,7 +375,7 @@ func fillEdgeBitsShardedLocal(se *shard.Engine, ws *Workspace, fill func(s, lv i
 // of its vertex and the buddy bits agree with the materialized bitmap, so
 // next is the same pure function of label and the fixpoint — hence the
 // decomposition — is byte-identical to the materialized assemble.
-func assembleShardedStream(se *shard.Engine, eps float64, dense []bool, isBuddy func(s, lslot int) bool, ws *Workspace) (*Decomposition, error) {
+func assembleShardedStream(se *shard.Engine[int8], eps float64, dense []bool, isBuddy func(s, lslot int) bool, ws *Workspace) (*Decomposition, error) {
 	sg := se.SG
 	n := sg.N()
 	return assembleFrom(n, eps, dense, ws, func(label, next []int32) (bool, error) {
@@ -398,7 +442,7 @@ func BuildProfileSharded(cg *cluster.CG, sg *graph.ShardedGraph, d *Decompositio
 // exchange for the halo rows, and one global charge — byte-identical output
 // and cost at every shard count. The tree and aggregation stages are
 // vertex-level primitives on the cluster graph and run unchanged.
-func BuildProfileShardedWith(cg *cluster.CG, se *shard.Engine, d *Decomposition, delta, ell float64, rng *rand.Rand, ws *Workspace) (*Profile, error) {
+func BuildProfileShardedWith(cg *cluster.CG, se *shard.Engine[int8], d *Decomposition, delta, ell float64, rng *rand.Rand, ws *Workspace) (*Profile, error) {
 	if ell <= 0 {
 		return nil, fmt.Errorf("acd: ell %v must be positive", ell)
 	}

@@ -100,7 +100,7 @@ func TestComputeStreamedHeadless(t *testing.T) {
 		}
 		return cost
 	}
-	run := func(cg *cluster.CG) (decompRun, *shard.Engine) {
+	run := func(cg *cluster.CG) (decompRun, *shard.Engine[int8]) {
 		sg, err := graph.NewShardedGraphFromEdges(h.N(), 3, graph.StreamOf(h))
 		if err != nil {
 			t.Fatal(err)

@@ -17,7 +17,7 @@ import (
 // byte-identical to RunACDOnce — the benchmarks compare execution layouts,
 // not algorithms — and the cross-shard traffic of the run accumulates in
 // se.Stats (callers reset it between runs to read per-run numbers).
-func RunACDShardedOnce(cg *cluster.CG, se *shard.Engine, eps float64, seed uint64, ws *acd.Workspace) (*acd.Decomposition, *acd.Profile, error) {
+func RunACDShardedOnce(cg *cluster.CG, se *shard.Engine[int8], eps float64, seed uint64, ws *acd.Workspace) (*acd.Decomposition, *acd.Profile, error) {
 	rng := parwork.StreamRNG(seed)
 	d, err := acd.ComputeShardedWith(cg, se, eps, rng, ws)
 	if err != nil {
@@ -56,6 +56,6 @@ func NewStreamedACDInstance(n int) (*cluster.CG, error) {
 // for the profile stage to walk, so only ComputeShardedWith runs. It works
 // under materialized views too, which is how the streaming benchmarks compare
 // the two construction paths on equal footing.
-func RunACDStreamedOnce(cg *cluster.CG, se *shard.Engine, eps float64, seed uint64, ws *acd.Workspace) (*acd.Decomposition, error) {
+func RunACDStreamedOnce(cg *cluster.CG, se *shard.Engine[int8], eps float64, seed uint64, ws *acd.Workspace) (*acd.Decomposition, error) {
 	return acd.ComputeShardedWith(cg, se, eps, parwork.StreamRNG(seed), ws)
 }

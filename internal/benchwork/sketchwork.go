@@ -60,7 +60,7 @@ func SketchTrials(xi float64, n int) (int, error) {
 // parallel CSR collect — and returns the peak encoded payload in bits. The
 // engine's arenas are reused across calls, so steady-state allocations are
 // independent of n.
-func RunSketchWave(cg *cluster.CG, eng *sketch.Engine, t int, seed uint64) (int, error) {
+func RunSketchWave[C sketch.Cell](cg *cluster.CG, eng *sketch.Engine[C], t int, seed uint64) (int, error) {
 	if err := eng.FillSamples(cg.H.N(), t, parwork.RowSeed(seed, 0)); err != nil {
 		return 0, err
 	}
@@ -81,7 +81,7 @@ type EstimatorStats struct {
 // SketchEstimatorStats sweeps the latest wave's output rows with est. The
 // wave must have collected plain neighborhoods (no predicate, no self), so
 // deg(v) is the exact count each estimate targets.
-func SketchEstimatorStats(h *graph.Graph, eng *sketch.Engine, est sketch.Estimator) EstimatorStats {
+func SketchEstimatorStats[C sketch.Cell](h *graph.Graph, eng *sketch.Engine[C], est sketch.Estimator[C]) EstimatorStats {
 	n := h.N()
 	var bits, errSum float64
 	counted := 0

@@ -140,7 +140,7 @@ func conformShardWave(cg *cluster.CG, seed uint64, engineBandwidth, shards int, 
 func conformShardDecomp(cg *cluster.CG, seed uint64, shards int, rep *ShardReport) error {
 	eps, ell := 0.25, 8.0
 	delta := float64(cg.H.MaxDegree())
-	runOne := func(k int) (*acd.Decomposition, *acd.Profile, int64, *shard.Engine, error) {
+	runOne := func(k int) (*acd.Decomposition, *acd.Profile, int64, *shard.Engine[int8], error) {
 		sub, err := network.NewCostModel(cg.Cost().Bandwidth())
 		if err != nil {
 			return nil, nil, 0, nil, err

@@ -150,7 +150,7 @@ func conformStreamSlices(mat, str *graph.ShardedGraph) error {
 // equal charged rounds and boundary-exchange traffic.
 func conformStreamDecomp(cg *cluster.CG, mat, str *graph.ShardedGraph, seed uint64, rep *StreamReport) error {
 	eps := 0.25
-	runOne := func(sg *graph.ShardedGraph) (*acd.Decomposition, int64, *shard.Engine, error) {
+	runOne := func(sg *graph.ShardedGraph) (*acd.Decomposition, int64, *shard.Engine[int8], error) {
 		sub, err := network.NewCostModel(cg.Cost().Bandwidth())
 		if err != nil {
 			return nil, 0, nil, err

@@ -111,7 +111,7 @@ func TrialsFor(xi float64, n int) (int, error) {
 // Estimator is the reusable harmonic/threshold estimator of the max kernel
 // (moved to internal/sketch; the alias keeps the paper-side name). An
 // Estimator is owned by one goroutine; the zero value is ready to use.
-type Estimator = sketch.MaxEstimator
+type Estimator = sketch.MaxEstimator[int16]
 
 // Estimate recovers d from the per-trial maxima. It returns 0 when no trial
 // saw any element. Hot loops that estimate many sketches should hold an

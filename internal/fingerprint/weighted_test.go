@@ -2,9 +2,11 @@ package fingerprint
 
 import (
 	"math"
+	"math/rand/v2"
 	"testing"
 
 	"clustercolor/internal/graph"
+	"clustercolor/internal/sketch"
 )
 
 func TestMaxGeometricOfMatchesExplicitMax(t *testing.T) {
@@ -20,7 +22,7 @@ func TestMaxGeometricOfMatchesExplicitMax(t *testing.T) {
 			if d < len(direct) {
 				direct[d]++
 			}
-			m := Empty
+			m := int16(Empty)
 			s := NewSamples(int(k), rng)
 			for _, x := range s {
 				if x > m {
@@ -170,5 +172,56 @@ func TestApproxWeightedSumValidation(t *testing.T) {
 	}
 	if _, err := ApproxWeightedSum(cg, "x", 0.2, 3, []int64{1, -2, 1}, nil, graph.NewRand(1)); err == nil {
 		t.Fatal("negative weight accepted")
+	}
+}
+
+// extremeSource is a rand source that cycles a fixed word list — the lever
+// that drives MaxGeometricOf's uniform draw to the exact edges of Float64's
+// granularity (all-ones → u = 1−2⁻⁵³, the smallest tail; all-zeros → u = 0).
+type extremeSource struct {
+	vals []uint64
+	i    int
+}
+
+func (s *extremeSource) Uint64() uint64 {
+	v := s.vals[s.i%len(s.vals)]
+	s.i++
+	return v
+}
+
+// TestMaxGeometricOfFitsNarrowCells pins the value-range contract the sketch
+// package's narrow int8 cells depend on: over every weight up to 10⁸ — the
+// largest n the simulations target — the sample is bounded by
+// ⌈53 + log₂k⌉ − 1 ≈ 79 even at the extreme edges of the uniform draw, well
+// inside sketch.MaxCell8. (The sketch arenas store these via the int16
+// fingerprint adapter today; this test is what licenses the narrow width for
+// every organically fillable value.)
+func TestMaxGeometricOfFitsNarrowCells(t *testing.T) {
+	sources := func() []*extremeSource {
+		return []*extremeSource{
+			{vals: []uint64{^uint64(0)}},                        // u at the top of Float64's range
+			{vals: []uint64{0}},                                 // u = 0
+			{vals: []uint64{1}},                                 // subnormal-corner u
+			{vals: []uint64{0xfffffffffffff800}},                // max mantissa pattern
+			{vals: []uint64{0xdeadbeefcafef00d, ^uint64(0), 0}}, // mixed
+		}
+	}
+	for _, k := range []int64{1, 2, 3, 1000, 1 << 26, 100_000_000} {
+		bound := int16(math.Ceil(53+math.Log2(float64(k)))) - 1
+		if b := int16(64); k == 1 && bound < b {
+			bound = b // k=1 draws trailing zeros: at most 64
+		}
+		if bound > int16(sketch.MaxCell8) {
+			t.Fatalf("k=%d: analytic bound %d exceeds narrow cell range", k, bound)
+		}
+		for si, src := range sources() {
+			rng := rand.New(src)
+			for rep := 0; rep < 64; rep++ {
+				y := MaxGeometricOf(k, rng)
+				if y < 0 || y > bound {
+					t.Fatalf("k=%d source=%d: sample %d outside [0, %d]", k, si, y, bound)
+				}
+			}
+		}
 	}
 }

@@ -69,27 +69,31 @@ func (st *ExchangeStats) record(phase string, rows, bits, ns int64) {
 // arena per slice (owned rows followed by halo rows, mirroring the local
 // CSR), one worker-pool share per slice under the process parallelism
 // budget, and the exchange bookkeeping.
-type Engine struct {
+type Engine[C sketch.Cell] struct {
 	SG     *graph.ShardedGraph
-	Kernel sketch.Kernel
+	Kernel sketch.Kernel[C]
 	Stats  ExchangeStats
 
-	states []shardState
+	states []shardState[C]
 	pools  []*parwork.ShardPool
 	trials int
 }
 
-type shardState struct {
-	samples sketch.Arena
-	out     sketch.Arena
+type shardState[C sketch.Cell] struct {
+	samples sketch.Arena[C]
+	out     sketch.Arena[C]
 }
 
-// NewEngine returns an engine for the sharded graph running kernel k.
-func NewEngine(sg *graph.ShardedGraph, k sketch.Kernel) *Engine {
-	e := &Engine{
+// NewEngine returns an engine for the sharded graph running kernel k. The
+// decomposition's waves all run the narrow max kernel, so the constructor is
+// typed to int8 cells — existing call sites stay source-compatible, and a
+// wider kernel would take an explicit Engine literal anyway (Go cannot infer
+// the cell width from a concrete kernel value).
+func NewEngine(sg *graph.ShardedGraph, k sketch.Kernel[int8]) *Engine[int8] {
+	e := &Engine[int8]{
 		SG:     sg,
 		Kernel: k,
-		states: make([]shardState, sg.NumShards()),
+		states: make([]shardState[int8], sg.NumShards()),
 		pools:  parwork.SplitPools(sg.NumShards()),
 	}
 	e.Stats.PairBits = make(map[[2]int]int64)
@@ -102,7 +106,7 @@ func NewEngine(sg *graph.ShardedGraph, k sketch.Kernel) *Engine {
 // shard boundaries cannot shift the bytes), then one boundary-exchange
 // phase ships the rows of boundary vertices into the halos that reference
 // them.
-func (e *Engine) FillSamples(t int, seed uint64, phase string) error {
+func (e *Engine[C]) FillSamples(t int, seed uint64, phase string) error {
 	e.trials = t
 	k := e.SG.NumShards()
 	if _, err := parwork.ForEach(k, func(s int) (struct{}, error) {
@@ -119,7 +123,7 @@ func (e *Engine) FillSamples(t int, seed uint64, phase string) error {
 	}); err != nil {
 		return err
 	}
-	return e.exchange(phase+"/samples", func(s int) *sketch.Arena { return &e.states[s].samples })
+	return e.exchange(phase+"/samples", func(s int) *sketch.Arena[C] { return &e.states[s].samples })
 }
 
 // CollectOptions mirrors sketch.CollectOptions with global vertex ids: Pred
@@ -144,7 +148,7 @@ type CollectOptions struct {
 // collected rows of boundary vertices into neighboring halos for the
 // estimate and predicate passes that follow. Returns the charged payload
 // bits.
-func (e *Engine) Collect(cg *cluster.CG, phase string, opts CollectOptions) (int, error) {
+func (e *Engine[C]) Collect(cg *cluster.CG, phase string, opts CollectOptions) (int, error) {
 	k := e.SG.NumShards()
 	cg.ChargeHRounds(phase, 1, 0) // payload charged below with true size
 	shardBits := make([]int, k)
@@ -190,7 +194,7 @@ func (e *Engine) Collect(cg *cluster.CG, phase string, opts CollectOptions) (int
 		}
 	}
 	cg.ChargeHRounds(phase+"/payload", 1, maxBits)
-	if err := e.exchange(phase+"/out", func(s int) *sketch.Arena { return &e.states[s].out }); err != nil {
+	if err := e.exchange(phase+"/out", func(s int) *sketch.Arena[C] { return &e.states[s].out }); err != nil {
 		return 0, err
 	}
 	return maxBits, nil
@@ -198,23 +202,23 @@ func (e *Engine) Collect(cg *cluster.CG, phase string, opts CollectOptions) (int
 
 // Row returns the collected sketch row of global vertex v from its owner
 // shard. Valid until the next Collect or FillSamples.
-func (e *Engine) Row(v int) []int16 {
+func (e *Engine[C]) Row(v int) []C {
 	s := e.SG.Owner(v)
 	return e.states[s].out.Row(v - e.SG.Slices[s].Lo)
 }
 
 // SampleRow returns the sample row of global vertex v from its owner shard.
-func (e *Engine) SampleRow(v int) []int16 {
+func (e *Engine[C]) SampleRow(v int) []C {
 	s := e.SG.Owner(v)
 	return e.states[s].samples.Row(v - e.SG.Slices[s].Lo)
 }
 
 // OutRowLocal returns the out row of a local id within shard s — owned or
 // halo — for shard-local passes.
-func (e *Engine) OutRowLocal(s, local int) []int16 { return e.states[s].out.Row(local) }
+func (e *Engine[C]) OutRowLocal(s, local int) []C { return e.states[s].out.Row(local) }
 
 // Pool returns shard s's worker-pool share.
-func (e *Engine) Pool(s int) *parwork.ShardPool { return e.pools[s] }
+func (e *Engine[C]) Pool(s int) *parwork.ShardPool { return e.pools[s] }
 
 // exchange is the boundary-exchange phase: for every shard, every halo row
 // is copied from its owner's arena (routing by owner shard), and the shipped
@@ -222,7 +226,7 @@ func (e *Engine) Pool(s int) *parwork.ShardPool { return e.pools[s] }
 // payload charges use — is recorded per phase and per shard pair. Shards
 // fill their own halos in parallel; the ForEach barrier orders the phase
 // after every owner's rows are final.
-func (e *Engine) exchange(phase string, arena func(s int) *sketch.Arena) error {
+func (e *Engine[C]) exchange(phase string, arena func(s int) *sketch.Arena[C]) error {
 	start := time.Now()
 	k := e.SG.NumShards()
 	type pairKey = [2]int
@@ -262,15 +266,15 @@ func (e *Engine) exchange(phase string, arena func(s int) *sketch.Arena) error {
 }
 
 // Trials returns the sample width of the current wave.
-func (e *Engine) Trials() int { return e.trials }
+func (e *Engine[C]) Trials() int { return e.trials }
 
 // ResetStats clears the exchange bookkeeping between runs.
-func (e *Engine) ResetStats() {
+func (e *Engine[C]) ResetStats() {
 	e.Stats = ExchangeStats{PairBits: make(map[[2]int]int64)}
 }
 
 // Validate sanity-checks that the engine and graph agree on shard count.
-func (e *Engine) Validate() error {
+func (e *Engine[C]) Validate() error {
 	if len(e.states) != e.SG.NumShards() {
 		return fmt.Errorf("shard: %d states for %d shards", len(e.states), e.SG.NumShards())
 	}

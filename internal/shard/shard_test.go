@@ -29,14 +29,14 @@ func testCG(t *testing.T, h *graph.Graph, seed uint64) *cluster.CG {
 }
 
 // runUnsharded runs one reference collect wave on the vertex-level engine.
-func runUnsharded(t *testing.T, cg *cluster.CG, width int, opts sketch.CollectOptions) ([]int16, int, int64) {
+func runUnsharded(t *testing.T, cg *cluster.CG, width int, opts sketch.CollectOptions) ([]int8, int, int64) {
 	t.Helper()
 	cost, err := network.NewCostModel(64)
 	if err != nil {
 		t.Fatal(err)
 	}
 	run := cg.WithCost(cost)
-	eng := sketch.Engine{Kernel: sketch.MaxKernel{}}
+	eng := sketch.Engine[int8]{Kernel: sketch.MaxKernel{}}
 	n := run.H.N()
 	if err := eng.FillSamples(n, width, parwork.RowSeed(99, 0)); err != nil {
 		t.Fatal(err)
@@ -45,7 +45,7 @@ func runUnsharded(t *testing.T, cg *cluster.CG, width int, opts sketch.CollectOp
 	if err != nil {
 		t.Fatal(err)
 	}
-	flat := make([]int16, 0, n*width)
+	flat := make([]int8, 0, n*width)
 	for v := 0; v < n; v++ {
 		flat = append(flat, eng.Row(v)...)
 	}
@@ -55,7 +55,7 @@ func runUnsharded(t *testing.T, cg *cluster.CG, width int, opts sketch.CollectOp
 // runSharded runs the same wave on the shard engine at a given shard count
 // and parallelism and returns the owner-resolved rows plus charges and
 // exchange stats.
-func runSharded(t *testing.T, cg *cluster.CG, shards, par, width int, opts CollectOptions) ([]int16, int, int64, ExchangeStats) {
+func runSharded(t *testing.T, cg *cluster.CG, shards, par, width int, opts CollectOptions) ([]int8, int, int64, ExchangeStats) {
 	t.Helper()
 	prev := parwork.SetParallelism(par)
 	defer parwork.SetParallelism(prev)
@@ -77,7 +77,7 @@ func runSharded(t *testing.T, cg *cluster.CG, shards, par, width int, opts Colle
 		t.Fatal(err)
 	}
 	n := run.H.N()
-	flat := make([]int16, 0, n*width)
+	flat := make([]int8, 0, n*width)
 	for v := 0; v < n; v++ {
 		flat = append(flat, se.Row(v)...)
 	}

@@ -1,36 +1,42 @@
 package sketch
 
-import "clustercolor/internal/parwork"
+import (
+	"unsafe"
 
-// Arena is a flat backing for n fixed-width sketch rows. Rows are laid out
-// at a stride padded up to a multiple of four cells so that every row starts
-// on an 8-byte boundary — the alignment MergeMax's word-at-a-time path
-// requires — while Row still returns exactly the logical width. The padding
-// cells are never read or written.
+	"clustercolor/internal/parwork"
+)
+
+// Arena is a flat backing for n fixed-width sketch rows of cell type C. Rows
+// are laid out at a stride padded up to a full 8-byte machine word — 8 cells
+// for int8, 4 for int16 — so that every row starts on an 8-byte boundary,
+// the alignment the SWAR merge kernels (MergeMax8, MergeMax) require, while
+// Row still returns exactly the logical width. The padding cells are never
+// read or written.
 //
 // The zero value is an empty arena; Reset sizes it.
-type Arena struct {
+type Arena[C Cell] struct {
 	t      int // logical row width
-	stride int // padded row width, multiple of 4
-	data   []int16
+	stride int // padded row width, a whole number of 8-byte words
+	data   []C
 }
 
 // Reset sizes the arena to n rows of t cells, reusing the backing when it is
 // large enough. Row contents are undefined afterwards — callers fill every
 // row they read (Fill, Collect).
-func (a *Arena) Reset(n, t int) {
+func (a *Arena[C]) Reset(n, t int) {
 	a.t = t
-	a.stride = (t + 3) &^ 3
+	lanes := 8 / int(unsafe.Sizeof(*new(C))) // cells per 8-byte word
+	a.stride = (t + lanes - 1) &^ (lanes - 1)
 	size := n * a.stride
 	if cap(a.data) < size {
-		a.data = make([]int16, size)
+		a.data = make([]C, size)
 	} else {
 		a.data = a.data[:size]
 	}
 }
 
 // Rows returns the number of rows.
-func (a *Arena) Rows() int {
+func (a *Arena[C]) Rows() int {
 	if a.stride == 0 {
 		return 0
 	}
@@ -38,11 +44,11 @@ func (a *Arena) Rows() int {
 }
 
 // Trials returns the logical row width t.
-func (a *Arena) Trials() int { return a.t }
+func (a *Arena[C]) Trials() int { return a.t }
 
 // Row returns row i as a view into the backing. The view is valid until the
 // next Reset; its capacity is clipped so appends cannot stomp the next row.
-func (a *Arena) Row(i int) []int16 {
+func (a *Arena[C]) Row(i int) []C {
 	off := i * a.stride
 	return a.data[off : off+a.t : off+a.stride]
 }
@@ -52,7 +58,7 @@ func (a *Arena) Row(i int) []int16 {
 // k.Fill(row, RowSeed(seed, v)). Rows are generated in parallel and depend
 // only on (seed, v), so any schedule produces the same arena — the property
 // the byte-identical-at-any-parallelism contract rests on.
-func (a *Arena) Fill(k Kernel, seed uint64) error {
+func (a *Arena[C]) Fill(k Kernel[C], seed uint64) error {
 	return parwork.ForRange(a.Rows(), func(lo, hi int) error {
 		for v := lo; v < hi; v++ {
 			k.Fill(a.Row(v), parwork.RowSeed(seed, v))
@@ -64,24 +70,31 @@ func (a *Arena) Fill(k Kernel, seed uint64) error {
 // Scratch bundles the per-goroutine reusable buffers of max-kernel waves: a
 // merge row for two-row unions, the estimator histogram, and the counting
 // buffer behind deviation encodings. The zero value is ready to use.
-type Scratch struct {
+type Scratch[C Cell] struct {
 	// Est estimates rows without allocating per call.
-	Est    MaxEstimator
-	merged []int16
+	Est    MaxEstimator[C]
+	merged []C
 	counts []int
 }
 
 // MergeTwo returns max(a, b) in the scratch's merge row. The returned slice
-// is valid until the next MergeTwo.
-func (sc *Scratch) MergeTwo(a, b []int16) []int16 {
+// is valid until the next MergeTwo. Hot loops that only need the estimate of
+// the union should call Est.EstimateMerged instead, which fuses the merge
+// into the histogram pass with no materialized row.
+func (sc *Scratch[C]) MergeTwo(a, b []C) []C {
 	sc.merged = append(sc.merged[:0], a...)
-	MergeMax(sc.merged, b)
-	return sc.merged
+	m := sc.merged
+	for i, v := range b {
+		if v > m[i] {
+			m[i] = v
+		}
+	}
+	return m
 }
 
 // EncodedBits returns the deviation-encoded size of the row with the
 // baseline-selection buffer reused across calls.
-func (sc *Scratch) EncodedBits(row []int16) int {
+func (sc *Scratch[C]) EncodedBits(row []C) int {
 	k, counts := DeviationBaseline(row, sc.counts)
 	sc.counts = counts
 	return DeviationBits(row, k)

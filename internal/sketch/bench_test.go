@@ -6,9 +6,9 @@ import (
 	"clustercolor/internal/parwork"
 )
 
-// benchRows builds an aligned pair of max-kernel rows of the given width.
-func benchRows(width int) (dst, src []int16) {
-	var a Arena
+// benchRows8 builds an aligned pair of max-kernel rows of the given width.
+func benchRows8(width int) (dst, src []int8) {
+	var a Arena[int8]
 	a.Reset(2, width)
 	dst, src = a.Row(0), a.Row(1)
 	k := MaxKernel{}
@@ -17,27 +17,89 @@ func benchRows(width int) (dst, src []int16) {
 	return dst, src
 }
 
-// BenchmarkMergeMax measures the SWAR word-at-a-time merge on an
-// arena-aligned row of the width the decomposition actually runs
-// (t ≈ 1099 at ξ = 0.125, n = 10⁵).
-func BenchmarkMergeMax(b *testing.B) {
-	dst, src := benchRows(1099)
+// benchRows16 widens the same fill into aligned int16 rows, so the wide
+// reference kernels bench on identical values.
+func benchRows16(width int) (dst, src []int16) {
+	d8, s8 := benchRows8(width)
+	var a Arena[int16]
+	a.Reset(2, width)
+	dst, src = a.Row(0), a.Row(1)
+	for i := range d8 {
+		dst[i] = int16(d8[i])
+		src[i] = int16(s8[i])
+	}
+	return dst, src
+}
+
+// BenchmarkMergeMax8 measures the 8-lane SWAR merge — the decomposition's
+// hot inner loop — on an arena-aligned row of the width the decomposition
+// actually runs (t ≈ 1099 at ξ = 0.125, n = 10⁵).
+func BenchmarkMergeMax8(b *testing.B) {
+	dst, src := benchRows8(1099)
 	b.SetBytes(int64(2 * len(dst)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeMax8(dst, src)
+	}
+}
+
+// BenchmarkMergeMax8Generic is the scalar reference on the same rows; the
+// ratio to BenchmarkMergeMax8 is the SWAR speedup reported in
+// BENCH_sketch.json.
+func BenchmarkMergeMax8Generic(b *testing.B) {
+	dst, src := benchRows8(1099)
+	b.SetBytes(int64(2 * len(dst)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeMax8Generic(dst, src)
+	}
+}
+
+// BenchmarkMergeMax measures the 4-lane int16 merge kept for the fingerprint
+// adapter's wide rows, on the same values as the narrow benchmarks.
+func BenchmarkMergeMax(b *testing.B) {
+	dst, src := benchRows16(1099)
+	b.SetBytes(int64(2 * 2 * len(dst)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MergeMax(dst, src)
 	}
 }
 
-// BenchmarkMergeMaxGeneric is the scalar reference on the same rows; the
-// ratio to BenchmarkMergeMax is the SWAR speedup reported in
-// BENCH_sketch.json.
+// BenchmarkMergeMaxGeneric is the scalar int16 reference on the same rows.
 func BenchmarkMergeMaxGeneric(b *testing.B) {
-	dst, src := benchRows(1099)
-	b.SetBytes(int64(2 * len(dst)))
+	dst, src := benchRows16(1099)
+	b.SetBytes(int64(2 * 2 * len(dst)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MergeMaxGeneric(dst, src)
+	}
+}
+
+// benchEstimate keeps estimator results observable across iterations.
+var benchEstimate float64
+
+// BenchmarkEstimateMerged measures the fused merge+estimate kernel on the
+// per-edge hot-path shape: two collected rows whose union the buddy
+// predicate thresholds.
+func BenchmarkEstimateMerged(b *testing.B) {
+	x, y := benchRows8(1099)
+	var sc Scratch[int8]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchEstimate += sc.Est.EstimateMerged(x, y)
+	}
+}
+
+// BenchmarkEstimateMergeTwo is the materialize-then-estimate baseline the
+// fused kernel replaced; the ratio to BenchmarkEstimateMerged is the fusion
+// win.
+func BenchmarkEstimateMergeTwo(b *testing.B) {
+	x, y := benchRows8(1099)
+	var sc Scratch[int8]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchEstimate += sc.Est.Estimate(sc.MergeTwo(x, y))
 	}
 }
 
@@ -46,7 +108,7 @@ func BenchmarkMergeMaxGeneric(b *testing.B) {
 // the loop alternates two source rows that keep displacing each other.
 func BenchmarkMergeKMV(b *testing.B) {
 	width := KMVWidthFor(0.125)
-	var a Arena
+	var a Arena[int16]
 	a.Reset(3, width)
 	k := KMVKernel{}
 	rows := [3][]int16{a.Row(0), a.Row(1), a.Row(2)}
@@ -63,12 +125,30 @@ func BenchmarkMergeKMV(b *testing.B) {
 // BenchmarkArenaFill measures per-row counter-stream filling at the current
 // parallelism.
 func BenchmarkArenaFill(b *testing.B) {
-	var a Arena
+	var a Arena[int8]
 	a.Reset(4096, 1099)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := a.Fill(MaxKernel{}, 7); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMergeMax8Pair measures the paired fold the collect wave uses to
+// keep two neighbor-row miss streams in flight; compare against two
+// BenchmarkMergeMax8 iterations.
+func BenchmarkMergeMax8Pair(b *testing.B) {
+	var ar Arena[int8]
+	ar.Reset(3, 1099)
+	dst, x, y := ar.Row(0), ar.Row(1), ar.Row(2)
+	k := MaxKernel{}
+	k.Fill(dst, parwork.RowSeed(3, 0))
+	k.Fill(x, parwork.RowSeed(3, 1))
+	k.Fill(y, parwork.RowSeed(3, 2))
+	b.SetBytes(int64(3 * len(dst)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeMax8Pair(dst, x, y)
 	}
 }

@@ -26,7 +26,7 @@ type CollectOptions struct {
 // order-independent, so the output is byte-identical at any parallelism.
 // The round cost is one H-round for the exchange plus the largest encoded
 // payload that crossed a link, which is returned.
-func Collect(cg *cluster.CG, phase string, k Kernel, samples, out *Arena, opts CollectOptions) (int, error) {
+func Collect[C Cell](cg *cluster.CG, phase string, k Kernel[C], samples, out *Arena[C], opts CollectOptions) (int, error) {
 	g := cg.H
 	n := g.N()
 	if samples.Rows() != n {
@@ -53,7 +53,7 @@ func Collect(cg *cluster.CG, phase string, k Kernel, samples, out *Arena, opts C
 // a constant per row), so heavy vertices don't pile into straggler chunks;
 // the fold itself is partition-independent (disjoint rows, max reduction),
 // so the output is byte-identical at any parallelism and any budget split.
-func CollectRows(g *graph.Graph, k Kernel, samples, out *Arena, opts CollectOptions, rows int, pool *parwork.ShardPool) (int, error) {
+func CollectRows[C Cell](g *graph.Graph, k Kernel[C], samples, out *Arena[C], opts CollectOptions, rows int, pool *parwork.ShardPool) (int, error) {
 	if rows > out.Rows() || rows > g.N() {
 		return 0, fmt.Errorf("sketch: %d rows to collect exceeds %d out rows / %d vertices", rows, out.Rows(), g.N())
 	}
@@ -66,6 +66,7 @@ func CollectRows(g *graph.Graph, k Kernel, samples, out *Arena, opts CollectOpti
 	}
 	cum := func(v int) int64 { return int64(g.AdjOffset(v)) + 16*int64(v) }
 	chunkBits := make([]int, chunks)
+	pm, hasPair := any(k).(PairMerger[C])
 	fold := func(ci int) error {
 		lo, hi := parwork.WeightedChunkBounds(rows, chunks, ci, cum)
 		var counts []int
@@ -79,6 +80,11 @@ func CollectRows(g *graph.Graph, k Kernel, samples, out *Arena, opts CollectOpti
 				empty = false
 			}
 			base := g.AdjOffset(v)
+			// Admitted neighbors fold two rows per pass when the kernel
+			// supports it (held defers one source row until a partner
+			// arrives); the result is identical by associativity, but the
+			// paired pass keeps two scattered-row miss streams in flight.
+			var held []C
 			for j, u32 := range g.Neighbors(v) {
 				u := int(u32)
 				if opts.Pred != nil && !opts.Pred(v, u, base+j) {
@@ -89,7 +95,19 @@ func CollectRows(g *graph.Graph, k Kernel, samples, out *Arena, opts CollectOpti
 					empty = false
 					continue
 				}
-				k.Merge(row, samples.Row(u))
+				if !hasPair {
+					k.Merge(row, samples.Row(u))
+					continue
+				}
+				if held == nil {
+					held = samples.Row(u)
+					continue
+				}
+				pm.MergePair(row, held, samples.Row(u))
+				held = nil
+			}
+			if held != nil {
+				k.Merge(row, held)
 			}
 			if empty {
 				cell := k.EmptyCell()
@@ -130,28 +148,30 @@ func CollectRows(g *graph.Graph, k Kernel, samples, out *Arena, opts CollectOpti
 // waves and allocation counts stay independent of n. The kernel is the
 // configuration point for sketch variants — the max kernel is the default
 // everywhere; the k-min-values kernel is opt-in.
-type Engine struct {
-	Kernel  Kernel
-	Samples Arena
-	Out     Arena
+type Engine[C Cell] struct {
+	Kernel  Kernel[C]
+	Samples Arena[C]
+	Out     Arena[C]
 }
 
-// NewEngine returns an engine running kernel k with empty arenas.
-func NewEngine(k Kernel) *Engine { return &Engine{Kernel: k} }
+// NewEngine returns an engine running kernel k with empty arenas. The cell
+// width cannot be inferred from a concrete kernel value, so call sites
+// instantiate explicitly: NewEngine[int8](MaxKernel{}).
+func NewEngine[C Cell](k Kernel[C]) *Engine[C] { return &Engine[C]{Kernel: k} }
 
 // FillSamples resets the sample arena to n rows of width t and fills it from
 // the kernel's per-row counter streams (see Arena.Fill).
-func (e *Engine) FillSamples(n, t int, seed uint64) error {
+func (e *Engine[C]) FillSamples(n, t int, seed uint64) error {
 	e.Samples.Reset(n, t)
 	return e.Samples.Fill(e.Kernel, seed)
 }
 
 // Collect runs one aggregation wave from the sample arena into the output
 // arena (see Collect) and returns the peak encoded payload in bits.
-func (e *Engine) Collect(cg *cluster.CG, phase string, opts CollectOptions) (int, error) {
+func (e *Engine[C]) Collect(cg *cluster.CG, phase string, opts CollectOptions) (int, error) {
 	return Collect(cg, phase, e.Kernel, &e.Samples, &e.Out, opts)
 }
 
 // Row returns output row v of the latest Collect. The view is valid until
 // the next Collect or FillSamples with a larger shape.
-func (e *Engine) Row(v int) []int16 { return e.Out.Row(v) }
+func (e *Engine[C]) Row(v int) []C { return e.Out.Row(v) }

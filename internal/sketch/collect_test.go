@@ -30,7 +30,7 @@ func testCG(t *testing.T, h *graph.Graph, seed uint64) *cluster.CG {
 
 // runCollect runs one wave of kernel k at the given parallelism and returns
 // the flat output rows, the charged payload, and the total rounds charged.
-func runCollect(t *testing.T, cg *cluster.CG, k Kernel, width int, par int, opts CollectOptions) ([]int16, int, int64) {
+func runCollect[C Cell](t *testing.T, cg *cluster.CG, k Kernel[C], width int, par int, opts CollectOptions) ([]C, int, int64) {
 	t.Helper()
 	prev := parwork.SetParallelism(par)
 	defer parwork.SetParallelism(prev)
@@ -39,7 +39,7 @@ func runCollect(t *testing.T, cg *cluster.CG, k Kernel, width int, par int, opts
 		t.Fatal(err)
 	}
 	run := cg.WithCost(freshCost)
-	eng := Engine{Kernel: k}
+	eng := Engine[C]{Kernel: k}
 	n := run.H.N()
 	if err := eng.FillSamples(n, width, parwork.RowSeed(77, 0)); err != nil {
 		t.Fatal(err)
@@ -48,51 +48,56 @@ func runCollect(t *testing.T, cg *cluster.CG, k Kernel, width int, par int, opts
 	if err != nil {
 		t.Fatal(err)
 	}
-	flat := make([]int16, 0, n*width)
+	flat := make([]C, 0, n*width)
 	for v := 0; v < n; v++ {
 		flat = append(flat, eng.Row(v)...)
 	}
 	return flat, maxBits, run.Cost().Rounds()
 }
 
+// checkCollectParallelism asserts one wave shape produces byte-identical
+// rows, payload, and rounds at parallelism 1, 2, 4, and NumCPU.
+func checkCollectParallelism[C Cell](t *testing.T, cg *cluster.CG, k Kernel[C], width int, opts CollectOptions) {
+	t.Helper()
+	levels := []int{1, 2, 4, runtime.NumCPU()}
+	baseRows, baseBits, baseRounds := runCollect(t, cg, k, width, 1, opts)
+	for _, par := range levels[1:] {
+		rows, bits, rounds := runCollect(t, cg, k, width, par, opts)
+		if !rowsEqual(rows, baseRows) {
+			t.Fatalf("par %d: output rows differ from par 1", par)
+		}
+		if bits != baseBits {
+			t.Fatalf("par %d: payload %d bits, par 1 charged %d", par, bits, baseBits)
+		}
+		if rounds != baseRounds {
+			t.Fatalf("par %d: %d rounds, par 1 charged %d", par, rounds, baseRounds)
+		}
+	}
+}
+
 // TestCollectParallelismByteEquality is the engine's core conformance check:
 // a collect wave must produce byte-identical rows, the same charged payload,
 // and the same round count at parallelism 1, 2, 4, and NumCPU — for both
-// kernels, with and without a predicate.
+// kernels (at their respective cell widths), with and without a predicate.
 func TestCollectParallelismByteEquality(t *testing.T) {
 	h := graph.MustGNP(700, 0.02, graph.NewRand(11))
 	cg := testCG(t, h, 5)
 	pred := func(v, u, slot int) bool { return (v+u)%3 != 0 }
-	cases := []struct {
-		name  string
-		k     Kernel
-		width int
-		opts  CollectOptions
-	}{
-		{"max", MaxKernel{}, 161, CollectOptions{}},
-		{"max/self", MaxKernel{}, 161, CollectOptions{IncludeSelf: true}},
-		{"max/pred", MaxKernel{}, 161, CollectOptions{Pred: pred}},
-		{"kmv", KMVKernel{}, KMVWidthFor(0.25), CollectOptions{}},
-		{"kmv/pred", KMVKernel{}, KMVWidthFor(0.25), CollectOptions{Pred: pred}},
-	}
-	levels := []int{1, 2, 4, runtime.NumCPU()}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			baseRows, baseBits, baseRounds := runCollect(t, cg, tc.k, tc.width, 1, tc.opts)
-			for _, par := range levels[1:] {
-				rows, bits, rounds := runCollect(t, cg, tc.k, tc.width, par, tc.opts)
-				if !rowsEqual(rows, baseRows) {
-					t.Fatalf("par %d: output rows differ from par 1", par)
-				}
-				if bits != baseBits {
-					t.Fatalf("par %d: payload %d bits, par 1 charged %d", par, bits, baseBits)
-				}
-				if rounds != baseRounds {
-					t.Fatalf("par %d: %d rounds, par 1 charged %d", par, rounds, baseRounds)
-				}
-			}
-		})
-	}
+	t.Run("max", func(t *testing.T) {
+		checkCollectParallelism[int8](t, cg, MaxKernel{}, 161, CollectOptions{})
+	})
+	t.Run("max/self", func(t *testing.T) {
+		checkCollectParallelism[int8](t, cg, MaxKernel{}, 161, CollectOptions{IncludeSelf: true})
+	})
+	t.Run("max/pred", func(t *testing.T) {
+		checkCollectParallelism[int8](t, cg, MaxKernel{}, 161, CollectOptions{Pred: pred})
+	})
+	t.Run("kmv", func(t *testing.T) {
+		checkCollectParallelism[int16](t, cg, KMVKernel{}, KMVWidthFor(0.25), CollectOptions{})
+	})
+	t.Run("kmv/pred", func(t *testing.T) {
+		checkCollectParallelism[int16](t, cg, KMVKernel{}, KMVWidthFor(0.25), CollectOptions{Pred: pred})
+	})
 }
 
 // TestCollectMatchesDirectFold cross-checks one wave against a sequential
@@ -104,7 +109,7 @@ func TestCollectMatchesDirectFold(t *testing.T) {
 	cg := testCG(t, h, 9)
 	const width = 97
 	k := MaxKernel{}
-	eng := Engine{Kernel: k}
+	eng := Engine[int8]{Kernel: k}
 	n := h.N()
 	if err := eng.FillSamples(n, width, parwork.RowSeed(31, 0)); err != nil {
 		t.Fatal(err)
@@ -112,13 +117,13 @@ func TestCollectMatchesDirectFold(t *testing.T) {
 	if _, err := eng.Collect(cg, "direct", CollectOptions{IncludeSelf: true}); err != nil {
 		t.Fatal(err)
 	}
-	tmp := make([]int16, width)
+	tmp := make([]int8, width)
 	for v := 0; v < n; v++ {
-		want := make([]int16, width)
+		want := make([]int8, width)
 		k.Fill(want, parwork.RowSeed(parwork.RowSeed(31, 0), v))
 		for _, u32 := range h.Neighbors(v) {
 			k.Fill(tmp, parwork.RowSeed(parwork.RowSeed(31, 0), int(u32)))
-			MergeMaxGeneric(want, tmp)
+			MergeMax8Generic(want, tmp)
 		}
 		if !rowsEqual(eng.Row(v), want) {
 			t.Fatalf("vertex %d: wave row differs from direct fold", v)
@@ -131,7 +136,7 @@ func TestCollectMatchesDirectFold(t *testing.T) {
 func TestCollectRejectsShapeMismatch(t *testing.T) {
 	h := graph.MustGNP(50, 0.1, graph.NewRand(3))
 	cg := testCG(t, h, 1)
-	var samples, out Arena
+	var samples, out Arena[int8]
 	samples.Reset(10, 32)
 	if _, err := Collect(cg, "bad", MaxKernel{}, &samples, &out, CollectOptions{}); err == nil {
 		t.Fatal("Collect accepted a sample arena with the wrong row count")

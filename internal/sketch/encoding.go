@@ -96,11 +96,12 @@ func (r *bitReader) readEliasGamma() (uint64, error) {
 }
 
 // DeviationBaseline returns the k minimizing Σ|Y_i − k| — the median of the
-// row, by counting selection over the small value range of int16 maxima —
+// row, by counting selection over the small value range of sketch maxima —
 // with a caller-owned counting buffer; it returns the (possibly grown)
 // buffer for reuse, so per-row loops allocate only until the buffer covers
-// the observed value range.
-func DeviationBaseline(row []int16, counts []int) (int, []int) {
+// the observed value range. The selection is value-based, so narrow and wide
+// rows holding the same values pick the same baseline.
+func DeviationBaseline[C Cell](row []C, counts []int) (int, []int) {
 	if len(row) == 0 {
 		return 0, counts
 	}
@@ -139,7 +140,7 @@ func DeviationBaseline(row []int16, counts []int) (int, []int) {
 // EncodeDeviation serializes the row with the deviation encoding:
 // Elias-gamma of t, Elias-gamma of baseline k (offset so k ≥ -1 is
 // representable), then a sign bit and unary deviation per trial.
-func EncodeDeviation(row []int16) []byte {
+func EncodeDeviation[C Cell](row []C) []byte {
 	w := &bitWriter{}
 	w.writeEliasGamma(uint64(len(row)) + 1)
 	k, _ := DeviationBaseline(row, nil)
@@ -159,7 +160,7 @@ func EncodeDeviation(row []int16) []byte {
 
 // DeviationBits returns the exact bit length of EncodeDeviation's output for
 // baseline k without materializing it.
-func DeviationBits(row []int16, k int) int {
+func DeviationBits[C Cell](row []C, k int) int {
 	n := eliasGammaBits(uint64(len(row))+1) + eliasGammaBits(uint64(k)+2)
 	for _, y := range row {
 		dev := int(y) - k
@@ -173,7 +174,9 @@ func DeviationBits(row []int16, k int) int {
 
 func eliasGammaBits(x uint64) int { return 2*bits.Len64(x) - 1 }
 
-// DecodeDeviation reverses EncodeDeviation.
+// DecodeDeviation reverses EncodeDeviation. Values decode into int16 — wide
+// enough for any cell width's values; narrow-row callers re-clamp with
+// SaturateCell8 if they need cells back.
 func DecodeDeviation(buf []byte) ([]int16, error) {
 	r := &bitReader{buf: buf}
 	tPlus, err := r.readEliasGamma()

@@ -4,8 +4,10 @@ import "math"
 
 // maxTrackedY caps the value range of the estimator's histogram: geometric
 // samples are at most 64 (one machine word of trailing zeros), so larger
-// values only occur in hand-built or adversarially decoded rows, where
-// clamping merely saturates the estimate.
+// values — up to MaxCell8 for saturated narrow rows, or int16 extremes in
+// hand-built or adversarially decoded wide rows — only occur outside organic
+// fills, where clamping merely saturates the estimate (a documented finite
+// value; see TestMaxEstimatorSaturated).
 const maxTrackedY = 64
 
 // logTail[y] = ln(1 − 2^−(y+1)), the log-CDF slope of the max-of-geometrics
@@ -53,28 +55,21 @@ func harmonicMean(d float64) float64 {
 // literal estimator remains available as EstimateThreshold (and, behind the
 // Estimator interface, as ThresholdEstimator).
 //
+// The estimate depends only on the cell values, never the storage width: the
+// same values in an int8 or int16 row produce bit-identical floats.
+//
 // The struct is the reusable scratch: a value histogram filled in one pass
 // over the row, from which both statistics derive. A MaxEstimator is owned
 // by one goroutine; the zero value is ready to use.
-type MaxEstimator struct {
+type MaxEstimator[C Cell] struct {
 	hist []int
 }
 
 // Name implements Estimator.
-func (e *MaxEstimator) Name() string { return "max/harmonic" }
+func (e *MaxEstimator[C]) Name() string { return "max/harmonic" }
 
-// fill builds the value histogram (hist[k] counts maxima equal to k−1,
-// values above maxTrackedY clamped) and returns the largest observed value.
-func (e *MaxEstimator) fill(s []int16) int {
-	maxY := int(Empty)
-	for _, y := range s {
-		if int(y) > maxY {
-			maxY = int(y)
-		}
-	}
-	if maxY > maxTrackedY {
-		maxY = maxTrackedY
-	}
+// sizeHist sizes and zeroes the histogram for values up to maxY.
+func (e *MaxEstimator[C]) sizeHist(maxY int) {
 	size := maxY + 2
 	if cap(e.hist) < size {
 		e.hist = make([]int, size)
@@ -84,6 +79,15 @@ func (e *MaxEstimator) fill(s []int16) int {
 			e.hist[i] = 0
 		}
 	}
+}
+
+// fill builds the value histogram (hist[k] counts maxima equal to k−1,
+// values above maxTrackedY clamped) in one pass. The histogram is always
+// sized to the full tracked range — zeroing its 66 fixed buckets is far
+// cheaper than the extra max-scan over the row a minimal sizing would need,
+// and zero-count buckets contribute nothing downstream.
+func (e *MaxEstimator[C]) fill(s []C) {
+	e.sizeHist(maxTrackedY)
 	for _, y := range s {
 		k := int(y)
 		if k > maxTrackedY {
@@ -91,18 +95,30 @@ func (e *MaxEstimator) fill(s []int16) int {
 		}
 		e.hist[k+1]++
 	}
-	return maxY
 }
 
-// Estimate computes S = (1/t)·Σ 2^−Y_i and inverts harmonicMean by damped
-// log-Newton iteration (harmonicMean(d) ≈ c/d, so each step is a near-exact
-// Newton step in ln d). It allocates nothing beyond the reused histogram.
-func (e *MaxEstimator) Estimate(s []int16) float64 {
-	t := len(s)
-	if t == 0 {
-		return 0
+// fillMerged is fill over the pointwise max of two equal-length rows,
+// computed on the fly: the histogram it leaves behind is byte-identical to
+// fill(max(a, b)) with no merged row ever materialized.
+func (e *MaxEstimator[C]) fillMerged(a, b []C) {
+	e.sizeHist(maxTrackedY)
+	for i, y := range a {
+		if b[i] > y {
+			y = b[i]
+		}
+		k := int(y)
+		if k > maxTrackedY {
+			k = maxTrackedY
+		}
+		e.hist[k+1]++
 	}
-	e.fill(s)
+}
+
+// estimateFromHist inverts the filled histogram: S = (1/t)·Σ 2^−Y_i, then
+// damped log-Newton against harmonicMean (harmonicMean(d) ≈ c/d, so each
+// step is a near-exact Newton step in ln d). It allocates nothing beyond the
+// reused histogram.
+func (e *MaxEstimator[C]) estimateFromHist(t int) float64 {
 	if e.hist[0] == t {
 		// No trial saw any element: the counted set is empty.
 		return 0
@@ -131,6 +147,34 @@ func (e *MaxEstimator) Estimate(s []int16) float64 {
 	return d
 }
 
+// Estimate computes the harmonic-sum statistic of the row and inverts it.
+func (e *MaxEstimator[C]) Estimate(s []C) float64 {
+	t := len(s)
+	if t == 0 {
+		return 0
+	}
+	e.fill(s)
+	return e.estimateFromHist(t)
+}
+
+// EstimateMerged is the fused merge+estimate kernel: it returns
+// Estimate(max(a, b)) — bit-identical floats — in one pass over the two
+// rows, with no materialized merged row and no separate histogram fill. It
+// is the per-edge hot path of the decomposition's buddy predicate, which
+// previously copied a into scratch, merged b, and re-scanned the result. It
+// panics if the lengths differ.
+func (e *MaxEstimator[C]) EstimateMerged(a, b []C) float64 {
+	if len(a) != len(b) {
+		panic("sketch: EstimateMerged length mismatch")
+	}
+	t := len(a)
+	if t == 0 {
+		return 0
+	}
+	e.fillMerged(a, b)
+	return e.estimateFromHist(t)
+}
+
 // EstimateThreshold implements the literal Lemma 5.2 statistic: compute
 // Z_k = |{i : Y_i < k}|, pick K* = min{k : Z_k ≥ (27/40)t}, and return
 //
@@ -139,15 +183,15 @@ func (e *MaxEstimator) Estimate(s []int16) float64 {
 // It returns 0 when most trials saw no element at all. Estimate supersedes
 // it in production paths (same sketch, ~2× lower error); it is kept for
 // reference and for experiments that measure the proof's own estimator.
-func (e *MaxEstimator) EstimateThreshold(s []int16) float64 {
+func (e *MaxEstimator[C]) EstimateThreshold(s []C) float64 {
 	t := len(s)
 	if t == 0 {
 		return 0
 	}
 	threshold := int(math.Ceil(27.0 / 40.0 * float64(t)))
-	maxY := e.fill(s)
+	e.fill(s)
 	z := 0
-	for k := 0; k <= maxY+1; k++ {
+	for k := 0; k < len(e.hist); k++ {
 		z += e.hist[k]
 		if z < threshold {
 			continue
@@ -178,12 +222,12 @@ func (e *MaxEstimator) EstimateThreshold(s []int16) float64 {
 // ThresholdEstimator adapts EstimateThreshold to the Estimator interface so
 // benchmarks and accuracy sweeps can treat the Lemma 5.2 statistic as one
 // more variant next to the harmonic extraction and the KMV estimator.
-type ThresholdEstimator struct {
-	E MaxEstimator
+type ThresholdEstimator[C Cell] struct {
+	E MaxEstimator[C]
 }
 
 // Name implements Estimator.
-func (e *ThresholdEstimator) Name() string { return "max/threshold" }
+func (e *ThresholdEstimator[C]) Name() string { return "max/threshold" }
 
 // Estimate implements Estimator via the threshold statistic.
-func (e *ThresholdEstimator) Estimate(s []int16) float64 { return e.E.EstimateThreshold(s) }
+func (e *ThresholdEstimator[C]) Estimate(s []C) float64 { return e.E.EstimateThreshold(s) }

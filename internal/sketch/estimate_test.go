@@ -2,6 +2,7 @@ package sketch
 
 import (
 	"math"
+	"math/rand/v2"
 	"testing"
 
 	"clustercolor/internal/parwork"
@@ -10,13 +11,13 @@ import (
 // mergedRow builds the sketch of d parties by folding d singleton fills of
 // kernel k — exactly what a collect wave computes for a vertex with d
 // admitted neighbors.
-func mergedRow(k Kernel, width, d int, seed uint64) []int16 {
-	row := make([]int16, width)
+func mergedRow[C Cell](k Kernel[C], width, d int, seed uint64) []C {
+	row := make([]C, width)
 	cell := k.EmptyCell()
 	for i := range row {
 		row[i] = cell
 	}
-	tmp := make([]int16, width)
+	tmp := make([]C, width)
 	for p := 0; p < d; p++ {
 		k.Fill(tmp, parwork.RowSeed(seed, p))
 		k.Merge(row, tmp)
@@ -35,10 +36,10 @@ func relErr(got, want float64) float64 {
 func TestEstimatorAccuracy(t *testing.T) {
 	const trials = 2048
 	counts := []int{10, 100, 1000, 20000}
-	var est MaxEstimator
-	var thr ThresholdEstimator
+	var est MaxEstimator[int8]
+	var thr ThresholdEstimator[int8]
 	for i, d := range counts {
-		row := mergedRow(MaxKernel{}, trials, d, 0x9e3779b97f4a7c15+uint64(i))
+		row := mergedRow[int8](MaxKernel{}, trials, d, 0x9e3779b97f4a7c15+uint64(i))
 		if e := relErr(est.Estimate(row), float64(d)); e > 0.10 {
 			t.Errorf("max/harmonic d=%d: relative error %.3f > 0.10", d, e)
 		}
@@ -53,9 +54,100 @@ func TestEstimatorAccuracy(t *testing.T) {
 	// distinct hashes saturate under d itself — a property of the kernel's
 	// wire width, not estimator noise).
 	for i, d := range []int{10, 100, 1000, 2000} {
-		row := mergedRow(KMVKernel{}, kmvWidth, d, 0xd1b54a32d192ed03+uint64(i))
+		row := mergedRow[int16](KMVKernel{}, kmvWidth, d, 0xd1b54a32d192ed03+uint64(i))
 		if e := relErr(kmv.Estimate(row), float64(d)); e > 0.35 {
 			t.Errorf("kmv d=%d (k=%d): relative error %.3f > 0.35", d, kmvWidth, e)
+		}
+	}
+}
+
+// TestEstimatorWidthIndependence pins the cell-width contract's estimator
+// half: the same values in an int8 and an int16 row must produce
+// bit-identical estimates from both max-kernel statistics.
+func TestEstimatorWidthIndependence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	var e8 MaxEstimator[int8]
+	var e16 MaxEstimator[int16]
+	for trial := 0; trial < 100; trial++ {
+		narrow := randMaxRow(rng, 1+rng.IntN(300))
+		wide := make([]int16, len(narrow))
+		for i, v := range narrow {
+			wide[i] = int16(v)
+		}
+		if got, want := e8.Estimate(narrow), e16.Estimate(wide); got != want {
+			t.Fatalf("harmonic estimate differs across widths: %v vs %v", got, want)
+		}
+		if got, want := e8.EstimateThreshold(narrow), e16.EstimateThreshold(wide); got != want {
+			t.Fatalf("threshold estimate differs across widths: %v vs %v", got, want)
+		}
+	}
+}
+
+// TestEstimateMergedMatchesEstimate pins the fused merge+estimate kernel:
+// EstimateMerged(a, b) must produce bit-identical floats to estimating the
+// materialized pointwise max, without modifying either input row.
+func TestEstimateMergedMatchesEstimate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 24))
+	var est MaxEstimator[int8]
+	for trial := 0; trial < 200; trial++ {
+		width := 1 + rng.IntN(300)
+		a := randMaxRow(rng, width)
+		b := randMaxRow(rng, width)
+		if trial%3 == 0 {
+			// Include saturated cells so the fused clamp path is covered too.
+			a = randMaxRowSaturated(rng, width)
+		}
+		aCopy, bCopy := cloneRow(a), cloneRow(b)
+		merged := cloneRow(a)
+		MergeMax8Generic(merged, b)
+		want := est.Estimate(merged)
+		got := est.EstimateMerged(a, b)
+		if got != want {
+			t.Fatalf("EstimateMerged = %v, Estimate(merged) = %v", got, want)
+		}
+		if !rowsEqual(a, aCopy) || !rowsEqual(b, bCopy) {
+			t.Fatal("EstimateMerged modified an input row")
+		}
+	}
+	// Zero-width rows estimate to 0 through both paths.
+	if got := est.EstimateMerged(nil, nil); got != 0 {
+		t.Fatalf("EstimateMerged(nil, nil) = %v, want 0", got)
+	}
+}
+
+// TestEstimateMergedLengthMismatch: the fused kernel must refuse rows of
+// different widths loudly rather than silently truncating.
+func TestEstimateMergedLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EstimateMerged accepted rows of different lengths")
+		}
+	}()
+	var est MaxEstimator[int8]
+	est.EstimateMerged(make([]int8, 4), make([]int8, 5))
+}
+
+// TestMaxEstimatorSaturated is the saturation guard's estimator half: rows
+// clamped at the narrow-width ceiling MaxCell8 — unreachable through organic
+// fills, whose values stay ≤ 64 — must still produce finite estimates from
+// every statistic, through both the plain and the fused path.
+func TestMaxEstimatorSaturated(t *testing.T) {
+	var est MaxEstimator[int8]
+	var thr ThresholdEstimator[int8]
+	saturated := make([]int8, 256)
+	for i := range saturated {
+		saturated[i] = MaxCell8
+	}
+	organic := mergedRow[int8](MaxKernel{}, 256, 1000, 77)
+	for _, row := range [][]int8{saturated, organic} {
+		if got := est.Estimate(row); math.IsInf(got, 0) || math.IsNaN(got) || got <= 0 {
+			t.Fatalf("harmonic estimate on saturated row not finite positive: %v", got)
+		}
+		if got := thr.Estimate(row); math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Fatalf("threshold estimate on saturated row not finite: %v", got)
+		}
+		if got := est.EstimateMerged(row, saturated); math.IsInf(got, 0) || math.IsNaN(got) || got <= 0 {
+			t.Fatalf("fused estimate on saturated row not finite positive: %v", got)
 		}
 	}
 }
@@ -63,15 +155,18 @@ func TestEstimatorAccuracy(t *testing.T) {
 // TestEstimatorsOnEmptyRow: an all-identity row means no party was seen; all
 // estimators must return 0.
 func TestEstimatorsOnEmptyRow(t *testing.T) {
-	maxEmpty := make([]int16, 128)
+	maxEmpty := make([]int8, 128)
 	for i := range maxEmpty {
 		maxEmpty[i] = Empty
 	}
-	var est MaxEstimator
+	var est MaxEstimator[int8]
 	if got := est.Estimate(maxEmpty); got != 0 {
 		t.Errorf("max/harmonic on empty row: %v, want 0", got)
 	}
-	var thr ThresholdEstimator
+	if got := est.EstimateMerged(maxEmpty, maxEmpty); got != 0 {
+		t.Errorf("fused estimate on empty rows: %v, want 0", got)
+	}
+	var thr ThresholdEstimator[int8]
 	if got := thr.Estimate(maxEmpty); got != 0 {
 		t.Errorf("max/threshold on empty row: %v, want 0", got)
 	}
@@ -90,7 +185,7 @@ func TestEstimatorsOnEmptyRow(t *testing.T) {
 func TestKMVSubSaturation(t *testing.T) {
 	const k = 128
 	const d = 40
-	row := mergedRow(KMVKernel{}, k, d, 42)
+	row := mergedRow[int16](KMVKernel{}, k, d, 42)
 	var kmv KMVEstimator
 	got := kmv.Estimate(row)
 	// Hash collisions among d parties can only lower the count, and with
@@ -105,7 +200,7 @@ func TestKMVSubSaturation(t *testing.T) {
 // Encode padding only to the next byte.
 func TestDeviationBitsExact(t *testing.T) {
 	for i, d := range []int{1, 7, 50, 900} {
-		row := mergedRow(MaxKernel{}, 257, d, 0xabcdef+uint64(i))
+		row := mergedRow[int8](MaxKernel{}, 257, d, 0xabcdef+uint64(i))
 		k, _ := DeviationBaseline(row, nil)
 		bits := DeviationBits(row, k)
 		buf := EncodeDeviation(row)
@@ -116,8 +211,45 @@ func TestDeviationBitsExact(t *testing.T) {
 		if err != nil {
 			t.Fatalf("d=%d: decode: %v", d, err)
 		}
-		if !rowsEqual(back, row) {
-			t.Errorf("d=%d: decode round-trip mismatch", d)
+		if len(back) != len(row) {
+			t.Fatalf("d=%d: decode round-trip width %d, want %d", d, len(back), len(row))
+		}
+		for j := range row {
+			if back[j] != int16(row[j]) {
+				t.Errorf("d=%d: decode round-trip mismatch at cell %d", d, j)
+				break
+			}
+		}
+	}
+}
+
+// TestDeviationEncodingWidthIndependence pins the cell-width contract's wire
+// half: the deviation encoding of the same values must be byte-identical —
+// same baseline, same bit count, same bytes — from narrow and wide rows.
+func TestDeviationEncodingWidthIndependence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(25, 26))
+	for trial := 0; trial < 100; trial++ {
+		narrow := randMaxRow(rng, 1+rng.IntN(300))
+		wide := make([]int16, len(narrow))
+		for i, v := range narrow {
+			wide[i] = int16(v)
+		}
+		k8, _ := DeviationBaseline(narrow, nil)
+		k16, _ := DeviationBaseline(wide, nil)
+		if k8 != k16 {
+			t.Fatalf("baseline differs across widths: %d vs %d", k8, k16)
+		}
+		if b8, b16 := DeviationBits(narrow, k8), DeviationBits(wide, k16); b8 != b16 {
+			t.Fatalf("bit count differs across widths: %d vs %d", b8, b16)
+		}
+		e8, e16 := EncodeDeviation(narrow), EncodeDeviation(wide)
+		if len(e8) != len(e16) {
+			t.Fatalf("encoding length differs across widths: %d vs %d", len(e8), len(e16))
+		}
+		for i := range e8 {
+			if e8[i] != e16[i] {
+				t.Fatalf("encoding differs across widths at byte %d", i)
+			}
 		}
 	}
 }
@@ -125,15 +257,19 @@ func TestDeviationBitsExact(t *testing.T) {
 // TestKernelEncodedBitsPositive: every kernel must charge at least one bit
 // for any row, including the empty one (the wave charges max(bits, 1)).
 func TestKernelEncodedBitsPositive(t *testing.T) {
-	for _, k := range []Kernel{MaxKernel{}, KMVKernel{}} {
-		row := make([]int16, 33)
-		cell := k.EmptyCell()
-		for i := range row {
-			row[i] = cell
-		}
-		var counts []int
-		if b := k.EncodedBits(row, &counts); b <= 0 {
-			t.Errorf("%s: EncodedBits(empty row) = %d, want > 0", k.Name(), b)
-		}
+	var counts []int
+	maxRow := make([]int8, 33)
+	for i := range maxRow {
+		maxRow[i] = MaxKernel{}.EmptyCell()
+	}
+	if b := (MaxKernel{}).EncodedBits(maxRow, &counts); b <= 0 {
+		t.Errorf("max: EncodedBits(empty row) = %d, want > 0", b)
+	}
+	kmvRow := make([]int16, 33)
+	for i := range kmvRow {
+		kmvRow[i] = KMVKernel{}.EmptyCell()
+	}
+	if b := (KMVKernel{}).EncodedBits(kmvRow, &counts); b <= 0 {
+		t.Errorf("kmv: EncodedBits(empty row) = %d, want > 0", b)
 	}
 }

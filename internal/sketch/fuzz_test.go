@@ -5,13 +5,14 @@ import (
 	"testing"
 )
 
-// FuzzSketchMerge throws arbitrary byte strings at both kernels' merges. For
-// the max kernel the rows decode to raw int16s (the full value range, far
-// beyond what geometric fills produce) and the SWAR path must match the
-// scalar reference exactly alongside the semilattice laws. For the KMV
-// kernel the bytes are canonicalized into valid rows (sorted distinct,
-// sentinel-padded) first, since MergeKMV's contract only covers rows the
-// kernel itself can produce.
+// FuzzSketchMerge throws arbitrary byte strings at every merge kernel. The
+// raw bytes decode into int8 rows (the narrow max kernel's full value range,
+// including the saturation ceiling, at every alignment of a shared backing)
+// and into int16 rows (the wide reference kernel's full range), and each
+// SWAR path must match its scalar reference exactly alongside the
+// semilattice laws. For the KMV kernel the bytes are canonicalized into
+// valid rows (sorted distinct, sentinel-padded) first, since MergeKMV's
+// contract only covers rows the kernel itself can produce.
 func FuzzSketchMerge(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
 	f.Add([]byte{0xff, 0x7f, 0x00, 0x80, 0xff, 0xff, 0x01, 0x00})
@@ -28,7 +29,7 @@ func FuzzSketchMerge(f *testing.F) {
 			a[i] = int16(data[2*i]) | int16(data[2*i+1])<<8
 			b[i] = int16(data[2*(width+i)]) | int16(data[2*(width+i)+1])<<8
 		}
-		// SWAR vs reference on raw values.
+		// 4-lane SWAR vs reference on raw int16 values.
 		got := cloneRow(a)
 		MergeMax(got, b)
 		want := cloneRow(a)
@@ -36,18 +37,50 @@ func FuzzSketchMerge(f *testing.F) {
 		if !rowsEqual(got, want) {
 			t.Fatalf("MergeMax != generic\n a=%v\n b=%v\n got=%v\n want=%v", a, b, got, want)
 		}
+		// 8-lane SWAR vs reference on raw int8 values, at the alignment the
+		// first byte selects: both rows slice off a shared backing so the
+		// aligned fast path and the misaligned scalar fallback both fuzz.
+		w8 := len(data) / 2
+		off := int(data[0]) % 8
+		aBack := make([]int8, w8+8)
+		bBack := make([]int8, w8+8)
+		for i := 0; i < w8; i++ {
+			aBack[off+i] = int8(data[i])
+			bBack[off+i] = int8(data[w8+i])
+		}
+		a8 := aBack[off : off+w8]
+		b8 := bBack[off : off+w8]
+		got8 := cloneRow(a8)
+		MergeMax8(got8, b8)
+		want8 := cloneRow(a8)
+		MergeMax8Generic(want8, b8)
+		if !rowsEqual(got8, want8) {
+			t.Fatalf("MergeMax8 != generic (off=%d)\n a=%v\n b=%v\n got=%v\n want=%v", off, a8, b8, got8, want8)
+		}
+		// The paired fold must equal two sequential merges — the identity
+		// the collect wave relies on to fold neighbors two at a time.
+		pair := cloneRow(a8)
+		MergeMax8Pair(pair, b8, want8)
+		wantPair := cloneRow(a8)
+		MergeMax8Generic(wantPair, b8)
+		MergeMax8Generic(wantPair, want8)
+		if !rowsEqual(pair, wantPair) {
+			t.Fatalf("MergeMax8Pair != sequential (off=%d)\n a=%v\n b=%v", off, a8, b8)
+		}
 		// Semilattice laws for both kernels, on rows canonicalized into each
 		// kernel's value domain (the identity law only holds there); derive a
 		// third row for associativity by swapping the halves.
+		c8 := append(cloneRow(b8[w8/2:]), b8[:w8/2]...)
+		checkMergeLaws[int8](t, MaxKernel{}, canonMax8(a8), canonMax8(b8), canonMax8(c8))
 		c := append(cloneRow(b[width/2:]), b[:width/2]...)
-		checkMergeLaws(t, MaxKernel{}, canonMax(a), canonMax(b), canonMax(c))
-		checkMergeLaws(t, KMVKernel{}, canonKMV(a), canonKMV(b), canonKMV(c))
+		checkMergeLaws[int16](t, KMVKernel{}, canonKMV(a), canonKMV(b), canonKMV(c))
 	})
 }
 
-// canonMax folds values below the max kernel's identity (-1) back into its
-// value domain while keeping the fuzzer's spread.
-func canonMax(raw []int16) []int16 {
+// canonMax8 folds values below the max kernel's identity (-1) back into its
+// value domain while keeping the fuzzer's spread — the result still covers
+// the whole legal range [Empty, MaxCell8].
+func canonMax8(raw []int8) []int8 {
 	row := cloneRow(raw)
 	for i, v := range row {
 		if v < Empty {

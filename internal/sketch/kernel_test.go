@@ -10,15 +10,31 @@ import (
 // The kernel conformance suite: every Kernel must be a semilattice join
 // (identity, idempotent, commutative, associative) — the laws the
 // byte-identical-at-any-parallelism contract and the redundant-path safety
-// of the waves rest on — and the SWAR MergeMax must agree byte-for-byte with
-// the scalar reference on every alignment and length.
+// of the waves rest on — and each SWAR merge must agree byte-for-byte with
+// its scalar reference on every alignment and length, including the
+// saturation ceiling of the narrow cells.
 
 // randMaxRow builds a max-kernel row with realistic value spread (Empty
 // through ~18, the range geometric maxima actually occupy).
-func randMaxRow(rng *rand.Rand, t int) []int16 {
-	row := make([]int16, t)
+func randMaxRow(rng *rand.Rand, t int) []int8 {
+	row := make([]int8, t)
 	for i := range row {
-		row[i] = int16(rng.IntN(20)) - 1
+		row[i] = int8(rng.IntN(20)) - 1
+	}
+	return row
+}
+
+// randMaxRowSaturated builds a max-kernel row that mixes organic values with
+// cells at and near the narrow-width ceiling MaxCell8.
+func randMaxRowSaturated(rng *rand.Rand, t int) []int8 {
+	row := randMaxRow(rng, t)
+	for i := range row {
+		switch rng.IntN(4) {
+		case 0:
+			row[i] = MaxCell8
+		case 1:
+			row[i] = MaxCell8 - 1
+		}
 	}
 	return row
 }
@@ -45,7 +61,7 @@ func randKMVRow(rng *rand.Rand, k int) []int16 {
 	return row
 }
 
-func rowsEqual(a, b []int16) bool {
+func rowsEqual[C Cell](a, b []C) bool {
 	if len(a) != len(b) {
 		return false
 	}
@@ -57,16 +73,16 @@ func rowsEqual(a, b []int16) bool {
 	return true
 }
 
-func cloneRow(a []int16) []int16 {
-	out := make([]int16, len(a))
+func cloneRow[C Cell](a []C) []C {
+	out := make([]C, len(a))
 	copy(out, a)
 	return out
 }
 
 // checkMergeLaws asserts the semilattice laws for kernel k on rows a, b, c.
-func checkMergeLaws(t *testing.T, k Kernel, a, b, c []int16) {
+func checkMergeLaws[C Cell](t *testing.T, k Kernel[C], a, b, c []C) {
 	t.Helper()
-	empty := make([]int16, len(a))
+	empty := make([]C, len(a))
 	for i := range empty {
 		empty[i] = k.EmptyCell()
 	}
@@ -113,8 +129,39 @@ func TestMaxKernelMergeLaws(t *testing.T) {
 	rng := rand.New(rand.NewPCG(1, 2))
 	for trial := 0; trial < 200; trial++ {
 		width := 1 + rng.IntN(40)
-		checkMergeLaws(t, MaxKernel{},
+		checkMergeLaws[int8](t, MaxKernel{},
 			randMaxRow(rng, width), randMaxRow(rng, width), randMaxRow(rng, width))
+	}
+}
+
+// TestMaxKernelMergeLawsSaturated pins the saturation guard: the semilattice
+// laws must keep holding on rows at the narrow-width ceiling — the max of
+// in-range values is in range, so MaxCell8 is an absorbing top element, not
+// an overflow hazard.
+func TestMaxKernelMergeLawsSaturated(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for trial := 0; trial < 200; trial++ {
+		width := 1 + rng.IntN(40)
+		checkMergeLaws[int8](t, MaxKernel{},
+			randMaxRowSaturated(rng, width), randMaxRowSaturated(rng, width), randMaxRowSaturated(rng, width))
+	}
+}
+
+// TestSaturateCell8 pins the clamp: values above the ceiling saturate to
+// MaxCell8, values below the identity clamp to Empty, and the organic range
+// passes through unchanged.
+func TestSaturateCell8(t *testing.T) {
+	cases := []struct {
+		in   int
+		want int8
+	}{
+		{-1000, Empty}, {-2, Empty}, {Empty, Empty}, {0, 0}, {64, 64},
+		{int(MaxCell8), MaxCell8}, {int(MaxCell8) + 1, MaxCell8}, {1 << 20, MaxCell8},
+	}
+	for _, tc := range cases {
+		if got := SaturateCell8(tc.in); got != tc.want {
+			t.Errorf("SaturateCell8(%d) = %d, want %d", tc.in, got, tc.want)
+		}
 	}
 }
 
@@ -122,7 +169,7 @@ func TestKMVKernelMergeLaws(t *testing.T) {
 	rng := rand.New(rand.NewPCG(3, 4))
 	for trial := 0; trial < 200; trial++ {
 		width := 1 + rng.IntN(24)
-		checkMergeLaws(t, KMVKernel{},
+		checkMergeLaws[int16](t, KMVKernel{},
 			randKMVRow(rng, width), randKMVRow(rng, width), randKMVRow(rng, width))
 	}
 }
@@ -159,9 +206,68 @@ func TestMergeKMVAgainstBruteForce(t *testing.T) {
 	}
 }
 
-// TestMergeMaxMatchesGeneric pins the SWAR path to the scalar reference over
-// every small length (exercising the word body, the tail, and the short-row
-// fallback) and over the full int16 value range.
+// TestMergeMax8MatchesGeneric pins the 8-lane SWAR path to the scalar
+// reference over every small length (exercising the word body, the tail, and
+// the short-row fallback) and over the full int8 value range, including the
+// saturation ceiling and the identity.
+func TestMergeMax8MatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	for n := 0; n <= 67; n++ {
+		for trial := 0; trial < 50; trial++ {
+			dst := make([]int8, n)
+			src := make([]int8, n)
+			for i := 0; i < n; i++ {
+				dst[i] = int8(rng.IntN(256))
+				src[i] = int8(rng.IntN(256))
+			}
+			// Sprinkle the values the clamp produces so the lane compare is
+			// exercised exactly at the contract's boundary cells.
+			if n > 0 {
+				dst[rng.IntN(n)] = MaxCell8
+				src[rng.IntN(n)] = Empty
+			}
+			want := cloneRow(dst)
+			MergeMax8Generic(want, src)
+			got := cloneRow(dst)
+			MergeMax8(got, src)
+			if !rowsEqual(got, want) {
+				t.Fatalf("n=%d: MergeMax8 != generic\n dst=%v\n src=%v\n got=%v\n want=%v",
+					n, dst, src, got, want)
+			}
+		}
+	}
+}
+
+// TestMergeMax8Misaligned shifts the rows off 8-byte alignment (every offset
+// combination of a shared backing) and checks the result never depends on
+// which path ran.
+func TestMergeMax8Misaligned(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	const n = 41
+	for dOff := 0; dOff < 8; dOff++ {
+		for sOff := 0; sOff < 8; sOff++ {
+			dBack := make([]int8, n+8)
+			sBack := make([]int8, n+8)
+			for i := range dBack {
+				dBack[i] = int8(rng.IntN(256))
+				sBack[i] = int8(rng.IntN(256))
+			}
+			dst := dBack[dOff : dOff+n]
+			src := sBack[sOff : sOff+n]
+			want := cloneRow(dst)
+			MergeMax8Generic(want, src)
+			got := cloneRow(dst)
+			MergeMax8(got, src)
+			if !rowsEqual(got, want) {
+				t.Fatalf("offsets (%d,%d): MergeMax8 != generic", dOff, sOff)
+			}
+		}
+	}
+}
+
+// TestMergeMaxMatchesGeneric pins the 4-lane int16 SWAR path (kept for the
+// fingerprint adapter's wide rows) to the scalar reference over every small
+// length and the full int16 value range.
 func TestMergeMaxMatchesGeneric(t *testing.T) {
 	rng := rand.New(rand.NewPCG(7, 8))
 	for n := 0; n <= 67; n++ {
@@ -211,23 +317,95 @@ func TestMergeMaxMisaligned(t *testing.T) {
 	}
 }
 
-// TestArenaRowsAligned checks the stride contract MergeMax's fast path
-// relies on: every arena row starts on an 8-byte boundary for every width.
+// TestArenaRowsAligned checks the stride contract the SWAR fast paths rely
+// on: every arena row starts on an 8-byte boundary for every width, at both
+// cell widths.
 func TestArenaRowsAligned(t *testing.T) {
-	var a Arena
-	for _, width := range []int{1, 2, 3, 4, 5, 7, 8, 63, 64, 65, 1099} {
-		a.Reset(9, width)
-		if a.Trials() != width || a.Rows() != 9 {
-			t.Fatalf("t=%d: arena shape %dx%d", width, a.Rows(), a.Trials())
+	widths := []int{1, 2, 3, 4, 5, 7, 8, 63, 64, 65, 1099}
+	var a8 Arena[int8]
+	for _, width := range widths {
+		a8.Reset(9, width)
+		if a8.Trials() != width || a8.Rows() != 9 {
+			t.Fatalf("int8 t=%d: arena shape %dx%d", width, a8.Rows(), a8.Trials())
 		}
-		for i := 0; i < a.Rows(); i++ {
-			row := a.Row(i)
+		for i := 0; i < a8.Rows(); i++ {
+			row := a8.Row(i)
 			if len(row) != width {
-				t.Fatalf("t=%d: row %d has length %d", width, i, len(row))
+				t.Fatalf("int8 t=%d: row %d has length %d", width, i, len(row))
 			}
 			if uintptr(unsafe.Pointer(&row[0]))%8 != 0 {
-				t.Fatalf("t=%d: row %d not 8-byte aligned", width, i)
+				t.Fatalf("int8 t=%d: row %d not 8-byte aligned", width, i)
 			}
 		}
 	}
+	var a16 Arena[int16]
+	for _, width := range widths {
+		a16.Reset(9, width)
+		if a16.Trials() != width || a16.Rows() != 9 {
+			t.Fatalf("int16 t=%d: arena shape %dx%d", width, a16.Rows(), a16.Trials())
+		}
+		for i := 0; i < a16.Rows(); i++ {
+			row := a16.Row(i)
+			if len(row) != width {
+				t.Fatalf("int16 t=%d: row %d has length %d", width, i, len(row))
+			}
+			if uintptr(unsafe.Pointer(&row[0]))%8 != 0 {
+				t.Fatalf("int16 t=%d: row %d not 8-byte aligned", width, i)
+			}
+		}
+	}
+}
+
+// TestMergeMax8PairMatchesSequential pins the paired fold to its definition:
+// MergeMax8Pair(dst, a, b) must equal two sequential generic merges, over
+// random lengths (covering the SWAR gate, the unrolled pairs, and the scalar
+// tail), saturated cells, and every alignment combination of the three rows.
+func TestMergeMax8PairMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(27, 28))
+	for n := 0; n <= 67; n++ {
+		dst := randMaxRow(rng, n)
+		a := randMaxRowSaturated(rng, n)
+		b := randMaxRow(rng, n)
+		want := cloneRow(dst)
+		MergeMax8Generic(want, a)
+		MergeMax8Generic(want, b)
+		got := cloneRow(dst)
+		MergeMax8Pair(got, a, b)
+		if !rowsEqual(got, want) {
+			t.Fatalf("n=%d: MergeMax8Pair != sequential merges", n)
+		}
+	}
+	const n = 41
+	for dOff := 0; dOff < 8; dOff++ {
+		for aOff := 0; aOff < 8; aOff += 3 {
+			for bOff := 0; bOff < 8; bOff += 5 {
+				back := func(off int) []int8 {
+					bk := make([]int8, n+8)
+					for i := range bk {
+						bk[i] = int8(rng.IntN(256))
+					}
+					return bk[off : off+n]
+				}
+				dst, a, b := back(dOff), back(aOff), back(bOff)
+				want := cloneRow(dst)
+				MergeMax8Generic(want, a)
+				MergeMax8Generic(want, b)
+				got := cloneRow(dst)
+				MergeMax8Pair(got, a, b)
+				if !rowsEqual(got, want) {
+					t.Fatalf("offsets (%d,%d,%d): MergeMax8Pair != sequential", dOff, aOff, bOff)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeMax8PairLengthMismatch: all three rows must share one width.
+func TestMergeMax8PairLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MergeMax8Pair accepted rows of different lengths")
+		}
+	}()
+	MergeMax8Pair(make([]int8, 4), make([]int8, 4), make([]int8, 5))
 }

@@ -1,5 +1,5 @@
 // Package sketch is the generic mergeable-sketch engine behind the
-// decomposition's approximate counting: flat arenas of fixed-width []int16
+// decomposition's approximate counting: flat arenas of fixed-width cell
 // rows, a pluggable merge kernel whose fold is commutative, associative, and
 // idempotent, and estimators that invert a merged row back into a count.
 //
@@ -15,6 +15,34 @@
 // replays route their merges through the same kernels, so vertex-level and
 // machine-level execution share one merge implementation.
 //
+// # Cell-width contract
+//
+// Arenas, kernels, and estimators are generic over the Cell storage width.
+// Each kernel picks the narrowest width its value range needs:
+//
+//   - MaxKernel stores int8 cells. Its values are maxima of geometric(1/2)
+//     samples — at most 64 (one machine word of trailing zeros), far below
+//     the MaxCell8 = 127 saturation ceiling. Cells saturate at MaxCell8
+//     (SaturateCell8): merging preserves the ceiling (max of in-range values
+//     stays in range) and the estimator clamps saturated values into its
+//     histogram, so a saturated row still obeys the merge laws and estimates
+//     to a documented finite value. Halving bytes per row halves the memory
+//     traffic of the collect wave, the per-edge merges, and the shard
+//     boundary exchange — the single most-trafficked path in the repo.
+//   - KMVKernel keeps int16 cells: its values are 15-bit hashes and the
+//     kmvSentinel is MaxInt16, which genuinely need the width.
+//
+// Cell width is storage only: estimator inputs, the deviation encoding, and
+// therefore every charged payload (`sketch_bits`) are value-based and
+// byte-identical whichever width stores the same values.
+//
+// # Stride and alignment
+//
+// Arena rows are laid out at a stride padded up to a full 8-byte machine
+// word (8 cells for int8, 4 for int16), so every row starts 8-byte aligned —
+// the precondition of the SWAR merge kernels (MergeMax8 moves 8 lanes per
+// word, MergeMax 4). Rows obtained elsewhere fall back to the scalar tail.
+//
 // Ownership contract (moved here from internal/fingerprint): an Arena — and
 // any Scratch — belongs to one wave at a time. Arena.Reset reuses the flat
 // backing across waves; rows returned by Row alias the backing and are
@@ -22,7 +50,14 @@
 // goroutine; parallel folds give each chunk its own.
 package sketch
 
-// Kernel defines one mergeable-sketch family over fixed-width []int16 rows.
+// Cell is the constraint over sketch storage widths: kernels declare the
+// narrowest integer type that holds their value range (see the cell-width
+// contract in the package doc).
+type Cell interface {
+	~int8 | ~int16
+}
+
+// Kernel defines one mergeable-sketch family over fixed-width []C rows.
 //
 // Merge must be commutative, associative, and idempotent — a semilattice
 // join — and a row of EmptyCell values must be its identity. Those four laws
@@ -33,31 +68,41 @@ package sketch
 //
 // Kernels are stateless values: methods must be safe for concurrent use, and
 // any per-call scratch is passed in by the caller.
-type Kernel interface {
+type Kernel[C Cell] interface {
 	// Name identifies the kernel in benchmarks and reports.
 	Name() string
 	// EmptyCell is the identity cell value: a row filled with it merges as
 	// a no-op ("no elements seen").
-	EmptyCell() int16
+	EmptyCell() C
 	// Fill writes one party's singleton sketch into row, deriving all
 	// randomness from rowSeed's counter stream (parwork.RowSeed) so the row
 	// is a pure function of (rowSeed, width).
-	Fill(row []int16, rowSeed uint64)
+	Fill(row []C, rowSeed uint64)
 	// Merge folds src into dst (dst = dst ⊔ src). Lengths must match; rows
 	// must not partially overlap (dst == src is allowed and is a no-op by
 	// idempotence).
-	Merge(dst, src []int16)
+	Merge(dst, src []C)
 	// EncodedBits returns the wire size of row under the kernel's
 	// serialization, using *counts as reusable scratch (grown as needed).
-	EncodedBits(row []int16, counts *[]int) int
+	EncodedBits(row []C, counts *[]int) int
+}
+
+// PairMerger is an optional kernel fast path: MergePair folds two source
+// rows into dst in one pass (dst = dst ⊔ a ⊔ b), exactly equal to two
+// sequential Merge calls by associativity. The collect wave's fold is bound
+// by the memory latency of fetching scattered sample rows, so a kernel that
+// can keep two source streams in flight roughly halves the stall per cell;
+// kernels without it are folded one source at a time.
+type PairMerger[C Cell] interface {
+	MergePair(dst, a, b []C)
 }
 
 // Estimator inverts a merged row into an approximate count of the distinct
 // parties folded into it. Implementations carry reusable scratch and are
 // owned by one goroutine; the zero value is ready to use.
-type Estimator interface {
+type Estimator[C Cell] interface {
 	// Name identifies the estimator variant in benchmarks and reports.
 	Name() string
 	// Estimate returns d̂ for the row (0 when no party was seen).
-	Estimate(row []int16) float64
+	Estimate(row []C) float64
 }
